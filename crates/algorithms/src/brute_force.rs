@@ -1,0 +1,124 @@
+//! Exhaustive search: the ground truth for small instances.
+
+use fp_graph::NodeId;
+use fp_num::Count;
+use fp_propagation::{f_value, CGraph, FilterSet};
+
+/// The optimal filter set of size ≤ `k` by exhaustive enumeration,
+/// returning `(placement, F(placement))`.
+///
+/// Candidates are restricted to non-source, non-sink nodes — a filter
+/// at a sink or at the source provably changes nothing under the relay
+/// model, so the restriction loses no optimality while shrinking the
+/// search space. `F` is monotone, so only subsets of size exactly
+/// `min(k, #candidates)` need enumeration. Ties break toward the
+/// lexicographically smallest candidate combination.
+///
+/// Complexity `C(n, k)` forward passes — test-scale graphs only.
+pub fn optimal_placement<C: Count>(cg: &CGraph, k: usize) -> (FilterSet, C) {
+    let n = cg.node_count();
+    let candidates: Vec<NodeId> = cg
+        .nodes()
+        .filter(|&v| v != cg.source() && cg.csr().out_degree(v) > 0)
+        .collect();
+    let k = k.min(candidates.len());
+    let mut best_set = FilterSet::empty(n);
+    let mut best_f: C = f_value(cg, &best_set);
+    if k == 0 {
+        return (best_set, best_f);
+    }
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        let filters = FilterSet::from_nodes(n, indices.iter().map(|&i| candidates[i]));
+        let f: C = f_value(cg, &filters);
+        if f > best_f {
+            best_f = f;
+            best_set = filters;
+        }
+        // Next combination in lexicographic order.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return (best_set, best_f);
+            }
+            pos -= 1;
+            if indices[pos] != pos + candidates.len() - k {
+                break;
+            }
+        }
+        indices[pos] += 1;
+        for j in pos + 1..k {
+            indices[j] = indices[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GreedyAll;
+    use crate::Solver;
+    use fp_graph::DiGraph;
+    use fp_num::Sat64;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn figure1_optimum_is_z2() {
+        let cg = figure1();
+        let (set, f) = optimal_placement::<Sat64>(&cg, 1);
+        assert_eq!(set.nodes(), &[NodeId::new(4)]);
+        assert_eq!(f.get(), 1);
+    }
+
+    #[test]
+    fn zero_budget() {
+        let cg = figure1();
+        let (set, f) = optimal_placement::<Sat64>(&cg, 0);
+        assert!(set.is_empty());
+        assert!(f.is_zero());
+    }
+
+    #[test]
+    fn budget_beyond_candidates_is_clamped() {
+        let cg = figure1();
+        let (set, f) = optimal_placement::<Sat64>(&cg, 100);
+        // Only 5 non-source non-sink candidates exist.
+        assert!(set.len() <= 5);
+        let fv: Sat64 = f_value(&cg, &FilterSet::all(7));
+        assert_eq!(f, fv, "unbounded budget reaches F(V)");
+    }
+
+    #[test]
+    fn greedy_respects_the_approximation_bound() {
+        // Random-ish lattice where greedy is not obviously optimal.
+        let mut pairs = vec![(0usize, 1usize), (0, 2), (0, 3)];
+        for a in 1..=3 {
+            for b in [4usize, 5] {
+                pairs.push((a, b));
+            }
+        }
+        pairs.extend([(4, 6), (5, 6), (4, 7), (5, 7), (6, 8), (7, 8)]);
+        let g = DiGraph::from_pairs(9, pairs).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        for k in 1..=3 {
+            let (_, opt) = optimal_placement::<Sat64>(&cg, k);
+            let greedy = GreedyAll::<Sat64>::new().place(&cg, k);
+            let f: Sat64 = f_value(&cg, &greedy);
+            let bound = (1.0 - (-1.0f64).exp()) * opt.get() as f64;
+            assert!(
+                f.get() as f64 >= bound - 1e-9,
+                "k={k}: greedy {} < (1-1/e)·opt {}",
+                f.get(),
+                bound
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Greedy placement for the multi-source / multirate extension.
+//!
+//! `F_multi(A) = Σ_i r_i · F_{s_i}(A)` is a nonnegative combination of
+//! monotone submodular functions, hence itself monotone submodular —
+//! greedy on the combined marginals keeps the `(1 − 1/e)` guarantee.
+
+use crate::argmax_count;
+use fp_graph::{DiGraph, GraphError, NodeId};
+use fp_num::Count;
+use fp_propagation::multi_item::MultiItemGraph;
+use fp_propagation::{impacts, CGraph, FilterSet};
+
+/// Greedy_All over a rate-weighted multi-source objective.
+pub struct MultiGreedy {
+    graphs: Vec<(CGraph, u64)>,
+}
+
+impl MultiGreedy {
+    /// Build from a DAG and `(source, rate)` pairs.
+    pub fn new(g: &DiGraph, sources: &[(NodeId, u64)]) -> Result<Self, GraphError> {
+        let mut graphs = Vec::with_capacity(sources.len());
+        for &(s, rate) in sources {
+            graphs.push((CGraph::new(g, s)?, rate));
+        }
+        Ok(Self { graphs })
+    }
+
+    /// Place at most `k` filters maximizing the combined objective.
+    pub fn place<C: Count>(&self, k: usize) -> FilterSet {
+        let n = self.graphs.first().map_or(0, |(cg, _)| cg.node_count());
+        let mut filters = FilterSet::empty(n);
+        for _ in 0..k {
+            let mut combined = vec![C::zero(); n];
+            for (cg, rate) in &self.graphs {
+                if *rate == 0 {
+                    continue;
+                }
+                let imp: Vec<C> = impacts(cg, &filters);
+                let r = C::from_u64(*rate);
+                for (acc, i) in combined.iter_mut().zip(&imp) {
+                    acc.add_assign(&i.mul(&r));
+                }
+            }
+            match argmax_count(&combined) {
+                Some(best) => {
+                    filters.insert(NodeId::new(best));
+                }
+                None => break,
+            }
+        }
+        filters
+    }
+
+    /// The combined objective value of a placement.
+    pub fn f_value<C: Count>(&self, g: &DiGraph, sources: &[(NodeId, u64)], filters: &FilterSet) -> C {
+        MultiItemGraph::new(g, sources)
+            .expect("already validated in new()")
+            .f_value(filters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreedyAll, Solver};
+    use fp_num::Wide128;
+
+    fn body() -> DiGraph {
+        DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_source_matches_greedy_all() {
+        let g = body();
+        let multi = MultiGreedy::new(&g, &[(NodeId::new(0), 1)]).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        for k in 0..=3 {
+            assert_eq!(
+                multi.place::<Wide128>(k).nodes(),
+                GreedyAll::<Wide128>::new().place(&cg, k).nodes(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn rates_shift_the_placement() {
+        // Sources at s (0) and y (2). With y's rate dominating, the
+        // best single filter serves y's item (z2 still — but check via
+        // objective monotonicity rather than identity).
+        let g = body();
+        let balanced = MultiGreedy::new(&g, &[(NodeId::new(0), 1), (NodeId::new(2), 1)]).unwrap();
+        let skewed = MultiGreedy::new(&g, &[(NodeId::new(0), 1), (NodeId::new(2), 100)]).unwrap();
+        let pb = balanced.place::<Wide128>(2);
+        let ps = skewed.place::<Wide128>(2);
+        // Both are valid; the skewed objective must value its own
+        // placement at least as much as the balanced one's placement.
+        let sources = [(NodeId::new(0), 1), (NodeId::new(2), 100)];
+        let f_own: Wide128 = skewed.f_value(&g, &sources, &ps);
+        let f_other: Wide128 = skewed.f_value(&g, &sources, &pb);
+        assert!(f_own >= f_other);
+    }
+
+    #[test]
+    fn greedy_improves_the_multi_objective_monotonically() {
+        let g = body();
+        let sources = [(NodeId::new(0), 2), (NodeId::new(1), 3)];
+        let multi = MultiGreedy::new(&g, &sources).unwrap();
+        let mut last = Wide128::zero();
+        for k in 0..=4 {
+            let placement = multi.place::<Wide128>(k);
+            let f: Wide128 = multi.f_value(&g, &sources, &placement);
+            assert!(f >= last, "k={k}");
+            last = f;
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The randomized baselines of §5: Rand_K, Rand_I, Rand_W.
+
+use crate::Solver;
+use fp_graph::NodeId;
+use fp_propagation::{CGraph, FilterSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Rand_K: `k` filters chosen uniformly at random without replacement.
+pub struct RandK {
+    seed: u64,
+}
+
+impl RandK {
+    /// Construct with a seed (experiments average over 25 seeds).
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Solver for RandK {
+    fn name(&self) -> &'static str {
+        "Rand_K"
+    }
+
+    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut nodes: Vec<NodeId> = cg.nodes().filter(|&v| v != cg.source()).collect();
+        nodes.shuffle(&mut rng);
+        FilterSet::from_nodes(cg.node_count(), nodes.into_iter().take(k))
+    }
+}
+
+/// Rand_I: every node becomes a filter independently with probability
+/// `k/n` (expected size `k`, actual size varies).
+pub struct RandI {
+    seed: u64,
+}
+
+impl RandI {
+    /// Construct with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Solver for RandI {
+    fn name(&self) -> &'static str {
+        "Rand_I"
+    }
+
+    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = cg.node_count();
+        let p = if n == 0 { 0.0 } else { k as f64 / n as f64 };
+        let mut filters = FilterSet::empty(n);
+        for v in cg.nodes() {
+            if v != cg.source() && rng.random::<f64>() < p {
+                filters.insert(v);
+            }
+        }
+        filters
+    }
+}
+
+/// Rand_W: node `v` becomes a filter with probability `w(v)·k/n`, where
+/// `w(v) = Σ_{u ∈ children(v)} 1/din(u)` — children fed by few other
+/// parents weigh more ("the influence of node v on the number of items
+/// its child u receives is inversely proportional to the indegree of
+/// u"). Probabilities are clamped to 1.
+pub struct RandW {
+    seed: u64,
+}
+
+impl RandW {
+    /// Construct with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The paper's node weight `w(v)`.
+    pub fn weight(cg: &CGraph, v: NodeId) -> f64 {
+        cg.csr()
+            .children(v)
+            .iter()
+            .map(|&u| 1.0 / cg.csr().in_degree(u) as f64)
+            .sum()
+    }
+}
+
+impl Solver for RandW {
+    fn name(&self) -> &'static str {
+        "Rand_W"
+    }
+
+    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = cg.node_count();
+        let scale = if n == 0 { 0.0 } else { k as f64 / n as f64 };
+        let mut filters = FilterSet::empty(n);
+        for v in cg.nodes() {
+            if v == cg.source() {
+                continue;
+            }
+            let p = (Self::weight(cg, v) * scale).min(1.0);
+            if rng.random::<f64>() < p {
+                filters.insert(v);
+            }
+        }
+        filters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_graph::DiGraph;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn rand_k_returns_exactly_k_distinct_non_source_nodes() {
+        let cg = figure1();
+        for seed in 0..10 {
+            let placement = RandK::new(seed).place(&cg, 3);
+            assert_eq!(placement.len(), 3);
+            assert!(!placement.contains(cg.source()));
+        }
+    }
+
+    #[test]
+    fn rand_i_has_expected_size_k() {
+        let cg = figure1();
+        let k = 3;
+        let total: usize = (0..600).map(|seed| RandI::new(seed).place(&cg, k).len()).sum();
+        let mean = total as f64 / 600.0;
+        // E[size] = k·(n−1)/n ≈ 2.57 here (source excluded).
+        let expect = k as f64 * 6.0 / 7.0;
+        assert!((mean - expect).abs() < 0.3, "mean={mean} expect={expect}");
+    }
+
+    #[test]
+    fn rand_w_weights_match_hand_computation() {
+        let cg = figure1();
+        // w(x=1) = 1/din(z1) + 1/din(z2) = 1 + 1/2.
+        assert!((RandW::weight(&cg, NodeId::new(1)) - 1.5).abs() < 1e-12);
+        // w(z2=4) = 1/din(w) = 1/3 (w's parents are z1, z2, z3).
+        assert!((RandW::weight(&cg, NodeId::new(4)) - 1.0 / 3.0).abs() < 1e-12);
+        // Sinks weigh 0.
+        assert_eq!(RandW::weight(&cg, NodeId::new(6)), 0.0);
+    }
+
+    #[test]
+    fn rand_w_never_selects_zero_weight_sinks() {
+        let cg = figure1();
+        for seed in 0..20 {
+            let placement = RandW::new(seed).place(&cg, 5);
+            assert!(!placement.contains(NodeId::new(6)), "sink chosen at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let cg = figure1();
+        for seed in [1, 7, 42] {
+            assert_eq!(
+                RandK::new(seed).place(&cg, 2).nodes(),
+                RandK::new(seed).place(&cg, 2).nodes()
+            );
+            assert_eq!(
+                RandI::new(seed).place(&cg, 2).nodes(),
+                RandI::new(seed).place(&cg, 2).nodes()
+            );
+            assert_eq!(
+                RandW::new(seed).place(&cg, 2).nodes(),
+                RandW::new(seed).place(&cg, 2).nodes()
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Executable NP-hardness constructions (Theorems 1 and 2).
+//!
+//! The appendix proves FP NP-complete by reduction from SetCover (on
+//! general, cyclic c-graphs) and from VertexCover (on DAGs, via the
+//! "multiplier edge" gadget). Building the constructions for real keeps
+//! them honest: the test suite verifies, on small instances, that the
+//! claimed equivalences actually hold instance-by-instance.
+
+use fp_graph::{reachable_from, topo_order, Csr, DiGraph, NodeId};
+use fp_num::Count;
+use fp_propagation::{phi_total, CGraph, FilterSet};
+
+/// A SetCover instance: a universe `0..universe` and subsets over it.
+#[derive(Clone, Debug)]
+pub struct SetCover {
+    /// Universe size `m` (elements `0..m`).
+    pub universe: usize,
+    /// The subsets `S_1 … S_n`.
+    pub sets: Vec<Vec<usize>>,
+}
+
+/// The Theorem-1 construction: one node per set in a fixed cyclic
+/// order; every element shared by ≥ 2 sets induces a directed cycle
+/// through the nodes of the sets containing it; a source feeds every
+/// node. Returns `(graph, source)`.
+///
+/// An item then circulates forever on any element-cycle that contains
+/// no filter, so "the number of received items is finite" iff the
+/// chosen filter nodes hit every element's set-cycle — i.e. they index
+/// a set cover.
+///
+/// **Soundness caveat** (a gap in the paper's proof sketch): with the
+/// all-forward-pairs edges the paper prescribes, an element held by
+/// *three or more* sets leaves sub-cycles (e.g. `h1 → h3 → h1`) that a
+/// filter at the middle holder does not break, so "cover ⇒ finite" can
+/// fail. The equivalence is exact whenever every element appears in
+/// **exactly two** sets — the vertex-cover special case of SetCover,
+/// which is itself NP-complete, so Theorem 1's conclusion stands. The
+/// tests use such instances.
+pub fn setcover_to_fp(inst: &SetCover) -> (DiGraph, NodeId) {
+    let n = inst.sets.len();
+    let mut g = DiGraph::with_nodes(n + 1);
+    let source = NodeId::new(n);
+    for v in 0..n {
+        g.add_edge(source, NodeId::new(v));
+    }
+    for elem in 0..inst.universe {
+        let holders: Vec<usize> = (0..n).filter(|&i| inst.sets[i].contains(&elem)).collect();
+        if holders.len() < 2 {
+            continue;
+        }
+        // All forward pairs plus the wrap-around edge close the cycle.
+        for a in 0..holders.len() {
+            for b in a + 1..holders.len() {
+                g.add_edge_dedup(NodeId::new(holders[a]), NodeId::new(holders[b]));
+            }
+        }
+        g.add_edge_dedup(
+            NodeId::new(holders[holders.len() - 1]),
+            NodeId::new(holders[0]),
+        );
+    }
+    (g, source)
+}
+
+/// Whether propagation from `source` terminates (finite receptions)
+/// under `filters`: true iff no *filter-free* cycle is reachable.
+///
+/// A filter on a cycle halts re-circulation (it relays each distinct
+/// item once), so only cycles avoiding all filters run forever.
+pub fn propagation_is_finite(g: &DiGraph, source: NodeId, filters: &FilterSet) -> bool {
+    let csr = Csr::from_digraph(g);
+    let live = reachable_from(&csr, source);
+    // Induced subgraph on live non-filter nodes must be acyclic.
+    let keep: Vec<NodeId> = g
+        .nodes()
+        .filter(|v| live.contains(v.index()) && !filters.contains(*v))
+        .collect();
+    let (sub, _) = g.induced_subgraph(&keep);
+    topo_order(&Csr::from_digraph(&sub)).is_ok()
+}
+
+/// Whether `chosen` (set indices) covers the universe.
+pub fn is_set_cover(inst: &SetCover, chosen: &[usize]) -> bool {
+    (0..inst.universe).all(|e| chosen.iter().any(|&i| inst.sets[i].contains(&e)))
+}
+
+/// A VertexCover instance: an undirected graph as an edge list.
+#[derive(Clone, Debug)]
+pub struct VertexCover {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Undirected edges.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// The Theorem-2 DAG construction with multiplier `m`.
+///
+/// Nodes `0..n` are the original vertices; a source `s` and sink `t`
+/// are appended. Every original edge is oriented low→high; `s` feeds
+/// every vertex and every vertex feeds `t`. Each edge of this skeleton
+/// (including those touching `s`/`t`) is then replaced by the
+/// multiplier gadget: `m` parallel two-hop paths, so `x` copies leaving
+/// the tail become `x·m` copies at the head.
+///
+/// Returns `(graph, source, sink)`.
+pub fn vertexcover_to_fp(inst: &VertexCover, m: usize) -> (DiGraph, NodeId, NodeId) {
+    let n = inst.vertices;
+    let mut g = DiGraph::with_nodes(n + 2);
+    let source = NodeId::new(n);
+    let sink = NodeId::new(n + 1);
+    let add_multiplier = |g: &mut DiGraph, a: NodeId, b: NodeId| {
+        for _ in 0..m {
+            let w = g.add_node();
+            g.add_edge(a, w);
+            g.add_edge(w, b);
+        }
+    };
+    for v in 0..n {
+        add_multiplier(&mut g, source, NodeId::new(v));
+        add_multiplier(&mut g, NodeId::new(v), sink);
+    }
+    for &(a, b) in &inst.edges {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        add_multiplier(&mut g, NodeId::new(lo), NodeId::new(hi));
+    }
+    (g, source, sink)
+}
+
+/// `Φ(A, V)` on a Theorem-2 instance for filters given as *original
+/// vertex* indices.
+pub fn vertexcover_phi<C: Count>(g: &DiGraph, source: NodeId, vertex_filters: &[usize]) -> C {
+    let cg = CGraph::new(g, source).expect("construction is a DAG");
+    let filters = FilterSet::from_nodes(
+        g.node_count(),
+        vertex_filters.iter().map(|&v| NodeId::new(v)),
+    );
+    phi_total(&cg, &filters)
+}
+
+/// Whether `chosen` is a vertex cover of `inst`.
+pub fn is_vertex_cover(inst: &VertexCover, chosen: &[usize]) -> bool {
+    inst.edges
+        .iter()
+        .all(|&(a, b)| chosen.contains(&a) || chosen.contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_num::BigCount;
+
+    fn sample_setcover() -> SetCover {
+        // Universe {0,1,2,3}; S0={0,1}, S1={1,2}, S2={2,3}, S3={0,3}.
+        SetCover {
+            universe: 4,
+            sets: vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+        }
+    }
+
+    #[test]
+    fn setcover_construction_shape() {
+        let inst = sample_setcover();
+        let (g, s) = setcover_to_fp(&inst);
+        assert_eq!(g.node_count(), 5);
+        // Source feeds every set node.
+        for v in 0..4 {
+            assert!(g.has_edge(s, NodeId::new(v)));
+        }
+        // Each shared element produced a cycle: the graph is cyclic.
+        assert!(topo_order(&Csr::from_digraph(&g)).is_err());
+    }
+
+    #[test]
+    fn covers_are_exactly_the_finite_placements() {
+        let inst = sample_setcover();
+        let (g, s) = setcover_to_fp(&inst);
+        // Enumerate all subsets of the 4 set-nodes.
+        for mask in 0u32..16 {
+            let chosen: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+            let filters =
+                FilterSet::from_nodes(g.node_count(), chosen.iter().map(|&i| NodeId::new(i)));
+            assert_eq!(
+                propagation_is_finite(&g, s, &filters),
+                is_set_cover(&inst, &chosen),
+                "subset {chosen:?}"
+            );
+        }
+    }
+
+    fn sample_vertexcover() -> VertexCover {
+        // A triangle plus a pendant: cover number 2 (e.g. {0, 2}).
+        VertexCover {
+            vertices: 4,
+            edges: vec![(0, 1), (1, 2), (0, 2), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn vertexcover_construction_is_a_dag_of_polynomial_size() {
+        let inst = sample_vertexcover();
+        let m = 8;
+        let (g, s, t) = vertexcover_to_fp(&inst, m);
+        assert!(topo_order(&Csr::from_digraph(&g)).is_ok());
+        // n + 2 + m per gadget, one gadget per skeleton edge.
+        let skeleton_edges = 2 * inst.vertices + inst.edges.len();
+        assert_eq!(g.node_count(), inst.vertices + 2 + m * skeleton_edges);
+        assert!(s != t);
+    }
+
+    #[test]
+    fn phi_separates_covers_from_non_covers() {
+        let inst = sample_vertexcover();
+        let m: usize = 16;
+        let (g, s, _) = vertexcover_to_fp(&inst, m);
+        let m3 = (m as u128).pow(3);
+        // k = 2: {0,2} covers; {0,1} and {1,3} do not.
+        let mut worst_cover: u128 = 0;
+        let mut best_noncover: u128 = u128::MAX;
+        for a in 0..4usize {
+            for b in (a + 1)..4usize {
+                let chosen = [a, b];
+                let phi: BigCount = vertexcover_phi(&g, s, &chosen);
+                let phi = phi.to_u128().expect("fits for m=16");
+                if is_vertex_cover(&inst, &chosen) {
+                    worst_cover = worst_cover.max(phi);
+                } else {
+                    best_noncover = best_noncover.min(phi);
+                }
+            }
+        }
+        assert!(
+            worst_cover < m3 && m3 <= best_noncover,
+            "threshold m³={m3} must separate: worst cover {worst_cover}, best non-cover {best_noncover}"
+        );
+    }
+}

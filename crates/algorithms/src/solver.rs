@@ -1,0 +1,175 @@
+//! The [`Solver`] trait, the solver registry, and shared selection
+//! helpers.
+
+use fp_num::Count;
+use fp_propagation::{CGraph, FilterSet};
+
+/// A filter-placement algorithm for DAG c-graphs.
+///
+/// Implementations must be deterministic given their construction
+/// parameters (randomized baselines take an explicit seed), so that
+/// experiments are reproducible.
+pub trait Solver: Send + Sync {
+    /// Short display name matching the paper's legends (e.g. `"G_ALL"`).
+    fn name(&self) -> &'static str;
+
+    /// Choose at most `k` filters for `cg`.
+    ///
+    /// Greedy solvers may return fewer than `k` filters when no
+    /// remaining candidate has positive impact (additional filters
+    /// would be dead weight); randomized baselines return a set whose
+    /// *expected* size is `k`, exactly as in §5.
+    fn place(&self, cg: &CGraph, k: usize) -> FilterSet;
+}
+
+/// Registry of every solver the evaluation compares, in the paper's
+/// legend order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum SolverKind {
+    /// Greedy_All (Algorithm 1).
+    GreedyAll,
+    /// CELF-lazy Greedy_All (identical output, fewer evaluations).
+    LazyGreedyAll,
+    /// Greedy_Max.
+    GreedyMax,
+    /// Greedy_1.
+    GreedyOne,
+    /// Greedy_L (Algorithm 2).
+    GreedyL,
+    /// Random weighted (Rand_W).
+    RandW,
+    /// Random independent (Rand_I).
+    RandI,
+    /// Random k (Rand_K).
+    RandK,
+    /// Group betweenness baseline (not in the paper's evaluation; §2).
+    Betweenness,
+}
+
+impl SolverKind {
+    /// All kinds the paper's figures plot, in legend order.
+    pub const PAPER_SET: [SolverKind; 7] = [
+        SolverKind::GreedyAll,
+        SolverKind::GreedyMax,
+        SolverKind::GreedyOne,
+        SolverKind::GreedyL,
+        SolverKind::RandW,
+        SolverKind::RandI,
+        SolverKind::RandK,
+    ];
+
+    /// Instantiate with counter type `C`; `seed` only affects the
+    /// randomized baselines.
+    pub fn build<C: Count>(self, seed: u64) -> Box<dyn Solver> {
+        match self {
+            SolverKind::GreedyAll => Box::new(crate::GreedyAll::<C>::new()),
+            SolverKind::LazyGreedyAll => Box::new(crate::LazyGreedyAll::<C>::new()),
+            SolverKind::GreedyMax => Box::new(crate::GreedyMax::<C>::new()),
+            SolverKind::GreedyOne => Box::new(crate::GreedyOne::new()),
+            SolverKind::GreedyL => Box::new(crate::GreedyL::<C>::new()),
+            SolverKind::RandW => Box::new(crate::RandW::new(seed)),
+            SolverKind::RandI => Box::new(crate::RandI::new(seed)),
+            SolverKind::RandK => Box::new(crate::RandK::new(seed)),
+            SolverKind::Betweenness => Box::new(crate::BetweennessSolver::new()),
+        }
+    }
+
+    /// Whether this solver is randomized (experiments average 25 runs).
+    pub fn is_randomized(self) -> bool {
+        matches!(self, SolverKind::RandW | SolverKind::RandI | SolverKind::RandK)
+    }
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::GreedyAll => "G_ALL",
+            SolverKind::LazyGreedyAll => "G_ALL(lazy)",
+            SolverKind::GreedyMax => "G_Max",
+            SolverKind::GreedyOne => "G_1",
+            SolverKind::GreedyL => "G_L",
+            SolverKind::RandW => "Rand_W",
+            SolverKind::RandI => "Rand_I",
+            SolverKind::RandK => "Rand_K",
+            SolverKind::Betweenness => "Betweenness",
+        }
+    }
+}
+
+/// Index of the maximum positive count, ties broken toward the smallest
+/// index (deterministic across runs and count types). `None` if every
+/// entry is zero.
+pub fn argmax_count<C: Count>(scores: &[C]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, s) in scores.iter().enumerate() {
+        if s.is_zero() {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if *s > scores[b] => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Indices of the `k` largest positive counts, in descending score
+/// order, ties toward smaller indices.
+pub fn top_k_by_count<C: Count>(scores: &[C], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| !scores[i].is_zero()).collect();
+    idx.sort_by(|&a, &b| scores[b].cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_num::Sat64;
+
+    fn counts(v: &[u64]) -> Vec<Sat64> {
+        v.iter().map(|&x| Sat64::from_u64(x)).collect()
+    }
+
+    #[test]
+    fn argmax_prefers_smallest_index_on_ties() {
+        assert_eq!(argmax_count(&counts(&[0, 5, 5, 3])), Some(1));
+        assert_eq!(argmax_count(&counts(&[0, 0])), None);
+        assert_eq!(argmax_count(&counts(&[7])), Some(0));
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        assert_eq!(top_k_by_count(&counts(&[1, 9, 0, 9, 4]), 3), vec![1, 3, 4]);
+        assert_eq!(top_k_by_count(&counts(&[0, 0, 0]), 2), Vec::<usize>::new());
+        assert_eq!(top_k_by_count(&counts(&[2, 1]), 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn registry_builds_every_kind() {
+        for kind in [
+            SolverKind::GreedyAll,
+            SolverKind::LazyGreedyAll,
+            SolverKind::GreedyMax,
+            SolverKind::GreedyOne,
+            SolverKind::GreedyL,
+            SolverKind::RandW,
+            SolverKind::RandI,
+            SolverKind::RandK,
+            SolverKind::Betweenness,
+        ] {
+            let solver = kind.build::<Sat64>(1);
+            assert!(!solver.name().is_empty());
+            assert_eq!(solver.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn paper_set_is_the_seven_figure_series() {
+        assert_eq!(SolverKind::PAPER_SET.len(), 7);
+        assert_eq!(
+            SolverKind::PAPER_SET.iter().filter(|k| k.is_randomized()).count(),
+            3
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Exact Filter Placement on c-trees (§4.1): dynamic programming over
+//! the binary-tree transformation.
+//!
+//! State: `(binary-tree node, remaining budget, copies arriving from the
+//! tree parent)` → minimum total receptions in the subtree. Copies
+//! arriving at a node are `e + inject(v)` where `e` is the parent's
+//! emission, so the third coordinate ranges over the number of source
+//! injections since the nearest ancestor filter — at most the tree
+//! height. Dump nodes (from the binary transformation) relay unchanged,
+//! are not filter candidates, and do not count receptions, exactly as
+//! the paper prescribes ("we omit the second term of the recursion when
+//! v is a dump node").
+//!
+//! Counts fit `u64` comfortably: receptions on a tree are bounded by
+//! `n·(n+1)`.
+
+use fp_graph::{BinaryTree, CTree, NodeId};
+use std::collections::HashMap;
+
+/// Result of the exact tree DP.
+#[derive(Clone, Debug)]
+pub struct TreePlacement {
+    /// Chosen filters (tree node ids, i.e. the ids used by [`CTree`]).
+    pub filters: Vec<NodeId>,
+    /// `Φ(A, V)` under the chosen placement.
+    pub phi: u64,
+    /// `Φ(∅, V)` for convenience (so `F = phi_empty − phi`).
+    pub phi_empty: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    node: u32,
+    budget: u32,
+    incoming: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Entry {
+    value: u64,
+    filter_here: bool,
+    left_budget: u32,
+}
+
+struct Dp<'a> {
+    tree: &'a BinaryTree,
+    memo: HashMap<Key, Entry>,
+}
+
+impl Dp<'_> {
+    /// Minimum receptions in the subtree of `node` given `budget`
+    /// filters available and `incoming` copies arriving from the parent.
+    fn solve(&mut self, node: u32, budget: u32, incoming: u64) -> u64 {
+        let key = Key {
+            node,
+            budget,
+            incoming,
+        };
+        if let Some(e) = self.memo.get(&key) {
+            return e.value;
+        }
+        let bt = &self.tree.nodes[node as usize];
+        let entry = if bt.is_dump() {
+            // Transparent relay: no reception counted, no filter allowed.
+            let (value, left_budget) = self.best_split(node, budget, incoming);
+            Entry {
+                value,
+                filter_here: false,
+                left_budget,
+            }
+        } else {
+            let recv = incoming + u64::from(bt.injects);
+            // Option 1: no filter here.
+            let (below, lb) = self.best_split(node, budget, recv);
+            let mut best = Entry {
+                value: recv + below,
+                filter_here: false,
+                left_budget: lb,
+            };
+            // Option 2: filter here (costs one budget unit).
+            if budget >= 1 {
+                let emit = recv.min(1);
+                let (below_f, lb_f) = self.best_split(node, budget - 1, emit);
+                let with_filter = recv + below_f;
+                if with_filter < best.value {
+                    best = Entry {
+                        value: with_filter,
+                        filter_here: true,
+                        left_budget: lb_f,
+                    };
+                }
+            }
+            best
+        };
+        self.memo.insert(key, entry);
+        entry.value
+    }
+
+    /// Best budget split between children given this node emits `emit`.
+    /// Returns `(total, budget assigned to the left child)`.
+    fn best_split(&mut self, node: u32, budget: u32, emit: u64) -> (u64, u32) {
+        let (left, right) = {
+            let bt = &self.tree.nodes[node as usize];
+            (bt.left, bt.right)
+        };
+        match (left, right) {
+            (None, None) => (0, 0),
+            (Some(l), None) => (self.solve(l, budget, emit), budget),
+            (None, Some(r)) => (self.solve(r, budget, emit), 0),
+            (Some(l), Some(r)) => {
+                let mut best = (u64::MAX, 0u32);
+                for j in 0..=budget {
+                    let total = self.solve(l, j, emit).saturating_add(self.solve(r, budget - j, emit));
+                    if total < best.0 {
+                        best = (total, j);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Re-descend along memoized choices collecting the filters.
+    fn collect(&self, node: u32, budget: u32, incoming: u64, out: &mut Vec<NodeId>) {
+        let key = Key {
+            node,
+            budget,
+            incoming,
+        };
+        let entry = *self.memo.get(&key).expect("state was solved");
+        let bt = &self.tree.nodes[node as usize];
+        let (emit, child_budget) = if bt.is_dump() {
+            (incoming, budget)
+        } else {
+            let recv = incoming + u64::from(bt.injects);
+            if entry.filter_here {
+                out.push(bt.real.expect("filters only on real nodes"));
+                (recv.min(1), budget - 1)
+            } else {
+                (recv, budget)
+            }
+        };
+        match (bt.left, bt.right) {
+            (None, None) => {}
+            (Some(l), None) => self.collect(l, child_budget, emit, out),
+            (None, Some(r)) => self.collect(r, child_budget, emit, out),
+            (Some(l), Some(r)) => {
+                self.collect(l, entry.left_budget, emit, out);
+                self.collect(r, child_budget - entry.left_budget, emit, out);
+            }
+        }
+    }
+}
+
+/// Solve Filter Placement exactly on a c-tree with budget `k`.
+///
+/// ```
+/// use fp_algorithms::tree_dp::optimal_tree_placement;
+/// use fp_graph::{CTree, NodeId};
+///
+/// // Chain 0 → 1 → 2 with the source injecting everywhere: copies
+/// // accumulate 1, 2, 3 (Φ(∅) = 6); one mid-chain filter is optimal.
+/// let parent = [None, Some(NodeId::new(0)), Some(NodeId::new(1))];
+/// let tree = CTree::new(&parent, vec![true, true, true]).unwrap();
+/// let placement = optimal_tree_placement(&tree, 1);
+/// assert_eq!(placement.phi_empty, 6);
+/// assert!(placement.phi < 6);
+/// ```
+pub fn optimal_tree_placement(tree: &CTree, k: usize) -> TreePlacement {
+    let binary = tree.to_binary();
+    let k = k.min(u32::MAX as usize) as u32;
+    let mut dp = Dp {
+        tree: &binary,
+        memo: HashMap::new(),
+    };
+    let phi = dp.solve(binary.root, k, 0);
+    let mut filters = Vec::new();
+    dp.collect(binary.root, k, 0, &mut filters);
+    // Φ(∅): reuse the DP with budget 0 (no filters possible).
+    let mut dp0 = Dp {
+        tree: &binary,
+        memo: HashMap::new(),
+    };
+    let phi_empty = dp0.solve(binary.root, 0, 0);
+    TreePlacement {
+        filters,
+        phi,
+        phi_empty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use fp_num::Wide128;
+    use fp_propagation::{phi_total, CGraph, FilterSet};
+
+    /// Star: root 0 with children 1..=3, injections at root and child 1.
+    fn star() -> CTree {
+        let parent = [None, Some(NodeId::new(0)), Some(NodeId::new(0)), Some(NodeId::new(0))];
+        CTree::new(&parent, vec![true, true, false, false]).unwrap()
+    }
+
+    /// Chain 0→1→2→3 with injections at every node: multiplicity builds
+    /// up going down.
+    fn chain() -> CTree {
+        let parent = [None, Some(NodeId::new(0)), Some(NodeId::new(1)), Some(NodeId::new(2))];
+        CTree::new(&parent, vec![true, true, true, true]).unwrap()
+    }
+
+    fn check_against_brute_force(tree: &CTree, k: usize) {
+        let placement = optimal_tree_placement(tree, k);
+        let (g, s) = tree.to_digraph();
+        let cg = CGraph::new(&g, s).unwrap();
+        // DP's phi must equal the general machinery's phi for its set.
+        let fs = FilterSet::from_nodes(g.node_count(), placement.filters.iter().copied());
+        let phi_dp: Wide128 = phi_total(&cg, &fs);
+        assert_eq!(placement.phi as u128, phi_dp.get(), "k={k} self-consistency");
+        // And must match the exhaustive optimum.
+        let (_, best_f) = brute_force::optimal_placement::<Wide128>(&cg, k);
+        let phi_empty: Wide128 = phi_total(&cg, &FilterSet::empty(g.node_count()));
+        assert_eq!(placement.phi_empty as u128, phi_empty.get());
+        let f_dp = phi_empty.get() - phi_dp.get();
+        assert_eq!(f_dp, best_f.get(), "k={k} optimality");
+    }
+
+    #[test]
+    fn star_matches_brute_force() {
+        for k in 0..=4 {
+            check_against_brute_force(&star(), k);
+        }
+    }
+
+    #[test]
+    fn chain_matches_brute_force() {
+        for k in 0..=4 {
+            check_against_brute_force(&chain(), k);
+        }
+    }
+
+    #[test]
+    fn chain_dp_places_filters_to_break_accumulation() {
+        // With injections everywhere, copies accumulate 1,2,3,4 down
+        // the chain (Φ(∅) = 1+2+3+4 = 10). One filter is best mid-chain.
+        let placement = optimal_tree_placement(&chain(), 1);
+        assert_eq!(placement.phi_empty, 10);
+        assert_eq!(placement.filters.len(), 1);
+        assert!(placement.phi < 10);
+    }
+
+    #[test]
+    fn zero_budget_is_phi_empty() {
+        let placement = optimal_tree_placement(&chain(), 0);
+        assert_eq!(placement.phi, placement.phi_empty);
+        assert!(placement.filters.is_empty());
+    }
+
+    #[test]
+    fn wide_tree_exercises_dump_nodes() {
+        // Root with 6 children, each injected: root emits to all 6;
+        // every child receives 2 (parent + injection).
+        let parent: Vec<Option<NodeId>> =
+            std::iter::once(None).chain((0..6).map(|_| Some(NodeId::new(0)))).collect();
+        let tree = CTree::new(&parent, vec![true; 7]).unwrap();
+        for k in 0..=3 {
+            check_against_brute_force(&tree, k);
+        }
+    }
+}

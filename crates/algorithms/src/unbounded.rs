@@ -1,0 +1,120 @@
+//! Proposition 1: the unbounded-budget optimal filter set.
+//!
+//! With no cardinality bound, `A = {v : din(v) > 1 and dout(v) > 0}`
+//! achieves `F(A) = F(V)` in O(|E|) — every node then relays at most
+//! one copy, so every node receives the minimum possible number of
+//! copies (one per live parent). Sinks are excluded because a filter
+//! only changes what a node *relays*.
+
+use fp_graph::reachable_from;
+use fp_propagation::{CGraph, FilterSet};
+
+/// The paper's Proposition-1 set: all non-sink nodes with in-degree > 1.
+pub fn unbounded_optimal(cg: &CGraph) -> FilterSet {
+    let csr = cg.csr();
+    FilterSet::from_nodes(
+        cg.node_count(),
+        cg.nodes()
+            .filter(|&v| v != cg.source() && csr.in_degree(v) > 1 && csr.out_degree(v) > 0),
+    )
+}
+
+/// A pruned variant restricted to nodes whose *live* in-degree (parents
+/// reachable from the source) exceeds one.
+///
+/// The paper's set is minimal when every node is reachable from the
+/// source; with unreachable regions, filters at nodes with a single
+/// live parent are dead weight. This variant is minimal unconditionally
+/// and still achieves `F(V)`.
+pub fn unbounded_optimal_pruned(cg: &CGraph) -> FilterSet {
+    let csr = cg.csr();
+    let live = reachable_from(csr, cg.source());
+    FilterSet::from_nodes(
+        cg.node_count(),
+        cg.nodes().filter(|&v| {
+            if v == cg.source() || csr.out_degree(v) == 0 {
+                return false;
+            }
+            let live_parents = csr
+                .parents(v)
+                .iter()
+                .filter(|p| live.contains(p.index()))
+                .count();
+            live_parents > 1
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_graph::{DiGraph, NodeId};
+    use fp_num::Sat64;
+    use fp_propagation::f_value;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn figure1_unbounded_set_is_z2_only() {
+        let cg = figure1();
+        let a = unbounded_optimal(&cg);
+        assert_eq!(a.nodes(), &[NodeId::new(4)], "w is a sink, excluded");
+        let f: Sat64 = f_value(&cg, &a);
+        let fv: Sat64 = f_value(&cg, &FilterSet::all(7));
+        assert_eq!(f, fv, "Proposition 1: F(A) = F(V)");
+    }
+
+    #[test]
+    fn achieves_f_all_on_a_lattice() {
+        let mut pairs = vec![(0usize, 1), (0, 2), (0, 3)];
+        for a in 1..=3usize {
+            for b in 4..=6usize {
+                pairs.push((a, b));
+            }
+        }
+        for a in 4..=6usize {
+            pairs.push((a, 7));
+        }
+        pairs.push((7, 8));
+        let g = DiGraph::from_pairs(9, pairs).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        for set in [unbounded_optimal(&cg), unbounded_optimal_pruned(&cg)] {
+            let f: Sat64 = f_value(&cg, &set);
+            let fv: Sat64 = f_value(&cg, &FilterSet::all(9));
+            assert_eq!(f, fv);
+        }
+    }
+
+    #[test]
+    fn minimality_of_the_set_on_reachable_graphs() {
+        let cg = figure1();
+        let a = unbounded_optimal(&cg);
+        let fv: Sat64 = f_value(&cg, &FilterSet::all(7));
+        for drop in a.nodes() {
+            let reduced = FilterSet::from_nodes(7, a.nodes().iter().copied().filter(|v| v != drop));
+            let f: Sat64 = f_value(&cg, &reduced);
+            assert!(f < fv, "dropping {drop} should lose value");
+        }
+    }
+
+    #[test]
+    fn pruned_ignores_unreachable_multiplicities() {
+        // Reachable: 0 → 1. Unreachable diamond: 2,3 → 4 → 5.
+        let g = DiGraph::from_pairs(6, [(0, 1), (2, 4), (3, 4), (4, 5)]).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        let paper = unbounded_optimal(&cg);
+        let pruned = unbounded_optimal_pruned(&cg);
+        assert!(paper.contains(NodeId::new(4)), "paper set includes the dead join");
+        assert!(pruned.is_empty(), "pruned set knows it is dead");
+        let f_paper: Sat64 = f_value(&cg, &paper);
+        let f_pruned: Sat64 = f_value(&cg, &pruned);
+        assert_eq!(f_paper, f_pruned);
+    }
+}

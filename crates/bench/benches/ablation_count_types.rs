@@ -1,0 +1,46 @@
+//! Ablation: cost of the counter representations (DESIGN.md §1.2).
+//!
+//! Measures one full Φ evaluation on the quote-like graph with each
+//! `Count` implementation, and asserts (once, outside measurement)
+//! that all four agree on the result where no saturation occurs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fp_core::num::{Approx64, BigCount, Count, Sat64, Wide128};
+use fp_core::datasets::quote_like::{self, QuoteLikeParams};
+use fp_core::prelude::*;
+use fp_core::propagation::phi_total;
+use std::hint::black_box;
+
+fn bench_count_types(c: &mut Criterion) {
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let cg = CGraph::new(&q.graph, q.source).expect("DAG");
+    let empty = FilterSet::empty(q.graph.node_count());
+
+    // Agreement check (the ablation's correctness half).
+    let sat: Sat64 = phi_total(&cg, &empty);
+    let wide: Wide128 = phi_total(&cg, &empty);
+    let big: BigCount = phi_total(&cg, &empty);
+    let approx: Approx64 = phi_total(&cg, &empty);
+    assert!(!sat.is_saturated());
+    assert_eq!(sat.get() as u128, wide.get());
+    assert!(big.eq_u128(wide.get()));
+    assert!((approx.get() - wide.to_f64()).abs() / wide.to_f64() < 1e-9);
+
+    let mut group = c.benchmark_group("phi_total_by_count_type");
+    group.bench_function("Sat64", |b| {
+        b.iter(|| black_box(phi_total::<Sat64>(&cg, black_box(&empty))))
+    });
+    group.bench_function("Wide128", |b| {
+        b.iter(|| black_box(phi_total::<Wide128>(&cg, black_box(&empty))))
+    });
+    group.bench_function("Approx64", |b| {
+        b.iter(|| black_box(phi_total::<Approx64>(&cg, black_box(&empty))))
+    });
+    group.bench_function("BigCount", |b| {
+        b.iter(|| black_box(phi_total::<BigCount>(&cg, black_box(&empty))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_types);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: eager Greedy_All versus the CELF-lazy variant.
+//!
+//! Verifies identical selections, reports the lazy variant's exact
+//! evaluation count, and measures both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fp_core::algorithms::{GreedyAll, LazyGreedyAll, Solver};
+use fp_core::datasets::citation_like::{self, CitationLikeParams};
+use fp_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_lazy(c: &mut Criterion) {
+    let g = citation_like::generate(&CitationLikeParams::default());
+    let cg = CGraph::new(&g.graph, g.source).expect("DAG");
+    let k = 10;
+
+    let eager = GreedyAll::<Wide128>::new();
+    let lazy = LazyGreedyAll::<Wide128>::new();
+    let a = eager.place(&cg, k);
+    let b = lazy.place(&cg, k);
+    assert_eq!(a.nodes(), b.nodes(), "lazy must select identically");
+    eprintln!(
+        "lazy greedy: {} single-node evaluations for k={k} on {} nodes",
+        lazy.evaluations(),
+        g.graph.node_count()
+    );
+
+    let mut group = c.benchmark_group("greedy_all_variants_k10_citation");
+    group.sample_size(10);
+    group.bench_function("eager", |bch| {
+        bch.iter(|| black_box(eager.place(&cg, black_box(k))))
+    });
+    group.bench_function("lazy_celf", |bch| {
+        bch.iter(|| black_box(lazy.place(&cg, black_box(k))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: the paper's Θ(Δ·|E|) `plist` impact computation versus
+//! the O(|E|) prefix/suffix sensitivity passes (DESIGN.md §2.1).
+//!
+//! Both produce identical impacts (asserted once before measuring);
+//! the bench quantifies how much the linear method buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fp_core::datasets::quote_like::{self, QuoteLikeParams};
+use fp_core::prelude::*;
+use fp_core::propagation::plist::plist_impacts;
+use fp_core::propagation::impacts;
+use std::hint::black_box;
+
+fn bench_plist(c: &mut Criterion) {
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let cg = CGraph::new(&q.graph, q.source).expect("DAG");
+    let empty = FilterSet::empty(q.graph.node_count());
+
+    let via_plist = plist_impacts::<Wide128>(&cg, &empty);
+    let via_sensitivity: Vec<Wide128> = impacts(&cg, &empty);
+    assert_eq!(via_plist.impact, via_sensitivity);
+
+    let mut group = c.benchmark_group("impact_computation");
+    group.sample_size(20);
+    group.bench_function("sensitivity_passes", |b| {
+        b.iter(|| black_box(impacts::<Wide128>(&cg, black_box(&empty))))
+    });
+    group.bench_function("paper_plist", |b| {
+        b.iter(|| black_box(plist_impacts::<Wide128>(&cg, black_box(&empty))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plist);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig04 data (see fp_bench::fig04).
+fn main() {
+    fp_bench::print_figure(&fp_bench::fig04());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5: FR vs k on the synthetic layered graphs,
+//! all seven algorithms, k = 0..=50.
+fn main() {
+    fp_bench::print_figure(&fp_bench::fig05());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 data (see fp_bench::fig06).
+fn main() {
+    fp_bench::print_figure(&fp_bench::fig06());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig07 data (see fp_bench::fig07).
+fn main() {
+    fp_bench::print_figure(&fp_bench::fig07());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8: FR vs k on the twitter-like graph.
+//!
+//! Uses scale 0.2 (~18k nodes) so `cargo bench` stays quick; run
+//! `repro fig08` for the full 90k-node graph.
+fn main() {
+    fp_bench::print_figure(&fp_bench::fig08(0.2));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig09 data (see fp_bench::fig09).
+fn main() {
+    fp_bench::print_figure(&fp_bench::fig09());
+}

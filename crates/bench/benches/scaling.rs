@@ -1,0 +1,33 @@
+//! Scaling study: Greedy_All runtime versus graph size on layered
+//! graphs (supports the paper's "our algorithms scale well on fairly
+//! large graphs" claim with measured data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp_core::datasets::layered::{self, LayeredParams};
+use fp_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_all_scaling");
+    group.sample_size(10);
+    for per_level in [25usize, 50, 100, 200] {
+        let lg = layered::generate(&LayeredParams {
+            levels: 10,
+            expected_per_level: per_level,
+            x: 1.0,
+            y: 4.0,
+            seed: fp_bench::SEED,
+        });
+        let problem = Problem::new(&lg.graph, lg.source).expect("DAG");
+        group.throughput(Throughput::Elements(lg.graph.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lg.graph.node_count()),
+            &problem,
+            |b, p| b.iter(|| black_box(p.solve(SolverKind::GreedyAll, black_box(10)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! `repro`: regenerate every table and figure of the paper's §5.
+//!
+//! Usage: `cargo run --release -p fp-bench --bin repro [-- <figure>...]`
+//! where `<figure>` ∈ {fig04, fig05, fig06, fig07, fig08, fig09, fig11}
+//! (default: all). `--fast` scales the twitter-like graph down 10×.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let selected: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--fast").collect();
+    let all = selected.is_empty();
+    let want = |name: &str| all || selected.contains(&name);
+    let scale = if fast { 0.1 } else { 1.0 };
+
+    if want("fig04") {
+        fp_bench::print_figure(&fp_bench::fig04());
+    }
+    if want("fig05") {
+        fp_bench::print_figure(&fp_bench::fig05());
+    }
+    if want("fig06") {
+        fp_bench::print_figure(&fp_bench::fig06());
+    }
+    if want("fig07") {
+        fp_bench::print_figure(&fp_bench::fig07());
+    }
+    if want("fig08") {
+        fp_bench::print_figure(&fp_bench::fig08(scale));
+    }
+    if want("fig09") {
+        fp_bench::print_figure(&fp_bench::fig09());
+    }
+    if want("fig11") {
+        fp_bench::print_figure(&fp_bench::fig11(scale));
+    }
+}

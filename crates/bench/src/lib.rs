@@ -1,0 +1,167 @@
+//! Shared figure-regeneration logic for the benchmark harnesses and
+//! the `repro` binary.
+//!
+//! Each `figNN` function computes the data series of the corresponding
+//! figure in the paper's §5 and returns it as a formatted table; the
+//! bench targets and the `repro` binary only decide where to print it.
+//! EXPERIMENTS.md records the expected shapes and how they compare to
+//! the paper.
+
+use fp_core::datasets::citation_like::{self, CitationLikeParams};
+use fp_core::datasets::layered::{self, LayeredParams};
+use fp_core::datasets::quote_like::{self, QuoteLikeParams};
+use fp_core::datasets::stats::DegreeStats;
+use fp_core::datasets::twitter_like::{self, TwitterLikeParams};
+use fp_core::prelude::*;
+use fp_core::report::{cdf_table, sweep_table};
+
+/// Seed used by every figure harness (the paper's year).
+pub const SEED: u64 = 2012;
+
+/// Figure 4: in-degree CDFs of the two synthetic layered graphs.
+pub fn fig04() -> Vec<(String, Table)> {
+    let mut out = Vec::new();
+    for (name, params) in [
+        ("fig4a x/y=1/4", LayeredParams::paper_sparse(SEED)),
+        ("fig4b x/y=3/4", LayeredParams::paper_dense(SEED)),
+    ] {
+        let lg = layered::generate(&params);
+        let stats = DegreeStats::in_degrees(&lg.graph);
+        out.push((
+            format!(
+                "{name}: {} nodes, {} edges",
+                lg.graph.node_count(),
+                lg.graph.edge_count()
+            ),
+            cdf_table(&stats.cdf()),
+        ));
+    }
+    out
+}
+
+/// Figure 5: FR vs number of filters (0..=50) on the synthetic graphs,
+/// all seven algorithms.
+pub fn fig05() -> Vec<(String, Table)> {
+    let mut out = Vec::new();
+    for (name, params) in [
+        ("fig5a x/y=1/4", LayeredParams::paper_sparse(SEED)),
+        ("fig5b x/y=3/4", LayeredParams::paper_dense(SEED)),
+    ] {
+        let lg = layered::generate(&params);
+        let problem = Problem::new(&lg.graph, lg.source).expect("layered graphs are DAGs");
+        let cfg = SweepConfig::paper(50);
+        let result = run_sweep(&problem, &cfg);
+        out.push((name.to_string(), sweep_table(&result)));
+    }
+    out
+}
+
+/// Figure 6: in-degree CDF of the quote-like graph.
+pub fn fig06() -> Vec<(String, Table)> {
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let stats = DegreeStats::in_degrees(&q.graph);
+    vec![(
+        format!(
+            "fig6 G_Phrase-like: {} nodes, {} edges, {:.0}% sinks",
+            q.graph.node_count(),
+            q.graph.edge_count(),
+            DegreeStats::out_degrees(&q.graph).zero_fraction() * 100.0
+        ),
+        cdf_table(&stats.cdf()),
+    )]
+}
+
+/// Figure 7: FR vs k (0..=10) on the quote-like graph.
+pub fn fig07() -> Vec<(String, Table)> {
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let problem = Problem::new(&q.graph, q.source).expect("DAG");
+    let cfg = SweepConfig {
+        ks: (0..=10).collect(),
+        trials: 25,
+        seed: SEED,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+    vec![("fig7 G_Phrase-like".into(), sweep_table(&run_sweep(&problem, &cfg)))]
+}
+
+/// Figure 8: FR vs k (0..=10) on the twitter-like graph.
+///
+/// `scale` trades fidelity for speed (1.0 = the paper's ~90k nodes).
+pub fn fig08(scale: f64) -> Vec<(String, Table)> {
+    let t = twitter_like::generate(&TwitterLikeParams { scale, seed: SEED });
+    let problem = Problem::new(&t.graph, t.source).expect("DAG");
+    let cfg = SweepConfig {
+        ks: (0..=10).collect(),
+        trials: 25,
+        seed: SEED,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+    vec![(
+        format!(
+            "fig8 Twitter-like (scale {scale}): {} nodes, {} edges",
+            t.graph.node_count(),
+            t.graph.edge_count()
+        ),
+        sweep_table(&run_sweep(&problem, &cfg)),
+    )]
+}
+
+/// Figure 9: FR vs k (0..=10) on the citation-like graph.
+pub fn fig09() -> Vec<(String, Table)> {
+    let c = citation_like::generate(&CitationLikeParams::default());
+    let problem = Problem::new(&c.graph, c.source).expect("DAG");
+    let cfg = SweepConfig {
+        ks: (0..=10).collect(),
+        trials: 25,
+        seed: SEED,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+    vec![(
+        format!(
+            "fig9 APS-like: {} nodes, {} edges",
+            c.graph.node_count(),
+            c.graph.edge_count()
+        ),
+        sweep_table(&run_sweep(&problem, &cfg)),
+    )]
+}
+
+/// Figure 11's workload: the four deterministic solvers placing k = 10
+/// filters on the twitter-like graph. Returns wall-clock per solver as
+/// a table (the Criterion bench measures the same closures precisely).
+pub fn fig11(scale: f64) -> Vec<(String, Table)> {
+    let t = twitter_like::generate(&TwitterLikeParams { scale, seed: SEED });
+    let problem = Problem::new(&t.graph, t.source).expect("DAG");
+    let mut table = Table::new(["algorithm", "seconds", "FR@10"]);
+    for kind in [
+        SolverKind::GreedyOne,
+        SolverKind::GreedyMax,
+        SolverKind::GreedyL,
+        SolverKind::GreedyAll,
+    ] {
+        let start = std::time::Instant::now();
+        let placement = problem.solve(kind, 10);
+        let secs = start.elapsed().as_secs_f64();
+        table.row([
+            kind.label().to_string(),
+            format!("{secs:.4}"),
+            format!("{:.4}", problem.filter_ratio(&placement)),
+        ]);
+    }
+    vec![(
+        format!(
+            "fig11 runtimes, k=10, Twitter-like (scale {scale}): {} nodes, {} edges",
+            t.graph.node_count(),
+            t.graph.edge_count()
+        ),
+        table,
+    )]
+}
+
+/// Print a figure's tables to stdout.
+pub fn print_figure(tables: &[(String, Table)]) {
+    for (title, table) in tables {
+        println!("== {title} ==");
+        println!("{table}");
+    }
+}

@@ -1,0 +1,14 @@
+//! `fp`: the filter-placement command-line tool.
+//!
+//! See `fp help` or [`fp_core::cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fp_core::cli::run(&args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

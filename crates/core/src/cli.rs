@@ -1,0 +1,355 @@
+//! The `fp` command-line tool (logic; the binary is a thin wrapper).
+//!
+//! ```text
+//! fp solve    --input edges.txt --source <label> --solver G_ALL --k 10
+//!             [--seed N] [--format table|csv|dot]
+//! fp sweep    --input edges.txt --source <label> --kmax 10
+//!             [--trials 25] [--seed N] [--format table|csv]
+//! fp stats    --input edges.txt
+//! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
+//!             [--seed N] [--scale F]
+//! ```
+//!
+//! Edge lists are whitespace-separated `source target` lines (`#`
+//! comments allowed); node labels are free-form tokens. Everything is
+//! returned as a string so the logic is unit-testable; only `main`
+//! touches stdout and the process exit code.
+
+use crate::experiment::{run_sweep, SweepConfig};
+use crate::report::{cdf_table, sweep_table, Table};
+use crate::Problem;
+use fp_algorithms::SolverKind;
+use fp_datasets::stats::DegreeStats;
+use fp_graph::{from_edge_list, to_dot, to_edge_list, DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Parse `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {key:?}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} is missing a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse_solver(name: &str) -> Result<SolverKind, String> {
+    let all = [
+        SolverKind::GreedyAll,
+        SolverKind::LazyGreedyAll,
+        SolverKind::GreedyMax,
+        SolverKind::GreedyOne,
+        SolverKind::GreedyL,
+        SolverKind::RandW,
+        SolverKind::RandI,
+        SolverKind::RandK,
+        SolverKind::Betweenness,
+    ];
+    all.into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = all.iter().map(|k| k.label()).collect();
+            format!("unknown solver {name:?}; expected one of {}", names.join(", "))
+        })
+}
+
+fn load_graph(text: &str, source_label: &str) -> Result<(DiGraph, Vec<String>, NodeId), String> {
+    let (g, labels) = from_edge_list(text).map_err(|e| e.to_string())?;
+    let source = labels
+        .iter()
+        .position(|l| l == source_label)
+        .map(NodeId::new)
+        .ok_or_else(|| format!("source {source_label:?} does not appear in the edge list"))?;
+    Ok((g, labels, source))
+}
+
+fn cmd_solve(flags: &HashMap<String, String>, input: &str) -> Result<String, String> {
+    let (g, labels, source) = load_graph(input, required(flags, "source")?)?;
+    let solver = parse_solver(required(flags, "solver")?)?;
+    let k: usize = required(flags, "k")?
+        .parse()
+        .map_err(|_| "--k must be a non-negative integer".to_string())?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
+        s.parse().map_err(|_| "--seed must be an integer".to_string())
+    })?;
+    let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+    let placement = problem.solve_seeded(solver, k, seed);
+    let format = flags.get("format").map_or("table", String::as_str);
+    match format {
+        "dot" => Ok(to_dot(&g, "placement", placement.nodes())),
+        "table" | "csv" => {
+            let mut table = Table::new(["rank", "node", "FR so far"]);
+            let mut running = fp_propagation::FilterSet::empty(g.node_count());
+            for (i, &v) in placement.nodes().iter().enumerate() {
+                running.insert(v);
+                table.row([
+                    (i + 1).to_string(),
+                    labels[v.index()].clone(),
+                    format!("{:.4}", problem.filter_ratio(&running)),
+                ]);
+            }
+            let mut out = format!(
+                "graph: {} nodes, {} edges{}\nsolver: {}  k: {}\nphi(empty) = {}  F(V) = {}\n",
+                g.node_count(),
+                g.edge_count(),
+                if problem.was_cyclic() { " (cycles removed via Acyclic)" } else { "" },
+                solver.label(),
+                k,
+                problem.phi_empty(),
+                problem.f_all(),
+            );
+            out.push_str(&if format == "csv" { table.to_csv() } else { table.to_string() });
+            Ok(out)
+        }
+        other => Err(format!("unknown --format {other:?} (table, csv, dot)")),
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, String> {
+    let (g, _, source) = load_graph(input, required(flags, "source")?)?;
+    let kmax: usize = required(flags, "kmax")?
+        .parse()
+        .map_err(|_| "--kmax must be a non-negative integer".to_string())?;
+    let trials: usize = flags.get("trials").map_or(Ok(25), |s| {
+        s.parse().map_err(|_| "--trials must be an integer".to_string())
+    })?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
+        s.parse().map_err(|_| "--seed must be an integer".to_string())
+    })?;
+    let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+    let cfg = SweepConfig {
+        ks: (0..=kmax).collect(),
+        trials,
+        seed,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+    let table = sweep_table(&run_sweep(&problem, &cfg));
+    Ok(match flags.get("format").map(String::as_str) {
+        Some("csv") => table.to_csv(),
+        _ => table.to_string(),
+    })
+}
+
+fn cmd_stats(input: &str) -> Result<String, String> {
+    let (g, _) = from_edge_list(input).map_err(|e| e.to_string())?;
+    let indeg = DegreeStats::in_degrees(&g);
+    let outdeg = DegreeStats::out_degrees(&g);
+    let mut out = format!(
+        "nodes: {}\nedges: {}\nsinks: {:.1}%\nsources: {:.1}%\nmean in-degree: {:.2}\nmax in-degree: {}\n\nin-degree CDF:\n",
+        g.node_count(),
+        g.edge_count(),
+        outdeg.zero_fraction() * 100.0,
+        indeg.zero_fraction() * 100.0,
+        indeg.mean(),
+        indeg.max_degree(),
+    );
+    out.push_str(&cdf_table(&indeg.cdf()).to_string());
+    Ok(out)
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
+    let seed: u64 = flags.get("seed").map_or(Ok(2012), |s| {
+        s.parse().map_err(|_| "--seed must be an integer".to_string())
+    })?;
+    let scale: f64 = flags.get("scale").map_or(Ok(1.0), |s| {
+        s.parse().map_err(|_| "--scale must be a float".to_string())
+    })?;
+    let g = match required(flags, "dataset")? {
+        "layered-sparse" => {
+            fp_datasets::layered::generate(&fp_datasets::layered::LayeredParams::paper_sparse(seed)).graph
+        }
+        "layered-dense" => {
+            fp_datasets::layered::generate(&fp_datasets::layered::LayeredParams::paper_dense(seed)).graph
+        }
+        "quote" => {
+            fp_datasets::quote_like::generate(&fp_datasets::quote_like::QuoteLikeParams {
+                nodes: (932.0 * scale) as usize,
+                seed,
+            })
+            .graph
+        }
+        "twitter" => {
+            fp_datasets::twitter_like::generate(&fp_datasets::twitter_like::TwitterLikeParams {
+                scale,
+                seed,
+            })
+            .graph
+        }
+        "citation" => {
+            let mut params = fp_datasets::citation_like::CitationLikeParams::default();
+            if scale < 1.0 {
+                params = fp_datasets::citation_like::test_params(seed);
+            }
+            params.seed = seed;
+            fp_datasets::citation_like::generate(&params).graph
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?} (layered-sparse, layered-dense, quote, twitter, citation)"
+            ))
+        }
+    };
+    Ok(to_edge_list(&g))
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: fp <solve|sweep|stats|generate> [--flag value]...
+  solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
+  sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
+  stats    --input FILE
+  generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]";
+
+/// Run the CLI against parsed argv (without the program name); returns
+/// the text to print or an error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let flags = parse_flags(rest)?;
+    let read_input = || -> Result<String, String> {
+        let path = required(&flags, "input")?;
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+    };
+    match command.as_str() {
+        "solve" => cmd_solve(&flags, &read_input()?),
+        "sweep" => cmd_sweep(&flags, &read_input()?),
+        "stats" => cmd_stats(&read_input()?),
+        "generate" => cmd_generate(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Like [`run`], but with the edge-list text supplied directly (used by
+/// tests to avoid the filesystem).
+pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "solve" => cmd_solve(&flags, input),
+        "sweep" => cmd_sweep(&flags, input),
+        "stats" => cmd_stats(input),
+        "generate" => cmd_generate(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Figure 1 as a labeled edge list.
+    const FIG1: &str = "s x\ns y\nx z1\nx z2\ny z2\ny z3\nz1 w\nz2 w\nz3 w\n";
+
+    #[test]
+    fn solve_places_z2_first() {
+        let out = run_with_input(
+            &args(&["solve", "--source", "s", "--solver", "G_ALL", "--k", "2"]),
+            FIG1,
+        )
+        .unwrap();
+        assert!(out.contains("z2"), "{out}");
+        assert!(out.contains("1.0000"), "z2 alone reaches FR 1: {out}");
+        assert!(out.contains("7 nodes, 9 edges"), "{out}");
+    }
+
+    #[test]
+    fn solve_dot_output_highlights_filters() {
+        let out = run_with_input(
+            &args(&[
+                "solve", "--source", "s", "--solver", "G_ALL", "--k", "1", "--format", "dot",
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("style=filled"));
+    }
+
+    #[test]
+    fn sweep_produces_all_seven_columns() {
+        let out = run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "3", "--trials", "3", "--format", "csv",
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        assert!(out.starts_with("k,G_ALL,G_Max,G_1,G_L,Rand_W,Rand_I,Rand_K"), "{out}");
+        assert_eq!(out.lines().count(), 5, "header + k=0..3");
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let out = run_with_input(&args(&["stats"]), FIG1).unwrap();
+        assert!(out.contains("nodes: 7"));
+        assert!(out.contains("edges: 9"));
+        assert!(out.contains("in-degree CDF"));
+    }
+
+    #[test]
+    fn generate_roundtrips_through_the_parser() {
+        let out = run_with_input(
+            &args(&["generate", "--dataset", "quote", "--scale", "0.3", "--seed", "7"]),
+            "",
+        )
+        .unwrap();
+        let (g, _) = from_edge_list(&out).unwrap();
+        assert!(g.node_count() > 100);
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let e = run_with_input(&args(&["solve", "--source", "s"]), FIG1).unwrap_err();
+        assert!(e.contains("--solver"), "{e}");
+        let e = run_with_input(
+            &args(&["solve", "--source", "nope", "--solver", "G_ALL", "--k", "1"]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("nope"));
+        let e = run_with_input(
+            &args(&["solve", "--source", "s", "--solver", "wat", "--k", "1"]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown solver"));
+        let e = run_with_input(&args(&["frobnicate"]), "").unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn solver_names_are_case_insensitive() {
+        assert_eq!(parse_solver("g_all").unwrap(), SolverKind::GreedyAll);
+        assert_eq!(parse_solver("G_MAX").unwrap(), SolverKind::GreedyMax);
+        assert_eq!(parse_solver("rand_k").unwrap(), SolverKind::RandK);
+    }
+
+    #[test]
+    fn flag_parser_rejects_malformed_input() {
+        assert!(parse_flags(&args(&["positional"])).is_err());
+        assert!(parse_flags(&args(&["--dangling"])).is_err());
+        let ok = parse_flags(&args(&["--a", "1", "--b", "2"])).unwrap();
+        assert_eq!(ok["a"], "1");
+        assert_eq!(ok["b"], "2");
+    }
+}

@@ -1,0 +1,185 @@
+//! The FR-sweep experiment runner behind Figures 5, 7, 8 and 9.
+//!
+//! For each solver and each budget `k`, measure `FR` on the given
+//! c-graph. Deterministic solvers are *prefix-stable* (their choice at
+//! budget `k` is the first `k` choices of a single max-budget run), so
+//! one placement run serves the whole curve. Randomized baselines are
+//! re-run `trials` times per `k` (the paper uses 25) and averaged.
+//! Solvers run in parallel on scoped threads.
+
+use crate::Problem;
+use fp_algorithms::SolverKind;
+use fp_propagation::FilterSet;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one FR sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Budgets to evaluate (x-axis of the figures).
+    pub ks: Vec<usize>,
+    /// Trials per budget for randomized solvers (paper: 25).
+    pub trials: usize,
+    /// Base seed for the randomized solvers.
+    pub seed: u64,
+    /// Solvers to compare.
+    pub solvers: Vec<SolverKind>,
+}
+
+impl SweepConfig {
+    /// The paper's seven-algorithm comparison over `0..=k_max`
+    /// (step chosen to keep ~11 points on the curve).
+    pub fn paper(k_max: usize) -> Self {
+        let step = (k_max / 10).max(1);
+        let mut ks: Vec<usize> = (0..=k_max).step_by(step).collect();
+        if *ks.last().unwrap() != k_max {
+            ks.push(k_max);
+        }
+        Self {
+            ks,
+            trials: 25,
+            seed: 0xF1157E5,
+            solvers: SolverKind::PAPER_SET.to_vec(),
+        }
+    }
+}
+
+/// One solver's FR curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolverSeries {
+    /// Legend label (e.g. `"G_ALL"`).
+    pub label: String,
+    /// `(k, mean FR)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The result of [`run_sweep`].
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepResult {
+    /// One series per solver, in configuration order.
+    pub series: Vec<SolverSeries>,
+}
+
+impl SweepResult {
+    /// The series for a given label, if present.
+    pub fn series_for(&self, label: &str) -> Option<&SolverSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+fn sweep_one(problem: &Problem, kind: SolverKind, cfg: &SweepConfig) -> SolverSeries {
+    let points = if kind.is_randomized() {
+        cfg.ks
+            .iter()
+            .map(|&k| {
+                let mut acc = 0.0;
+                for t in 0..cfg.trials.max(1) {
+                    let filters =
+                        problem.solve_seeded(kind, k, cfg.seed.wrapping_add(t as u64));
+                    acc += problem.filter_ratio(&filters);
+                }
+                (k, acc / cfg.trials.max(1) as f64)
+            })
+            .collect()
+    } else {
+        // Prefix-stable: run once at the maximum budget, truncate.
+        let k_max = cfg.ks.iter().copied().max().unwrap_or(0);
+        let full: FilterSet = problem.solve(kind, k_max);
+        cfg.ks
+            .iter()
+            .map(|&k| (k, problem.filter_ratio(&full.truncated(k))))
+            .collect()
+    };
+    SolverSeries {
+        label: kind.label().to_string(),
+        points,
+    }
+}
+
+/// Run the sweep, one scoped thread per solver.
+pub fn run_sweep(problem: &Problem, cfg: &SweepConfig) -> SweepResult {
+    let mut series: Vec<Option<SolverSeries>> = vec![None; cfg.solvers.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &kind in &cfg.solvers {
+            handles.push(scope.spawn(move |_| sweep_one(problem, kind, cfg)));
+        }
+        for (slot, handle) in series.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("solver thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    SweepResult {
+        series: series.into_iter().map(|s| s.expect("filled")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_graph::{DiGraph, NodeId};
+
+    fn lattice_problem() -> Problem {
+        let mut pairs = vec![(0usize, 1usize), (0, 2), (0, 3)];
+        for a in 1..=3 {
+            for b in 4..=6 {
+                pairs.push((a, b));
+            }
+        }
+        for a in 4..=6 {
+            for b in 7..=9 {
+                pairs.push((a, b));
+            }
+        }
+        let g = DiGraph::from_pairs(10, pairs).unwrap();
+        Problem::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_monotone_curves_for_greedy() {
+        let p = lattice_problem();
+        let cfg = SweepConfig {
+            ks: (0..=6).collect(),
+            trials: 5,
+            seed: 1,
+            solvers: vec![SolverKind::GreedyAll, SolverKind::GreedyMax, SolverKind::RandK],
+        };
+        let res = run_sweep(&p, &cfg);
+        assert_eq!(res.series.len(), 3);
+        let ga = res.series_for("G_ALL").unwrap();
+        assert_eq!(ga.points.first().unwrap().1, 0.0, "k=0 ⇒ FR=0");
+        for w in ga.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "greedy FR must be monotone in k");
+        }
+        for s in &res.series {
+            for &(_, fr) in &s.points {
+                assert!((0.0..=1.0 + 1e-12).contains(&fr), "{}: fr={fr}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_all_dominates_random_k_on_average() {
+        let p = lattice_problem();
+        let cfg = SweepConfig {
+            ks: vec![2, 4],
+            trials: 25,
+            seed: 3,
+            solvers: vec![SolverKind::GreedyAll, SolverKind::RandK],
+        };
+        let res = run_sweep(&p, &cfg);
+        let ga = res.series_for("G_ALL").unwrap();
+        let rk = res.series_for("Rand_K").unwrap();
+        for (a, b) in ga.points.iter().zip(&rk.points) {
+            assert!(a.1 >= b.1 - 0.05, "greedy should not lose to random: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn paper_config_has_the_seven_solvers() {
+        let cfg = SweepConfig::paper(50);
+        assert_eq!(cfg.solvers.len(), 7);
+        assert_eq!(cfg.trials, 25);
+        assert_eq!(*cfg.ks.last().unwrap(), 50);
+        assert_eq!(cfg.ks[0], 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! [`Problem`]: the one-stop entry point.
+
+use fp_algorithms::{acyclic, SolverKind};
+use fp_graph::{DiGraph, GraphError, NodeId};
+use fp_num::Wide128;
+use fp_propagation::{CGraph, FilterSet, ObjectiveCache};
+
+/// A Filter Placement instance: a c-graph plus the cached objective
+/// denominators, ready to be solved by any [`SolverKind`].
+///
+/// Cyclic inputs are handled the way the paper prescribes (§4.3): a
+/// maximal connected acyclic subgraph rooted at the source is extracted
+/// first; [`Problem::was_cyclic`] reports whether that happened.
+///
+/// All internal arithmetic uses [`Wide128`] (saturating `u128`) — the
+/// cross-validation test suite pins its agreement with exact
+/// [`fp_num::BigCount`] on every dataset in the evaluation.
+pub struct Problem {
+    cg: CGraph,
+    cache: ObjectiveCache<Wide128>,
+    was_cyclic: bool,
+}
+
+impl Problem {
+    /// Build from any directed graph and a source node.
+    pub fn new(g: &DiGraph, source: NodeId) -> Result<Self, GraphError> {
+        if source.index() >= g.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: source,
+                node_count: g.node_count(),
+            });
+        }
+        let (cg, was_cyclic) = match CGraph::new(g, source) {
+            Ok(cg) => (cg, false),
+            Err(GraphError::CycleDetected { .. }) => {
+                let dag = acyclic::acyclic_naive(g, source);
+                (CGraph::new(&dag, source)?, true)
+            }
+            Err(e) => return Err(e),
+        };
+        let cache = ObjectiveCache::new(&cg);
+        Ok(Self {
+            cg,
+            cache,
+            was_cyclic,
+        })
+    }
+
+    /// The (acyclic) communication graph being solved.
+    pub fn cgraph(&self) -> &CGraph {
+        &self.cg
+    }
+
+    /// Whether the input contained cycles and went through Acyclic.
+    pub fn was_cyclic(&self) -> bool {
+        self.was_cyclic
+    }
+
+    /// Run a solver with budget `k`.
+    pub fn solve(&self, kind: SolverKind, k: usize) -> FilterSet {
+        self.solve_seeded(kind, k, 0)
+    }
+
+    /// Run a solver with budget `k` and an explicit seed (only the
+    /// randomized baselines depend on it).
+    pub fn solve_seeded(&self, kind: SolverKind, k: usize, seed: u64) -> FilterSet {
+        kind.build::<Wide128>(seed).place(&self.cg, k)
+    }
+
+    /// `F(A)` for a placement.
+    pub fn f_value(&self, filters: &FilterSet) -> Wide128 {
+        self.cache.f_of(&self.cg, filters)
+    }
+
+    /// The paper's Filter Ratio `FR(A) = F(A)/F(V)` (1.0 = all
+    /// removable redundancy removed).
+    pub fn filter_ratio(&self, filters: &FilterSet) -> f64 {
+        self.cache.filter_ratio(&self.cg, filters)
+    }
+
+    /// `Φ(∅, V)`: total receptions with no filters.
+    pub fn phi_empty(&self) -> &Wide128 {
+        self.cache.phi_empty()
+    }
+
+    /// `F(V)`: the maximum removable redundancy.
+    pub fn f_all(&self) -> &Wide128 {
+        self.cache.f_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> DiGraph {
+        DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solves_the_figure1_instance() {
+        let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+        assert!(!p.was_cyclic());
+        let placement = p.solve(SolverKind::GreedyAll, 2);
+        assert_eq!(p.filter_ratio(&placement), 1.0);
+        assert!(p.f_value(&placement) == *p.f_all());
+    }
+
+    #[test]
+    fn cyclic_inputs_go_through_acyclic_extraction() {
+        // Figure 1 plus a cycle-closing edge w → s.
+        let mut g = figure1();
+        g.add_edge(NodeId::new(6), NodeId::new(0));
+        let p = Problem::new(&g, NodeId::new(0)).unwrap();
+        assert!(p.was_cyclic());
+        // Still solvable, and z2 is still the best single filter.
+        let placement = p.solve(SolverKind::GreedyAll, 1);
+        assert_eq!(placement.nodes(), &[NodeId::new(4)]);
+    }
+
+    #[test]
+    fn rejects_bad_sources() {
+        assert!(Problem::new(&figure1(), NodeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn random_solvers_honor_seeds() {
+        let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+        let a = p.solve_seeded(SolverKind::RandK, 2, 11);
+        let b = p.solve_seeded(SolverKind::RandK, 2, 11);
+        assert_eq!(a.nodes(), b.nodes());
+    }
+}

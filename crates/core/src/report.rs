@@ -1,0 +1,159 @@
+//! Plain-text table and CSV rendering for figure/table regeneration.
+//!
+//! The benchmark harnesses print the same rows/series the paper's
+//! figures plot; this module keeps the formatting in one place.
+
+use crate::experiment::SweepResult;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new(headers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (no quoting — callers only emit plain cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render an FR sweep as the paper's figures tabulate it: one row per
+/// `k`, one column per algorithm.
+pub fn sweep_table(result: &SweepResult) -> Table {
+    let mut headers = vec!["k".to_string()];
+    headers.extend(result.series.iter().map(|s| s.label.clone()));
+    let mut table = Table::new(headers);
+    if let Some(first) = result.series.first() {
+        for (i, &(k, _)) in first.points.iter().enumerate() {
+            let mut row = vec![k.to_string()];
+            for s in &result.series {
+                row.push(format!("{:.4}", s.points[i].1));
+            }
+            table.row(row);
+        }
+    }
+    table
+}
+
+/// Render degree-CDF points `(degree, cumulative probability)`.
+pub fn cdf_table(points: &[(usize, f64)]) -> Table {
+    let mut table = Table::new(["in-degree", "P[deg <= d]"]);
+    for &(d, p) in points {
+        table.row([d.to_string(), format!("{p:.4}")]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{SolverSeries, SweepResult};
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(["k", "G_ALL"]);
+        t.row(["0", "0.0000"]).row(["10", "0.9876"]);
+        let text = t.to_string();
+        assert!(text.contains("G_ALL"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert_eq!(t.to_csv(), "k,G_ALL\n0,0.0000\n10,0.9876\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn sweep_table_pivots_series() {
+        let res = SweepResult {
+            series: vec![
+                SolverSeries {
+                    label: "G_ALL".into(),
+                    points: vec![(0, 0.0), (5, 1.0)],
+                },
+                SolverSeries {
+                    label: "Rand_K".into(),
+                    points: vec![(0, 0.0), (5, 0.25)],
+                },
+            ],
+        };
+        let t = sweep_table(&res);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("k,G_ALL,Rand_K\n"));
+        assert!(csv.contains("5,1.0000,0.2500"));
+    }
+
+    #[test]
+    fn cdf_table_rounds() {
+        let t = cdf_table(&[(0, 0.5), (3, 1.0)]);
+        assert!(t.to_csv().contains("3,1.0000"));
+    }
+}

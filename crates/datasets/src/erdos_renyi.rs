@@ -1,0 +1,58 @@
+//! Random DAGs (directed Erdős–Rényi over a fixed topological order).
+//!
+//! Generic stress-test inputs: edge `i → j` (for `i < j`) exists with
+//! probability `p`, plus a source wired to every in-degree-0 node so
+//! the result is a proper c-graph.
+
+use fp_graph::{add_super_source, DiGraph, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generate a random DAG with `n` internal nodes and edge probability
+/// `p`; returns the graph and its (super-)source.
+pub fn generate(n: usize, p: f64, seed: u64) -> (DiGraph, NodeId) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = DiGraph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < p {
+                g.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    add_super_source(&g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_graph::{topo_order, Csr};
+
+    #[test]
+    fn generates_valid_cgraphs() {
+        for seed in 0..5 {
+            let (g, s) = generate(30, 0.15, seed);
+            let csr = Csr::from_digraph(&g);
+            assert!(topo_order(&csr).is_ok());
+            assert_eq!(csr.in_degree(s), 0);
+            assert!(csr.out_degree(s) > 0);
+        }
+    }
+
+    #[test]
+    fn edge_count_tracks_probability() {
+        let (lo, _) = generate(60, 0.05, 9);
+        let (hi, _) = generate(60, 0.5, 9);
+        assert!(hi.edge_count() > 5 * lo.edge_count());
+    }
+
+    #[test]
+    fn p_zero_is_a_star_from_the_source() {
+        let (g, s) = generate(10, 0.0, 1);
+        assert_eq!(g.edge_count(), 10);
+        for v in 0..10 {
+            assert!(g.has_edge(s, NodeId::new(v)));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Dataset generators for the filter-placement evaluation (§5).
+//!
+//! The paper evaluates on one fully-specified synthetic family and
+//! three real traces. The synthetic family ([`layered`]) is implemented
+//! verbatim. The traces are not redistributable, so each is replaced by
+//! a generator that reproduces every structural statistic the paper
+//! reports about it (sizes, degree profile, sink fraction, level
+//! structure, planted pathologies) — see DESIGN.md §4 for the
+//! substitution argument:
+//!
+//! * [`quote_like`] — the memetracker "lipstick on a pig" DAG
+//!   (932 nodes / 2,703 edges, ~70 % sinks, a 4-hub cut).
+//! * [`twitter_like`] — the 6-level sigcomm09 BFS subgraph
+//!   (≈90 k nodes / ≈125 k edges, per-level out-edge counts
+//!   2, 16, 194, 43,993, 80,639, a ~6-celebrity cut).
+//! * [`citation_like`] — the APS subgraph (9,982 nodes / 36,070 edges,
+//!   power-law halves joined by the Figure-10 nine-node chain).
+//!
+//! Generic building blocks: [`erdos_renyi`] random DAGs, [`power_law`]
+//! preferential-attachment DAGs, [`tree_gen`] random c-trees, and
+//! [`stats`] degree statistics (the CDFs of Figures 4 and 6).
+
+pub mod citation_like;
+pub mod erdos_renyi;
+pub mod layered;
+pub mod power_law;
+pub mod quote_like;
+pub mod stats;
+pub mod tree_gen;
+pub mod twitter_like;

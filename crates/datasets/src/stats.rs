@@ -1,0 +1,112 @@
+//! Degree statistics: the CDFs of Figures 4 and 6.
+
+use fp_graph::{Csr, DiGraph, NodeId};
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+    pub hist: Vec<usize>,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl DegreeStats {
+    fn from_degrees(degrees: impl Iterator<Item = usize>, n: usize) -> Self {
+        let mut hist = Vec::new();
+        for d in degrees {
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+        Self { hist, n }
+    }
+
+    /// In-degree statistics of `g` (Figures 4 and 6 plot these).
+    pub fn in_degrees(g: &DiGraph) -> Self {
+        let csr = Csr::from_digraph(g);
+        Self::from_degrees((0..g.node_count()).map(|v| csr.in_degree(NodeId::new(v))), g.node_count())
+    }
+
+    /// Out-degree statistics of `g`.
+    pub fn out_degrees(g: &DiGraph) -> Self {
+        let csr = Csr::from_digraph(g);
+        Self::from_degrees((0..g.node_count()).map(|v| csr.out_degree(NodeId::new(v))), g.node_count())
+    }
+
+    /// Empirical CDF points `(degree, P[deg ≤ degree])`, one per
+    /// occupied degree value.
+    pub fn cdf(&self) -> Vec<(usize, f64)> {
+        let mut acc = 0usize;
+        let mut out = Vec::new();
+        for (d, &count) in self.hist.iter().enumerate() {
+            acc += count;
+            if count > 0 || d + 1 == self.hist.len() {
+                out.push((d, acc as f64 / self.n.max(1) as f64));
+            }
+        }
+        out
+    }
+
+    /// `P[deg ≤ d]`.
+    pub fn cdf_at(&self, d: usize) -> f64 {
+        let acc: usize = self.hist.iter().take(d + 1).sum();
+        acc as f64 / self.n.max(1) as f64
+    }
+
+    /// Fraction of nodes with degree 0 (sink fraction for out-degrees).
+    pub fn zero_fraction(&self) -> f64 {
+        self.hist.first().copied().unwrap_or(0) as f64 / self.n.max(1) as f64
+    }
+
+    /// Maximum occupied degree.
+    pub fn max_degree(&self) -> usize {
+        self.hist.len().saturating_sub(1)
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        let total: usize = self.hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        total as f64 / self.n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn histogram_and_cdf() {
+        let s = DegreeStats::in_degrees(&diamond());
+        // in-degrees: 0, 1, 1, 2.
+        assert_eq!(s.hist, vec![1, 2, 1]);
+        assert_eq!(s.cdf_at(0), 0.25);
+        assert_eq!(s.cdf_at(1), 0.75);
+        assert_eq!(s.cdf_at(2), 1.0);
+        assert_eq!(s.cdf_at(99), 1.0);
+        let cdf = s.cdf();
+        assert_eq!(*cdf.last().unwrap(), (2, 1.0));
+    }
+
+    #[test]
+    fn out_degree_stats() {
+        let s = DegreeStats::out_degrees(&diamond());
+        // out-degrees: 2, 1, 1, 0.
+        assert_eq!(s.zero_fraction(), 0.25);
+        assert_eq!(s.max_degree(), 2);
+        assert!((s.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let s = DegreeStats::in_degrees(&DiGraph::new());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.cdf_at(3), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Random c-trees for exercising the §4.1 dynamic program.
+
+use fp_graph::{CTree, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generate a random c-tree with `n` nodes: each node `v ≥ 1` picks a
+/// uniformly random parent among `0..v`, and the source injects at the
+/// root plus each other node independently with probability
+/// `injection_prob`.
+pub fn random_ctree(n: usize, injection_prob: f64, seed: u64) -> CTree {
+    assert!(n >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut parent: Vec<Option<NodeId>> = vec![None];
+    let mut injects = vec![true]; // the root always receives the item
+    for v in 1..n {
+        parent.push(Some(NodeId::new(rng.random_range(0..v))));
+        injects.push(rng.random::<f64>() < injection_prob);
+    }
+    CTree::new(&parent, injects).expect("construction is a valid tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_trees_of_requested_size() {
+        for seed in 0..10 {
+            let t = random_ctree(25, 0.3, seed);
+            assert_eq!(t.node_count(), 25);
+            assert_eq!(t.root(), NodeId::new(0));
+            assert!(t.injects(t.root()));
+        }
+    }
+
+    #[test]
+    fn injection_probability_extremes() {
+        let none = random_ctree(40, 0.0, 1);
+        assert_eq!((1..40).filter(|&v| none.injects(NodeId::new(v))).count(), 0);
+        let all = random_ctree(40, 1.0, 1);
+        assert_eq!((1..40).filter(|&v| all.injects(NodeId::new(v))).count(), 39);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = random_ctree(1, 0.5, 3);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.children(t.root()).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! The Twitter (sigcomm09) stand-in (§5, Figures 8 and 11).
+//!
+//! The paper's subgraph: a 6-level BFS from "sigcomm09" filtered to CS
+//! profiles — "about 90K nodes and 120K edges. The number of out-going
+//! edges from the different levels … show an exponential growth: 2, 16,
+//! 194, 43993 and 80639 for levels 1, 2, …, 5." Greedy_All removes all
+//! redundancy with six filters.
+//!
+//! Construction: the exact per-level out-edge counts (scaled by
+//! `scale`), a follower tree for the interior levels, a handful of
+//! `celebrities` — interior nodes followed from multiple levels (the
+//! only interior nodes with in-degree > 1, hence the perfect filter
+//! cut) — and free target reuse into the final (sink) level.
+
+use fp_graph::{DiGraph, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The paper's per-level out-edge counts for levels 1..=5.
+pub const PAPER_LEVEL_OUT_EDGES: [usize; 5] = [2, 16, 194, 43_993, 80_639];
+
+/// Number of planted celebrity nodes (the paper needed 6 filters).
+pub const CELEBRITIES: usize = 6;
+
+/// Parameters for the twitter-like generator.
+#[derive(Clone, Debug)]
+pub struct TwitterLikeParams {
+    /// Scale factor applied to the paper's level profile (1.0 = full
+    /// 90k-node graph; tests use ~0.02).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterLikeParams {
+    fn default() -> Self {
+        Self { scale: 1.0, seed: 2010 }
+    }
+}
+
+/// A generated twitter-like c-graph.
+#[derive(Clone, Debug)]
+pub struct TwitterLikeGraph {
+    /// The graph (node 0 is the root).
+    pub graph: DiGraph,
+    /// The root ("sigcomm09").
+    pub source: NodeId,
+    /// Planted celebrities — the minimal perfect filter set.
+    pub celebrities: Vec<NodeId>,
+    /// Nodes per level (level 0 is the root alone).
+    pub level_sizes: Vec<usize>,
+}
+
+/// Generate a twitter-like graph.
+pub fn generate(params: &TwitterLikeParams) -> TwitterLikeGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let out_edges: Vec<usize> = PAPER_LEVEL_OUT_EDGES
+        .iter()
+        .map(|&e| ((e as f64 * params.scale).round() as usize).max(2))
+        .collect();
+    let depth = out_edges.len();
+
+    let mut g = DiGraph::new();
+    let source = g.add_node();
+    let mut levels: Vec<Vec<NodeId>> = vec![vec![source]];
+    let mut celebrities: Vec<NodeId> = Vec::new();
+
+    for (li, &edge_budget) in out_edges.iter().enumerate() {
+        let cur = levels[li].clone();
+        let last_level = li + 1 == depth;
+        let mut next: Vec<NodeId> = Vec::new();
+        // Interior levels: tree edges to fresh nodes (in-degree 1).
+        // Final level: targets may repeat (sinks can be followed by
+        // many), averaging ~1.8 edges per sink as in the paper.
+        let fresh_count = if last_level {
+            (edge_budget as f64 / 1.8).round() as usize
+        } else {
+            edge_budget
+        }
+        .max(1);
+        for _ in 0..fresh_count {
+            next.push(g.add_node());
+        }
+        for e in 0..edge_budget {
+            let from = cur[rng.random_range(0..cur.len())];
+            let to = if last_level {
+                next[rng.random_range(0..next.len())]
+            } else {
+                next[e.min(fresh_count - 1)]
+            };
+            if !g.add_edge_dedup(from, to) {
+                // Duplicate follower pair: spend the edge on another
+                // random sink instead (keeps the budget exact).
+                let alt = next[rng.random_range(0..next.len())];
+                g.add_edge_dedup(from, alt);
+            }
+        }
+        levels.push(next);
+    }
+
+    // Plant celebrities: the most-followed interior accounts (top
+    // out-degree — in the information-flow direction a popular account
+    // has many outgoing edges) gain followers-of-followers: extra
+    // in-edges from the previous level. They become the only interior
+    // in-degree->1 nodes, and because their degree product dominates,
+    // every degree-based heuristic can find them — matching the
+    // paper's "all algorithms achieve complete filtering with at most
+    // ten filters" on this dataset.
+    let mut interior: Vec<(usize, NodeId)> = (2..depth)
+        .flat_map(|li| levels[li].iter().map(move |&v| (li, v)))
+        .collect();
+    interior.sort_by_key(|&(_, v)| (std::cmp::Reverse(g.out_neighbors(v).len()), v));
+    for &(li, celeb) in interior.iter().take(CELEBRITIES) {
+        celebrities.push(celeb);
+        let parent = g.in_neighbors(celeb).first().copied();
+        let prev: Vec<NodeId> = levels[li - 1]
+            .iter()
+            .copied()
+            .filter(|&u| Some(u) != parent)
+            .collect();
+        if prev.is_empty() {
+            continue;
+        }
+        let extra = rng.random_range(2..=4usize).min(prev.len());
+        for _ in 0..extra {
+            let from = prev[rng.random_range(0..prev.len())];
+            g.add_edge_dedup(from, celeb);
+        }
+    }
+    celebrities.sort_unstable();
+
+    TwitterLikeGraph {
+        level_sizes: levels.iter().map(|l| l.len()).collect(),
+        graph: g,
+        source,
+        celebrities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_graph::{topo_order, Csr};
+    use fp_num::Wide128;
+    use fp_propagation::{CGraph, FilterSet, ObjectiveCache};
+
+    fn small() -> TwitterLikeGraph {
+        generate(&TwitterLikeParams {
+            scale: 0.02,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn full_scale_matches_the_paper() {
+        let t = generate(&TwitterLikeParams::default());
+        let n = t.graph.node_count();
+        let m = t.graph.edge_count();
+        assert!((80_000..105_000).contains(&n), "nodes {n} vs paper's ~90K");
+        assert!((110_000..135_000).contains(&m), "edges {m} vs paper's ~120K+");
+        // Exponential level growth as reported.
+        let s = &t.level_sizes;
+        assert_eq!(s[0], 1);
+        for w in s.windows(2).take(4) {
+            assert!(w[1] > w[0], "levels must grow: {s:?}");
+        }
+    }
+
+    #[test]
+    fn small_scale_is_a_single_source_dag() {
+        let t = small();
+        let csr = Csr::from_digraph(&t.graph);
+        assert!(topo_order(&csr).is_ok());
+        assert_eq!(csr.in_degree(t.source), 0);
+    }
+
+    #[test]
+    fn celebrities_form_a_perfect_filter_set() {
+        let t = small();
+        let cg = CGraph::new(&t.graph, t.source).unwrap();
+        let cache = ObjectiveCache::<Wide128>::new(&cg);
+        let filters = FilterSet::from_nodes(t.graph.node_count(), t.celebrities.iter().copied());
+        assert_eq!(cache.filter_ratio(&cg, &filters), 1.0);
+        assert!(filters.len() <= CELEBRITIES);
+    }
+
+    #[test]
+    fn interior_multi_indegree_nodes_are_exactly_the_celebrities() {
+        let t = small();
+        let csr = Csr::from_digraph(&t.graph);
+        let mut prop1: Vec<NodeId> = t
+            .graph
+            .nodes()
+            .filter(|&v| csr.in_degree(v) > 1 && csr.out_degree(v) > 0)
+            .collect();
+        prop1.sort_unstable();
+        assert_eq!(prop1, t.celebrities);
+    }
+
+    #[test]
+    fn graph_is_sparse() {
+        let t = small();
+        let ratio = t.graph.edge_count() as f64 / t.graph.node_count() as f64;
+        assert!(ratio < 2.0, "paper: ~1.4 edges per node, got {ratio}");
+    }
+}

@@ -1,0 +1,190 @@
+//! A fixed-capacity bit set over `u64` words.
+//!
+//! Built in-tree (no `fixedbitset` in the approved dependency set); used
+//! by reachability, the Acyclic algorithm, and filter-set bookkeeping.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `idx`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `idx >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.capacity, "bitset index {idx} out of capacity {}", self.capacity);
+        let (w, b) = (idx / 64, idx % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Remove `idx`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        assert!(idx < self.capacity, "bitset index {idx} out of capacity {}", self.capacity);
+        let (w, b) = (idx / 64, idx % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Whether `idx` is present. Out-of-capacity indices are absent.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        if idx >= self.capacity {
+            return false;
+        }
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of elements present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate over present indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            core::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a set sized to the largest index + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = Self::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(200);
+        for i in [199, 0, 63, 64, 65, 127, 128, 3] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 3, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn union_and_clear() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        b.insert(69);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(69));
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_past_capacity_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn contains_past_capacity_is_false() {
+        assert!(!BitSet::new(10).contains(1000));
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreeset(ops in proptest::collection::vec((0usize..256, any::<bool>()), 0..200)) {
+            let mut bs = BitSet::new(256);
+            let mut model = BTreeSet::new();
+            for (idx, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(bs.insert(idx), model.insert(idx));
+                } else {
+                    prop_assert_eq!(bs.remove(idx), model.remove(&idx));
+                }
+            }
+            prop_assert_eq!(bs.len(), model.len());
+            let got: Vec<usize> = bs.iter().collect();
+            let want: Vec<usize> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! [`Csr`]: a frozen compressed-sparse-row graph snapshot.
+//!
+//! Every propagation pass (prefix, suffix, Φ evaluation) is a linear
+//! sweep over nodes in topological order touching each edge once; CSR's
+//! contiguous target arrays make those sweeps cache-friendly. Both
+//! directions are materialized because the prefix pass walks parents and
+//! the suffix pass walks children.
+
+use crate::{DiGraph, NodeId};
+
+/// An immutable digraph in compressed-sparse-row form (both directions).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Freeze a [`DiGraph`].
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(m);
+        out_offsets.push(0);
+        for u in g.nodes() {
+            out_targets.extend_from_slice(g.out_neighbors(u));
+            out_offsets.push(out_targets.len() as u32);
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_sources = Vec::with_capacity(m);
+        in_offsets.push(0);
+        for v in g.nodes() {
+            in_sources.extend_from_slice(g.in_neighbors(v));
+            in_offsets.push(in_sources.len() as u32);
+        }
+        Self {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Out-neighbors (children) of `u`.
+    #[inline]
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        let (lo, hi) = (self.out_offsets[u.index()], self.out_offsets[u.index() + 1]);
+        &self.out_targets[lo as usize..hi as usize]
+    }
+
+    /// In-neighbors (parents) of `v`.
+    #[inline]
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        let (lo, hi) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        &self.in_sources[lo as usize..hi as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.children(u).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.parents(v).len()
+    }
+
+    /// Whether `v` is a sink (no outgoing edges).
+    #[inline]
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        self.out_degree(v) == 0
+    }
+
+    /// Iterate over all edges as `(source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| self.children(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Maximum of in- and out-degree over all nodes (the paper's Δ).
+    pub fn max_degree(&self) -> usize {
+        self.nodes()
+            .map(|v| self.in_degree(v).max(self.out_degree(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Thaw back into a mutable [`DiGraph`].
+    pub fn to_digraph(&self) -> DiGraph {
+        let mut g = DiGraph::with_nodes(self.node_count());
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+impl From<&DiGraph> for Csr {
+    fn from(g: &DiGraph) -> Self {
+        Self::from_digraph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn freeze_preserves_structure() {
+        let g = diamond();
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.children(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(csr.parents(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(csr.in_degree(NodeId::new(3)), 2);
+        assert_eq!(csr.out_degree(NodeId::new(3)), 0);
+        assert!(csr.is_sink(NodeId::new(3)));
+        assert!(!csr.is_sink(NodeId::new(0)));
+        assert_eq!(csr.max_degree(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_digraph(&DiGraph::new());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    fn thaw_roundtrips() {
+        let g = diamond();
+        let back = Csr::from_digraph(&g).to_digraph();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = back.edges().collect();
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    proptest! {
+        #[test]
+        fn csr_matches_digraph(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80)
+        ) {
+            let edges: Vec<(usize, usize)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let g = DiGraph::from_pairs(20, edges).unwrap();
+            let csr = Csr::from_digraph(&g);
+            prop_assert_eq!(csr.edge_count(), g.edge_count());
+            for u in g.nodes() {
+                prop_assert_eq!(csr.children(u), g.out_neighbors(u));
+                prop_assert_eq!(csr.parents(u), g.in_neighbors(u));
+            }
+            let mut e1: Vec<_> = g.edges().collect();
+            let mut e2: Vec<_> = csr.edges().collect();
+            e1.sort_unstable();
+            e2.sort_unstable();
+            prop_assert_eq!(e1, e2);
+        }
+    }
+}

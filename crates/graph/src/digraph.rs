@@ -1,0 +1,315 @@
+//! [`DiGraph`]: a mutable adjacency-list directed graph.
+//!
+//! This is the representation used while *building* graphs (generators,
+//! the Acyclic extraction, reductions). Propagation passes freeze it
+//! into a [`crate::Csr`] first.
+
+use crate::{GraphError, NodeId};
+
+/// A mutable, simple (no self-loops, optionally deduplicated) digraph.
+///
+/// ```
+/// use fp_graph::{DiGraph, NodeId};
+///
+/// // A diamond: 0 → {1, 2} → 3.
+/// let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.in_degree(NodeId::new(3)), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// ```
+///
+/// Nodes are the dense range `0..node_count()`. Both out- and
+/// in-adjacency are maintained so construction-time passes can look in
+/// either direction without a reverse pass.
+#[derive(Clone, Default, Debug)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<NodeId>>,
+    in_adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Build from `(source, target)` pairs over nodes `0..n`.
+    ///
+    /// Rejects self-loops and out-of-range endpoints; duplicate edges are
+    /// kept (call [`DiGraph::dedup_edges`] if simplicity is required).
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Result<Self, GraphError> {
+        let mut g = Self::with_nodes(n);
+        for (u, v) in pairs {
+            g.try_add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of edges (counting duplicates, if any).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Append a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.out_adj.len());
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Append `n` new isolated nodes, returning the first id.
+    pub fn add_nodes(&mut self, n: usize) -> NodeId {
+        let first = NodeId::new(self.out_adj.len());
+        self.out_adj.resize_with(self.out_adj.len() + n, Vec::new);
+        self.in_adj.resize_with(self.in_adj.len() + n, Vec::new);
+        first
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() >= self.node_count() {
+            Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.node_count(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Add the edge `u → v`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops; use
+    /// [`DiGraph::try_add_edge`] for fallible insertion.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.try_add_edge(u, v).expect("invalid edge");
+    }
+
+    /// Add the edge `u → v`, validating endpoints.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.out_adj[u.index()].push(v);
+        self.in_adj[v.index()].push(u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Add `u → v` unless it already exists; returns whether it was added.
+    ///
+    /// O(out-degree of `u`); generators inserting in bulk should prefer
+    /// [`DiGraph::add_edge`] followed by one [`DiGraph::dedup_edges`].
+    pub fn add_edge_dedup(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.has_edge(u, v) {
+            false
+        } else {
+            self.add_edge(u, v);
+            true
+        }
+    }
+
+    /// Whether `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.node_count() && self.out_adj[u.index()].contains(&v)
+    }
+
+    /// Remove duplicate parallel edges, keeping one copy of each.
+    pub fn dedup_edges(&mut self) {
+        let mut removed = 0;
+        for adj in &mut self.out_adj {
+            let before = adj.len();
+            adj.sort_unstable();
+            adj.dedup();
+            removed += before - adj.len();
+        }
+        if removed > 0 {
+            for adj in &mut self.in_adj {
+                adj.sort_unstable();
+                adj.dedup();
+            }
+            self.edge_count -= removed;
+        }
+    }
+
+    /// Out-neighbors of `u`.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_adj[u.index()]
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_adj[u.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Iterate over all edges as `(source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, targets)| targets.iter().map(move |&v| (NodeId::new(u), v)))
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> Self {
+        Self {
+            out_adj: self.in_adj.clone(),
+            in_adj: self.out_adj.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Induced subgraph on `keep` (nodes are renumbered densely in the
+    /// order they appear in `keep`). Returns the subgraph and the mapping
+    /// `old id → new id`.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Self, Vec<Option<NodeId>>) {
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        for (new_idx, &old) in keep.iter().enumerate() {
+            remap[old.index()] = Some(NodeId::new(new_idx));
+        }
+        let mut sub = Self::with_nodes(keep.len());
+        for &old_u in keep {
+            let new_u = remap[old_u.index()].expect("keep node mapped");
+            for &old_v in self.out_neighbors(old_u) {
+                if let Some(new_v) = remap[old_v.index()] {
+                    sub.add_edge(new_u, new_v);
+                }
+            }
+        }
+        (sub, remap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 → 1 → 3, 0 → 2 → 3
+        DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_construction_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.in_degree(NodeId::new(3)), 2);
+        assert_eq!(g.out_neighbors(NodeId::new(1)), &[NodeId::new(3)]);
+        assert_eq!(g.in_neighbors(NodeId::new(2)), &[NodeId::new(0)]);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DiGraph::with_nodes(2);
+        let err = g.try_add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = DiGraph::with_nodes(2);
+        let err = g.try_add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut g = DiGraph::from_pairs(3, [(0, 1), (0, 1), (1, 2), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        g.dedup_edges();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(NodeId::new(0)), 1);
+        assert_eq!(g.in_degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn add_edge_dedup_reports_duplicates() {
+        let mut g = DiGraph::with_nodes(2);
+        assert!(g.add_edge_dedup(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.add_edge_dedup(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let g = diamond();
+        let mut edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond().reversed();
+        assert!(g.has_edge(NodeId::new(3), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = diamond();
+        let keep = [NodeId::new(0), NodeId::new(1), NodeId::new(3)];
+        let (sub, remap) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        // 0→1 survives as 0→1; 1→3 survives as 1→2; edges through node 2 drop.
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(sub.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(remap[2], None);
+        assert_eq!(remap[3], Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut g = DiGraph::new();
+        let first = g.add_nodes(5);
+        assert_eq!(first, NodeId::new(0));
+        let next = g.add_node();
+        assert_eq!(next, NodeId::new(5));
+        assert_eq!(g.node_count(), 6);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for graph construction and transformation.
+
+use crate::NodeId;
+
+/// Errors produced by graph construction, I/O, and shape validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An operation requiring an acyclic graph found a cycle.
+    CycleDetected {
+        /// A node known to lie on a cycle.
+        on_cycle: NodeId,
+    },
+    /// A self-loop was rejected (c-graphs are loop-free).
+    SelfLoop {
+        /// The node with the loop.
+        node: NodeId,
+    },
+    /// The graph was expected to be a c-tree (a tree once the source is
+    /// removed) but is not.
+    NotATree {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// Edge-list parsing failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            Self::CycleDetected { on_cycle } => {
+                write!(f, "graph contains a cycle through {on_cycle}")
+            }
+            Self::SelfLoop { node } => write!(f, "self-loop at {node} is not allowed"),
+            Self::NotATree { reason } => write!(f, "graph is not a c-tree: {reason}"),
+            Self::Parse { line, reason } => write!(f, "edge list parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("n9"));
+        assert!(e.to_string().contains("3 nodes"));
+        let e = GraphError::CycleDetected { on_cycle: NodeId::new(1) };
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::Parse { line: 4, reason: "bad".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Dense node identifiers.
+
+/// A node identifier: a dense index into the graph's node range.
+///
+/// Backed by `u32` (graphs in this workspace stay well below 4 billion
+/// nodes) so per-node tables are half the size of `usize` indexing, per
+/// the "smaller integers" guidance in the perf book.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Construct from a raw index.
+    ///
+    /// # Panics
+    /// Panics if `idx` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(idx: usize) -> Self {
+        debug_assert!(idx <= u32::MAX as usize, "node index {idx} overflows u32");
+        Self(idx as u32)
+    }
+
+    /// The raw index, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32`.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(v: NodeId) -> Self {
+        v.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(id.to_string(), "n42");
+        assert_eq!(NodeId::from(7u32), NodeId::new(7));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(3), NodeId::new(3));
+    }
+}

@@ -1,0 +1,79 @@
+//! Reachability queries over [`crate::BitSet`]s.
+
+use crate::{BitSet, Csr, NodeId};
+
+/// The set of nodes reachable from `root` (including `root`).
+pub fn reachable_from(g: &Csr, root: NodeId) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![root];
+    seen.insert(root.index());
+    while let Some(u) = stack.pop() {
+        for &v in g.children(u) {
+            if seen.insert(v.index()) {
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// The set of nodes that can reach `target` (including `target`).
+pub fn ancestors_of(g: &Csr, target: NodeId) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![target];
+    seen.insert(target.index());
+    while let Some(u) = stack.pop() {
+        for &v in g.parents(u) {
+            if seen.insert(v.index()) {
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Csr {
+        Csr::from_digraph(&DiGraph::from_pairs(n, edges.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let g = graph(6, &[(0, 1), (1, 2), (3, 4)]);
+        let r = reachable_from(&g, NodeId::new(0));
+        let got: Vec<usize> = r.iter().collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let g = graph(6, &[(0, 2), (1, 2), (2, 3), (4, 5)]);
+        let a = ancestors_of(&g, NodeId::new(3));
+        let got: Vec<usize> = a.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycles_do_not_loop_forever() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(reachable_from(&g, NodeId::new(1)).len(), 3);
+        assert_eq!(ancestors_of(&g, NodeId::new(1)).len(), 3);
+    }
+
+    #[test]
+    fn forward_and_backward_are_duals() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (1, 4)]);
+        // v reachable from u  <=>  u is an ancestor of v.
+        for u in 0..5 {
+            let fwd = reachable_from(&g, NodeId::new(u));
+            for v in 0..5 {
+                let bwd = ancestors_of(&g, NodeId::new(v));
+                assert_eq!(fwd.contains(v), bwd.contains(u), "u={u} v={v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Strongly connected components (iterative Tarjan) and condensation.
+//!
+//! General c-graphs may be cyclic (Theorem 1's SetCover construction
+//! deliberately builds cycles). The Acyclic extraction and its tests use
+//! SCCs to reason about cycle structure, and the condensation provides
+//! an alternative cycle-free view for diagnostics.
+
+use crate::{Csr, DiGraph, NodeId};
+
+/// Strongly connected components of `g`, in reverse topological order of
+/// the condensation (Tarjan's invariant). Each component lists its
+/// member nodes; singleton components include trivial (acyclic) nodes.
+pub fn tarjan_scc(g: &Csr) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+    // Explicit DFS stack: (node, next child position).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        call.push((NodeId::new(start), 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(NodeId::new(start));
+        on_stack[start] = true;
+
+        while let Some(&mut (u, ref mut child_pos)) = call.last_mut() {
+            let children = g.children(u);
+            if *child_pos < children.len() {
+                let v = children[*child_pos];
+                *child_pos += 1;
+                if index[v.index()] == UNVISITED {
+                    index[v.index()] = next_index;
+                    lowlink[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                    call.push((v, 0));
+                } else if on_stack[v.index()] {
+                    lowlink[u.index()] = lowlink[u.index()].min(index[v.index()]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    lowlink[p.index()] = lowlink[p.index()].min(lowlink[u.index()]);
+                }
+                if lowlink[u.index()] == index[u.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The condensation of `g`: one node per SCC, with an edge between
+/// components whenever any original edge crosses them (deduplicated).
+/// Returns the condensed graph and the `node → component` assignment.
+pub fn condensation(g: &Csr) -> (DiGraph, Vec<usize>) {
+    let sccs = tarjan_scc(g);
+    let mut comp_of = vec![0usize; g.node_count()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &v in comp {
+            comp_of[v.index()] = ci;
+        }
+    }
+    let mut cond = DiGraph::with_nodes(sccs.len());
+    for (u, v) in g.edges() {
+        let (cu, cv) = (comp_of[u.index()], comp_of[v.index()]);
+        if cu != cv {
+            cond.add_edge(NodeId::new(cu), NodeId::new(cv));
+        }
+    }
+    cond.dedup_edges();
+    (cond, comp_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo_order;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Csr {
+        Csr::from_digraph(&DiGraph::from_pairs(n, edges.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn dag_yields_singletons() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn finds_a_cycle_component() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let mut sccs = tarjan_scc(&g);
+        sccs.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        assert_eq!(sccs[0].len(), 3);
+        let mut cyc: Vec<usize> = sccs[0].iter().map(|v| v.index()).collect();
+        cyc.sort_unstable();
+        assert_eq!(cyc, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        let g = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let sccs = tarjan_scc(&g);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = sccs.iter().map(|c| c.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let g = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let (cond, comp_of) = condensation(&g);
+        assert_eq!(cond.node_count(), 3);
+        assert!(topo_order(&Csr::from_digraph(&cond)).is_ok());
+        assert_eq!(comp_of[0], comp_of[1]);
+        assert_eq!(comp_of[2], comp_of[3]);
+        assert_eq!(comp_of[3], comp_of[4]);
+        assert_ne!(comp_of[0], comp_of[2]);
+        assert_ne!(comp_of[4], comp_of[5]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = graph(0, &[]);
+        assert!(tarjan_scc(&g).is_empty());
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let g = graph(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 6)]);
+        let sccs = tarjan_scc(&g);
+        let mut all: Vec<usize> = sccs.iter().flatten().map(|v| v.index()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,124 @@
+//! Topological ordering (Kahn's algorithm).
+//!
+//! Every propagation pass iterates nodes in a topological order of the
+//! DAG; [`topo_order`] computes one and doubles as the cycle check used
+//! by the Acyclic extraction tests.
+
+use crate::{Csr, GraphError, NodeId};
+
+/// A topological order of `g`, or the cycle witness if `g` is cyclic.
+///
+/// Deterministic: ties are broken by node id (a min-index FIFO layering),
+/// so repeated runs and cross-implementation comparisons are stable.
+///
+/// ```
+/// use fp_graph::{topo_order, Csr, DiGraph, NodeId};
+///
+/// let g = DiGraph::from_pairs(3, [(2, 1), (1, 0)]).unwrap();
+/// let order = topo_order(&Csr::from_digraph(&g)).unwrap();
+/// assert_eq!(order, vec![NodeId::new(2), NodeId::new(1), NodeId::new(0)]);
+/// ```
+pub fn topo_order(g: &Csr) -> Result<Vec<NodeId>, GraphError> {
+    let n = g.node_count();
+    let mut in_deg: Vec<u32> = (0..n).map(|v| g.in_degree(NodeId::new(v)) as u32).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n)
+        .map(NodeId::new)
+        .filter(|&v| in_deg[v.index()] == 0)
+        .collect();
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.children(u) {
+            in_deg[v.index()] -= 1;
+            if in_deg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let on_cycle = (0..n)
+            .map(NodeId::new)
+            .find(|&v| in_deg[v.index()] > 0)
+            .expect("some node has residual in-degree when a cycle exists");
+        Err(GraphError::CycleDetected { on_cycle })
+    }
+}
+
+/// Whether `order` is a permutation of `g`'s nodes with every edge
+/// pointing from an earlier to a later position.
+pub fn is_topological_order(g: &Csr, order: &[NodeId]) -> bool {
+    let n = g.node_count();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= n || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    g.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    #[test]
+    fn orders_a_dag() {
+        let g = DiGraph::from_pairs(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let csr = Csr::from_digraph(&g);
+        let order = topo_order(&csr).unwrap();
+        assert!(is_topological_order(&csr, &order));
+        assert_eq!(order[0], NodeId::new(0));
+        assert_eq!(order[4], NodeId::new(4));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let g = DiGraph::from_pairs(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let err = topo_order(&Csr::from_digraph(&g)).unwrap_err();
+        assert!(matches!(err, GraphError::CycleDetected { .. }));
+    }
+
+    #[test]
+    fn isolated_nodes_are_ordered() {
+        let g = DiGraph::with_nodes(3);
+        let csr = Csr::from_digraph(&g);
+        let order = topo_order(&csr).unwrap();
+        assert_eq!(order.len(), 3);
+        assert!(is_topological_order(&csr, &order));
+    }
+
+    #[test]
+    fn checker_rejects_bad_orders() {
+        let g = DiGraph::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
+        let csr = Csr::from_digraph(&g);
+        // Wrong direction.
+        assert!(!is_topological_order(
+            &csr,
+            &[NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+        ));
+        // Not a permutation (duplicate).
+        assert!(!is_topological_order(
+            &csr,
+            &[NodeId::new(0), NodeId::new(0), NodeId::new(2)]
+        ));
+        // Too short.
+        assert!(!is_topological_order(&csr, &[NodeId::new(0)]));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let g = DiGraph::from_pairs(4, [(0, 3), (1, 3), (2, 3)]).unwrap();
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(
+            topo_order(&csr).unwrap(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! [`Approx64`]: an `f64`-backed counter for very dense graphs.
+//!
+//! Path counts beyond ~10³⁸ overflow even `u128`; `f64` keeps relative
+//! magnitudes (within rounding) up to 10³⁰⁸, which is enough to rank
+//! node impacts on any graph the paper considers. The wrapper enforces
+//! the invariants the [`Count`] contract needs from a float: values are
+//! always finite-or-infinite non-negative (never NaN), so the manual
+//! `Ord` via `total_cmp` is a genuine total order.
+
+use crate::Count;
+
+/// Approximate counter backed by a non-negative, non-NaN `f64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Approx64(f64);
+
+impl Approx64 {
+    /// Wrap a raw value, mapping NaN/negative inputs to zero.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() || v < 0.0 {
+            Self(0.0)
+        } else {
+            Self(v)
+        }
+    }
+
+    /// The raw magnitude.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for Approx64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Approx64 {}
+
+impl PartialOrd for Approx64 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Approx64 {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Values are never NaN by construction, so total_cmp agrees with
+        // the numeric order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl core::fmt::Display for Approx64 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.6e}", self.0)
+    }
+}
+
+impl Count for Approx64 {
+    #[inline]
+    fn zero() -> Self {
+        Self(0.0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Self(1.0)
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Self(v as f64)
+    }
+
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        Self(self.0 + other.0)
+    }
+
+    #[inline]
+    fn saturating_sub(&self, other: &Self) -> Self {
+        Self((self.0 - other.0).max(0.0))
+    }
+
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        // inf * 0 would be NaN; counts define it as 0.
+        if self.0 == 0.0 || other.0 == 0.0 {
+            Self(0.0)
+        } else {
+            Self(self.0 * other.0)
+        }
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        self.0
+    }
+
+    fn to_f64_parts(&self) -> (f64, i64) {
+        if self.0 == 0.0 {
+            return (0.0, 0);
+        }
+        if self.0.is_infinite() {
+            return (1.0, i64::MAX);
+        }
+        let exp = self.0.log2().floor() as i64;
+        (self.0 / (2f64).powi(exp as i32), exp)
+    }
+
+    #[inline]
+    fn is_saturated(&self) -> bool {
+        self.0.is_infinite()
+    }
+
+    fn type_name() -> &'static str {
+        "Approx64"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_and_negative_inputs_become_zero() {
+        assert!(Approx64::new(f64::NAN).is_zero());
+        assert!(Approx64::new(-3.0).is_zero());
+    }
+
+    #[test]
+    fn inf_times_zero_is_zero() {
+        let inf = Approx64::new(f64::INFINITY);
+        assert!(inf.mul(&Approx64::zero()).is_zero());
+        assert!(inf.is_saturated());
+    }
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut v = [
+            Approx64::new(3.0),
+            Approx64::zero(),
+            Approx64::new(f64::INFINITY),
+            Approx64::one(),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|c| c.get()).collect();
+        assert_eq!(raw, vec![0.0, 1.0, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn subtraction_clamps_at_zero() {
+        let a = Approx64::new(1.5);
+        let b = Approx64::new(4.0);
+        assert!(a.saturating_sub(&b).is_zero());
+        assert_eq!(b.saturating_sub(&a).get(), 2.5);
+    }
+}

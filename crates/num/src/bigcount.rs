@@ -1,0 +1,385 @@
+//! [`BigCount`]: an arbitrary-precision unsigned integer.
+//!
+//! Exactly the operations the propagation engine needs — add, clamped
+//! subtract, multiply, compare, and decimal/float rendering — over
+//! little-endian `u64` limbs. It exists so the test suite has an exact
+//! ground truth against which the saturating counters are validated, and
+//! so experiments on pathologically deep graphs can be run exactly.
+//!
+//! Invariant: `limbs` never has trailing zero limbs; zero is the empty
+//! limb vector. Every constructor and operation restores this.
+
+use crate::Count;
+
+/// Arbitrary-precision unsigned counter (little-endian base-2⁶⁴ limbs).
+///
+/// ```
+/// use fp_num::{BigCount, Count};
+///
+/// // 2^200 is exactly representable.
+/// let two = BigCount::from_u64(2);
+/// let mut v = BigCount::one();
+/// for _ in 0..200 { v = v.mul(&two); }
+/// assert_eq!(v.bit_len(), 201);
+/// assert!(v.to_string().starts_with("16069380442589902755"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BigCount {
+    limbs: Vec<u64>,
+}
+
+impl BigCount {
+    /// Construct from raw little-endian limbs (normalizing trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Borrow the little-endian limbs (empty for zero).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Exact equality with a `u128`, used heavily by cross-validation tests.
+    pub fn eq_u128(&self, v: u128) -> bool {
+        match self.limbs.len() {
+            0 => v == 0,
+            1 => v == self.limbs[0] as u128,
+            2 => v == (self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64),
+            _ => false,
+        }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        Self::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+
+    /// The value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Divide in place by a small (non-zero, ≤ u64) divisor; returns the
+    /// remainder. Used only for decimal formatting.
+    fn div_rem_small(&mut self, divisor: u64) -> u64 {
+        debug_assert!(divisor != 0);
+        let mut rem: u128 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | (*limb as u128);
+            *limb = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        self.normalize();
+        rem as u64
+    }
+}
+
+impl Ord for BigCount {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            core::cmp::Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        core::cmp::Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                core::cmp::Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for BigCount {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl core::fmt::Display for BigCount {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.limbs.is_empty() {
+            return write!(f, "0");
+        }
+        // Peel off base-10^19 digits (the largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut work = self.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !work.limbs.is_empty() {
+            chunks.push(work.div_rem_small(CHUNK));
+        }
+        let mut iter = chunks.iter().rev();
+        // The most significant chunk prints without leading zeros.
+        write!(f, "{}", iter.next().expect("non-zero value has at least one chunk"))?;
+        for chunk in iter {
+            write!(f, "{chunk:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<u64> for BigCount {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl Count for BigCount {
+    fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        if other.limbs.len() > self.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(rhs);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    fn saturating_sub(&self, other: &Self) -> Self {
+        if self <= other {
+            return Self::zero();
+        }
+        let mut out = self.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in out.limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0, "self > other was checked above");
+        out.normalize();
+        out
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        if self.limbs.is_empty() || other.limbs.is_empty() {
+            return Self::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry != 0 {
+                let cur = limbs[idx] as u128 + carry;
+                limbs[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn to_f64(&self) -> f64 {
+        let (m, e) = self.to_f64_parts();
+        m * (2f64).powi(e.min(i32::MAX as i64) as i32)
+    }
+
+    fn to_f64_parts(&self) -> (f64, i64) {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return (0.0, 0);
+        }
+        // Take the top 64 significant bits into a u64 mantissa.
+        let top = self.limbs.len() - 1;
+        let hi = self.limbs[top];
+        let hi_bits = 64 - hi.leading_zeros() as u64;
+        let mant: u64 = if hi_bits == 64 || top == 0 {
+            hi
+        } else {
+            (hi << (64 - hi_bits)) | (self.limbs[top - 1] >> hi_bits)
+        };
+        // mant currently holds the top `min(bits, 64)` bits of the value.
+        let mant_bits = bits.min(64);
+        let exp = bits as i64 - 1;
+        let m = mant as f64 / (2f64).powi((mant_bits - 1) as i32);
+        (m, exp)
+    }
+
+    fn type_name() -> &'static str {
+        "BigCount"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_small_values() {
+        assert_eq!(BigCount::zero().to_string(), "0");
+        assert_eq!(BigCount::from_u64(1).to_string(), "1");
+        assert_eq!(BigCount::from_u64(123_456).to_string(), "123456");
+        assert_eq!(
+            BigCount::from_u64(u64::MAX).to_string(),
+            u64::MAX.to_string()
+        );
+    }
+
+    #[test]
+    fn display_crosses_limb_boundary() {
+        let v = BigCount::from_u128(u128::MAX);
+        assert_eq!(v.to_string(), u128::MAX.to_string());
+    }
+
+    #[test]
+    fn two_pow_200_is_exactly_representable() {
+        let two = BigCount::from_u64(2);
+        let mut v = BigCount::one();
+        for _ in 0..200 {
+            v = v.mul(&two);
+        }
+        assert_eq!(v.bit_len(), 201);
+        assert_eq!(
+            v.to_string(),
+            "1606938044258990275541962092341162602522202993782792835301376"
+        );
+        let (m, e) = v.to_f64_parts();
+        assert_eq!(e, 200);
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_clamps_to_zero() {
+        let a = BigCount::from_u64(5);
+        let b = BigCount::from_u128(u128::MAX);
+        assert!(a.saturating_sub(&b).is_zero());
+        assert_eq!(b.saturating_sub(&b), BigCount::zero());
+    }
+
+    #[test]
+    fn borrow_chain_across_limbs() {
+        // 2^128 - 1 == (2^128) - 1 exercises multi-limb borrows.
+        let two128 = BigCount::from_u128(u128::MAX).add(&BigCount::one());
+        let res = two128.saturating_sub(&BigCount::one());
+        assert!(res.eq_u128(u128::MAX));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_u128_add(a in any::<u64>(), b in any::<u64>()) {
+            let big = BigCount::from_u64(a).add(&BigCount::from_u64(b));
+            prop_assert!(big.eq_u128(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn matches_u128_mul(a in any::<u64>(), b in any::<u64>()) {
+            let big = BigCount::from_u64(a).mul(&BigCount::from_u64(b));
+            prop_assert!(big.eq_u128(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn matches_u128_sub(a in any::<u128>(), b in any::<u128>()) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let big = BigCount::from_u128(hi).saturating_sub(&BigCount::from_u128(lo));
+            prop_assert!(big.eq_u128(hi - lo));
+        }
+
+        #[test]
+        fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+            let (ba, bb) = (BigCount::from_u128(a), BigCount::from_u128(b));
+            prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+        }
+
+        #[test]
+        fn display_matches_u128(v in any::<u128>()) {
+            prop_assert_eq!(BigCount::from_u128(v).to_string(), v.to_string());
+        }
+
+        #[test]
+        fn to_f64_relative_error_small(v in 1u128..) {
+            let big = BigCount::from_u128(v);
+            let rel = (big.to_f64() - v as f64).abs() / (v as f64);
+            prop_assert!(rel < 1e-9, "v={} big={}", v, big.to_f64());
+        }
+
+        #[test]
+        fn mul_is_commutative_and_associative(
+            a in any::<u64>(), b in any::<u64>(), c in any::<u64>()
+        ) {
+            let (ba, bb, bc) = (
+                BigCount::from_u64(a),
+                BigCount::from_u64(b),
+                BigCount::from_u64(c),
+            );
+            prop_assert_eq!(ba.mul(&bb), bb.mul(&ba));
+            prop_assert_eq!(ba.mul(&bb).mul(&bc), ba.mul(&bb.mul(&bc)));
+        }
+
+        #[test]
+        fn add_mul_distribute(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (ba, bb, bc) = (
+                BigCount::from_u64(a),
+                BigCount::from_u64(b),
+                BigCount::from_u64(c),
+            );
+            prop_assert_eq!(ba.add(&bb).mul(&bc), ba.mul(&bc).add(&bb.mul(&bc)));
+        }
+    }
+}

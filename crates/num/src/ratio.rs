@@ -1,0 +1,73 @@
+//! Ratios of counts as `f64`, robust to magnitudes far beyond `f64` range.
+//!
+//! The paper's headline metric is the Filter Ratio `FR(A) = F(A)/F(V)`.
+//! Both numerator and denominator are sums of path counts, which on deep
+//! graphs exceed `f64::MAX` when computed exactly with [`crate::BigCount`].
+//! Computing the quotient through mantissa/exponent decomposition keeps
+//! the result finite and accurate whenever the *ratio* itself is
+//! representable.
+
+use crate::Count;
+
+/// `num / den` as `f64`. Returns `None` when `den` is zero.
+///
+/// Accurate to `f64` rounding even when both operands individually
+/// overflow `f64`, because the division is performed on mantissas with
+/// the exponents subtracted.
+pub fn ratio<C: Count>(num: &C, den: &C) -> Option<f64> {
+    if den.is_zero() {
+        return None;
+    }
+    if num.is_zero() {
+        return Some(0.0);
+    }
+    let (mn, en) = num.to_f64_parts();
+    let (md, ed) = den.to_f64_parts();
+    let exp = en - ed;
+    // Mantissas are in [1, 2), so the quotient is in (0.5, 2) and the
+    // final scale fits comfortably in f64 for any realistic exponent gap.
+    Some((mn / md) * (2f64).powi(exp.clamp(i32::MIN as i64, i32::MAX as i64) as i32))
+}
+
+/// [`ratio`] with a fallback for the zero-denominator case.
+pub fn ratio_or<C: Count>(num: &C, den: &C, fallback: f64) -> f64 {
+    ratio(num, den).unwrap_or(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BigCount, Sat64, Wide128};
+
+    #[test]
+    fn simple_ratios() {
+        assert_eq!(ratio(&Sat64::from_u64(1), &Sat64::from_u64(2)), Some(0.5));
+        assert_eq!(ratio(&Sat64::from_u64(6), &Sat64::from_u64(3)), Some(2.0));
+        assert_eq!(ratio(&Sat64::zero(), &Sat64::from_u64(3)), Some(0.0));
+        assert_eq!(ratio(&Sat64::from_u64(3), &Sat64::zero()), None);
+        assert_eq!(ratio_or(&Sat64::from_u64(3), &Sat64::zero(), 1.0), 1.0);
+    }
+
+    #[test]
+    fn huge_bigcount_ratio_stays_finite() {
+        // num = 3 * 2^1100, den = 2^1101  =>  ratio = 1.5
+        let two = BigCount::from_u64(2);
+        let mut pow = BigCount::one();
+        for _ in 0..1100 {
+            pow = pow.mul(&two);
+        }
+        let num = pow.mul(&BigCount::from_u64(3));
+        let den = pow.mul(&two);
+        assert!(num.to_f64().is_infinite(), "sanity: operands overflow f64");
+        let r = ratio(&num, &den).unwrap();
+        assert!((r - 1.5).abs() < 1e-12, "r={r}");
+    }
+
+    #[test]
+    fn wide128_large_ratio() {
+        let num = Wide128::from_u64(u64::MAX).mul(&Wide128::from_u64(7));
+        let den = Wide128::from_u64(u64::MAX).mul(&Wide128::from_u64(14));
+        let r = ratio(&num, &den).unwrap();
+        assert!((r - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! [`CGraph`]: a frozen, topologically-ordered communication DAG.
+
+use fp_graph::{topo_order, Csr, DiGraph, GraphError, NodeId};
+
+/// A communication graph: an acyclic [`Csr`] with a designated item
+/// source and a cached topological order.
+///
+/// All propagation passes and placement algorithms take a `&CGraph`;
+/// freezing once amortizes the topological sort across the `k`
+/// iterations of the greedy algorithms and across solver comparisons.
+///
+/// General (possibly cyclic) graphs must first pass through the Acyclic
+/// extraction in `fp-algorithms` — exactly as the paper prescribes in
+/// §4.3.
+#[derive(Clone, Debug)]
+pub struct CGraph {
+    csr: Csr,
+    source: NodeId,
+    topo: Vec<NodeId>,
+    /// `topo_pos[v.index()]` = position of `v` in `topo`.
+    topo_pos: Vec<u32>,
+}
+
+impl CGraph {
+    /// Freeze `g` with the given source.
+    ///
+    /// Fails if `g` is cyclic or `source` is out of range. The source
+    /// is allowed to have incoming edges (they are simply never
+    /// activated — the source emits its own item and relays nothing).
+    pub fn new(g: &DiGraph, source: NodeId) -> Result<Self, GraphError> {
+        if source.index() >= g.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: source,
+                node_count: g.node_count(),
+            });
+        }
+        let csr = Csr::from_digraph(g);
+        let topo = topo_order(&csr)?;
+        let mut topo_pos = vec![0u32; g.node_count()];
+        for (i, &v) in topo.iter().enumerate() {
+            topo_pos[v.index()] = i as u32;
+        }
+        Ok(Self {
+            csr,
+            source,
+            topo,
+            topo_pos,
+        })
+    }
+
+    /// The frozen adjacency structure.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The item source.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Nodes in topological order.
+    #[inline]
+    pub fn topo(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Position of `v` in the topological order.
+    #[inline]
+    pub fn topo_position(&self, v: NodeId) -> usize {
+        self.topo_pos[v.index()] as usize
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.csr.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_caches_a_valid_topo_order() {
+        let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        assert_eq!(cg.node_count(), 4);
+        assert_eq!(cg.edge_count(), 4);
+        assert_eq!(cg.source(), NodeId::new(0));
+        assert!(fp_graph::is_topological_order(cg.csr(), cg.topo()));
+        for (i, &v) in cg.topo().iter().enumerate() {
+            assert_eq!(cg.topo_position(v), i);
+        }
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let g = DiGraph::from_pairs(2, [(0, 1), (1, 0)]).unwrap();
+        assert!(matches!(
+            CGraph::new(&g, NodeId::new(0)),
+            Err(GraphError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_source() {
+        let g = DiGraph::with_nodes(2);
+        assert!(matches!(
+            CGraph::new(&g, NodeId::new(7)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Exact marginal impacts `I(v | A)`.
+
+use crate::{propagate, suffix_sensitivity, CGraph, FilterSet};
+use fp_num::Count;
+
+/// For every node `v ∉ A`, the exact gain of adding `v` to the filter
+/// set: `I(v|A) = F(A ∪ {v}) − F(A) = (recv_A(v) − 1)₊ × S_A(v)`.
+///
+/// Entries for the source and for nodes already in `A` are zero. Two
+/// O(|E|) sweeps total — this is the quantity Greedy_All re-evaluates
+/// every round, replacing the paper's O(Δ·|E|) `plist` machinery (see
+/// [`crate::plist`] for the faithful original, used as an oracle).
+pub fn impacts<C: Count>(cg: &CGraph, filters: &FilterSet) -> Vec<C> {
+    let prop = propagate::<C>(cg, filters);
+    let suffix = suffix_sensitivity::<C>(cg, filters);
+    let one = C::one();
+    cg.nodes()
+        .map(|v| {
+            if v == cg.source() || filters.contains(v) {
+                return C::zero();
+            }
+            let recv = &prop.received[v.index()];
+            recv.saturating_sub(&one).mul(&suffix[v.index()])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{f_value, phi_total};
+    use fp_graph::{DiGraph, NodeId};
+    use fp_num::Sat64;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn figure1_impacts() {
+        let cg = figure1();
+        let imp: Vec<Sat64> = impacts(&cg, &FilterSet::empty(7));
+        // Only z2 (recv 2) and w (recv 4, but sink ⇒ suffix 0) have
+        // recv > 1; z2's suffix is 1 (deliver one more to w).
+        assert_eq!(imp[4].get(), 1, "I(z2) = (2-1)×1");
+        assert_eq!(imp[6].get(), 0, "sinks have zero impact");
+        for v in [1usize, 2, 3, 5] {
+            assert_eq!(imp[v].get(), 0, "in-degree-1 node {v} has zero impact");
+        }
+        assert_eq!(imp[0].get(), 0, "source has zero impact");
+    }
+
+    /// The defining property: `I(v|A)` must equal the measured
+    /// difference `Φ(A,V) − Φ(A∪{v},V)` for every node and several
+    /// filter contexts.
+    #[test]
+    fn impact_equals_measured_marginal_gain() {
+        let cg = figure1();
+        for base in [vec![], vec![4usize], vec![4, 3], vec![1], vec![1, 2, 4]] {
+            let filters = FilterSet::from_nodes(7, base.iter().map(|&i| NodeId::new(i)));
+            let imp: Vec<Sat64> = impacts(&cg, &filters);
+            let phi_base: Sat64 = phi_total(&cg, &filters);
+            for v in 0..7usize {
+                if filters.contains(NodeId::new(v)) {
+                    assert_eq!(imp[v].get(), 0);
+                    continue;
+                }
+                let mut with_v = filters.clone();
+                with_v.insert(NodeId::new(v));
+                let phi_v: Sat64 = phi_total(&cg, &with_v);
+                assert_eq!(
+                    imp[v].get(),
+                    phi_base.get() - phi_v.get(),
+                    "node {v}, base {base:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_fanout_impact() {
+        // s → a, s → b, a → c, b → c, c → d1..d5: filter at c saves
+        // (2-1) × 5 = 5 receptions.
+        let mut pairs = vec![(0usize, 1usize), (0, 2), (1, 3), (2, 3)];
+        for d in 4..9 {
+            pairs.push((3, d));
+        }
+        let g = DiGraph::from_pairs(9, pairs).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        let imp: Vec<Sat64> = impacts(&cg, &FilterSet::empty(9));
+        assert_eq!(imp[3].get(), 5);
+        let f: Sat64 = f_value(&cg, &FilterSet::from_nodes(9, [NodeId::new(3)]));
+        assert_eq!(f.get(), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Leaky ("partial") filters: the paper's footnote-1 generalization.
+//!
+//! "Generalizations that allow for a percentage of duplicates to make it
+//! through a filter are straightforward." A partial filter with leak
+//! rate `ρ ∈ [0, 1]` emits `1 + ρ·(recv − 1)` copies when it receives
+//! anything: `ρ = 0` is the exact filter, `ρ = 1` is a plain relay.
+//!
+//! Leaked counts are fractional, so this module works in `f64`
+//! (adequate: the leak analysis is a sensitivity study, not an exact
+//! count).
+
+use crate::{CGraph, FilterSet};
+
+/// `Φ(A, V)` under partial filters with leak rate `rho`, in `f64`.
+pub fn phi_total_partial(cg: &CGraph, filters: &FilterSet, rho: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "leak rate must be in [0,1], got {rho}");
+    let csr = cg.csr();
+    let source = cg.source();
+    let n = cg.node_count();
+    let mut emitted = vec![0.0f64; n];
+    let mut phi = 0.0;
+    for &v in cg.topo() {
+        let mut recv = 0.0;
+        for &p in csr.parents(v) {
+            recv += emitted[p.index()];
+        }
+        phi += recv;
+        emitted[v.index()] = if v == source {
+            1.0
+        } else if filters.contains(v) {
+            if recv > 0.0 {
+                1.0 + rho * (recv - 1.0)
+            } else {
+                0.0
+            }
+        } else {
+            recv
+        };
+    }
+    phi
+}
+
+/// `F(A)` under partial filters.
+pub fn f_value_partial(cg: &CGraph, filters: &FilterSet, rho: f64) -> f64 {
+    let empty = FilterSet::empty(cg.node_count());
+    phi_total_partial(cg, &empty, rho) - phi_total_partial(cg, filters, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phi_total;
+    use fp_graph::{DiGraph, NodeId};
+    use fp_num::Sat64;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn rho_zero_matches_exact_filters() {
+        let cg = figure1();
+        for fs in [vec![], vec![4usize], vec![4, 6]] {
+            let filters = FilterSet::from_nodes(7, fs.iter().map(|&i| NodeId::new(i)));
+            let exact: Sat64 = phi_total(&cg, &filters);
+            let leaky = phi_total_partial(&cg, &filters, 0.0);
+            assert_eq!(leaky, exact.get() as f64, "{fs:?}");
+        }
+    }
+
+    #[test]
+    fn rho_one_matches_no_filters() {
+        let cg = figure1();
+        let all = FilterSet::all(7);
+        let none: Sat64 = phi_total(&cg, &FilterSet::empty(7));
+        assert_eq!(phi_total_partial(&cg, &all, 1.0), none.get() as f64);
+    }
+
+    #[test]
+    fn phi_is_monotone_in_rho() {
+        let cg = figure1();
+        let filters = FilterSet::from_nodes(7, [NodeId::new(4)]);
+        let mut last = -1.0;
+        for step in 0..=10 {
+            let rho = step as f64 / 10.0;
+            let phi = phi_total_partial(&cg, &filters, rho);
+            assert!(phi >= last, "leakier filters must deliver at least as much");
+            last = phi;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leak rate")]
+    fn invalid_rho_panics() {
+        let cg = figure1();
+        phi_total_partial(&cg, &FilterSet::empty(7), 1.5);
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's original `plist` bookkeeping (§4.2), kept as an oracle.
+//!
+//! For every node `v`, `plist_v[x] = #paths(x, v)` that are *filter-free*
+//! in their interior, maintained in one topological sweep:
+//!
+//! * a plain node's list is the entry-wise sum of its parents' lists,
+//!   plus the technical self-entry `plist_v[v] = 1`;
+//! * a filter's list is *reset* to `{v: 1}` ("placing a filter in v has
+//!   the same effect … as if there was only one path leading from the
+//!   source to v"), or emptied entirely if the filter received nothing;
+//! * `Suffix(x) = Σ_{v ≠ x} plist_v[x]` accumulates as lists are built
+//!   (from the pre-reset lists, so deliveries *into* filters count);
+//! * receptions decompose by *emitting origin* (the source plus every
+//!   filter that received at least one copy):
+//!   `recv(v) = Σ_origin plist_v[origin]`.
+//!
+//! This is Θ(|E|·Δ) time and Θ(n·ancestors) memory — the reason the
+//! paper's Greedy_All is slow — so production code uses the O(|E|)
+//! sensitivity passes in [`crate::impacts`]; the test suites assert the
+//! two agree everywhere.
+
+use crate::{CGraph, FilterSet};
+use fp_num::Count;
+use std::collections::HashMap;
+
+/// Everything the plist sweep produces.
+#[derive(Clone, Debug)]
+pub struct PlistResult<C> {
+    /// `recv[v]` — copies received by `v` (should match
+    /// [`crate::propagate`]'s `received`).
+    pub received: Vec<C>,
+    /// `suffix[v]` — the paper's `Suffix(v)` (filter-aware, length ≥ 1).
+    pub suffix: Vec<C>,
+    /// `impact[v] = (recv − 1)₊ × suffix` for candidates, 0 for the
+    /// source and existing filters.
+    pub impact: Vec<C>,
+}
+
+/// Run the plist sweep.
+///
+/// Assumes the source has no incoming edges (the paper's setting; the
+/// constructor of datasets guarantees it).
+pub fn plist_impacts<C: Count>(cg: &CGraph, filters: &FilterSet) -> PlistResult<C> {
+    let n = cg.node_count();
+    let csr = cg.csr();
+    let source = cg.source();
+    // plist per node: origin/ancestor → path count.
+    let mut plists: Vec<HashMap<u32, C>> = vec![HashMap::new(); n];
+    // Whether each node emits copies of its own (source or live filter).
+    let mut is_origin = vec![false; n];
+    is_origin[source.index()] = true;
+    let mut received = vec![C::zero(); n];
+    let mut suffix = vec![C::zero(); n];
+
+    for &v in cg.topo() {
+        let vi = v.index();
+        // Merge parents' lists.
+        let mut merged: HashMap<u32, C> = HashMap::new();
+        for &p in csr.parents(v) {
+            for (&x, c) in &plists[p.index()] {
+                merged
+                    .entry(x)
+                    .and_modify(|acc| acc.add_assign(c))
+                    .or_insert_with(|| c.clone());
+            }
+        }
+        // Receptions decompose by emitting origin.
+        let mut recv = C::zero();
+        for (&x, c) in &merged {
+            if is_origin[x as usize] {
+                recv.add_assign(c);
+            }
+        }
+        // Suffix accumulates from the pre-reset list: a delivery into a
+        // filter is still a delivery.
+        for (&x, c) in &merged {
+            suffix[x as usize].add_assign(c);
+        }
+        received[vi] = recv.clone();
+
+        let is_filter = filters.contains(v) && v != source;
+        if v == source {
+            let mut own = HashMap::new();
+            own.insert(v.as_u32(), C::one());
+            plists[vi] = own;
+        } else if is_filter {
+            let mut own = HashMap::new();
+            if !recv.is_zero() {
+                own.insert(v.as_u32(), C::one());
+                is_origin[vi] = true;
+            }
+            plists[vi] = own;
+        } else {
+            merged.insert(v.as_u32(), C::one());
+            plists[vi] = merged;
+        }
+    }
+
+    let one = C::one();
+    let impact: Vec<C> = (0..n)
+        .map(|vi| {
+            let v = fp_graph::NodeId::new(vi);
+            if v == source || filters.contains(v) {
+                C::zero()
+            } else {
+                received[vi].saturating_sub(&one).mul(&suffix[vi])
+            }
+        })
+        .collect();
+
+    PlistResult {
+        received,
+        suffix,
+        impact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{impacts, propagate, suffix_sensitivity, Propagation};
+    use fp_graph::{DiGraph, NodeId};
+    use fp_num::Sat64;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn plist_matches_figure1_hand_computation() {
+        let cg = figure1();
+        let res: PlistResult<Sat64> = plist_impacts(&cg, &FilterSet::empty(7));
+        // Suffix(x=1): z1 contributes 1, z2 contributes 1, w contributes 2.
+        assert_eq!(res.suffix[1].get(), 4);
+        // Suffix(s=0): 10 paths of length ≥ 1 leave s.
+        assert_eq!(res.suffix[0].get(), 10);
+        // Received at w = 4.
+        assert_eq!(res.received[6].get(), 4);
+        // I(z2) = 1.
+        assert_eq!(res.impact[4].get(), 1);
+    }
+
+    fn agree_on(cg: &CGraph, filter_sets: &[Vec<usize>]) {
+        let n = cg.node_count();
+        for fs in filter_sets {
+            let filters = FilterSet::from_nodes(n, fs.iter().map(|&i| NodeId::new(i)));
+            let res: PlistResult<Sat64> = plist_impacts(cg, &filters);
+            let prop: Propagation<Sat64> = propagate(cg, &filters);
+            let suf: Vec<Sat64> = suffix_sensitivity(cg, &filters);
+            let imp: Vec<Sat64> = impacts(cg, &filters);
+            assert_eq!(res.received, prop.received, "received mismatch {fs:?}");
+            assert_eq!(res.suffix, suf, "suffix mismatch {fs:?}");
+            assert_eq!(res.impact, imp, "impact mismatch {fs:?}");
+        }
+    }
+
+    #[test]
+    fn plist_agrees_with_sensitivity_method_on_figure1() {
+        let cg = figure1();
+        agree_on(
+            &cg,
+            &[vec![], vec![4], vec![4, 6], vec![1], vec![1, 2], vec![3, 4, 5]],
+        );
+    }
+
+    #[test]
+    fn plist_agrees_on_a_deeper_lattice() {
+        // 3-wide, 4-deep lattice: each node feeds all nodes of the next
+        // rank — plenty of path multiplicity.
+        let mut pairs = Vec::new();
+        // source 0 → rank0 {1,2,3} → rank1 {4,5,6} → rank2 {7,8,9}.
+        for v in 1..=3 {
+            pairs.push((0, v));
+        }
+        for (a, b) in [(1, 4), (2, 4)] {
+            pairs.push((a, b));
+        }
+        for a in 1..=3 {
+            for b in 5..=6 {
+                pairs.push((a, b));
+            }
+        }
+        for a in 4..=6 {
+            for b in 7..=9 {
+                pairs.push((a, b));
+            }
+        }
+        let g = DiGraph::from_pairs(10, pairs).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        agree_on(&cg, &[vec![], vec![4], vec![5, 6], vec![4, 5, 6], vec![1, 8]]);
+    }
+
+    #[test]
+    fn unreachable_filter_is_not_an_origin() {
+        // 0 → 1; node 2 disconnected but declared a filter.
+        let g = DiGraph::from_pairs(4, [(0, 1), (2, 3)]).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        let filters = FilterSet::from_nodes(4, [NodeId::new(2)]);
+        let res: PlistResult<Sat64> = plist_impacts(&cg, &filters);
+        assert_eq!(res.received[3].get(), 0, "dead filter must not emit phantom copies");
+    }
+}

@@ -1,0 +1,164 @@
+//! Probabilistic relay: the paper's §3 extension.
+//!
+//! "In reality, links are associated with probabilities that capture the
+//! tendency of a node to propagate messages to its neighbors. Our
+//! results … continue to hold under a probabilistic information
+//! propagation mode."
+//!
+//! Model: each edge independently *exists* (relays) with probability
+//! `p(u,v)`; conditioned on a realization, propagation is the usual
+//! deterministic model. Expected quantities are estimated by Monte
+//! Carlo over realizations, which is exact in the limit and — unlike a
+//! naive expected-value recursion — correct for filters, whose
+//! `min(1, recv)` emission is non-linear.
+
+use crate::{phi_total, CGraph, FilterSet, ObjectiveCache};
+use fp_graph::{DiGraph, NodeId};
+use fp_num::{ratio_or, Count, Wide128};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Edge relay probabilities: uniform, or per-edge via a callback.
+pub enum RelayProb<'a> {
+    /// Every edge relays with the same probability.
+    Uniform(f64),
+    /// `f(u, v)` gives the relay probability of edge `u → v`.
+    PerEdge(&'a dyn Fn(NodeId, NodeId) -> f64),
+}
+
+impl RelayProb<'_> {
+    fn prob(&self, u: NodeId, v: NodeId) -> f64 {
+        match self {
+            RelayProb::Uniform(p) => *p,
+            RelayProb::PerEdge(f) => f(u, v),
+        }
+    }
+}
+
+/// Sample one realization: keep each edge independently.
+pub fn sample_realization(g: &DiGraph, probs: &RelayProb<'_>, rng: &mut impl Rng) -> DiGraph {
+    let mut out = DiGraph::with_nodes(g.node_count());
+    for (u, v) in g.edges() {
+        if rng.random::<f64>() < probs.prob(u, v) {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// Monte-Carlo estimate of `E[Φ(A, V)]` over `trials` realizations.
+///
+/// Realizations of a DAG are DAGs, so each trial reuses the exact
+/// deterministic machinery.
+pub fn expected_phi(
+    g: &DiGraph,
+    source: NodeId,
+    probs: &RelayProb<'_>,
+    filters: &FilterSet,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let real = sample_realization(g, probs, &mut rng);
+        let cg = CGraph::new(&real, source).expect("subgraph of a DAG is a DAG");
+        let phi: Wide128 = phi_total(&cg, filters);
+        acc += phi.to_f64();
+    }
+    acc / trials as f64
+}
+
+/// Monte-Carlo estimate of `E[FR(A)]`, averaging per-realization FRs
+/// (realizations with no redundancy contribute FR = 1, matching the
+/// deterministic convention).
+pub fn expected_filter_ratio(
+    g: &DiGraph,
+    source: NodeId,
+    probs: &RelayProb<'_>,
+    filters: &FilterSet,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        let real = sample_realization(g, probs, &mut rng);
+        let cg = CGraph::new(&real, source).expect("subgraph of a DAG is a DAG");
+        let cache = ObjectiveCache::<Wide128>::new(&cg);
+        let f = cache.f_of(&cg, filters);
+        acc += ratio_or(&f, cache.f_all(), 1.0);
+    }
+    acc / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> (DiGraph, NodeId) {
+        (
+            DiGraph::from_pairs(
+                7,
+                [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            )
+            .unwrap(),
+            NodeId::new(0),
+        )
+    }
+
+    #[test]
+    fn probability_one_recovers_deterministic() {
+        let (g, s) = figure1();
+        let cg = CGraph::new(&g, s).unwrap();
+        let filters = FilterSet::empty(7);
+        let det: Wide128 = phi_total(&cg, &filters);
+        let mc = expected_phi(&g, s, &RelayProb::Uniform(1.0), &filters, 5, 42);
+        assert_eq!(mc, det.to_f64());
+    }
+
+    #[test]
+    fn probability_zero_delivers_nothing() {
+        let (g, s) = figure1();
+        let mc = expected_phi(&g, s, &RelayProb::Uniform(0.0), &FilterSet::empty(7), 5, 42);
+        assert_eq!(mc, 0.0);
+    }
+
+    #[test]
+    fn expected_phi_is_monotone_in_p_and_antitone_in_filters() {
+        let (g, s) = figure1();
+        let empty = FilterSet::empty(7);
+        let lo = expected_phi(&g, s, &RelayProb::Uniform(0.3), &empty, 400, 7);
+        let hi = expected_phi(&g, s, &RelayProb::Uniform(0.9), &empty, 400, 7);
+        assert!(hi > lo, "more relaying ⇒ more deliveries ({hi} vs {lo})");
+        let z2 = FilterSet::from_nodes(7, [NodeId::new(4)]);
+        let filtered = expected_phi(&g, s, &RelayProb::Uniform(0.9), &z2, 400, 7);
+        assert!(filtered <= hi, "filters cannot increase deliveries");
+    }
+
+    #[test]
+    fn per_edge_probabilities_are_respected() {
+        let (g, s) = figure1();
+        // Cut both source edges: nothing propagates.
+        let cut = |u: NodeId, _v: NodeId| if u == s { 0.0 } else { 1.0 };
+        let mc = expected_phi(&g, s, &RelayProb::PerEdge(&cut), &FilterSet::empty(7), 10, 1);
+        assert_eq!(mc, 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (g, s) = figure1();
+        let a = expected_phi(&g, s, &RelayProb::Uniform(0.5), &FilterSet::empty(7), 50, 99);
+        let b = expected_phi(&g, s, &RelayProb::Uniform(0.5), &FilterSet::empty(7), 50, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_fr_in_unit_interval() {
+        let (g, s) = figure1();
+        let z2 = FilterSet::from_nodes(7, [NodeId::new(4)]);
+        let fr = expected_filter_ratio(&g, s, &RelayProb::Uniform(0.7), &z2, 200, 3);
+        assert!((0.0..=1.0).contains(&fr), "fr={fr}");
+    }
+}

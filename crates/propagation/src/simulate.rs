@@ -1,0 +1,148 @@
+//! A message-level discrete event simulator.
+//!
+//! Every physical copy of the item is an individual event: when a node
+//! emits, one message per out-edge is enqueued; a delivery increments
+//! the receiver's count; plain nodes re-emit per delivery, filters
+//! re-emit only on their first delivery, the source emits exactly once.
+//!
+//! The total number of deliveries equals `Φ(A, V)` by definition, so
+//! this is an implementation-independent oracle for the closed-form
+//! topological passes (which is exactly how the test suites use it).
+//! Deliveries are exponential in graph depth, so the simulation takes a
+//! delivery cap and reports `None` when exceeded.
+
+use crate::{CGraph, FilterSet};
+use std::collections::VecDeque;
+
+/// Simulate message-by-message propagation; returns the total delivery
+/// count, or `None` if it would exceed `cap`.
+pub fn simulate_messages(cg: &CGraph, filters: &FilterSet, cap: u64) -> Option<u64> {
+    let csr = cg.csr();
+    let source = cg.source();
+    let mut deliveries: u64 = 0;
+    let mut received = vec![0u64; cg.node_count()];
+    // Each queue entry is one emission event at a node.
+    let mut queue: VecDeque<fp_graph::NodeId> = VecDeque::new();
+    queue.push_back(source);
+
+    while let Some(u) = queue.pop_front() {
+        for &c in csr.children(u) {
+            deliveries += 1;
+            if deliveries > cap {
+                return None;
+            }
+            received[c.index()] += 1;
+            if c == source {
+                // The source never relays.
+                continue;
+            }
+            let relays = if filters.contains(c) {
+                received[c.index()] == 1
+            } else {
+                true
+            };
+            if relays {
+                queue.push_back(c);
+            }
+        }
+    }
+    Some(deliveries)
+}
+
+/// Simulated per-node reception counts (same cap semantics).
+pub fn simulate_received(cg: &CGraph, filters: &FilterSet, cap: u64) -> Option<Vec<u64>> {
+    let csr = cg.csr();
+    let source = cg.source();
+    let mut deliveries: u64 = 0;
+    let mut received = vec![0u64; cg.node_count()];
+    let mut queue: VecDeque<fp_graph::NodeId> = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &c in csr.children(u) {
+            deliveries += 1;
+            if deliveries > cap {
+                return None;
+            }
+            received[c.index()] += 1;
+            if c == source {
+                continue;
+            }
+            let relays = if filters.contains(c) {
+                received[c.index()] == 1
+            } else {
+                true
+            };
+            if relays {
+                queue.push_back(c);
+            }
+        }
+    }
+    Some(received)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{phi_per_node, phi_total};
+    use fp_graph::{DiGraph, NodeId};
+    use fp_num::Sat64;
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn simulator_matches_closed_form_on_figure1() {
+        let cg = figure1();
+        for fs in [vec![], vec![4usize], vec![4, 6], vec![1, 2], vec![0]] {
+            let filters = FilterSet::from_nodes(7, fs.iter().map(|&i| NodeId::new(i)));
+            let sim = simulate_messages(&cg, &filters, 10_000).unwrap();
+            let phi: Sat64 = phi_total(&cg, &filters);
+            assert_eq!(sim, phi.get(), "filters {fs:?}");
+            let sim_rx = simulate_received(&cg, &filters, 10_000).unwrap();
+            let rx: Vec<Sat64> = phi_per_node(&cg, &filters);
+            let rx: Vec<u64> = rx.iter().map(|c| c.get()).collect();
+            assert_eq!(sim_rx, rx, "filters {fs:?}");
+        }
+    }
+
+    #[test]
+    fn cap_triggers_on_exponential_blowup() {
+        // 12 chained diamonds → 2^12 deliveries at the tail alone.
+        let mut g = DiGraph::with_nodes(1);
+        let mut tail = NodeId::new(0);
+        for _ in 0..12 {
+            let a = g.add_node();
+            let b = g.add_node();
+            let j = g.add_node();
+            g.add_edge(tail, a);
+            g.add_edge(tail, b);
+            g.add_edge(a, j);
+            g.add_edge(b, j);
+            tail = j;
+        }
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        assert_eq!(simulate_messages(&cg, &FilterSet::empty(g.node_count()), 100), None);
+        // Filters at every join collapse the blowup.
+        let joins: Vec<NodeId> = (0..g.node_count())
+            .map(NodeId::new)
+            .filter(|&v| cg.csr().in_degree(v) > 1)
+            .collect();
+        let filters = FilterSet::from_nodes(g.node_count(), joins);
+        let capped = simulate_messages(&cg, &filters, 10_000).unwrap();
+        let phi: Sat64 = phi_total(&cg, &filters);
+        assert_eq!(capped, phi.get());
+    }
+
+    #[test]
+    fn empty_graph_delivers_nothing() {
+        let g = DiGraph::with_nodes(1);
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        assert_eq!(simulate_messages(&cg, &FilterSet::empty(1), 10), Some(0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Cross-validation: independent implementations must agree.
+//!
+//! Three oracles guard the propagation engine:
+//! * the paper's quadratic `plist` bookkeeping vs the linear
+//!   sensitivity passes;
+//! * the message-level event simulator vs the closed-form sweep;
+//! * exact `BigCount` arithmetic vs the saturating `Wide128` default.
+//!
+//! Random DAGs come from proptest; paper-scale graphs from the dataset
+//! generators.
+
+use fp_core::datasets::{erdos_renyi, quote_like, twitter_like};
+use fp_core::prelude::*;
+use fp_core::propagation::plist::plist_impacts;
+use fp_core::propagation::simulate::simulate_messages;
+use fp_core::propagation::{impacts, phi_total, propagate, suffix_sensitivity};
+use proptest::prelude::*;
+
+fn random_filterset(n: usize, picks: &[usize]) -> FilterSet {
+    FilterSet::from_nodes(n, picks.iter().map(|&i| NodeId::new(i % n.max(1))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plist_matches_sensitivity_on_random_dags(
+        seed in 0u64..5000,
+        p in 0.05f64..0.35,
+        picks in proptest::collection::vec(0usize..30, 0..6),
+    ) {
+        let (g, s) = erdos_renyi::generate(25, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        let filters = random_filterset(g.node_count(), &picks);
+        let pl = plist_impacts::<Wide128>(&cg, &filters);
+        let prop = propagate::<Wide128>(&cg, &filters);
+        let suf: Vec<Wide128> = suffix_sensitivity(&cg, &filters);
+        let imp: Vec<Wide128> = impacts(&cg, &filters);
+        prop_assert_eq!(pl.received, prop.received);
+        prop_assert_eq!(pl.suffix, suf);
+        prop_assert_eq!(pl.impact, imp);
+    }
+
+    #[test]
+    fn simulator_matches_closed_form_on_random_dags(
+        seed in 0u64..5000,
+        p in 0.05f64..0.25,
+        picks in proptest::collection::vec(0usize..20, 0..5),
+    ) {
+        let (g, s) = erdos_renyi::generate(16, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        let filters = random_filterset(g.node_count(), &picks);
+        let phi: Wide128 = phi_total(&cg, &filters);
+        if let Some(sim) = simulate_messages(&cg, &filters, 2_000_000) {
+            prop_assert_eq!(sim as u128, phi.get());
+        }
+    }
+
+    #[test]
+    fn bigcount_matches_wide128_on_random_dags(
+        seed in 0u64..5000,
+        p in 0.05f64..0.4,
+        picks in proptest::collection::vec(0usize..40, 0..8),
+    ) {
+        let (g, s) = erdos_renyi::generate(35, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        let filters = random_filterset(g.node_count(), &picks);
+        let wide: Wide128 = phi_total(&cg, &filters);
+        let big: BigCount = phi_total(&cg, &filters);
+        prop_assert!(!wide.is_saturated(), "35-node graphs cannot saturate u128");
+        prop_assert!(big.eq_u128(wide.get()));
+    }
+
+    #[test]
+    fn marginal_gain_identity_on_random_dags(
+        seed in 0u64..5000,
+        p in 0.05f64..0.3,
+        picks in proptest::collection::vec(0usize..20, 0..4),
+    ) {
+        // impacts() must equal the measured Φ difference — on every
+        // node, under random pre-existing filter sets.
+        let (g, s) = erdos_renyi::generate(18, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        let n = g.node_count();
+        let filters = random_filterset(n, &picks);
+        let imp: Vec<Wide128> = impacts(&cg, &filters);
+        let phi_base: Wide128 = phi_total(&cg, &filters);
+        for v in 0..n {
+            if filters.contains(NodeId::new(v)) {
+                continue;
+            }
+            let mut with_v = filters.clone();
+            with_v.insert(NodeId::new(v));
+            let phi_v: Wide128 = phi_total(&cg, &with_v);
+            prop_assert_eq!(imp[v].get(), phi_base.get() - phi_v.get(), "node {}", v);
+        }
+    }
+}
+
+#[test]
+fn wide128_and_bigcount_agree_on_quote_like() {
+    let q = quote_like::generate(&Default::default());
+    let cg = CGraph::new(&q.graph, q.source).unwrap();
+    let n = q.graph.node_count();
+    for filters in [
+        FilterSet::empty(n),
+        FilterSet::from_nodes(n, q.hubs.iter().copied()),
+        FilterSet::all(n),
+    ] {
+        let wide: Wide128 = phi_total(&cg, &filters);
+        let big: BigCount = phi_total(&cg, &filters);
+        assert!(!wide.is_saturated());
+        assert!(big.eq_u128(wide.get()));
+    }
+}
+
+#[test]
+fn wide128_and_bigcount_choose_the_same_filters_on_twitter_like() {
+    use fp_core::algorithms::{GreedyAll, Solver};
+    let t = twitter_like::generate(&twitter_like::TwitterLikeParams {
+        scale: 0.02,
+        seed: 17,
+    });
+    let cg = CGraph::new(&t.graph, t.source).unwrap();
+    let wide = GreedyAll::<Wide128>::new().place(&cg, 6);
+    let big = GreedyAll::<BigCount>::new().place(&cg, 6);
+    assert_eq!(wide.nodes(), big.nodes());
+}
+
+#[test]
+fn plist_matches_sensitivity_on_quote_like() {
+    let q = quote_like::generate(&quote_like::QuoteLikeParams {
+        nodes: 300,
+        seed: 5,
+    });
+    let cg = CGraph::new(&q.graph, q.source).unwrap();
+    let n = q.graph.node_count();
+    for filters in [
+        FilterSet::empty(n),
+        FilterSet::from_nodes(n, q.hubs.iter().copied().take(2)),
+    ] {
+        let pl = plist_impacts::<Wide128>(&cg, &filters);
+        let imp: Vec<Wide128> = impacts(&cg, &filters);
+        assert_eq!(pl.impact, imp);
+    }
+}
+
+#[test]
+fn saturation_is_detected_and_bigcount_survives_it() {
+    // 130 chained diamonds: path counts reach 2^130, overflowing even
+    // u128. Wide128 must clamp *loudly*; BigCount stays exact.
+    let mut g = fp_core::graph::DiGraph::with_nodes(1);
+    let mut tail = NodeId::new(0);
+    for _ in 0..130 {
+        let a = g.add_node();
+        let b = g.add_node();
+        let join = g.add_node();
+        g.add_edge(tail, a);
+        g.add_edge(tail, b);
+        g.add_edge(a, join);
+        g.add_edge(b, join);
+        tail = join;
+    }
+    let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+    let empty = FilterSet::empty(g.node_count());
+    let wide: Wide128 = phi_total(&cg, &empty);
+    assert!(wide.is_saturated(), "u128 must clamp at 2^130 path counts");
+    let big: BigCount = phi_total(&cg, &empty);
+    assert!(big.bit_len() > 128, "exact count exceeds 128 bits");
+    // The FR machinery stays usable with exact counts: filtering all
+    // joins removes everything removable.
+    let joins: Vec<NodeId> = (0..g.node_count())
+        .map(NodeId::new)
+        .filter(|&v| cg.csr().in_degree(v) > 1)
+        .collect();
+    let filters = FilterSet::from_nodes(g.node_count(), joins);
+    let cache = fp_core::propagation::ObjectiveCache::<BigCount>::new(&cg);
+    assert_eq!(cache.filter_ratio(&cg, &filters), 1.0);
+}
+
+#[test]
+fn approx64_placements_match_bigcount_value_on_deep_graphs() {
+    // On graphs beyond u128 range candidate impacts are astronomically
+    // large and *nearly tied* (every diamond join funnels ~2^140
+    // copies), so the f64 counter may break ties differently than
+    // exact arithmetic — but the achieved objective must agree to
+    // within f64 precision.
+    use fp_core::algorithms::{GreedyAll, Solver};
+    use fp_core::num::Approx64;
+    let mut g = fp_core::graph::DiGraph::with_nodes(1);
+    let mut tail = NodeId::new(0);
+    for i in 0..140 {
+        let a = g.add_node();
+        let b = g.add_node();
+        let join = g.add_node();
+        g.add_edge(tail, a);
+        g.add_edge(tail, b);
+        g.add_edge(a, join);
+        g.add_edge(b, join);
+        // Occasionally a side sink to break symmetry.
+        if i % 10 == 0 {
+            let s = g.add_node();
+            g.add_edge(join, s);
+        }
+        tail = join;
+    }
+    let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+    let exact = GreedyAll::<BigCount>::new().place(&cg, 3);
+    let approx = GreedyAll::<Approx64>::new().place(&cg, 3);
+    let f_exact: BigCount = fp_core::propagation::f_value(&cg, &exact);
+    let f_approx: BigCount = fp_core::propagation::f_value(&cg, &approx);
+    let ratio = fp_core::num::ratio(&f_approx, &f_exact).unwrap();
+    assert!(
+        (0.99..=1.0 + 1e-12).contains(&ratio),
+        "approx placement must capture ≥99% of exact value, got {ratio}"
+    );
+}

@@ -1,0 +1,141 @@
+//! Dataset-level reproductions of the paper's qualitative findings,
+//! including the Figure-10 pathology.
+
+use fp_core::datasets::citation_like;
+use fp_core::datasets::layered::{self, LayeredParams};
+use fp_core::datasets::quote_like::{self, QuoteLikeParams};
+use fp_core::datasets::stats::DegreeStats;
+use fp_core::datasets::twitter_like::{self, TwitterLikeParams};
+use fp_core::prelude::*;
+
+#[test]
+fn quote_like_fr_curve_is_steep_and_saturates_by_k4() {
+    // Figure 7: "as few as four nodes achieve perfect redundancy
+    // elimination for this dataset", with Greedy_All leading.
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let p = Problem::new(&q.graph, q.source).unwrap();
+    let ga = p.solve(SolverKind::GreedyAll, 4);
+    assert_eq!(p.filter_ratio(&ga), 1.0, "four filters suffice");
+    let ga1 = p.solve(SolverKind::GreedyAll, 1);
+    assert!(p.filter_ratio(&ga1) > 0.2, "the first filter already bites");
+}
+
+#[test]
+fn quote_like_randomized_baselines_suffer_from_sinks() {
+    // "Random_k and Random_Independent perform significantly worse than
+    // all others because of the high fraction of sink nodes."
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let p = Problem::new(&q.graph, q.source).unwrap();
+    let k = 4;
+    let avg = |kind: SolverKind| -> f64 {
+        (0..25)
+            .map(|t| p.filter_ratio(&p.solve_seeded(kind, k, t)))
+            .sum::<f64>()
+            / 25.0
+    };
+    let rand_k = avg(SolverKind::RandK);
+    let rand_w = avg(SolverKind::RandW);
+    let ga = p.filter_ratio(&p.solve(SolverKind::GreedyAll, k));
+    assert!(ga > rand_w, "greedy beats weighted random");
+    assert!(
+        rand_w > rand_k + 0.05,
+        "weighted random ({rand_w:.3}) must clearly beat uniform ({rand_k:.3}) — \
+         weights steer away from sinks"
+    );
+}
+
+#[test]
+fn twitter_like_all_greedy_variants_reach_fr1_within_ten_filters() {
+    // Figure 8: "Greedy_All can remove all redundancy with placing as
+    // few as six filters. … Greedy_Max, Greedy_1 and Greedy_L all
+    // achieve complete filtering with at most ten filters."
+    let t = twitter_like::generate(&TwitterLikeParams {
+        scale: 0.02,
+        seed: 5,
+    });
+    let p = Problem::new(&t.graph, t.source).unwrap();
+    let ga = p.solve(SolverKind::GreedyAll, 6);
+    assert_eq!(p.filter_ratio(&ga), 1.0, "G_ALL perfect by k=6");
+    for kind in [SolverKind::GreedyMax, SolverKind::GreedyOne, SolverKind::GreedyL] {
+        let fr = p.filter_ratio(&p.solve(kind, 10));
+        assert!(
+            fr > 0.95,
+            "{} should nearly saturate by k=10, got {fr:.3}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn citation_like_greedy_max_plateaus_on_the_chain() {
+    // Figure 9/10: Greedy_Max wastes picks on the mutually-redundant
+    // chain, so Greedy_All strictly dominates somewhere on the curve.
+    let c = citation_like::generate(&citation_like::test_params(1997));
+    let p = Problem::new(&c.graph, c.source).unwrap();
+    let mut dominated = false;
+    let mut strictly = 0.0f64;
+    for k in 1..=10 {
+        let fa = p.filter_ratio(&p.solve(SolverKind::GreedyAll, k));
+        let fm = p.filter_ratio(&p.solve(SolverKind::GreedyMax, k));
+        assert!(fa >= fm - 1e-9, "G_ALL never loses to G_Max (k={k})");
+        if fa > fm + 1e-6 {
+            dominated = true;
+            strictly = strictly.max(fa - fm);
+        }
+    }
+    assert!(
+        dominated,
+        "G_ALL must strictly beat G_Max somewhere on the citation curve"
+    );
+    assert!(strictly > 0.01, "the gap should be visible ({strictly:.4})");
+
+    // The mechanism: Greedy_Max's picks pile onto the collector+chain.
+    let gm = p.solve(SolverKind::GreedyMax, 10);
+    let on_chain = gm
+        .nodes()
+        .iter()
+        .filter(|v| c.chain.contains(v) || **v == c.collector)
+        .count();
+    assert!(
+        on_chain >= 3,
+        "expected several correlated picks on the planted chain, got {on_chain}"
+    );
+}
+
+#[test]
+fn synthetic_layered_fr_grows_gradually() {
+    // Figure 5: "a gradual increase in FR as a function of the number
+    // of filters" — dense graphs have no small cut of key nodes, so
+    // even Greedy_All needs many filters.
+    let lg = layered::generate(&LayeredParams {
+        levels: 10,
+        expected_per_level: 30,
+        x: 1.0,
+        y: 4.0,
+        seed: 77,
+    });
+    let p = Problem::new(&lg.graph, lg.source).unwrap();
+    let fr10 = p.filter_ratio(&p.solve(SolverKind::GreedyAll, 10));
+    let fr50 = p.filter_ratio(&p.solve(SolverKind::GreedyAll, 50));
+    assert!(fr10 < 0.9, "no tiny perfect cut in dense synthetic graphs ({fr10:.3})");
+    assert!(fr50 > fr10 + 0.1, "more filters keep helping ({fr10:.3} → {fr50:.3})");
+}
+
+#[test]
+fn figure4_and_6_degree_cdfs_have_the_reported_shape() {
+    // Fig 4: the dense config's in-degree distribution extends ~2-3×
+    // further right than the sparse one.
+    let sparse = layered::generate(&LayeredParams::paper_sparse(42));
+    let dense = layered::generate(&LayeredParams::paper_dense(42));
+    let cdf_sparse = DegreeStats::in_degrees(&sparse.graph);
+    let cdf_dense = DegreeStats::in_degrees(&dense.graph);
+    assert!(cdf_dense.max_degree() > cdf_sparse.max_degree());
+    assert!(cdf_dense.mean() > 2.0 * cdf_sparse.mean());
+
+    // Fig 6: quote-like in-degree CDF — half the mass at in-degree ≤ 1,
+    // long tail beyond 20.
+    let q = quote_like::generate(&QuoteLikeParams::default());
+    let qd = DegreeStats::in_degrees(&q.graph);
+    assert!((0.35..0.75).contains(&qd.cdf_at(1)), "cdf(1) = {}", qd.cdf_at(1));
+    assert!(qd.max_degree() >= 10, "hub tail missing");
+}

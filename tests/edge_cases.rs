@@ -1,0 +1,152 @@
+//! Degenerate and boundary inputs through the public API.
+//!
+//! A placement library gets handed ugly graphs: empty, single-node,
+//! disconnected, star-shaped, all-sink, budget-zero, budget-larger-
+//! than-the-graph. Every solver must stay total and sensible on all of
+//! them.
+
+use fp_core::algorithms::{brute_force, unbounded};
+use fp_core::prelude::*;
+use fp_core::propagation::simulate::simulate_messages;
+
+fn solve_all(p: &Problem, k: usize) -> Vec<(&'static str, FilterSet)> {
+    SolverKind::PAPER_SET
+        .iter()
+        .map(|&kind| (kind.label(), p.solve_seeded(kind, k, 1)))
+        .collect()
+}
+
+#[test]
+fn single_node_graph() {
+    let g = DiGraph::with_nodes(1);
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    assert!(p.phi_empty().is_zero());
+    assert!(p.f_all().is_zero());
+    for (name, placement) in solve_all(&p, 3) {
+        assert_eq!(p.filter_ratio(&placement), 1.0, "{name}: FR convention on F(V)=0");
+    }
+}
+
+#[test]
+fn two_node_edge() {
+    let g = DiGraph::from_pairs(2, [(0, 1)]).unwrap();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    // One delivery, nothing removable.
+    assert_eq!(p.phi_empty().get(), 1);
+    assert!(p.f_all().is_zero());
+    for (name, placement) in solve_all(&p, 1) {
+        let f = p.f_value(&placement);
+        assert!(f.is_zero(), "{name}: nothing to save");
+    }
+}
+
+#[test]
+fn star_graph_has_no_redundancy() {
+    // Source feeding 50 sinks: every node gets exactly one copy.
+    let mut g = DiGraph::with_nodes(1);
+    for _ in 0..50 {
+        let v = g.add_node();
+        g.add_edge(NodeId::new(0), v);
+    }
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    assert_eq!(p.phi_empty().get(), 50);
+    assert!(p.f_all().is_zero());
+    assert!(unbounded::unbounded_optimal(p.cgraph()).is_empty());
+    let greedy = p.solve(SolverKind::GreedyAll, 10);
+    assert!(greedy.is_empty(), "greedy places nothing useful");
+}
+
+#[test]
+fn disconnected_components_are_ignored_gracefully() {
+    // Reachable diamond (with a relay below the join, so filtering the
+    // join actually saves a delivery) + an unreachable diamond.
+    let g = DiGraph::from_pairs(
+        9,
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 8), (4, 5), (4, 6), (5, 7), (6, 7)],
+    )
+    .unwrap();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    // Only the reachable join counts.
+    let greedy = p.solve(SolverKind::GreedyAll, 5);
+    assert_eq!(greedy.nodes(), &[NodeId::new(3)]);
+    assert_eq!(p.filter_ratio(&greedy), 1.0);
+    // Simulation agrees (unreached nodes receive nothing).
+    let sim = simulate_messages(p.cgraph(), &greedy, 1000).unwrap();
+    assert_eq!(sim as u128, p.phi_empty().get() - p.f_value(&greedy).get());
+}
+
+#[test]
+fn budget_zero_and_oversized_budgets() {
+    let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    for kind in SolverKind::PAPER_SET {
+        assert!(p.solve(kind, 0).is_empty(), "{}: k=0 places nothing", kind.label());
+        let huge = p.solve_seeded(kind, 1000, 3);
+        assert!(huge.len() <= 4, "{}: cannot exceed the node count", kind.label());
+    }
+    let (opt, f) = brute_force::optimal_placement::<Wide128>(p.cgraph(), 1000);
+    assert_eq!(f, *p.f_all());
+    assert!(opt.len() <= 2, "one join + margin");
+}
+
+#[test]
+fn source_inside_a_cycle_is_survivable() {
+    // 0 → 1 → 2 → 0 plus 2 → 3: Problem must extract a DAG and solve.
+    let g = DiGraph::from_pairs(4, [(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    assert!(p.was_cyclic());
+    assert_eq!(p.phi_empty().get(), 3, "1, 2 and 3 each get one copy");
+    assert!(p.f_all().is_zero());
+}
+
+#[test]
+fn parallel_edge_inputs_behave_as_multigraphs() {
+    // Two parallel edges double-deliver; a filter dedupes the relay.
+    let mut g = DiGraph::with_nodes(3);
+    g.add_edge(NodeId::new(0), NodeId::new(1));
+    g.add_edge(NodeId::new(0), NodeId::new(1));
+    g.add_edge(NodeId::new(1), NodeId::new(2));
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    // Node 1 receives 2 (two edges), relays 2 → node 2 receives 2.
+    assert_eq!(p.phi_empty().get(), 4);
+    let placement = p.solve(SolverKind::GreedyAll, 1);
+    assert_eq!(placement.nodes(), &[NodeId::new(1)]);
+    assert_eq!(p.f_value(&placement).get(), 1);
+}
+
+#[test]
+fn all_paper_solvers_are_total_on_a_pathological_mix() {
+    // A graph combining: deep chain, wide star, a dense bipartite core,
+    // parallel-ish structure, and unreachable junk.
+    let mut g = DiGraph::with_nodes(1);
+    let s = NodeId::new(0);
+    let mut tail = s;
+    for _ in 0..30 {
+        let v = g.add_node();
+        g.add_edge(tail, v);
+        tail = v;
+    }
+    for _ in 0..20 {
+        let v = g.add_node();
+        g.add_edge(tail, v);
+    }
+    let hub_a = g.add_node();
+    let hub_b = g.add_node();
+    g.add_edge(s, hub_a);
+    g.add_edge(s, hub_b);
+    for _ in 0..10 {
+        let v = g.add_node();
+        g.add_edge(hub_a, v);
+        g.add_edge(hub_b, v);
+        let w = g.add_node();
+        g.add_edge(v, w);
+    }
+    g.add_nodes(25); // junk
+    let p = Problem::new(&g, s).unwrap();
+    for (name, placement) in solve_all(&p, 7) {
+        let fr = p.filter_ratio(&placement);
+        assert!((0.0..=1.0 + 1e-12).contains(&fr), "{name}: fr={fr}");
+    }
+    let ga = p.solve(SolverKind::GreedyAll, 10);
+    assert_eq!(p.filter_ratio(&ga), 1.0, "the ten bipartite joins are the cut");
+}

@@ -1,0 +1,130 @@
+//! End-to-end: the full pipeline (generator → Problem → sweep → report)
+//! that the figure harnesses run, exercised at test scale.
+
+use fp_core::datasets::quote_like::{self, QuoteLikeParams};
+use fp_core::datasets::twitter_like::{self, TwitterLikeParams};
+use fp_core::prelude::*;
+use fp_core::propagation::multi_item::MultiItemGraph;
+use fp_core::propagation::partial::f_value_partial;
+use fp_core::report::sweep_table;
+
+#[test]
+fn figure7_pipeline_runs_and_orders_the_algorithms() {
+    let q = quote_like::generate(&QuoteLikeParams {
+        nodes: 400,
+        seed: 3,
+    });
+    let p = Problem::new(&q.graph, q.source).unwrap();
+    let cfg = SweepConfig {
+        ks: (0..=8).collect(),
+        trials: 10,
+        seed: 1,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+    let res = run_sweep(&p, &cfg);
+    assert_eq!(res.series.len(), 7);
+
+    // Greedy_All weakly dominates every other series pointwise-ish
+    // (allowing randomized noise).
+    let ga = res.series_for("G_ALL").unwrap();
+    for s in &res.series {
+        for (&(k, fr_ga), &(k2, fr_s)) in ga.points.iter().zip(&s.points) {
+            assert_eq!(k, k2);
+            assert!(
+                fr_ga >= fr_s - 0.02,
+                "G_ALL ({fr_ga:.3}) vs {} ({fr_s:.3}) at k={k}",
+                s.label
+            );
+        }
+    }
+    // Greedy_All saturates.
+    assert_eq!(ga.points.last().unwrap().1, 1.0);
+
+    // The report renders every series.
+    let table = sweep_table(&res);
+    let text = table.to_string();
+    for kind in SolverKind::PAPER_SET {
+        assert!(text.contains(kind.label()), "missing column {}", kind.label());
+    }
+    assert_eq!(table.len(), cfg.ks.len());
+}
+
+#[test]
+fn cyclic_real_world_style_input_is_handled_transparently() {
+    // Blog networks link freely ("Sites may freely link to each other,
+    // which might result in cycles. We run Acyclic…"). Add back-links
+    // to the quote-like DAG and verify Problem still solves it.
+    let q = quote_like::generate(&QuoteLikeParams {
+        nodes: 300,
+        seed: 8,
+    });
+    let mut g = q.graph.clone();
+    // Back-links from a few sinks to the hubs.
+    let n = g.node_count();
+    for i in 0..5 {
+        g.add_edge(NodeId::new(n - 1 - i), q.hubs[i % q.hubs.len()]);
+    }
+    let p = Problem::new(&g, q.source).unwrap();
+    assert!(p.was_cyclic());
+    let placement = p.solve(SolverKind::GreedyAll, 6);
+    assert!(p.filter_ratio(&placement) > 0.9);
+}
+
+#[test]
+fn multi_item_extension_composes_with_placements() {
+    let t = twitter_like::generate(&TwitterLikeParams {
+        scale: 0.01,
+        seed: 4,
+    });
+    let p = Problem::new(&t.graph, t.source).unwrap();
+    let placement = p.solve(SolverKind::GreedyAll, 6);
+    // Root posts at rate 3, a celebrity posts at rate 1.
+    let multi = MultiItemGraph::new(
+        &t.graph,
+        &[(t.source, 3), (t.celebrities[0], 1)],
+    )
+    .unwrap();
+    let f_multi: Wide128 = multi.f_value(&placement);
+    let f_single = p.f_value(&placement);
+    // The multi-item objective is at least the rate-scaled single-item
+    // one (the celebrity's item can only add removable redundancy).
+    assert!(f_multi.get() >= 3 * f_single.get());
+}
+
+#[test]
+fn leaky_filters_degrade_gracefully() {
+    let q = quote_like::generate(&QuoteLikeParams {
+        nodes: 300,
+        seed: 12,
+    });
+    let p = Problem::new(&q.graph, q.source).unwrap();
+    let placement = p.solve(SolverKind::GreedyAll, 4);
+    let exact = p.f_value(&placement).get() as f64;
+    let mut last = exact + 1e-9;
+    for rho in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let f = f_value_partial(p.cgraph(), &placement, rho);
+        assert!(f <= last + 1e-6, "leakier filters remove less (ρ={rho})");
+        last = f;
+    }
+    assert_eq!(f_value_partial(p.cgraph(), &placement, 0.0), exact);
+    assert_eq!(f_value_partial(p.cgraph(), &placement, 1.0), 0.0);
+}
+
+#[test]
+fn csv_export_of_a_sweep_is_machine_readable() {
+    let q = quote_like::generate(&QuoteLikeParams {
+        nodes: 200,
+        seed: 2,
+    });
+    let p = Problem::new(&q.graph, q.source).unwrap();
+    let cfg = SweepConfig {
+        ks: vec![0, 2, 4],
+        trials: 3,
+        seed: 9,
+        solvers: vec![SolverKind::GreedyAll, SolverKind::RandK],
+    };
+    let csv = sweep_table(&run_sweep(&p, &cfg)).to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "k,G_ALL,Rand_K");
+    assert_eq!(lines.count(), 3);
+}

@@ -1,0 +1,160 @@
+//! The paper's worked toy examples (Figures 1–3, Proposition 1),
+//! verified end to end through the public API.
+
+use fp_core::algorithms::{brute_force, unbounded, GreedyAll, GreedyOne, Solver};
+use fp_core::prelude::*;
+use fp_core::propagation::{f_value, phi_total};
+
+/// Figure 1: s → {x,y}; x → {z1,z2}; y → {z2,z3}; z1,z2,z3 → w.
+/// ids:       s=0 x=1 y=2 z1=3 z2=4 z3=5 w=6
+fn figure1() -> DiGraph {
+    DiGraph::from_pairs(
+        7,
+        [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure1_reception_counts_match_the_text() {
+    // "z2 (unnecessarily) receives two copies … w receives (1+2+1)
+    // copies. Clearly, to inform w, one copy of i is enough."
+    let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+    let cg = p.cgraph();
+    let rx: Vec<Wide128> = fp_core::propagation::phi_per_node(cg, &FilterSet::empty(7));
+    assert_eq!(rx[4].get(), 2, "z2 receives two copies");
+    assert_eq!(rx[6].get(), 4, "w receives 1 + 2 + 1 copies");
+}
+
+#[test]
+fn figure1_filters_at_z2_and_w_alleviate_all_redundancy() {
+    // "placing two filters at z2 and w completely alleviates
+    // redundancy" — i.e. achieves F(V) (FR = 1). Under relay-dedup
+    // semantics z2 alone already does (w is a sink), and {z2, w} does
+    // no better and no worse.
+    let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+    let z2w = FilterSet::from_nodes(7, [NodeId::new(4), NodeId::new(6)]);
+    assert_eq!(p.filter_ratio(&z2w), 1.0);
+    let z2 = FilterSet::from_nodes(7, [NodeId::new(4)]);
+    assert_eq!(p.filter_ratio(&z2), 1.0);
+}
+
+#[test]
+fn figure1_proposition1_set_is_minimal_and_perfect() {
+    let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+    let a = unbounded::unbounded_optimal(p.cgraph());
+    assert_eq!(a.nodes(), &[NodeId::new(4)], "A = {{v : din>1, dout>0}} = {{z2}}");
+    assert_eq!(p.filter_ratio(&a), 1.0);
+}
+
+/// Figure 2's phenomenon: the node with the largest degree product is a
+/// useless filter while a modest node is optimal.
+/// ids: s=0; p1..p3 = 1..3; A=4; A's sink = 5; q=6; B=7; B's sinks 8..11.
+fn figure2() -> DiGraph {
+    DiGraph::from_pairs(
+        12,
+        [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (0, 6),
+            (6, 7),
+            (7, 8),
+            (7, 9),
+            (7, 10),
+            (7, 11),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure2_greedy1_falls_for_the_degree_product() {
+    let g = figure2();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    // m(B) = 1×4 = 4 beats m(A) = 3×1 = 3 …
+    let g1 = GreedyOne::new().place(p.cgraph(), 1);
+    assert_eq!(g1.nodes(), &[NodeId::new(7)]);
+    // … but filtering B saves nothing,
+    assert!(p.f_value(&g1).is_zero());
+    // while the optimum (A) saves two receptions.
+    let (opt, f_opt) = brute_force::optimal_placement::<Wide128>(p.cgraph(), 1);
+    assert_eq!(opt.nodes(), &[NodeId::new(4)]);
+    assert_eq!(f_opt.get(), 2);
+    // Greedy_All finds it.
+    let ga = GreedyAll::<Wide128>::new().place(p.cgraph(), 1);
+    assert_eq!(ga.nodes(), opt.nodes());
+}
+
+/// Figure 3's phenomenon: Greedy_All is suboptimal for k = 2.
+///
+/// Sources feed B and C over two paths each; both relay into the
+/// high-fanout node A; B and C also serve private sinks. A's immediate
+/// impact tops the list, but the optimal pair is {B, C}.
+///
+/// ids: s=0; x1,x2=1,2; y1,y2=3,4; B=5; C=6; A=7;
+///      A-sinks 8..=10; B-sinks 11..=13; C-sinks 14..=16.
+fn figure3() -> DiGraph {
+    let mut pairs = vec![
+        (0usize, 1usize),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 5),
+        (2, 5),
+        (3, 6),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+    ];
+    for t in 8..=10 {
+        pairs.push((7, t));
+    }
+    for t in 11..=13 {
+        pairs.push((5, t));
+    }
+    for t in 14..=16 {
+        pairs.push((6, t));
+    }
+    DiGraph::from_pairs(17, pairs).unwrap()
+}
+
+#[test]
+fn figure3_greedy_all_is_suboptimal_for_k2() {
+    let g = figure3();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    let cg = p.cgraph();
+
+    // Greedy takes A first (largest single impact) …
+    let greedy = GreedyAll::<Wide128>::new().place(cg, 2);
+    assert_eq!(greedy.nodes()[0], NodeId::new(7), "A has the top impact");
+    let f_greedy: Wide128 = f_value(cg, &greedy);
+
+    // … but the exhaustive optimum is {B, C}, strictly better.
+    let (opt, f_opt) = brute_force::optimal_placement::<Wide128>(cg, 2);
+    let mut opt_nodes: Vec<NodeId> = opt.nodes().to_vec();
+    opt_nodes.sort_unstable();
+    assert_eq!(opt_nodes, vec![NodeId::new(5), NodeId::new(6)]);
+    assert!(f_opt > f_greedy, "optimal {f_opt} must beat greedy {f_greedy}");
+
+    // The specific arithmetic of this instance (mirrors the paper's
+    // walkthrough structure): greedy saves 13, optimal saves 14.
+    assert_eq!(f_greedy.get(), 13);
+    assert_eq!(f_opt.get(), 14);
+
+    // And the (1 − 1/e) bound still holds, as Theorem 3 promises.
+    assert!(f_greedy.get() as f64 >= (1.0 - (-1.0f64).exp()) * f_opt.get() as f64);
+}
+
+#[test]
+fn figure3_phi_bookkeeping() {
+    let g = figure3();
+    let p = Problem::new(&g, NodeId::new(0)).unwrap();
+    // Φ(∅): 4 feeders + B:2 + C:2 + A:4 + 3 A-sinks ×4 + 6 B/C-sinks ×2.
+    let phi0: Wide128 = phi_total(p.cgraph(), &FilterSet::empty(17));
+    assert_eq!(phi0.get(), 4 + 2 + 2 + 4 + 12 + 12);
+}

@@ -1,0 +1,105 @@
+//! Integration checks of the NP-hardness constructions (Theorems 1–2)
+//! on instances larger than the unit tests use.
+
+use fp_core::algorithms::reductions::{
+    is_set_cover, is_vertex_cover, propagation_is_finite, setcover_to_fp, vertexcover_phi,
+    vertexcover_to_fp, SetCover, VertexCover,
+};
+use fp_core::prelude::*;
+
+#[test]
+fn theorem1_equivalence_holds_exhaustively_on_a_6_set_instance() {
+    // Every element appears in exactly two sets (the vertex-cover
+    // special case the construction is sound for — see the module docs
+    // of fp_algorithms::reductions). Elements are the 8 edges of a
+    // 6-cycle with two chords; the optimum cover has 3 sets.
+    let inst = SetCover {
+        universe: 8,
+        sets: vec![
+            vec![0, 5, 6],    // set 0: elements {0,1},{0,5},{0,3}
+            vec![0, 1, 7],    // set 1: {0,1},{1,2},{1,4}
+            vec![1, 2],       // set 2: {1,2},{2,3}
+            vec![2, 3, 6],    // set 3: {2,3},{3,4},{0,3}
+            vec![3, 4, 7],    // set 4: {3,4},{4,5},{1,4}
+            vec![4, 5],       // set 5: {4,5},{0,5}
+        ],
+    };
+    // Sanity: each element occurs in exactly two sets.
+    for e in 0..inst.universe {
+        let holders = inst.sets.iter().filter(|s| s.contains(&e)).count();
+        assert_eq!(holders, 2, "element {e}");
+    }
+    let (g, s) = setcover_to_fp(&inst);
+    let n_sets = inst.sets.len();
+    let mut min_cover = usize::MAX;
+    let mut min_finite = usize::MAX;
+    for mask in 0u32..(1 << n_sets) {
+        let chosen: Vec<usize> = (0..n_sets).filter(|i| mask & (1 << i) != 0).collect();
+        let filters = FilterSet::from_nodes(g.node_count(), chosen.iter().map(|&i| NodeId::new(i)));
+        let finite = propagation_is_finite(&g, s, &filters);
+        let cover = is_set_cover(&inst, &chosen);
+        assert_eq!(finite, cover, "mask {mask:#b}");
+        if cover {
+            min_cover = min_cover.min(chosen.len());
+        }
+        if finite {
+            min_finite = min_finite.min(chosen.len());
+        }
+    }
+    assert_eq!(min_cover, min_finite);
+    assert_eq!(min_cover, 3, "this instance's optimum is 3 sets");
+}
+
+#[test]
+fn theorem2_separation_holds_for_every_k2_subset_on_a_5_vertex_graph() {
+    // C5 (5-cycle): minimum vertex cover 3, so *no* 2-subset covers —
+    // every k=2 Φ must land above m³.
+    let c5 = VertexCover {
+        vertices: 5,
+        edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+    };
+    let m = 24usize;
+    let (g, s, _) = vertexcover_to_fp(&c5, m);
+    let m3 = (m as u128).pow(3);
+    for a in 0..5usize {
+        for b in (a + 1)..5 {
+            let phi: BigCount = vertexcover_phi(&g, s, &[a, b]);
+            let phi = phi.to_u128().unwrap();
+            assert!(!is_vertex_cover(&c5, &[a, b]));
+            assert!(phi >= m3, "non-cover {{{a},{b}}} must blow past m³: {phi} < {m3}");
+        }
+    }
+    // And every valid 3-cover stays below m³.
+    for a in 0..5usize {
+        for b in (a + 1)..5 {
+            for c in (b + 1)..5 {
+                if !is_vertex_cover(&c5, &[a, b, c]) {
+                    continue;
+                }
+                let phi: BigCount = vertexcover_phi(&g, s, &[a, b, c]);
+                let phi = phi.to_u128().unwrap();
+                assert!(phi < m3, "cover {{{a},{b},{c}}} must stay below m³: {phi} >= {m3}");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_threshold_scales_with_the_multiplier() {
+    // The gap must widen as m grows (the proof needs m ≫ |V'|).
+    let path = VertexCover {
+        vertices: 3,
+        edges: vec![(0, 1), (1, 2)],
+    };
+    // The proof needs m ≫ |V'| (the paper demands m = Ω(|V'|¹⁰));
+    // m ≥ 16 already separates this 3-vertex instance.
+    for m in [16usize, 24, 32] {
+        let (g, s, _) = vertexcover_to_fp(&path, m);
+        let cover: BigCount = vertexcover_phi(&g, s, &[1]); // {1} covers the path
+        let noncover: BigCount = vertexcover_phi(&g, s, &[2]);
+        let (c, nc) = (cover.to_u128().unwrap(), noncover.to_u128().unwrap());
+        let m3 = (m as u128).pow(3);
+        assert!(c < m3, "m={m}: cover {c} < m³ {m3}");
+        assert!(nc >= m3, "m={m}: non-cover {nc} ≥ m³ {m3}");
+    }
+}
