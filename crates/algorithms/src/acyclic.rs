@@ -210,14 +210,27 @@ mod tests {
     fn dag_input_is_preserved_entirely_by_naive() {
         let g = DiGraph::from_pairs(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4)]).unwrap();
         let out = acyclic_naive(&g, NodeId::new(0));
-        assert_eq!(out.edge_count(), g.edge_count(), "nothing to remove in a DAG");
+        assert_eq!(
+            out.edge_count(),
+            g.edge_count(),
+            "nothing to remove in a DAG"
+        );
     }
 
     #[test]
     fn naive_extraction_is_maximal() {
         let g = DiGraph::from_pairs(
             6,
-            [(0, 1), (1, 2), (2, 3), (3, 1), (2, 4), (4, 5), (5, 2), (0, 5)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 1),
+                (2, 4),
+                (4, 5),
+                (5, 2),
+                (0, 5),
+            ],
         )
         .unwrap();
         let start = NodeId::new(0);
@@ -242,8 +255,14 @@ mod tests {
         let g = DiGraph::from_pairs(5, [(0, 1), (0, 2), (1, 3), (2, 4), (4, 3), (3, 0)]).unwrap();
         let out = acyclic_signature(&g, NodeId::new(0));
         assert_valid_extraction(&g, NodeId::new(0), &out);
-        assert!(out.has_edge(NodeId::new(4), NodeId::new(3)), "cross edge kept");
-        assert!(!out.has_edge(NodeId::new(3), NodeId::new(0)), "back edge dropped");
+        assert!(
+            out.has_edge(NodeId::new(4), NodeId::new(3)),
+            "cross edge kept"
+        );
+        assert!(
+            !out.has_edge(NodeId::new(3), NodeId::new(0)),
+            "back edge dropped"
+        );
     }
 
     #[test]

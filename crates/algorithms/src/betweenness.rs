@@ -6,7 +6,7 @@
 //! … is z2." We implement Brandes' algorithm and a top-k selector so
 //! the claim can be measured, not just asserted.
 
-use crate::{Solver, top_k_by_count};
+use crate::{top_k_by_count, Solver};
 use fp_graph::{Csr, NodeId};
 use fp_num::{Approx64, Count};
 use fp_propagation::{CGraph, FilterSet};
@@ -51,8 +51,7 @@ pub fn betweenness_centrality(g: &Csr) -> Vec<f64> {
         }
         for &w in order.iter().rev() {
             for &p in &preds[w.index()] {
-                delta[p.index()] +=
-                    sigma[p.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                delta[p.index()] += sigma[p.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
             }
             if w != s {
                 centrality[w.index()] += delta[w.index()];
@@ -112,7 +111,17 @@ mod tests {
     fn figure1() -> (DiGraph, CGraph) {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();

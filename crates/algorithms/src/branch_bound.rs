@@ -175,7 +175,9 @@ mod tests {
         let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
         for i in 0..n {
             for j in (i + 1)..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if state >> 33 & 7 < 2 {
                     pairs.push((i, j));
                 }

@@ -39,7 +39,10 @@ impl<C: Count> Solver for GreedyMax<C> {
 
     fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
         let scores: Vec<C> = impacts(cg, &FilterSet::empty(cg.node_count()));
-        FilterSet::from_nodes(cg.node_count(), top_k_by_count(&scores, k).into_iter().map(NodeId::new))
+        FilterSet::from_nodes(
+            cg.node_count(),
+            top_k_by_count(&scores, k).into_iter().map(NodeId::new),
+        )
     }
 }
 
@@ -53,7 +56,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -77,7 +90,16 @@ mod tests {
         // nodes whose joint value is no better than one of them.
         let g = DiGraph::from_pairs(
             8,
-            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (5, 7)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+            ],
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();

@@ -43,7 +43,10 @@ impl Solver for GreedyOne {
                 }
             })
             .collect();
-        FilterSet::from_nodes(cg.node_count(), top_k_by_count(&scores, k).into_iter().map(NodeId::new))
+        FilterSet::from_nodes(
+            cg.node_count(),
+            top_k_by_count(&scores, k).into_iter().map(NodeId::new),
+        )
     }
 }
 
@@ -57,7 +60,17 @@ mod tests {
         // m: x = y = z2 = 2 (1×2, 1×2, 2×1); z1 = z3 = 1; w = 3×0 = 0.
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();

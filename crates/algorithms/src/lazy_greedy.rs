@@ -4,9 +4,9 @@ use crate::Solver;
 use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::{impacts, phi_total, CGraph, FilterSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lazy (CELF) Greedy_All: identical selections to [`crate::GreedyAll`],
 /// usually far fewer marginal-gain evaluations.
@@ -159,7 +159,17 @@ mod tests {
     fn matches_eager_on_figure1() {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();

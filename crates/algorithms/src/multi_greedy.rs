@@ -52,7 +52,12 @@ impl MultiGreedy {
     }
 
     /// The combined objective value of a placement.
-    pub fn f_value<C: Count>(&self, g: &DiGraph, sources: &[(NodeId, u64)], filters: &FilterSet) -> C {
+    pub fn f_value<C: Count>(
+        &self,
+        g: &DiGraph,
+        sources: &[(NodeId, u64)],
+        filters: &FilterSet,
+    ) -> C {
         MultiItemGraph::new(g, sources)
             .expect("already validated in new()")
             .f_value(filters)
@@ -68,7 +73,17 @@ mod tests {
     fn body() -> DiGraph {
         DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap()
     }

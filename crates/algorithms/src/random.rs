@@ -121,7 +121,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -141,7 +151,9 @@ mod tests {
     fn rand_i_has_expected_size_k() {
         let cg = figure1();
         let k = 3;
-        let total: usize = (0..600).map(|seed| RandI::new(seed).place(&cg, k).len()).sum();
+        let total: usize = (0..600)
+            .map(|seed| RandI::new(seed).place(&cg, k).len())
+            .sum();
         let mean = total as f64 / 600.0;
         // E[size] = k·(n−1)/n ≈ 2.57 here (source excluded).
         let expect = k as f64 * 6.0 / 7.0;
@@ -164,7 +176,10 @@ mod tests {
         let cg = figure1();
         for seed in 0..20 {
             let placement = RandW::new(seed).place(&cg, 5);
-            assert!(!placement.contains(NodeId::new(6)), "sink chosen at seed {seed}");
+            assert!(
+                !placement.contains(NodeId::new(6)),
+                "sink chosen at seed {seed}"
+            );
         }
     }
 

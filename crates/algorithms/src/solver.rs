@@ -76,7 +76,10 @@ impl SolverKind {
 
     /// Whether this solver is randomized (experiments average 25 runs).
     pub fn is_randomized(self) -> bool {
-        matches!(self, SolverKind::RandW | SolverKind::RandI | SolverKind::RandK)
+        matches!(
+            self,
+            SolverKind::RandW | SolverKind::RandI | SolverKind::RandK
+        )
     }
 
     /// The paper's legend label.
@@ -116,7 +119,9 @@ pub fn argmax_count<C: Count>(scores: &[C]) -> Option<usize> {
 /// Indices of the `k` largest positive counts, in descending score
 /// order, ties toward smaller indices.
 pub fn top_k_by_count<C: Count>(scores: &[C], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| !scores[i].is_zero()).collect();
+    let mut idx: Vec<usize> = (0..scores.len())
+        .filter(|&i| !scores[i].is_zero())
+        .collect();
     idx.sort_by(|&a, &b| scores[b].cmp(&scores[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
@@ -168,7 +173,10 @@ mod tests {
     fn paper_set_is_the_seven_figure_series() {
         assert_eq!(SolverKind::PAPER_SET.len(), 7);
         assert_eq!(
-            SolverKind::PAPER_SET.iter().filter(|k| k.is_randomized()).count(),
+            SolverKind::PAPER_SET
+                .iter()
+                .filter(|k| k.is_randomized())
+                .count(),
             3
         );
     }

@@ -47,10 +47,7 @@ impl MonteCarloGreedy {
     /// `cg` argument of [`Solver::place`] is ignored in favor of the
     /// sampled bundle; use this method directly for clarity.)
     pub fn place_sampled(&self, k: usize) -> FilterSet {
-        let n = self
-            .realizations
-            .first()
-            .map_or(0, |cg| cg.node_count());
+        let n = self.realizations.first().map_or(0, |cg| cg.node_count());
         let mut filters = FilterSet::empty(n);
         for _ in 0..k {
             // Average marginal impact across realizations (Approx64:
@@ -94,7 +91,17 @@ mod tests {
         (
             DiGraph::from_pairs(
                 7,
-                [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+                [
+                    (0, 1),
+                    (0, 2),
+                    (1, 3),
+                    (1, 4),
+                    (2, 4),
+                    (2, 5),
+                    (3, 6),
+                    (4, 6),
+                    (5, 6),
+                ],
             )
             .unwrap(),
             NodeId::new(0),
@@ -122,7 +129,10 @@ mod tests {
         let fr = expected_filter_ratio(&g, s, &probs, &placement, 400, 3);
         let empty = FilterSet::empty(7);
         let fr0 = expected_filter_ratio(&g, s, &probs, &empty, 400, 3);
-        assert!(fr > fr0, "placement must beat no filters: {fr:.3} vs {fr0:.3}");
+        assert!(
+            fr > fr0,
+            "placement must beat no filters: {fr:.3} vs {fr0:.3}"
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl Dp<'_> {
             (Some(l), Some(r)) => {
                 let mut best = (u64::MAX, 0u32);
                 for j in 0..=budget {
-                    let total = self.solve(l, j, emit).saturating_add(self.solve(r, budget - j, emit));
+                    let total =
+                        self.solve(l, j, emit)
+                            .saturating_add(self.solve(r, budget - j, emit));
                     if total < best.0 {
                         best = (total, j);
                     }
@@ -198,14 +200,24 @@ mod tests {
 
     /// Star: root 0 with children 1..=3, injections at root and child 1.
     fn star() -> CTree {
-        let parent = [None, Some(NodeId::new(0)), Some(NodeId::new(0)), Some(NodeId::new(0))];
+        let parent = [
+            None,
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+        ];
         CTree::new(&parent, vec![true, true, false, false]).unwrap()
     }
 
     /// Chain 0→1→2→3 with injections at every node: multiplicity builds
     /// up going down.
     fn chain() -> CTree {
-        let parent = [None, Some(NodeId::new(0)), Some(NodeId::new(1)), Some(NodeId::new(2))];
+        let parent = [
+            None,
+            Some(NodeId::new(0)),
+            Some(NodeId::new(1)),
+            Some(NodeId::new(2)),
+        ];
         CTree::new(&parent, vec![true, true, true, true]).unwrap()
     }
 
@@ -216,7 +228,11 @@ mod tests {
         // DP's phi must equal the general machinery's phi for its set.
         let fs = FilterSet::from_nodes(g.node_count(), placement.filters.iter().copied());
         let phi_dp: Wide128 = phi_total(&cg, &fs);
-        assert_eq!(placement.phi as u128, phi_dp.get(), "k={k} self-consistency");
+        assert_eq!(
+            placement.phi as u128,
+            phi_dp.get(),
+            "k={k} self-consistency"
+        );
         // And must match the exhaustive optimum.
         let (_, best_f) = brute_force::optimal_placement::<Wide128>(&cg, k);
         let phi_empty: Wide128 = phi_total(&cg, &FilterSet::empty(g.node_count()));
@@ -260,8 +276,9 @@ mod tests {
     fn wide_tree_exercises_dump_nodes() {
         // Root with 6 children, each injected: root emits to all 6;
         // every child receives 2 (parent + injection).
-        let parent: Vec<Option<NodeId>> =
-            std::iter::once(None).chain((0..6).map(|_| Some(NodeId::new(0)))).collect();
+        let parent: Vec<Option<NodeId>> = std::iter::once(None)
+            .chain((0..6).map(|_| Some(NodeId::new(0))))
+            .collect();
         let tree = CTree::new(&parent, vec![true; 7]).unwrap();
         for k in 0..=3 {
             check_against_brute_force(&tree, k);

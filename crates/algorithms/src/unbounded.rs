@@ -55,7 +55,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -111,7 +121,10 @@ mod tests {
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
         let paper = unbounded_optimal(&cg);
         let pruned = unbounded_optimal_pruned(&cg);
-        assert!(paper.contains(NodeId::new(4)), "paper set includes the dead join");
+        assert!(
+            paper.contains(NodeId::new(4)),
+            "paper set includes the dead join"
+        );
         assert!(pruned.is_empty(), "pruned set knows it is dead");
         let f_paper: Sat64 = f_value(&cg, &paper);
         let f_pruned: Sat64 = f_value(&cg, &pruned);

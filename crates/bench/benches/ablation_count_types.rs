@@ -5,8 +5,8 @@
 //! that all four agree on the result where no saturation occurs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fp_core::num::{Approx64, BigCount, Count, Sat64, Wide128};
 use fp_core::datasets::quote_like::{self, QuoteLikeParams};
+use fp_core::num::{Approx64, BigCount, Count, Sat64, Wide128};
 use fp_core::prelude::*;
 use fp_core::propagation::phi_total;
 use std::hint::black_box;

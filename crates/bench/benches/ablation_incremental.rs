@@ -52,7 +52,7 @@ fn bench_incremental(c: &mut Criterion) {
             for &v in &picks {
                 inc.insert_filter(v);
             }
-            black_box(inc.phi().clone())
+            black_box(*inc.phi())
         })
     });
     group.finish();

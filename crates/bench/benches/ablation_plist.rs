@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fp_core::datasets::quote_like::{self, QuoteLikeParams};
 use fp_core::prelude::*;
-use fp_core::propagation::plist::plist_impacts;
 use fp_core::propagation::impacts;
+use fp_core::propagation::plist::plist_impacts;
 use std::hint::black_box;
 
 fn bench_plist(c: &mut Criterion) {

@@ -7,7 +7,11 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let selected: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "--fast").collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| *a != "--fast")
+        .collect();
     let all = selected.is_empty();
     let want = |name: &str| all || selected.contains(&name);
     let scale = if fast { 0.1 } else { 1.0 };

@@ -81,7 +81,10 @@ pub fn fig07() -> Vec<(String, Table)> {
         seed: SEED,
         solvers: SolverKind::PAPER_SET.to_vec(),
     };
-    vec![("fig7 G_Phrase-like".into(), sweep_table(&run_sweep(&problem, &cfg)))]
+    vec![(
+        "fig7 G_Phrase-like".into(),
+        sweep_table(&run_sweep(&problem, &cfg)),
+    )]
 }
 
 /// Figure 8: FR vs k (0..=10) on the twitter-like graph.

@@ -62,7 +62,10 @@ fn parse_solver(name: &str) -> Result<SolverKind, String> {
         .find(|k| k.label().eq_ignore_ascii_case(name))
         .ok_or_else(|| {
             let names: Vec<&str> = all.iter().map(|k| k.label()).collect();
-            format!("unknown solver {name:?}; expected one of {}", names.join(", "))
+            format!(
+                "unknown solver {name:?}; expected one of {}",
+                names.join(", ")
+            )
         })
 }
 
@@ -83,7 +86,8 @@ fn cmd_solve(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         .parse()
         .map_err(|_| "--k must be a non-negative integer".to_string())?;
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
-        s.parse().map_err(|_| "--seed must be an integer".to_string())
+        s.parse()
+            .map_err(|_| "--seed must be an integer".to_string())
     })?;
     let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
     let placement = problem.solve_seeded(solver, k, seed);
@@ -105,13 +109,21 @@ fn cmd_solve(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
                 "graph: {} nodes, {} edges{}\nsolver: {}  k: {}\nphi(empty) = {}  F(V) = {}\n",
                 g.node_count(),
                 g.edge_count(),
-                if problem.was_cyclic() { " (cycles removed via Acyclic)" } else { "" },
+                if problem.was_cyclic() {
+                    " (cycles removed via Acyclic)"
+                } else {
+                    ""
+                },
                 solver.label(),
                 k,
                 problem.phi_empty(),
                 problem.f_all(),
             );
-            out.push_str(&if format == "csv" { table.to_csv() } else { table.to_string() });
+            out.push_str(&if format == "csv" {
+                table.to_csv()
+            } else {
+                table.to_string()
+            });
             Ok(out)
         }
         other => Err(format!("unknown --format {other:?} (table, csv, dot)")),
@@ -124,10 +136,12 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         .parse()
         .map_err(|_| "--kmax must be a non-negative integer".to_string())?;
     let trials: usize = flags.get("trials").map_or(Ok(25), |s| {
-        s.parse().map_err(|_| "--trials must be an integer".to_string())
+        s.parse()
+            .map_err(|_| "--trials must be an integer".to_string())
     })?;
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
-        s.parse().map_err(|_| "--seed must be an integer".to_string())
+        s.parse()
+            .map_err(|_| "--seed must be an integer".to_string())
     })?;
     let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
     let cfg = SweepConfig {
@@ -162,17 +176,20 @@ fn cmd_stats(input: &str) -> Result<String, String> {
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
     let seed: u64 = flags.get("seed").map_or(Ok(2012), |s| {
-        s.parse().map_err(|_| "--seed must be an integer".to_string())
+        s.parse()
+            .map_err(|_| "--seed must be an integer".to_string())
     })?;
     let scale: f64 = flags.get("scale").map_or(Ok(1.0), |s| {
         s.parse().map_err(|_| "--scale must be a float".to_string())
     })?;
     let g = match required(flags, "dataset")? {
         "layered-sparse" => {
-            fp_datasets::layered::generate(&fp_datasets::layered::LayeredParams::paper_sparse(seed)).graph
+            fp_datasets::layered::generate(&fp_datasets::layered::LayeredParams::paper_sparse(seed))
+                .graph
         }
         "layered-dense" => {
-            fp_datasets::layered::generate(&fp_datasets::layered::LayeredParams::paper_dense(seed)).graph
+            fp_datasets::layered::generate(&fp_datasets::layered::LayeredParams::paper_dense(seed))
+                .graph
         }
         "quote" => {
             fp_datasets::quote_like::generate(&fp_datasets::quote_like::QuoteLikeParams {
@@ -198,8 +215,8 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
         }
         other => {
             return Err(format!(
-                "unknown dataset {other:?} (layered-sparse, layered-dense, quote, twitter, citation)"
-            ))
+            "unknown dataset {other:?} (layered-sparse, layered-dense, quote, twitter, citation)"
+        ))
         }
     };
     Ok(to_edge_list(&g))
@@ -294,7 +311,10 @@ mod tests {
             FIG1,
         )
         .unwrap();
-        assert!(out.starts_with("k,G_ALL,G_Max,G_1,G_L,Rand_W,Rand_I,Rand_K"), "{out}");
+        assert!(
+            out.starts_with("k,G_ALL,G_Max,G_1,G_L,Rand_W,Rand_I,Rand_K"),
+            "{out}"
+        );
         assert_eq!(out.lines().count(), 5, "header + k=0..3");
     }
 
@@ -309,7 +329,15 @@ mod tests {
     #[test]
     fn generate_roundtrips_through_the_parser() {
         let out = run_with_input(
-            &args(&["generate", "--dataset", "quote", "--scale", "0.3", "--seed", "7"]),
+            &args(&[
+                "generate",
+                "--dataset",
+                "quote",
+                "--scale",
+                "0.3",
+                "--seed",
+                "7",
+            ]),
             "",
         )
         .unwrap();

@@ -73,8 +73,7 @@ fn sweep_one(problem: &Problem, kind: SolverKind, cfg: &SweepConfig) -> SolverSe
             .map(|&k| {
                 let mut acc = 0.0;
                 for t in 0..cfg.trials.max(1) {
-                    let filters =
-                        problem.solve_seeded(kind, k, cfg.seed.wrapping_add(t as u64));
+                    let filters = problem.solve_seeded(kind, k, cfg.seed.wrapping_add(t as u64));
                     acc += problem.filter_ratio(&filters);
                 }
                 (k, acc / cfg.trials.max(1) as f64)
@@ -97,20 +96,18 @@ fn sweep_one(problem: &Problem, kind: SolverKind, cfg: &SweepConfig) -> SolverSe
 
 /// Run the sweep, one scoped thread per solver.
 pub fn run_sweep(problem: &Problem, cfg: &SweepConfig) -> SweepResult {
-    let mut series: Vec<Option<SolverSeries>> = vec![None; cfg.solvers.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &kind in &cfg.solvers {
-            handles.push(scope.spawn(move |_| sweep_one(problem, kind, cfg)));
-        }
-        for (slot, handle) in series.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("solver thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    SweepResult {
-        series: series.into_iter().map(|s| s.expect("filled")).collect(),
-    }
+    let series = std::thread::scope(|scope| {
+        let handles: Vec<_> = cfg
+            .solvers
+            .iter()
+            .map(|&kind| scope.spawn(move || sweep_one(problem, kind, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("solver thread panicked"))
+            .collect()
+    });
+    SweepResult { series }
 }
 
 #[cfg(test)]
@@ -141,7 +138,11 @@ mod tests {
             ks: (0..=6).collect(),
             trials: 5,
             seed: 1,
-            solvers: vec![SolverKind::GreedyAll, SolverKind::GreedyMax, SolverKind::RandK],
+            solvers: vec![
+                SolverKind::GreedyAll,
+                SolverKind::GreedyMax,
+                SolverKind::RandK,
+            ],
         };
         let res = run_sweep(&p, &cfg);
         assert_eq!(res.series.len(), 3);
@@ -170,7 +171,10 @@ mod tests {
         let ga = res.series_for("G_ALL").unwrap();
         let rk = res.series_for("Rand_K").unwrap();
         for (a, b) in ga.points.iter().zip(&rk.points) {
-            assert!(a.1 >= b.1 - 0.05, "greedy should not lose to random: {a:?} vs {b:?}");
+            assert!(
+                a.1 >= b.1 - 0.05,
+                "greedy should not lose to random: {a:?} vs {b:?}"
+            );
         }
     }
 

@@ -71,7 +71,11 @@ impl core::fmt::Display for Table {
         writeln!(
             f,
             "{}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;

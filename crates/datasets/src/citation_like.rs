@@ -141,8 +141,15 @@ pub fn generate(params: &CitationLikeParams) -> CitationLikeGraph {
     let source = g.add_node();
 
     // Upper tree.
-    let upper = grow_tree(&mut g, &[source], params.upper_nodes.saturating_sub(1), &mut rng);
-    let upper_all: Vec<NodeId> = std::iter::once(source).chain(upper.iter().copied()).collect();
+    let upper = grow_tree(
+        &mut g,
+        &[source],
+        params.upper_nodes.saturating_sub(1),
+        &mut rng,
+    );
+    let upper_all: Vec<NodeId> = std::iter::once(source)
+        .chain(upper.iter().copied())
+        .collect();
 
     // Collector fed by `feeders` distinct upper nodes.
     let collector = g.add_node();
@@ -284,7 +291,10 @@ mod tests {
         let imp: Vec<Wide128> = impacts(&cg, &FilterSet::empty(n));
         let mut ranked: Vec<usize> = (0..n).collect();
         ranked.sort_by(|&a, &b| imp[b].cmp(&imp[a]));
-        let top: Vec<NodeId> = ranked[..CHAIN_LEN + 1].iter().map(|&i| NodeId::new(i)).collect();
+        let top: Vec<NodeId> = ranked[..CHAIN_LEN + 1]
+            .iter()
+            .map(|&i| NodeId::new(i))
+            .collect();
         for t in &top {
             assert!(
                 *t == c.collector || c.chain.contains(t),
@@ -300,7 +310,10 @@ mod tests {
         let n = c.graph.node_count();
         let after: Vec<Wide128> = impacts(&cg, &FilterSet::from_nodes(n, [c.collector]));
         for &node in &c.chain {
-            assert!(after[node.index()].is_zero(), "chain is dead after the collector");
+            assert!(
+                after[node.index()].is_zero(),
+                "chain is dead after the collector"
+            );
         }
         // But the majors keep their full value.
         let before: Vec<Wide128> = impacts(&cg, &FilterSet::empty(n));
@@ -331,6 +344,9 @@ mod tests {
             std::iter::once(c.collector).chain(c.majors.iter().copied()),
         );
         let fr_good = cache.filter_ratio(&cg, &good);
-        assert!(fr_good > 0.85, "collector+majors should be near-perfect: {fr_good:.3}");
+        assert!(
+            fr_good > 0.85,
+            "collector+majors should be near-perfect: {fr_good:.3}"
+        );
     }
 }

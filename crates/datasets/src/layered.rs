@@ -76,10 +76,10 @@ pub fn generate(params: &LayeredParams) -> LayeredGraph {
     let mut g = DiGraph::with_nodes(total + 1);
     let source = NodeId::new(0);
     let mut level = vec![0u32; total + 1];
-    for v in 1..=total {
+    for (v, lvl) in level.iter_mut().enumerate().skip(1) {
         let l = rng.random_range(0..params.levels);
         levels_of[l].push(v);
-        level[v] = l as u32 + 1;
+        *lvl = l as u32 + 1;
     }
     for &v in &levels_of[0] {
         g.add_edge(source, NodeId::new(v));
@@ -121,7 +121,10 @@ mod tests {
         // includes only generated nodes that ended up used; ours is
         // exactly levels × expected + source).
         assert_eq!(n, 1001);
-        assert!((25_000..40_000).contains(&m), "edges {m} out of the paper's ballpark");
+        assert!(
+            (25_000..40_000).contains(&m),
+            "edges {m} out of the paper's ballpark"
+        );
     }
 
     #[test]
@@ -183,6 +186,11 @@ mod tests {
             }
         }
         let rate = |g: usize| by_gap[g] as f64 / pairs_by_gap[g].max(1) as f64;
-        assert!(rate(1) > 3.0 * rate(2), "decay by ~y per gap: {} vs {}", rate(1), rate(2));
+        assert!(
+            rate(1) > 3.0 * rate(2),
+            "decay by ~y per gap: {} vs {}",
+            rate(1),
+            rate(2)
+        );
     }
 }

@@ -47,7 +47,10 @@ pub struct QuoteLikeParams {
 
 impl Default for QuoteLikeParams {
     fn default() -> Self {
-        Self { nodes: 932, seed: 2012 }
+        Self {
+            nodes: 932,
+            seed: 2012,
+        }
     }
 }
 
@@ -145,14 +148,20 @@ mod tests {
         assert!((2_100..3_300).contains(&m), "edges {m} vs paper's 2703");
         // ~70% sinks.
         let sink_frac = sinks(&csr).len() as f64 / 932.0;
-        assert!((0.62..0.78).contains(&sink_frac), "sink fraction {sink_frac}");
+        assert!(
+            (0.62..0.78).contains(&sink_frac),
+            "sink fraction {sink_frac}"
+        );
         // ~50% of nodes have in-degree ≤ 1 … in fact the paper says
         // "almost 50% have in-degree one".
         let indeg1 = (0..932)
             .filter(|&v| csr.in_degree(NodeId::new(v)) == 1)
             .count() as f64
             / 932.0;
-        assert!((0.35..0.65).contains(&indeg1), "in-degree-1 fraction {indeg1}");
+        assert!(
+            (0.35..0.65).contains(&indeg1),
+            "in-degree-1 fraction {indeg1}"
+        );
     }
 
     #[test]

@@ -26,13 +26,19 @@ impl DegreeStats {
     /// In-degree statistics of `g` (Figures 4 and 6 plot these).
     pub fn in_degrees(g: &DiGraph) -> Self {
         let csr = Csr::from_digraph(g);
-        Self::from_degrees((0..g.node_count()).map(|v| csr.in_degree(NodeId::new(v))), g.node_count())
+        Self::from_degrees(
+            (0..g.node_count()).map(|v| csr.in_degree(NodeId::new(v))),
+            g.node_count(),
+        )
     }
 
     /// Out-degree statistics of `g`.
     pub fn out_degrees(g: &DiGraph) -> Self {
         let csr = Csr::from_digraph(g);
-        Self::from_degrees((0..g.node_count()).map(|v| csr.out_degree(NodeId::new(v))), g.node_count())
+        Self::from_degrees(
+            (0..g.node_count()).map(|v| csr.out_degree(NodeId::new(v))),
+            g.node_count(),
+        )
     }
 
     /// Empirical CDF points `(degree, P[deg ≤ degree])`, one per

@@ -35,7 +35,10 @@ pub struct TwitterLikeParams {
 
 impl Default for TwitterLikeParams {
     fn default() -> Self {
-        Self { scale: 1.0, seed: 2010 }
+        Self {
+            scale: 1.0,
+            seed: 2010,
+        }
     }
 }
 
@@ -158,7 +161,10 @@ mod tests {
         let n = t.graph.node_count();
         let m = t.graph.edge_count();
         assert!((80_000..105_000).contains(&n), "nodes {n} vs paper's ~90K");
-        assert!((110_000..135_000).contains(&m), "edges {m} vs paper's ~120K+");
+        assert!(
+            (110_000..135_000).contains(&m),
+            "edges {m} vs paper's ~120K+"
+        );
         // Exponential level growth as reported.
         let s = &t.level_sizes;
         assert_eq!(s[0], 1);

@@ -31,7 +31,11 @@ impl BitSet {
     /// Panics if `idx >= capacity`.
     #[inline]
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.capacity, "bitset index {idx} out of capacity {}", self.capacity);
+        assert!(
+            idx < self.capacity,
+            "bitset index {idx} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (idx / 64, idx % 64);
         let mask = 1u64 << b;
         let was = self.words[w] & mask != 0;
@@ -42,7 +46,11 @@ impl BitSet {
     /// Remove `idx`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, idx: usize) -> bool {
-        assert!(idx < self.capacity, "bitset index {idx} out of capacity {}", self.capacity);
+        assert!(
+            idx < self.capacity,
+            "bitset index {idx} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (idx / 64, idx % 64);
         let mask = 1u64 << b;
         let was = self.words[w] & mask != 0;

@@ -95,7 +95,8 @@ impl Csr {
 
     /// Iterate over all edges as `(source, target)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| self.children(u).iter().map(move |&v| (u, v)))
+        self.nodes()
+            .flat_map(move |u| self.children(u).iter().map(move |&v| (u, v)))
     }
 
     /// Maximum of in- and out-degree over all nodes (the paper's Δ).
@@ -137,8 +138,14 @@ mod tests {
         let csr = Csr::from_digraph(&g);
         assert_eq!(csr.node_count(), 4);
         assert_eq!(csr.edge_count(), 4);
-        assert_eq!(csr.children(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
-        assert_eq!(csr.parents(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            csr.children(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(
+            csr.parents(NodeId::new(3)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(csr.in_degree(NodeId::new(3)), 2);
         assert_eq!(csr.out_degree(NodeId::new(3)), 0);
         assert!(csr.is_sink(NodeId::new(3)));

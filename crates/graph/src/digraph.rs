@@ -47,7 +47,10 @@ impl DiGraph {
     ///
     /// Rejects self-loops and out-of-range endpoints; duplicate edges are
     /// kept (call [`DiGraph::dedup_edges`] if simplicity is required).
-    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Result<Self, GraphError> {
+    pub fn from_pairs(
+        n: usize,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
         let mut g = Self::with_nodes(n);
         for (u, v) in pairs {
             g.try_add_edge(NodeId::new(u), NodeId::new(v))?;
@@ -245,7 +248,12 @@ mod tests {
     fn self_loop_rejected() {
         let mut g = DiGraph::with_nodes(2);
         let err = g.try_add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -276,7 +284,8 @@ mod tests {
     #[test]
     fn edges_iterator_roundtrips() {
         let g = diamond();
-        let mut edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        let mut edges: Vec<(usize, usize)> =
+            g.edges().map(|(u, v)| (u.index(), v.index())).collect();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
     }

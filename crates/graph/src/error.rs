@@ -48,7 +48,9 @@ impl core::fmt::Display for GraphError {
             }
             Self::SelfLoop { node } => write!(f, "self-loop at {node} is not allowed"),
             Self::NotATree { reason } => write!(f, "graph is not a c-tree: {reason}"),
-            Self::Parse { line, reason } => write!(f, "edge list parse error at line {line}: {reason}"),
+            Self::Parse { line, reason } => {
+                write!(f, "edge list parse error at line {line}: {reason}")
+            }
         }
     }
 }
@@ -67,9 +69,14 @@ mod tests {
         };
         assert!(e.to_string().contains("n9"));
         assert!(e.to_string().contains("3 nodes"));
-        let e = GraphError::CycleDetected { on_cycle: NodeId::new(1) };
+        let e = GraphError::CycleDetected {
+            on_cycle: NodeId::new(1),
+        };
         assert!(e.to_string().contains("cycle"));
-        let e = GraphError::Parse { line: 4, reason: "bad".into() };
+        let e = GraphError::Parse {
+            line: 4,
+            reason: "bad".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 }

@@ -65,7 +65,11 @@ pub fn from_edge_list(text: &str) -> Result<(DiGraph, Vec<String>), GraphError> 
 /// Serialize as an edge list (dense numeric ids, one edge per line).
 pub fn to_edge_list(g: &DiGraph) -> String {
     let mut out = String::with_capacity(g.edge_count() * 8);
-    out.push_str(&format!("# nodes {} edges {}\n", g.node_count(), g.edge_count()));
+    out.push_str(&format!(
+        "# nodes {} edges {}\n",
+        g.node_count(),
+        g.edge_count()
+    ));
     for (u, v) in g.edges() {
         out.push_str(&format!("{} {}\n", u.index(), v.index()));
     }
@@ -78,7 +82,10 @@ pub fn to_dot(g: &DiGraph, name: &str, highlight: &[NodeId]) -> String {
     let mut out = String::new();
     out.push_str(&format!("digraph {name} {{\n"));
     for v in highlight {
-        out.push_str(&format!("  {} [style=filled, fillcolor=lightblue];\n", v.index()));
+        out.push_str(&format!(
+            "  {} [style=filled, fillcolor=lightblue];\n",
+            v.index()
+        ));
     }
     for (u, v) in g.edges() {
         out.push_str(&format!("  {} -> {};\n", u.index(), v.index()));

@@ -118,7 +118,12 @@ mod tests {
         let csr = Csr::from_digraph(&g);
         assert_eq!(
             topo_order(&csr).unwrap(),
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 }

@@ -207,10 +207,10 @@ impl CTree {
                     // gets the final two children.
                     nodes[v].left = Some(kids[0].index() as u32);
                     let mut attach = v;
-                    for i in 1..r - 1 {
+                    for &kid in &kids[1..r - 1] {
                         let dump = nodes.len() as u32;
                         nodes.push(BinaryTreeNode {
-                            left: Some(kids[i].index() as u32),
+                            left: Some(kid.index() as u32),
                             right: None,
                             real: None,
                             injects: false,
@@ -320,7 +320,12 @@ mod tests {
         // also impossible. Test disconnection instead: 2's parent is 3,
         // 3's parent is 2 — two nodes unreachable from root 0 and a
         // parent cycle.
-        let parent = [None, Some(NodeId::new(0)), Some(NodeId::new(3)), Some(NodeId::new(2))];
+        let parent = [
+            None,
+            Some(NodeId::new(0)),
+            Some(NodeId::new(3)),
+            Some(NodeId::new(2)),
+        ];
         assert!(matches!(
             CTree::new(&parent, vec![false; 4]),
             Err(GraphError::NotATree { .. })
@@ -350,8 +355,9 @@ mod tests {
     #[test]
     fn binary_transform_wide_node() {
         // Root with 5 children → 3 dump nodes (spine of r-2).
-        let parent: Vec<Option<NodeId>> =
-            std::iter::once(None).chain((0..5).map(|_| Some(NodeId::new(0)))).collect();
+        let parent: Vec<Option<NodeId>> = std::iter::once(None)
+            .chain((0..5).map(|_| Some(NodeId::new(0))))
+            .collect();
         let t = CTree::new(&parent, vec![false; 6]).unwrap();
         let b = t.to_binary();
         assert_eq!(b.len(), 6 + 3);

@@ -133,7 +133,11 @@ impl core::fmt::Display for BigCount {
         }
         let mut iter = chunks.iter().rev();
         // The most significant chunk prints without leading zeros.
-        write!(f, "{}", iter.next().expect("non-zero value has at least one chunk"))?;
+        write!(
+            f,
+            "{}",
+            iter.next().expect("non-zero value has at least one chunk")
+        )?;
         for chunk in iter {
             write!(f, "{chunk:019}")?;
         }

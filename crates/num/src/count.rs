@@ -16,7 +16,16 @@
 /// integer: `zero() < one()`, addition and multiplication are monotone,
 /// and `Ord` is a total order consistent with the represented magnitude.
 pub trait Count:
-    Clone + PartialEq + Eq + PartialOrd + Ord + core::fmt::Debug + core::fmt::Display + Send + Sync + 'static
+    Clone
+    + PartialEq
+    + Eq
+    + PartialOrd
+    + Ord
+    + core::fmt::Debug
+    + core::fmt::Display
+    + Send
+    + Sync
+    + 'static
 {
     /// The additive identity.
     fn zero() -> Self;
@@ -61,7 +70,10 @@ pub trait Count:
         if v == 0.0 {
             return (0.0, 0);
         }
-        debug_assert!(v.is_finite(), "to_f64_parts default impl needs a finite to_f64");
+        debug_assert!(
+            v.is_finite(),
+            "to_f64_parts default impl needs a finite to_f64"
+        );
         let exp = v.log2().floor() as i64;
         (v / (2f64).powi(exp as i32), exp)
     }

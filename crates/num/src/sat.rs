@@ -97,7 +97,11 @@ macro_rules! saturating_count {
     };
 }
 
-saturating_count!(Sat64, u64, "Saturating `u64` counter — fastest, adequate for sparse graphs.");
+saturating_count!(
+    Sat64,
+    u64,
+    "Saturating `u64` counter — fastest, adequate for sparse graphs."
+);
 saturating_count!(
     Wide128,
     u128,

@@ -101,7 +101,11 @@ mod tests {
         assert_eq!(s.len(), 4);
         let t = s.truncated(2);
         assert_eq!(t.nodes(), &[NodeId::new(0), NodeId::new(1)]);
-        assert_eq!(t.truncated(99).len(), 2, "truncation beyond len is identity");
+        assert_eq!(
+            t.truncated(99).len(),
+            2,
+            "truncation beyond len is identity"
+        );
     }
 
     #[test]

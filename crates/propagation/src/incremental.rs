@@ -113,7 +113,10 @@ impl<'a, C: Count> IncrementalPropagation<'a, C> {
                 recv.add_assign(&self.emitted[p.index()]);
             }
             let old_recv = std::mem::replace(&mut self.received[u.index()], recv.clone());
-            debug_assert!(recv <= old_recv, "adding filters cannot increase receptions");
+            debug_assert!(
+                recv <= old_recv,
+                "adding filters cannot increase receptions"
+            );
             self.phi = self.phi.saturating_sub(&old_recv.saturating_sub(&recv));
             let new_emit = self.emission_of(u, &recv);
             if new_emit != self.emitted[u.index()] {
@@ -140,7 +143,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -165,7 +178,7 @@ mod tests {
         let cg = figure1();
         let mut inc = IncrementalPropagation::<Wide128>::new(&cg, FilterSet::empty(7));
         assert!(inc.insert_filter(NodeId::new(4)));
-        let phi = inc.phi().clone();
+        let phi = *inc.phi();
         assert!(!inc.insert_filter(NodeId::new(4)));
         assert_eq!(*inc.phi(), phi);
     }
@@ -184,7 +197,7 @@ mod tests {
     fn filters_at_sinks_change_nothing_downstream() {
         let cg = figure1();
         let mut inc = IncrementalPropagation::<Wide128>::new(&cg, FilterSet::empty(7));
-        let before = inc.phi().clone();
+        let before = *inc.phi();
         inc.insert_filter(NodeId::new(6)); // w is a sink
         assert_eq!(*inc.phi(), before);
     }

@@ -50,10 +50,7 @@ impl MultiItemGraph {
 
     /// `F_multi(A) = Φ_multi(∅) − Φ_multi(A)`.
     pub fn f_value<C: Count>(&self, filters: &FilterSet) -> C {
-        let n = self
-            .per_source
-            .first()
-            .map_or(0, |(cg, _)| cg.node_count());
+        let n = self.per_source.first().map_or(0, |(cg, _)| cg.node_count());
         let empty = FilterSet::empty(n);
         self.phi_total::<C>(&empty)
             .saturating_sub(&self.phi_total::<C>(filters))
@@ -69,7 +66,17 @@ mod tests {
     fn two_source_graph() -> (DiGraph, Vec<(NodeId, u64)>) {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         (g, vec![(NodeId::new(0), 3), (NodeId::new(2), 5)])

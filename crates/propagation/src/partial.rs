@@ -13,7 +13,10 @@ use crate::{CGraph, FilterSet};
 
 /// `Φ(A, V)` under partial filters with leak rate `rho`, in `f64`.
 pub fn phi_total_partial(cg: &CGraph, filters: &FilterSet, rho: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "leak rate must be in [0,1], got {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "leak rate must be in [0,1], got {rho}"
+    );
     let csr = cg.csr();
     let source = cg.source();
     let n = cg.node_count();
@@ -56,7 +59,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()

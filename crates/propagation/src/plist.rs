@@ -125,7 +125,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -164,7 +174,14 @@ mod tests {
         let cg = figure1();
         agree_on(
             &cg,
-            &[vec![], vec![4], vec![4, 6], vec![1], vec![1, 2], vec![3, 4, 5]],
+            &[
+                vec![],
+                vec![4],
+                vec![4, 6],
+                vec![1],
+                vec![1, 2],
+                vec![3, 4, 5],
+            ],
         );
     }
 
@@ -192,7 +209,10 @@ mod tests {
         }
         let g = DiGraph::from_pairs(10, pairs).unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        agree_on(&cg, &[vec![], vec![4], vec![5, 6], vec![4, 5, 6], vec![1, 8]]);
+        agree_on(
+            &cg,
+            &[vec![], vec![4], vec![5, 6], vec![4, 5, 6], vec![1, 8]],
+        );
     }
 
     #[test]
@@ -202,6 +222,10 @@ mod tests {
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
         let filters = FilterSet::from_nodes(4, [NodeId::new(2)]);
         let res: PlistResult<Sat64> = plist_impacts(&cg, &filters);
-        assert_eq!(res.received[3].get(), 0, "dead filter must not emit phantom copies");
+        assert_eq!(
+            res.received[3].get(),
+            0,
+            "dead filter must not emit phantom copies"
+        );
     }
 }

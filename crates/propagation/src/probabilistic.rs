@@ -101,7 +101,17 @@ mod tests {
         (
             DiGraph::from_pairs(
                 7,
-                [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+                [
+                    (0, 1),
+                    (0, 2),
+                    (1, 3),
+                    (1, 4),
+                    (2, 4),
+                    (2, 5),
+                    (3, 6),
+                    (4, 6),
+                    (5, 6),
+                ],
             )
             .unwrap(),
             NodeId::new(0),
@@ -142,15 +152,36 @@ mod tests {
         let (g, s) = figure1();
         // Cut both source edges: nothing propagates.
         let cut = |u: NodeId, _v: NodeId| if u == s { 0.0 } else { 1.0 };
-        let mc = expected_phi(&g, s, &RelayProb::PerEdge(&cut), &FilterSet::empty(7), 10, 1);
+        let mc = expected_phi(
+            &g,
+            s,
+            &RelayProb::PerEdge(&cut),
+            &FilterSet::empty(7),
+            10,
+            1,
+        );
         assert_eq!(mc, 0.0);
     }
 
     #[test]
     fn seeded_runs_are_reproducible() {
         let (g, s) = figure1();
-        let a = expected_phi(&g, s, &RelayProb::Uniform(0.5), &FilterSet::empty(7), 50, 99);
-        let b = expected_phi(&g, s, &RelayProb::Uniform(0.5), &FilterSet::empty(7), 50, 99);
+        let a = expected_phi(
+            &g,
+            s,
+            &RelayProb::Uniform(0.5),
+            &FilterSet::empty(7),
+            50,
+            99,
+        );
+        let b = expected_phi(
+            &g,
+            s,
+            &RelayProb::Uniform(0.5),
+            &FilterSet::empty(7),
+            50,
+            99,
+        );
         assert_eq!(a, b);
     }
 

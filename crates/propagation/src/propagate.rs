@@ -77,7 +77,17 @@ mod tests {
         // ids: s=0 x=1 y=2 z1=3 z2=4 z3=5 w=6
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let ids = (0..7).map(NodeId::new).collect();
@@ -95,7 +105,11 @@ mod tests {
         assert_eq!(prop.received[id[4].index()].get(), 2);
         assert_eq!(prop.received[id[5].index()].get(), 1);
         assert_eq!(prop.received[id[6].index()].get(), 4);
-        assert_eq!(prop.received[id[0].index()].get(), 0, "source receives nothing");
+        assert_eq!(
+            prop.received[id[0].index()].get(),
+            0,
+            "source receives nothing"
+        );
         assert_eq!(prop.emitted[id[0].index()].get(), 1);
     }
 

@@ -90,7 +90,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -127,7 +137,10 @@ mod tests {
             tail = j;
         }
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        assert_eq!(simulate_messages(&cg, &FilterSet::empty(g.node_count()), 100), None);
+        assert_eq!(
+            simulate_messages(&cg, &FilterSet::empty(g.node_count()), 100),
+            None
+        );
         // Filters at every join collapse the blowup.
         let joins: Vec<NodeId> = (0..g.node_count())
             .map(NodeId::new)

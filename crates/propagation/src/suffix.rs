@@ -46,7 +46,17 @@ mod tests {
     fn figure1() -> CGraph {
         let g = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         CGraph::new(&g, NodeId::new(0)).unwrap()
@@ -86,7 +96,17 @@ mod tests {
     fn suffix_is_the_phi_derivative() {
         let base = DiGraph::from_pairs(
             7,
-            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let cg = CGraph::new(&base, NodeId::new(0)).unwrap();
@@ -96,7 +116,7 @@ mod tests {
             let prop: Propagation<Sat64> = propagate(&cg, &filters);
             let phi = |p: &Propagation<Sat64>| -> u64 { p.received.iter().map(|c| c.get()).sum() };
             let phi0 = phi(&prop);
-            for v in 1..7usize {
+            for (v, suffix_v) in suffix.iter().enumerate().skip(1) {
                 // Re-run with one extra copy flowing out of v: splice an
                 // auxiliary emitter u* → children(v).
                 let mut g2 = base.clone();
@@ -118,7 +138,7 @@ mod tests {
                 let phi1 = phi(&prop2) - aux_recv;
                 assert_eq!(
                     phi1 - phi0,
-                    suffix[v].get(),
+                    suffix_v.get(),
                     "suffix derivative mismatch at node {v} with filters {fset:?}"
                 );
             }

@@ -17,12 +17,19 @@ use fp_core::propagation::f_value;
 fn main() {
     // --- Exact DP on a random c-tree -------------------------------
     let tree = tree_gen::random_ctree(40, 0.5, 7);
-    println!("c-tree with {} nodes (source injects at ~50% of them)", tree.node_count());
+    println!(
+        "c-tree with {} nodes (source injects at ~50% of them)",
+        tree.node_count()
+    );
     for k in [1usize, 2, 4, 8] {
         let placement = tree_dp::optimal_tree_placement(&tree, k);
         println!(
             "  k={k}: optimal filters {:?} — Φ {} → {} (saved {})",
-            placement.filters.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            placement
+                .filters
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>(),
             placement.phi_empty,
             placement.phi,
             placement.phi_empty - placement.phi,
@@ -59,13 +66,22 @@ fn main() {
     let f_greedy: Wide128 = f_value(&cg, &greedy);
     println!(
         "  Greedy_All picks {:?} — F = {}",
-        greedy.nodes().iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+        greedy
+            .nodes()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>(),
         f_greedy
     );
     let exact = optimal_placement_bb::<Wide128>(&cg, 2);
     println!(
         "  Exact (B&B)  picks {:?} — F = {} ({} search nodes expanded)",
-        exact.filters.nodes().iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+        exact
+            .filters
+            .nodes()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>(),
         exact.f_value,
         exact.expanded
     );

@@ -10,15 +10,31 @@ fn main() {
     // Node ids:       s=0 x=1 y=2 z1=3 z2=4 z3=5 w=6
     let g = DiGraph::from_pairs(
         7,
-        [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (1, 4),
+            (2, 4),
+            (2, 5),
+            (3, 6),
+            (4, 6),
+            (5, 6),
+        ],
     )
     .expect("valid edge list");
 
     let problem = Problem::new(&g, NodeId::new(0)).expect("acyclic, valid source");
 
     println!("Without filters, one syndicated item causes:");
-    println!("  Φ(∅,V) = {} receptions across the network", problem.phi_empty());
-    println!("  of which F(V) = {} are removable redundancy\n", problem.f_all());
+    println!(
+        "  Φ(∅,V) = {} receptions across the network",
+        problem.phi_empty()
+    );
+    println!(
+        "  of which F(V) = {} are removable redundancy\n",
+        problem.f_all()
+    );
 
     // Compare every solver the paper evaluates, at budget k = 1.
     let mut table = Table::new(["solver", "chosen", "F(A)", "FR(A)"]);
@@ -32,7 +48,11 @@ fn main() {
             .join("+");
         table.row([
             kind.label().to_string(),
-            if chosen.is_empty() { "-".into() } else { chosen },
+            if chosen.is_empty() {
+                "-".into()
+            } else {
+                chosen
+            },
             problem.f_value(&placement).to_string(),
             format!("{:.2}", problem.filter_ratio(&placement)),
         ]);

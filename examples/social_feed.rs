@@ -50,7 +50,10 @@ fn main() {
         "Greedy_All reaches FR = {:.3} with {} filters (planted celebrities: {:?})",
         problem.filter_ratio(&placement),
         placement.len(),
-        t.celebrities.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        t.celebrities
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Probabilistic extension: users re-share with probability 0.8.

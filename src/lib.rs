@@ -1,0 +1,8 @@
+//! Workspace facade: re-exports [`fp_core`] so the root package's
+//! `tests/` and `examples/` (and downstream users who want a single
+//! dependency) build against one crate.
+//!
+//! See `fp_core` for the full documentation; the quickstart lives in
+//! `examples/quickstart.rs`.
+
+pub use fp_core::*;

@@ -56,7 +56,11 @@ fn twitter_like_all_greedy_variants_reach_fr1_within_ten_filters() {
     let p = Problem::new(&t.graph, t.source).unwrap();
     let ga = p.solve(SolverKind::GreedyAll, 6);
     assert_eq!(p.filter_ratio(&ga), 1.0, "G_ALL perfect by k=6");
-    for kind in [SolverKind::GreedyMax, SolverKind::GreedyOne, SolverKind::GreedyL] {
+    for kind in [
+        SolverKind::GreedyMax,
+        SolverKind::GreedyOne,
+        SolverKind::GreedyL,
+    ] {
         let fr = p.filter_ratio(&p.solve(kind, 10));
         assert!(
             fr > 0.95,
@@ -117,8 +121,14 @@ fn synthetic_layered_fr_grows_gradually() {
     let p = Problem::new(&lg.graph, lg.source).unwrap();
     let fr10 = p.filter_ratio(&p.solve(SolverKind::GreedyAll, 10));
     let fr50 = p.filter_ratio(&p.solve(SolverKind::GreedyAll, 50));
-    assert!(fr10 < 0.9, "no tiny perfect cut in dense synthetic graphs ({fr10:.3})");
-    assert!(fr50 > fr10 + 0.1, "more filters keep helping ({fr10:.3} → {fr50:.3})");
+    assert!(
+        fr10 < 0.9,
+        "no tiny perfect cut in dense synthetic graphs ({fr10:.3})"
+    );
+    assert!(
+        fr50 > fr10 + 0.1,
+        "more filters keep helping ({fr10:.3} → {fr50:.3})"
+    );
 }
 
 #[test]
@@ -136,6 +146,10 @@ fn figure4_and_6_degree_cdfs_have_the_reported_shape() {
     // long tail beyond 20.
     let q = quote_like::generate(&QuoteLikeParams::default());
     let qd = DegreeStats::in_degrees(&q.graph);
-    assert!((0.35..0.75).contains(&qd.cdf_at(1)), "cdf(1) = {}", qd.cdf_at(1));
+    assert!(
+        (0.35..0.75).contains(&qd.cdf_at(1)),
+        "cdf(1) = {}",
+        qd.cdf_at(1)
+    );
     assert!(qd.max_degree() >= 10, "hub tail missing");
 }

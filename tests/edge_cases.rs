@@ -23,7 +23,11 @@ fn single_node_graph() {
     assert!(p.phi_empty().is_zero());
     assert!(p.f_all().is_zero());
     for (name, placement) in solve_all(&p, 3) {
-        assert_eq!(p.filter_ratio(&placement), 1.0, "{name}: FR convention on F(V)=0");
+        assert_eq!(
+            p.filter_ratio(&placement),
+            1.0,
+            "{name}: FR convention on F(V)=0"
+        );
     }
 }
 
@@ -62,7 +66,17 @@ fn disconnected_components_are_ignored_gracefully() {
     // join actually saves a delivery) + an unreachable diamond.
     let g = DiGraph::from_pairs(
         9,
-        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 8), (4, 5), (4, 6), (5, 7), (6, 7)],
+        [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 8),
+            (4, 5),
+            (4, 6),
+            (5, 7),
+            (6, 7),
+        ],
     )
     .unwrap();
     let p = Problem::new(&g, NodeId::new(0)).unwrap();
@@ -80,9 +94,17 @@ fn budget_zero_and_oversized_budgets() {
     let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
     let p = Problem::new(&g, NodeId::new(0)).unwrap();
     for kind in SolverKind::PAPER_SET {
-        assert!(p.solve(kind, 0).is_empty(), "{}: k=0 places nothing", kind.label());
+        assert!(
+            p.solve(kind, 0).is_empty(),
+            "{}: k=0 places nothing",
+            kind.label()
+        );
         let huge = p.solve_seeded(kind, 1000, 3);
-        assert!(huge.len() <= 4, "{}: cannot exceed the node count", kind.label());
+        assert!(
+            huge.len() <= 4,
+            "{}: cannot exceed the node count",
+            kind.label()
+        );
     }
     let (opt, f) = brute_force::optimal_placement::<Wide128>(p.cgraph(), 1000);
     assert_eq!(f, *p.f_all());
@@ -148,5 +170,9 @@ fn all_paper_solvers_are_total_on_a_pathological_mix() {
         assert!((0.0..=1.0 + 1e-12).contains(&fr), "{name}: fr={fr}");
     }
     let ga = p.solve(SolverKind::GreedyAll, 10);
-    assert_eq!(p.filter_ratio(&ga), 1.0, "the ten bipartite joins are the cut");
+    assert_eq!(
+        p.filter_ratio(&ga),
+        1.0,
+        "the ten bipartite joins are the cut"
+    );
 }

@@ -44,7 +44,11 @@ fn figure7_pipeline_runs_and_orders_the_algorithms() {
     let table = sweep_table(&res);
     let text = table.to_string();
     for kind in SolverKind::PAPER_SET {
-        assert!(text.contains(kind.label()), "missing column {}", kind.label());
+        assert!(
+            text.contains(kind.label()),
+            "missing column {}",
+            kind.label()
+        );
     }
     assert_eq!(table.len(), cfg.ks.len());
 }
@@ -79,11 +83,7 @@ fn multi_item_extension_composes_with_placements() {
     let p = Problem::new(&t.graph, t.source).unwrap();
     let placement = p.solve(SolverKind::GreedyAll, 6);
     // Root posts at rate 3, a celebrity posts at rate 1.
-    let multi = MultiItemGraph::new(
-        &t.graph,
-        &[(t.source, 3), (t.celebrities[0], 1)],
-    )
-    .unwrap();
+    let multi = MultiItemGraph::new(&t.graph, &[(t.source, 3), (t.celebrities[0], 1)]).unwrap();
     let f_multi: Wide128 = multi.f_value(&placement);
     let f_single = p.f_value(&placement);
     // The multi-item objective is at least the rate-scaled single-item

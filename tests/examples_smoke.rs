@@ -1,0 +1,63 @@
+//! Smoke test: every example under `examples/` must run to completion.
+//!
+//! `cargo test` already compiles examples, but only running them
+//! catches panics, `unwrap`s on changed APIs, and broken invariants in
+//! the walkthroughs — the doc-level entry points the README points
+//! newcomers at. Each example is a short deterministic program (the
+//! slowest takes ~1.5 s unoptimized), so running all five here is
+//! cheap insurance.
+
+use std::process::Command;
+
+/// Run one example via the same cargo that is running this test and
+/// return its stdout.
+fn run_example(name: &str) -> String {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .env("CARGO_TERM_COLOR", "never")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} exited with {:?}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example("quickstart");
+    assert!(!out.trim().is_empty(), "quickstart printed nothing");
+}
+
+#[test]
+fn news_network_runs() {
+    let out = run_example("news_network");
+    assert!(
+        out.contains("FR"),
+        "news_network should report filter ratios"
+    );
+}
+
+#[test]
+fn exact_planning_runs() {
+    let out = run_example("exact_planning");
+    assert!(
+        out.contains("Greedy_All") && out.contains("Exact"),
+        "exact_planning should compare greedy to the exact solver"
+    );
+}
+
+#[test]
+fn social_feed_runs() {
+    let out = run_example("social_feed");
+    assert!(!out.trim().is_empty(), "social_feed printed nothing");
+}
+
+#[test]
+fn citation_audit_runs() {
+    let out = run_example("citation_audit");
+    assert!(!out.trim().is_empty(), "citation_audit printed nothing");
+}

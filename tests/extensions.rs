@@ -128,7 +128,15 @@ fn cli_pipeline_generate_stats_solve_sweep() {
     let argv = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
 
     let edges = run_with_input(
-        &argv(&["generate", "--dataset", "twitter", "--scale", "0.01", "--seed", "4"]),
+        &argv(&[
+            "generate",
+            "--dataset",
+            "twitter",
+            "--scale",
+            "0.01",
+            "--seed",
+            "4",
+        ]),
         "",
     )
     .unwrap();
@@ -141,7 +149,10 @@ fn cli_pipeline_generate_stats_solve_sweep() {
         &edges,
     )
     .unwrap();
-    assert!(solved.contains("1.0000"), "six filters reach FR 1: {solved}");
+    assert!(
+        solved.contains("1.0000"),
+        "six filters reach FR 1: {solved}"
+    );
 
     let sweep = run_with_input(
         &argv(&[

@@ -10,7 +10,17 @@ use fp_core::propagation::{f_value, phi_total};
 fn figure1() -> DiGraph {
     DiGraph::from_pairs(
         7,
-        [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+        [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (1, 4),
+            (2, 4),
+            (2, 5),
+            (3, 6),
+            (4, 6),
+            (5, 6),
+        ],
     )
     .unwrap()
 }
@@ -43,7 +53,11 @@ fn figure1_filters_at_z2_and_w_alleviate_all_redundancy() {
 fn figure1_proposition1_set_is_minimal_and_perfect() {
     let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
     let a = unbounded::unbounded_optimal(p.cgraph());
-    assert_eq!(a.nodes(), &[NodeId::new(4)], "A = {{v : din>1, dout>0}} = {{z2}}");
+    assert_eq!(
+        a.nodes(),
+        &[NodeId::new(4)],
+        "A = {{v : din>1, dout>0}} = {{z2}}"
+    );
     assert_eq!(p.filter_ratio(&a), 1.0);
 }
 
@@ -139,7 +153,10 @@ fn figure3_greedy_all_is_suboptimal_for_k2() {
     let mut opt_nodes: Vec<NodeId> = opt.nodes().to_vec();
     opt_nodes.sort_unstable();
     assert_eq!(opt_nodes, vec![NodeId::new(5), NodeId::new(6)]);
-    assert!(f_opt > f_greedy, "optimal {f_opt} must beat greedy {f_greedy}");
+    assert!(
+        f_opt > f_greedy,
+        "optimal {f_opt} must beat greedy {f_greedy}"
+    );
 
     // The specific arithmetic of this instance (mirrors the paper's
     // walkthrough structure): greedy saves 13, optimal saves 14.

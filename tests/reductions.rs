@@ -16,12 +16,12 @@ fn theorem1_equivalence_holds_exhaustively_on_a_6_set_instance() {
     let inst = SetCover {
         universe: 8,
         sets: vec![
-            vec![0, 5, 6],    // set 0: elements {0,1},{0,5},{0,3}
-            vec![0, 1, 7],    // set 1: {0,1},{1,2},{1,4}
-            vec![1, 2],       // set 2: {1,2},{2,3}
-            vec![2, 3, 6],    // set 3: {2,3},{3,4},{0,3}
-            vec![3, 4, 7],    // set 4: {3,4},{4,5},{1,4}
-            vec![4, 5],       // set 5: {4,5},{0,5}
+            vec![0, 5, 6], // set 0: elements {0,1},{0,5},{0,3}
+            vec![0, 1, 7], // set 1: {0,1},{1,2},{1,4}
+            vec![1, 2],    // set 2: {1,2},{2,3}
+            vec![2, 3, 6], // set 3: {2,3},{3,4},{0,3}
+            vec![3, 4, 7], // set 4: {3,4},{4,5},{1,4}
+            vec![4, 5],    // set 5: {4,5},{0,5}
         ],
     };
     // Sanity: each element occurs in exactly two sets.
@@ -66,7 +66,10 @@ fn theorem2_separation_holds_for_every_k2_subset_on_a_5_vertex_graph() {
             let phi: BigCount = vertexcover_phi(&g, s, &[a, b]);
             let phi = phi.to_u128().unwrap();
             assert!(!is_vertex_cover(&c5, &[a, b]));
-            assert!(phi >= m3, "non-cover {{{a},{b}}} must blow past m³: {phi} < {m3}");
+            assert!(
+                phi >= m3,
+                "non-cover {{{a},{b}}} must blow past m³: {phi} < {m3}"
+            );
         }
     }
     // And every valid 3-cover stays below m³.
@@ -78,7 +81,10 @@ fn theorem2_separation_holds_for_every_k2_subset_on_a_5_vertex_graph() {
                 }
                 let phi: BigCount = vertexcover_phi(&g, s, &[a, b, c]);
                 let phi = phi.to_u128().unwrap();
-                assert!(phi < m3, "cover {{{a},{b},{c}}} must stay below m³: {phi} >= {m3}");
+                assert!(
+                    phi < m3,
+                    "cover {{{a},{b},{c}}} must stay below m³: {phi} >= {m3}"
+                );
             }
         }
     }

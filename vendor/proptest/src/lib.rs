@@ -1,0 +1,388 @@
+//! Vendored, minimal property-testing harness exposing the subset of
+//! the `proptest` 1.x surface this workspace uses: the [`proptest!`]
+//! macro, range / [`any`] / tuple / [`collection::vec`] strategies,
+//! `prop_assert*` macros, and [`ProptestConfig::with_cases`].
+//!
+//! No shrinking: a failing case panics with the generated inputs so it
+//! can be reproduced by hand. Generation is deterministic — the RNG is
+//! seeded from the test's module path and case index — so CI failures
+//! reproduce locally.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable assertion message.
+    pub message: String,
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Seed from the property's identity and case index, via FNV-1a so
+    /// distinct properties get unrelated streams.
+    pub fn for_case(ident: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in ident.bytes().chain(case.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(ChaCha8Rng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator, mirroring (loosely) `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32);
+
+impl Strategy for core::ops::RangeFrom<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        if self.start == 0 {
+            rng.next_u64()
+        } else {
+            self.start + rng.next_u64() % (u64::MAX - self.start + 1)
+        }
+    }
+}
+
+impl Strategy for core::ops::RangeFrom<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if self.start == 0 {
+            raw
+        } else {
+            self.start + raw % (u128::MAX - self.start + 1)
+        }
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// Strategy for "any value of `T`", mirroring `proptest::arbitrary`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Entry point mirroring `proptest::prelude::any`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Strategy for Any<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Strategy for Any<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Rng, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Property-test block, mirroring `proptest::proptest!`.
+///
+/// Supports the forms used in this workspace: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &$cfg,
+                    |__rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        let __inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; ",)+),
+                            $(&$arg),+
+                        );
+                        let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        (__inputs, __result)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Driver behind [`proptest!`]; runs `cfg.cases` deterministic cases.
+pub fn run_property<F>(ident: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    for i in 0..cfg.cases {
+        let mut rng = TestRng::for_case(ident, i);
+        let (inputs, result) = case(&mut rng);
+        if let Err(e) = result {
+            panic!(
+                "property {ident} failed at case {i}/{}:\n  {e}\n  inputs: {inputs}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Mirrors `proptest::prop_assert!`: soft assertion returning an error.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError {
+                message: format!($($fmt)+),
+            });
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n  right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0usize..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u64..9, any::<bool>())) {
+            prop_assert!(pair.0 < 9);
+            let _: bool = pair.1;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = 0usize..100;
+        let mut a = crate::TestRng::for_case("t", 0);
+        let mut b = crate::TestRng::for_case("t", 0);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        crate::run_property("demo", &ProptestConfig::with_cases(1), |_| {
+            (
+                "x = 1; ".to_string(),
+                Err(TestCaseError {
+                    message: "boom".into(),
+                }),
+            )
+        });
+    }
+}

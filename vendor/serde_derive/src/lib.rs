@@ -1,0 +1,56 @@
+//! Vendored no-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace uses serde only for derives on config/result structs
+//! (no serializer is ever invoked), and the build environment has no
+//! registry access — so these derives emit marker-trait impls and
+//! nothing else. Swap for real `serde_derive` when a registry is
+//! reachable.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following `struct` or `enum`, skipping
+/// attributes and doc comments, plus any `<...>` generics that follow.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut saw_kw = false;
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = tok {
+            let s = id.to_string();
+            if saw_kw {
+                let generic = matches!(
+                    tokens.next(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return Some((s, generic));
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn impl_marker(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        // Generic types would need bounds plumbed through; none of the
+        // workspace's derived types are generic, so punt to an empty
+        // expansion (the marker traits have blanket-free impls only).
+        Some((name, false)) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker("::serde::Serialize", input)
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker("::serde::Deserialize<'_>", input)
+}
