@@ -1,40 +1,126 @@
 //! `repro`: regenerate every table and figure of the paper's §5.
 //!
-//! Usage: `cargo run --release -p fp-bench --bin repro [-- <figure>...]`
-//! where `<figure>` ∈ {fig04, fig05, fig06, fig07, fig08, fig09, fig11}
-//! (default: all). `--fast` scales the twitter-like graph down 10×.
+//! ```text
+//! cargo run --release -p fp-bench --bin repro -- [<figure>...] [flags]
+//!     <figure>        fig04 fig05 fig06 fig07 fig08 fig09 fig11 (default: all)
+//!     --fast          scale the twitter-like graph down 10×
+//!     --out DIR       persist every figure's numbers under DIR
+//!                     (sweeps through the run store — identical reruns
+//!                     are cache hits; CDF/runtime tables as *.csv)
+//!     --jobs N        sweep workers (0 = one per core)
+//!     --budget SECS   wall-clock cap; later figures are skipped and a
+//!                     sweep interrupted mid-flight is discarded
+//!
+//! cargo run --release -p fp-bench --bin repro -- baseline [--fast] [--out FILE]
+//!     time every figure once and write a BENCH_baseline.json document
+//!     (default: stdout) for future PRs to compare against
+//! ```
+
+use std::time::Duration;
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+/// Split argv into figure selections and `--flag value` options.
+fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option<String>), String> {
+    let mut selected = Vec::new();
+    let mut opts = fp_bench::ReproOptions::default();
+    let mut out_file = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => opts.scale = 0.1,
+            "--out" => {
+                let value = it.next().ok_or("--out needs a value")?;
+                opts.out = Some(value.into());
+                out_file = Some(value.clone());
+            }
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--jobs must be a non-negative integer".to_string())?;
+            }
+            "--budget" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|_| "--budget must be seconds".to_string())?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--budget must be non-negative seconds".to_string());
+                }
+                opts.budget = Some(Duration::from_secs_f64(secs));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            figure => selected.push(figure.to_string()),
+        }
+    }
+    Ok((selected, opts, out_file))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let selected: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|a| *a != "--fast")
-        .collect();
-    let all = selected.is_empty();
-    let want = |name: &str| all || selected.contains(&name);
-    let scale = if fast { 0.1 } else { 1.0 };
+    let (selected, opts, out_file) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => fail(&e),
+    };
 
-    if want("fig04") {
-        fp_bench::print_figure(&fp_bench::fig04());
+    // `repro baseline`: time the figures, emit BENCH_baseline.json.
+    if selected.first().map(String::as_str) == Some("baseline") {
+        if selected.len() > 1 {
+            fail("baseline takes no figure arguments");
+        }
+        let doc = match fp_bench::baseline_json(opts.scale) {
+            Ok(doc) => doc.to_pretty(),
+            Err(e) => fail(&e),
+        };
+        match out_file {
+            None => print!("{doc}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &doc) {
+                    fail(&format!("cannot write {path}: {e}"));
+                }
+                eprintln!("baseline written to {path}");
+            }
+        }
+        return;
     }
-    if want("fig05") {
-        fp_bench::print_figure(&fp_bench::fig05());
+
+    for name in &selected {
+        if !fp_bench::FIGURES.contains(&name.as_str()) {
+            fail(&format!(
+                "unknown figure {name:?}; expected one of {}",
+                fp_bench::FIGURES.join(", ")
+            ));
+        }
     }
-    if want("fig06") {
-        fp_bench::print_figure(&fp_bench::fig06());
+    let run_all = selected.is_empty();
+    let session = match fp_bench::ReproSession::new(opts) {
+        Ok(session) => session,
+        Err(e) => fail(&e),
+    };
+    for name in fp_bench::FIGURES {
+        if !(run_all || selected.iter().any(|s| s == name)) {
+            continue;
+        }
+        if session.out_of_budget() {
+            eprintln!("{name}: skipped (time budget exhausted)");
+            continue;
+        }
+        match session.run_figure(name) {
+            Ok(tables) => fp_bench::print_figure(&tables),
+            Err(e) => fail(&e),
+        }
     }
-    if want("fig07") {
-        fp_bench::print_figure(&fp_bench::fig07());
-    }
-    if want("fig08") {
-        fp_bench::print_figure(&fp_bench::fig08(scale));
-    }
-    if want("fig09") {
-        fp_bench::print_figure(&fp_bench::fig09());
-    }
-    if want("fig11") {
-        fp_bench::print_figure(&fp_bench::fig11(scale));
+    if let Some(dir) = &session.options().out {
+        let (computed, hits) = session.stats();
+        eprintln!(
+            "results under {}: {computed} sweep(s) computed, {hits} cache hit(s)",
+            dir.display()
+        );
     }
 }

@@ -5,6 +5,8 @@
 //!             [--seed N] [--format table|csv|dot]
 //! fp sweep    --input edges.txt --source <label> --kmax 10
 //!             [--trials 25] [--seed N] [--format table|csv]
+//!             [--out DIR] [--jobs N]
+//! fp report   --run DIR [--format table|csv|json]
 //! fp stats    --input edges.txt
 //! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
 //!             [--seed N] [--scale F]
@@ -14,14 +16,26 @@
 //! comments allowed); node labels are free-form tokens. Everything is
 //! returned as a string so the logic is unit-testable; only `main`
 //! touches stdout and the process exit code.
+//!
+//! `sweep --out DIR` persists the run under `DIR/<id>/` as
+//! `manifest.json`, `result.json`, and `result.csv`, where `id` is a
+//! hash of config and dataset; re-running the identical sweep is a
+//! cache hit that loads from disk instead of recomputing.
+//! `report --run DIR/<id>` re-renders a stored run, byte-for-byte
+//! identical to the table the sweep printed.
 
-use crate::experiment::{run_sweep, SweepConfig};
+use crate::experiment::{run_sweep_with, SweepConfig, SweepResult};
 use crate::report::{cdf_table, sweep_table, Table};
 use crate::Problem;
 use fp_algorithms::SolverKind;
 use fp_datasets::stats::DegreeStats;
 use fp_graph::{from_edge_list, to_dot, to_edge_list, DiGraph, NodeId};
+use fp_results::{
+    csv::sweep_csv, DatasetFingerprint, RunManifest, RunStore, RunnerOptions, ToJson,
+};
 use std::collections::HashMap;
+use std::path::Path;
+use std::time::Instant;
 
 /// Parse `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -131,7 +145,8 @@ fn cmd_solve(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
 }
 
 fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, String> {
-    let (g, _, source) = load_graph(input, required(flags, "source")?)?;
+    let source_label = required(flags, "source")?;
+    let (g, _, source) = load_graph(input, source_label)?;
     let kmax: usize = required(flags, "kmax")?
         .parse()
         .map_err(|_| "--kmax must be a non-negative integer".to_string())?;
@@ -143,18 +158,78 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         s.parse()
             .map_err(|_| "--seed must be an integer".to_string())
     })?;
-    let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+    let jobs: usize = flags.get("jobs").map_or(Ok(0), |s| {
+        s.parse()
+            .map_err(|_| "--jobs must be a non-negative integer (0 = one per core)".to_string())
+    })?;
+    let format = flags.get("format").map_or("table", String::as_str);
+    if !matches!(format, "table" | "csv") {
+        return Err(format!("unknown --format {format:?} (table, csv)"));
+    }
     let cfg = SweepConfig {
         ks: (0..=kmax).collect(),
         trials,
         seed,
         solvers: SolverKind::PAPER_SET.to_vec(),
     };
-    let table = sweep_table(&run_sweep(&problem, &cfg));
-    Ok(match flags.get("format").map(String::as_str) {
-        Some("csv") => table.to_csv(),
-        _ => table.to_string(),
+    let opts = RunnerOptions::with_jobs(jobs);
+
+    let mut header = String::new();
+    let result = match flags.get("out") {
+        None => {
+            let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+            run_sweep_with(&problem, &cfg, &opts).expect("no deadline")
+        }
+        Some(out) => {
+            let store = RunStore::open(out)?;
+            let dataset = DatasetFingerprint::of_graph("edge-list", &g, source, source_label);
+            let id = RunStore::run_id(&cfg, &dataset);
+            match store.load(&id)? {
+                Some(stored) => {
+                    header = format!(
+                        "run {id}: cache hit, loaded from {}\n",
+                        store.run_dir(&id).display()
+                    );
+                    stored.result
+                }
+                None => {
+                    let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+                    let started = Instant::now();
+                    let result = run_sweep_with(&problem, &cfg, &opts).expect("no deadline");
+                    let manifest = RunManifest::new(
+                        cfg.clone(),
+                        dataset,
+                        jobs,
+                        started.elapsed().as_secs_f64(),
+                    );
+                    let dir = store.save(&manifest, &result)?;
+                    header = format!("run {id}: saved to {}\n", dir.display());
+                    result
+                }
+            }
+        }
+    };
+    let table = sweep_table(&result);
+    // CSV output must stay machine-clean: the run-status line is only
+    // prepended to the human-readable table (`report --format csv` and
+    // `sweep --out --format csv` emit interchangeable bytes).
+    Ok(if format == "csv" {
+        table.to_csv()
+    } else {
+        header + &table.to_string()
     })
+}
+
+fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
+    let dir = required(flags, "run")?;
+    let stored = RunStore::load_dir(Path::new(dir))?;
+    let result: SweepResult = stored.result;
+    match flags.get("format").map_or("table", String::as_str) {
+        "table" => Ok(sweep_table(&result).to_string()),
+        "csv" => Ok(sweep_csv(&result)),
+        "json" => Ok(result.to_json().to_pretty()),
+        other => Err(format!("unknown --format {other:?} (table, csv, json)")),
+    }
 }
 
 fn cmd_stats(input: &str) -> Result<String, String> {
@@ -223,9 +298,11 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: fp <solve|sweep|stats|generate> [--flag value]...
+pub const USAGE: &str = "usage: fp <solve|sweep|report|stats|generate> [--flag value]...
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
+           [--out DIR] [--jobs N]   (--out persists the run; identical reruns are cache hits)
+  report   --run DIR [--format table|csv|json]   (re-render a stored run from disk)
   stats    --input FILE
   generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]";
 
@@ -243,6 +320,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "solve" => cmd_solve(&flags, &read_input()?),
         "sweep" => cmd_sweep(&flags, &read_input()?),
+        "report" => cmd_report(&flags),
         "stats" => cmd_stats(&read_input()?),
         "generate" => cmd_generate(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -260,6 +338,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
     match command.as_str() {
         "solve" => cmd_solve(&flags, input),
         "sweep" => cmd_sweep(&flags, input),
+        "report" => cmd_report(&flags),
         "stats" => cmd_stats(input),
         "generate" => cmd_generate(&flags),
         other => Err(format!("unknown command {other:?}")),
@@ -379,5 +458,305 @@ mod tests {
         let ok = parse_flags(&args(&["--a", "1", "--b", "2"])).unwrap();
         assert_eq!(ok["a"], "1");
         assert_eq!(ok["b"], "2");
+    }
+
+    /// A unique scratch directory (removed by each test on success;
+    /// stragglers land under the OS temp dir).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fp-cli-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sweep_out_persists_then_caches_then_reports_byte_identically() {
+        let out_dir = temp_dir("store");
+        let out_str = out_dir.to_str().unwrap();
+        let sweep_args = args(&[
+            "sweep", "--source", "s", "--kmax", "2", "--trials", "2", "--seed", "7", "--jobs", "2",
+            "--out", out_str,
+        ]);
+
+        let first = run_with_input(&sweep_args, FIG1).unwrap();
+        let (status, table) = first.split_once('\n').unwrap();
+        assert!(status.contains("saved to"), "{status}");
+
+        // Exactly one run directory, with the full file triple.
+        let run_dirs: Vec<_> = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(run_dirs.len(), 1, "{run_dirs:?}");
+        let run_dir = &run_dirs[0];
+        for file in ["manifest.json", "result.json", "result.csv"] {
+            assert!(run_dir.join(file).exists(), "{file} missing");
+        }
+
+        // Identical command again: cache hit, identical table.
+        let second = run_with_input(&sweep_args, FIG1).unwrap();
+        let (status2, table2) = second.split_once('\n').unwrap();
+        assert!(status2.contains("cache hit"), "{status2}");
+        assert_eq!(table2, table, "cache hit must reproduce the table");
+
+        // `report` re-renders the same bytes from disk alone.
+        let report =
+            run_with_input(&args(&["report", "--run", run_dir.to_str().unwrap()]), "").unwrap();
+        assert_eq!(report, table);
+
+        // CSV format matches the stored result.csv bytes.
+        let report_csv = run_with_input(
+            &args(&[
+                "report",
+                "--run",
+                run_dir.to_str().unwrap(),
+                "--format",
+                "csv",
+            ]),
+            "",
+        )
+        .unwrap();
+        assert_eq!(
+            report_csv,
+            std::fs::read_to_string(run_dir.join("result.csv")).unwrap()
+        );
+
+        // JSON format is valid JSON holding all seven series.
+        let report_json = run_with_input(
+            &args(&[
+                "report",
+                "--run",
+                run_dir.to_str().unwrap(),
+                "--format",
+                "json",
+            ]),
+            "",
+        )
+        .unwrap();
+        let parsed = fp_results::Json::parse(&report_json).unwrap();
+        assert_eq!(
+            parsed.expect("series").unwrap().as_array().unwrap().len(),
+            7
+        );
+
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn sweep_out_csv_stays_machine_clean_and_distinct_sources_do_not_collide() {
+        let out_dir = temp_dir("csv-clean");
+        let out_str = out_dir.to_str().unwrap();
+        // --format csv with --out must emit pure CSV (no status line).
+        let csv = run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "1", "--trials", "1", "--out", out_str,
+                "--format", "csv",
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        assert!(csv.starts_with("k,G_ALL"), "status line leaked: {csv}");
+
+        // Same edge structure + same source label, but the label bound
+        // to a different node index: must be a fresh run, not a hit.
+        let a = "s a\na b\na c\n"; // s = index 0
+        let b = "x s\ns b\ns c\n"; // s = index 1, same structural edges
+        let sweep = |input: &str| {
+            run_with_input(
+                &args(&[
+                    "sweep", "--source", "s", "--kmax", "1", "--trials", "1", "--out", out_str,
+                ]),
+                input,
+            )
+            .unwrap()
+        };
+        assert!(sweep(a).starts_with("run "), "first run saves");
+        let second = sweep(b);
+        assert!(
+            !second.contains("cache hit"),
+            "different source index must not hit the cache: {second}"
+        );
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_formats() {
+        let e = run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "1", "--trials", "1", "--format", "json",
+            ]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown --format"), "{e}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_job_counts() {
+        let one = run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "3", "--trials", "4", "--seed", "5", "--jobs",
+                "1", "--format", "csv",
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        let eight = run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "3", "--trials", "4", "--seed", "5", "--jobs",
+                "8", "--format", "csv",
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_numeric_flags() {
+        for (flag, value) in [
+            ("--kmax", "three"),
+            ("--trials", "-1"),
+            ("--seed", "0x10"),
+            ("--jobs", "many"),
+        ] {
+            let mut a = vec!["sweep", "--source", "s", "--kmax", "2"];
+            if flag == "--kmax" {
+                a = vec!["sweep", "--source", "s"];
+            }
+            a.push(flag);
+            a.push(value);
+            let e = run_with_input(&args(&a), FIG1).unwrap_err();
+            assert!(e.contains(flag.trim_start_matches('-')), "{flag}: {e}");
+        }
+    }
+
+    #[test]
+    fn malformed_edge_lists_are_rejected_with_line_numbers() {
+        for bad in ["only-one-token\n", "a b extra\n", "a a\n"] {
+            let e =
+                run_with_input(&args(&["sweep", "--source", "a", "--kmax", "1"]), bad).unwrap_err();
+            assert!(e.contains("line 1"), "{bad:?}: {e}");
+        }
+        let e = run_with_input(
+            &args(&["solve", "--source", "a", "--solver", "G_ALL", "--k", "1"]),
+            "a b\nbroken\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn report_error_paths() {
+        // Missing the --run flag entirely.
+        let e = run_with_input(&args(&["report"]), "").unwrap_err();
+        assert!(e.contains("--run"), "{e}");
+
+        // Pointing at a directory that holds no run.
+        let empty = temp_dir("no-run");
+        std::fs::create_dir_all(&empty).unwrap();
+        let e =
+            run_with_input(&args(&["report", "--run", empty.to_str().unwrap()]), "").unwrap_err();
+        assert!(e.contains("manifest.json"), "{e}");
+        let _ = std::fs::remove_dir_all(&empty);
+
+        // A stored run, but a bogus format.
+        let out_dir = temp_dir("bad-format");
+        run_with_input(
+            &args(&[
+                "sweep",
+                "--source",
+                "s",
+                "--kmax",
+                "1",
+                "--trials",
+                "1",
+                "--out",
+                out_dir.to_str().unwrap(),
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        let run_dir = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        let e = run_with_input(
+            &args(&[
+                "report",
+                "--run",
+                run_dir.path().to_str().unwrap(),
+                "--format",
+                "xml",
+            ]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown --format"), "{e}");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn run_requires_and_reads_the_input_file() {
+        // Missing --input for a file-reading command.
+        let e = run(&args(&["sweep", "--source", "s", "--kmax", "1"])).unwrap_err();
+        assert!(e.contains("--input"), "{e}");
+        // Unreadable --input path.
+        let e = run(&args(&[
+            "stats",
+            "--input",
+            "/nonexistent/fp-test-edges.txt",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+        // `report` does not require --input (it reads the run dir).
+        let e = run(&args(&["report"])).unwrap_err();
+        assert!(e.contains("--run"), "{e}");
+    }
+
+    #[test]
+    fn solve_rejects_bad_k_and_seed() {
+        let e = run_with_input(
+            &args(&["solve", "--source", "s", "--solver", "G_ALL", "--k", "-2"]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("--k"), "{e}");
+        let e = run_with_input(
+            &args(&[
+                "solve", "--source", "s", "--solver", "G_ALL", "--k", "1", "--seed", "soup",
+            ]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+        let e = run_with_input(
+            &args(&[
+                "solve", "--source", "s", "--solver", "G_ALL", "--k", "1", "--format", "yaml",
+            ]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown --format"), "{e}");
+    }
+
+    #[test]
+    fn generate_rejects_unknown_datasets_and_bad_scale() {
+        let e = run_with_input(&args(&["generate", "--dataset", "facebook"]), "").unwrap_err();
+        assert!(e.contains("unknown dataset"), "{e}");
+        let e = run_with_input(
+            &args(&["generate", "--dataset", "quote", "--scale", "big"]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("--scale"), "{e}");
+        let e = run_with_input(&args(&["generate"]), "").unwrap_err();
+        assert!(e.contains("--dataset"), "{e}");
     }
 }

@@ -5,115 +5,63 @@
 //! budget `k` is the first `k` choices of a single max-budget run), so
 //! one placement run serves the whole curve. Randomized baselines are
 //! re-run `trials` times per `k` (the paper uses 25) and averaged.
-//! Solvers run in parallel on scoped threads.
+//!
+//! The heavy lifting lives in [`fp_results`]: the sweep is decomposed
+//! into (solver, `k`, trial) cells and scheduled across a
+//! work-stealing pool ([`fp_results::runner`]), which keeps every core
+//! busy — the seed's one-thread-per-solver scheme left cores idle once
+//! the fast solvers finished. This module contributes the solver
+//! arithmetic by implementing [`SweepBackend`] for [`Problem`], and
+//! re-exports the config/result types that moved to `fp-results` (so
+//! they can be serialized and stored) under their old paths.
 
 use crate::Problem;
 use fp_algorithms::SolverKind;
 use fp_propagation::FilterSet;
-use serde::{Deserialize, Serialize};
+use fp_results::runner::RunnerOptions;
+use fp_results::sweep::{run_sweep_cells, SweepBackend};
 
-/// Configuration of one FR sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct SweepConfig {
-    /// Budgets to evaluate (x-axis of the figures).
-    pub ks: Vec<usize>,
-    /// Trials per budget for randomized solvers (paper: 25).
-    pub trials: usize,
-    /// Base seed for the randomized solvers.
-    pub seed: u64,
-    /// Solvers to compare.
-    pub solvers: Vec<SolverKind>,
-}
+pub use fp_results::model::{SolverSeries, SweepConfig, SweepResult};
 
-impl SweepConfig {
-    /// The paper's seven-algorithm comparison over `0..=k_max`
-    /// (step chosen to keep ~11 points on the curve).
-    pub fn paper(k_max: usize) -> Self {
-        let step = (k_max / 10).max(1);
-        let mut ks: Vec<usize> = (0..=k_max).step_by(step).collect();
-        if *ks.last().unwrap() != k_max {
-            ks.push(k_max);
-        }
-        Self {
-            ks,
-            trials: 25,
-            seed: 0xF1157E5,
-            solvers: SolverKind::PAPER_SET.to_vec(),
-        }
+impl SweepBackend for Problem {
+    fn randomized_fr(&self, solver: SolverKind, k: usize, seed: u64) -> f64 {
+        self.filter_ratio(&self.solve_seeded(solver, k, seed))
     }
-}
 
-/// One solver's FR curve.
-#[derive(Clone, Debug, Serialize)]
-pub struct SolverSeries {
-    /// Legend label (e.g. `"G_ALL"`).
-    pub label: String,
-    /// `(k, mean FR)` points.
-    pub points: Vec<(usize, f64)>,
-}
-
-/// The result of [`run_sweep`].
-#[derive(Clone, Debug, Serialize)]
-pub struct SweepResult {
-    /// One series per solver, in configuration order.
-    pub series: Vec<SolverSeries>,
-}
-
-impl SweepResult {
-    /// The series for a given label, if present.
-    pub fn series_for(&self, label: &str) -> Option<&SolverSeries> {
-        self.series.iter().find(|s| s.label == label)
-    }
-}
-
-fn sweep_one(problem: &Problem, kind: SolverKind, cfg: &SweepConfig) -> SolverSeries {
-    let points = if kind.is_randomized() {
-        cfg.ks
-            .iter()
-            .map(|&k| {
-                let mut acc = 0.0;
-                for t in 0..cfg.trials.max(1) {
-                    let filters = problem.solve_seeded(kind, k, cfg.seed.wrapping_add(t as u64));
-                    acc += problem.filter_ratio(&filters);
-                }
-                (k, acc / cfg.trials.max(1) as f64)
-            })
-            .collect()
-    } else {
+    fn deterministic_curve(&self, solver: SolverKind, ks: &[usize]) -> Vec<(usize, f64)> {
         // Prefix-stable: run once at the maximum budget, truncate.
-        let k_max = cfg.ks.iter().copied().max().unwrap_or(0);
-        let full: FilterSet = problem.solve(kind, k_max);
-        cfg.ks
-            .iter()
-            .map(|&k| (k, problem.filter_ratio(&full.truncated(k))))
+        let k_max = ks.iter().copied().max().unwrap_or(0);
+        let full: FilterSet = self.solve(solver, k_max);
+        ks.iter()
+            .map(|&k| (k, self.filter_ratio(&full.truncated(k))))
             .collect()
-    };
-    SolverSeries {
-        label: kind.label().to_string(),
-        points,
     }
 }
 
-/// Run the sweep, one scoped thread per solver.
+/// Run the sweep with explicit scheduling options.
+///
+/// Returns `None` iff `opts.deadline` expired before the sweep
+/// finished (never when no deadline is set). For a fixed config the
+/// result is bit-identical for every `opts.jobs`.
+pub fn run_sweep_with(
+    problem: &Problem,
+    cfg: &SweepConfig,
+    opts: &RunnerOptions,
+) -> Option<SweepResult> {
+    run_sweep_cells(problem, cfg, opts)
+}
+
+/// Run the sweep on one worker per core, no deadline.
 pub fn run_sweep(problem: &Problem, cfg: &SweepConfig) -> SweepResult {
-    let series = std::thread::scope(|scope| {
-        let handles: Vec<_> = cfg
-            .solvers
-            .iter()
-            .map(|&kind| scope.spawn(move || sweep_one(problem, kind, cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("solver thread panicked"))
-            .collect()
-    });
-    SweepResult { series }
+    run_sweep_with(problem, cfg, &RunnerOptions::default())
+        .expect("no deadline, so the sweep cannot time out")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fp_graph::{DiGraph, NodeId};
+    use std::time::{Duration, Instant};
 
     fn lattice_problem() -> Problem {
         let mut pairs = vec![(0usize, 1usize), (0, 2), (0, 3)];
@@ -185,5 +133,43 @@ mod tests {
         assert_eq!(cfg.trials, 25);
         assert_eq!(*cfg.ks.last().unwrap(), 50);
         assert_eq!(cfg.ks[0], 0);
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_the_bits() {
+        let p = lattice_problem();
+        let cfg = SweepConfig {
+            ks: (0..=5).collect(),
+            trials: 7,
+            seed: 0xF1157E5,
+            solvers: SolverKind::PAPER_SET.to_vec(),
+        };
+        let serial = run_sweep_with(&p, &cfg, &RunnerOptions::with_jobs(1)).unwrap();
+        let parallel = run_sweep_with(&p, &cfg, &RunnerOptions::with_jobs(8)).unwrap();
+        assert_eq!(serial.series.len(), parallel.series.len());
+        for (a, b) in serial.series.iter().zip(&parallel.series) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.points.len(), b.points.len());
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.0, pb.0);
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "{}@k={}", a.label, pa.0);
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_none() {
+        let p = lattice_problem();
+        let cfg = SweepConfig {
+            ks: vec![0, 1],
+            trials: 2,
+            seed: 0,
+            solvers: vec![SolverKind::RandK],
+        };
+        let opts = RunnerOptions {
+            jobs: 2,
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+        };
+        assert!(run_sweep_with(&p, &cfg, &opts).is_none());
     }
 }

@@ -21,6 +21,9 @@
 //!   NP-hardness constructions;
 //! * [`datasets`] — the paper's synthetic family plus generators that
 //!   stand in for its three real traces;
+//! * [`results`] — persistent experiment results: the JSON model, the
+//!   content-addressed on-disk run store behind `fp sweep --out` /
+//!   `fp report`, and the work-stealing parallel sweep runner;
 //! * [`Problem`] / [`experiment`] / [`report`] — a one-stop API tying
 //!   those together, the FR-sweep runner behind every figure, and
 //!   plain-text table/CSV rendering.
@@ -55,16 +58,18 @@ pub use fp_datasets as datasets;
 pub use fp_graph as graph;
 pub use fp_num as num;
 pub use fp_propagation as propagation;
+pub use fp_results as results;
 
 pub use problem::Problem;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::experiment::{run_sweep, SweepConfig, SweepResult};
+    pub use crate::experiment::{run_sweep, run_sweep_with, SweepConfig, SweepResult};
     pub use crate::problem::Problem;
     pub use crate::report::Table;
     pub use fp_algorithms::{Solver, SolverKind};
     pub use fp_graph::{DiGraph, NodeId};
     pub use fp_num::{BigCount, Count, Wide128};
     pub use fp_propagation::{CGraph, FilterSet};
+    pub use fp_results::{DatasetFingerprint, RunManifest, RunStore, RunnerOptions};
 }

@@ -160,4 +160,23 @@ mod tests {
         let t = cdf_table(&[(0, 0.5), (3, 1.0)]);
         assert!(t.to_csv().contains("3,1.0000"));
     }
+
+    #[test]
+    fn sweep_csv_renderers_agree_byte_for_byte() {
+        // The store writes result.csv via fp-results; the CLI renders
+        // via this module. They must emit identical bytes.
+        let res = SweepResult {
+            series: vec![
+                SolverSeries {
+                    label: "G_ALL".into(),
+                    points: vec![(0, 0.0), (3, 1.0 / 3.0), (5, 1.0)],
+                },
+                SolverSeries {
+                    label: "Rand_K".into(),
+                    points: vec![(0, 0.0), (3, 0.1234), (5, 0.25)],
+                },
+            ],
+        };
+        assert_eq!(sweep_table(&res).to_csv(), fp_results::csv::sweep_csv(&res));
+    }
 }

@@ -1,0 +1,62 @@
+//! CSV rendering of sweep results.
+//!
+//! Emits exactly the bytes `fp_core::report::sweep_table(..).to_csv()`
+//! produces (header `k,<label>...`, one row per budget, FR at 4
+//! decimals) so `result.csv` in a run directory, the live `fp sweep
+//! --format csv` output, and `fp report --format csv` are
+//! interchangeable. A parity test in `fp-core` pins the equivalence.
+
+use crate::model::SweepResult;
+
+/// Render a sweep as the paper's figures tabulate it: one row per `k`,
+/// one column per algorithm.
+pub fn sweep_csv(result: &SweepResult) -> String {
+    let mut out = String::from("k");
+    for s in &result.series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    if let Some(first) = result.series.first() {
+        for (i, &(k, _)) in first.points.iter().enumerate() {
+            out.push_str(&k.to_string());
+            for s in &result.series {
+                out.push_str(&format!(",{:.4}", s.points[i].1));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SolverSeries;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let res = SweepResult {
+            series: vec![
+                SolverSeries {
+                    label: "G_ALL".into(),
+                    points: vec![(0, 0.0), (5, 1.0)],
+                },
+                SolverSeries {
+                    label: "Rand_K".into(),
+                    points: vec![(0, 0.0), (5, 0.25)],
+                },
+            ],
+        };
+        assert_eq!(
+            sweep_csv(&res),
+            "k,G_ALL,Rand_K\n0,0.0000,0.0000\n5,1.0000,0.2500\n"
+        );
+    }
+
+    #[test]
+    fn empty_result_is_just_the_k_header() {
+        let res = SweepResult { series: vec![] };
+        assert_eq!(sweep_csv(&res), "k\n");
+    }
+}

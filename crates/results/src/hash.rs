@@ -1,0 +1,102 @@
+//! FNV-1a hashing for run ids and dataset fingerprints.
+//!
+//! The store keys runs by content, not by time: two invocations with
+//! the same canonical config bytes and the same dataset bytes land in
+//! the same run directory, which is what makes re-running an identical
+//! sweep a cache hit. FNV-1a is not cryptographic — collisions would
+//! only cost a spurious cache hit on adversarial input, which the
+//! store's use cases (local experiment directories) do not face.
+
+/// Incremental FNV-1a (64-bit).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Start at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` (little-endian), for structural hashing.
+    pub fn update_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// The digest as 16 lowercase hex digits (run-id format).
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// One-shot hash of a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// One-shot hex digest of a byte string.
+pub fn fnv64_hex(bytes: &[u8]) -> String {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_test_vectors() {
+        // Standard FNV-1a 64 vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_digest_is_16_lowercase_chars() {
+        let hex = fnv64_hex(b"fp-results");
+        assert_eq!(hex.len(), 16);
+        assert!(hex
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+        assert_eq!(u64::from_str_radix(&hex, 16).unwrap(), fnv64(b"fp-results"));
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+        let mut a = Fnv64::new();
+        a.update_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            a.finish(),
+            fnv64(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01])
+        );
+    }
+}

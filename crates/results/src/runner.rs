@@ -1,0 +1,249 @@
+//! A deterministic parallel executor over independent work items.
+//!
+//! The seed's sweep runner spawned one thread per *solver*, so once the
+//! fast solvers finished their whole curves, the slow ones (Greedy_All
+//! on a deep graph) ran alone on one core. This runner schedules much
+//! finer-grained items — the sweep layer feeds it (solver, k, trial)
+//! cells — across `jobs` scoped workers with per-worker deques and
+//! work stealing, so every core stays busy until the queue drains.
+//!
+//! Determinism: scheduling order varies run to run, but each item's
+//! output lands in its own slot of the result vector, and callers
+//! reduce those slots in item order. With a pure `eval`, `jobs = 1`
+//! and `jobs = 64` produce bit-identical outputs.
+//!
+//! The second knob is a *time budget*: with a [`RunnerOptions::deadline`],
+//! workers stop pulling new items once the deadline passes. Items never
+//! started come back as `None` and [`RunOutcome::timed_out`] is set, so
+//! callers can either use the partial results or discard the run — the
+//! sweep layer discards, keeping stored results all-or-nothing.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Scheduling knobs for [`run_parallel`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunnerOptions {
+    /// Worker count; `0` means one per available core.
+    pub jobs: usize,
+    /// Stop pulling new items at this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl RunnerOptions {
+    /// `jobs` workers, no deadline.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs,
+            deadline: None,
+        }
+    }
+
+    /// The effective worker count (resolving `0` to the core count).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            available_cores()
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// One logical core count, with a serial fallback.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// What [`run_parallel`] produced.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// One slot per input item, in input order. `None` only when the
+    /// deadline expired before the item was started.
+    pub results: Vec<Option<T>>,
+    /// Whether the deadline cut the run short.
+    pub timed_out: bool,
+}
+
+impl<T> RunOutcome<T> {
+    /// All results, if every item completed.
+    pub fn into_complete(self) -> Option<Vec<T>> {
+        if self.timed_out {
+            return None;
+        }
+        self.results.into_iter().collect()
+    }
+}
+
+/// Evaluate `eval` over every item on a work-stealing thread pool.
+///
+/// Items are dealt round-robin onto per-worker deques; a worker pops
+/// from the front of its own deque and, when empty, steals from the
+/// back of the first non-empty peer. `eval` receives the item index
+/// and the item.
+pub fn run_parallel<I, O, F>(items: &[I], opts: &RunnerOptions, eval: F) -> RunOutcome<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return RunOutcome {
+            results: Vec::new(),
+            timed_out: false,
+        };
+    }
+    let jobs = opts.effective_jobs().clamp(1, n);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..n).step_by(jobs).collect()))
+        .collect();
+
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        let eval = &eval;
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        if opts.deadline.is_some_and(|dl| Instant::now() >= dl) {
+                            break;
+                        }
+                        let Some(idx) = pop_or_steal(queues, w) else {
+                            break;
+                        };
+                        done.push((idx, eval(idx, &items[idx])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, out) in handle.join().expect("runner worker panicked") {
+                results[idx] = Some(out);
+            }
+        }
+    });
+    let timed_out = results.iter().any(Option::is_none);
+    RunOutcome { results, timed_out }
+}
+
+/// Pop from worker `w`'s own deque, else steal from a peer's tail.
+fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(idx) = queues[w].lock().expect("queue lock").pop_front() {
+        return Some(idx);
+    }
+    let jobs = queues.len();
+    for offset in 1..jobs {
+        let victim = (w + offset) % jobs;
+        if let Some(idx) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_preserve_item_order_regardless_of_jobs() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial = run_parallel(&items, &RunnerOptions::with_jobs(1), |_, &x| x * x)
+            .into_complete()
+            .unwrap();
+        for jobs in [2, 3, 8, 64] {
+            let parallel = run_parallel(&items, &RunnerOptions::with_jobs(jobs), |_, &x| x * x)
+                .into_complete()
+                .unwrap();
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..counters.len()).collect();
+        let out = run_parallel(&items, &RunnerOptions::with_jobs(7), |_, &i| {
+            counters[i].fetch_add(1, Ordering::Relaxed)
+        });
+        assert!(!out.timed_out);
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn workers_steal_from_a_loaded_peer() {
+        // One huge item and many tiny ones, two workers: without
+        // stealing, worker 0 would also own half the tiny items and the
+        // run would serialize behind it only if stealing were broken.
+        // We can't observe the schedule directly, so assert the
+        // behavioral contract instead: all items complete and the tiny
+        // items' total wall time stays far below the sum of a serial
+        // schedule (the huge item blocks one worker for 200ms while 50
+        // tiny items must still finish).
+        let items: Vec<u64> = std::iter::once(200u64)
+            .chain(std::iter::repeat_n(0, 50))
+            .collect();
+        let start = Instant::now();
+        let out = run_parallel(&items, &RunnerOptions::with_jobs(2), |_, &ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+            ms
+        });
+        assert!(!out.timed_out);
+        assert_eq!(out.results.len(), 51);
+        assert!(
+            start.elapsed() < Duration::from_millis(2 * 200),
+            "tiny items should have been stolen while the big one ran"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_skips_unstarted_items() {
+        let items: Vec<usize> = (0..32).collect();
+        let opts = RunnerOptions {
+            jobs: 4,
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+        };
+        let out = run_parallel(&items, &opts, |_, &x| x);
+        assert!(out.timed_out);
+        assert!(out.results.iter().all(Option::is_none));
+        assert!(out.into_complete().is_none());
+    }
+
+    #[test]
+    fn generous_deadline_completes() {
+        let items: Vec<usize> = (0..16).collect();
+        let opts = RunnerOptions {
+            jobs: 4,
+            deadline: Some(Instant::now() + Duration::from_secs(60)),
+        };
+        let out = run_parallel(&items, &opts, |i, &x| i + x);
+        assert!(!out.timed_out);
+        assert_eq!(
+            out.into_complete().unwrap(),
+            (0..16).map(|i| 2 * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = run_parallel(&[] as &[usize], &RunnerOptions::default(), |_, &x| x);
+        assert!(!out.timed_out);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_cores() {
+        assert!(RunnerOptions::default().effective_jobs() >= 1);
+        assert!(available_cores() >= 1);
+    }
+}

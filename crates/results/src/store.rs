@@ -1,0 +1,438 @@
+//! The on-disk run store.
+//!
+//! Layout — one directory per run under the store root:
+//!
+//! ```text
+//! runs/
+//! └── 7f3a9c01d2e4b5f6/          # FNV-1a of (config, dataset) canonical JSON
+//!     ├── manifest.json          # config + dataset fingerprint + metadata
+//!     ├── result.json            # the SweepResult, losslessly
+//!     └── result.csv             # the same numbers as the figures tabulate them
+//! ```
+//!
+//! The run id is content-derived, so launching the same sweep on the
+//! same dataset lands on the same directory and becomes a **cache
+//! hit**: the caller loads `result.json` instead of recomputing.
+//! Writes are atomic at the directory level (staged under a temp name,
+//! then renamed in), so a crashed run never masquerades as a hit.
+
+use crate::csv::sweep_csv;
+use crate::hash::{fnv64_hex, Fnv64};
+use crate::json::{FromJson, Json, ToJson};
+use crate::model::{SweepConfig, SweepResult};
+use fp_graph::{DiGraph, NodeId};
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// What a sweep ran *on*: enough structure to key the cache and to
+/// audit a stored run without the original input file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetFingerprint {
+    /// Human name ("edge-list", "fig5a x/y=1/4", ...).
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Label of the propagation source.
+    pub source: String,
+    /// FNV-1a over the edge structure (16 hex digits).
+    pub edge_hash: String,
+}
+
+impl DatasetFingerprint {
+    /// Fingerprint a graph: structural hash over node count, the
+    /// resolved source index, and every edge in storage order.
+    ///
+    /// The source *index* must be hashed, not just the display label:
+    /// two edge lists can share edge structure and source label while
+    /// binding that label to different node indices, and those are
+    /// different placement problems.
+    pub fn of_graph(name: &str, g: &DiGraph, source: NodeId, source_label: &str) -> Self {
+        let mut h = Fnv64::new();
+        h.update_u64(g.node_count() as u64);
+        h.update_u64(source.index() as u64);
+        for (u, v) in g.edges() {
+            h.update_u64(u.index() as u64);
+            h.update_u64(v.index() as u64);
+        }
+        Self {
+            name: name.to_string(),
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            source: source_label.to_string(),
+            edge_hash: h.finish_hex(),
+        }
+    }
+}
+
+impl ToJson for DatasetFingerprint {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("edges", self.edges.to_json()),
+            ("source", self.source.to_json()),
+            ("edge_hash", self.edge_hash.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DatasetFingerprint {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            name: v.expect("name")?.as_str().ok_or("bad name")?.to_string(),
+            nodes: v.expect("nodes")?.as_usize().ok_or("bad nodes")?,
+            edges: v.expect("edges")?.as_usize().ok_or("bad edges")?,
+            source: v
+                .expect("source")?
+                .as_str()
+                .ok_or("bad source")?
+                .to_string(),
+            edge_hash: v
+                .expect("edge_hash")?
+                .as_str()
+                .ok_or("bad edge_hash")?
+                .to_string(),
+        })
+    }
+}
+
+/// Everything recorded about a run besides its numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// The content-derived run id (also the directory name).
+    pub id: String,
+    /// Producing tool, e.g. `"fp-results 0.1.0"`.
+    pub tool: String,
+    /// The sweep configuration.
+    pub config: SweepConfig,
+    /// What it ran on.
+    pub dataset: DatasetFingerprint,
+    /// Worker count used (0 = auto).
+    pub jobs: usize,
+    /// Wall-clock seconds the sweep took.
+    pub wall_secs: f64,
+    /// Unix seconds when the run finished.
+    pub created_unix: u64,
+}
+
+impl RunManifest {
+    /// Assemble a manifest for a just-finished run.
+    pub fn new(
+        config: SweepConfig,
+        dataset: DatasetFingerprint,
+        jobs: usize,
+        wall_secs: f64,
+    ) -> Self {
+        Self {
+            id: RunStore::run_id(&config, &dataset),
+            tool: concat!("fp-results ", env!("CARGO_PKG_VERSION")).to_string(),
+            config,
+            dataset,
+            jobs,
+            wall_secs,
+            created_unix: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl ToJson for RunManifest {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", self.id.to_json()),
+            ("tool", self.tool.to_json()),
+            ("config", self.config.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("jobs", self.jobs.to_json()),
+            ("wall_secs", Json::Float(self.wall_secs)),
+            ("created_unix", self.created_unix.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunManifest {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            id: v.expect("id")?.as_str().ok_or("bad id")?.to_string(),
+            tool: v.expect("tool")?.as_str().ok_or("bad tool")?.to_string(),
+            config: SweepConfig::from_json(v.expect("config")?)?,
+            dataset: DatasetFingerprint::from_json(v.expect("dataset")?)?,
+            jobs: v.expect("jobs")?.as_usize().ok_or("bad jobs")?,
+            wall_secs: v.expect("wall_secs")?.as_f64().ok_or("bad wall_secs")?,
+            created_unix: v
+                .expect("created_unix")?
+                .as_u64()
+                .ok_or("bad created_unix")?,
+        })
+    }
+}
+
+/// A run loaded back from disk.
+#[derive(Clone, Debug)]
+pub struct StoredRun {
+    /// The manifest.
+    pub manifest: RunManifest,
+    /// The numbers.
+    pub result: SweepResult,
+}
+
+/// A directory of runs keyed by content hash.
+#[derive(Clone, Debug)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| format!("cannot create store root {}: {e}", root.display()))?;
+        Ok(Self { root })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The content-derived id a (config, dataset) pair stores under.
+    pub fn run_id(config: &SweepConfig, dataset: &DatasetFingerprint) -> String {
+        let key = Json::Array(vec![config.to_json(), dataset.to_json()]);
+        fnv64_hex(key.to_compact().as_bytes())
+    }
+
+    /// The directory a run id maps to (whether or not it exists yet).
+    pub fn run_dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// Load a run by id; `Ok(None)` when it has never been stored.
+    pub fn load(&self, id: &str) -> Result<Option<StoredRun>, String> {
+        let dir = self.run_dir(id);
+        if !dir.join("result.json").exists() || !dir.join("manifest.json").exists() {
+            return Ok(None);
+        }
+        Self::load_dir(&dir).map(Some)
+    }
+
+    /// Load a run directly from its directory (what `fp report --run`
+    /// does; works on any run dir, not just ones under this root).
+    pub fn load_dir(dir: &Path) -> Result<StoredRun, String> {
+        let read = |file: &str| -> Result<Json, String> {
+            let path = dir.join(file);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        Ok(StoredRun {
+            manifest: RunManifest::from_json(&read("manifest.json")?)
+                .map_err(|e| format!("bad manifest.json: {e}"))?,
+            result: SweepResult::from_json(&read("result.json")?)
+                .map_err(|e| format!("bad result.json: {e}"))?,
+        })
+    }
+
+    /// Persist a finished run; returns its directory.
+    ///
+    /// Staged into a temp directory and renamed in so readers never see
+    /// a half-written run. If the run already exists (a concurrent
+    /// writer won the race), the existing directory is kept.
+    pub fn save(&self, manifest: &RunManifest, result: &SweepResult) -> Result<PathBuf, String> {
+        let final_dir = self.run_dir(&manifest.id);
+        let stage = self
+            .root
+            .join(format!(".stage-{}-{}", manifest.id, std::process::id()));
+        let write = |file: &str, contents: &str| -> Result<(), String> {
+            let path = stage.join(file);
+            std::fs::write(&path, contents)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        };
+        std::fs::create_dir_all(&stage)
+            .map_err(|e| format!("cannot create {}: {e}", stage.display()))?;
+        let outcome = (|| {
+            write("manifest.json", &manifest.to_json().to_pretty())?;
+            write("result.json", &result.to_json().to_pretty())?;
+            write("result.csv", &sweep_csv(result))?;
+            match std::fs::rename(&stage, &final_dir) {
+                Ok(()) => Ok(()),
+                // Lost a race with an identical run: keep the winner.
+                Err(_) if final_dir.join("result.json").exists() => {
+                    let _ = std::fs::remove_dir_all(&stage);
+                    Ok(())
+                }
+                Err(e) => Err(format!("cannot finalize {}: {e}", final_dir.display())),
+            }
+        })();
+        if outcome.is_err() {
+            let _ = std::fs::remove_dir_all(&stage);
+        }
+        outcome.map(|()| final_dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SolverSeries;
+    use fp_algorithms::SolverKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_store() -> (RunStore, PathBuf) {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fp-results-store-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (RunStore::open(&dir).unwrap(), dir)
+    }
+
+    fn sample() -> (SweepConfig, DatasetFingerprint, SweepResult) {
+        let config = SweepConfig {
+            ks: vec![0, 1, 2],
+            trials: 2,
+            seed: 42,
+            solvers: vec![SolverKind::GreedyAll, SolverKind::RandK],
+        };
+        let dataset = DatasetFingerprint {
+            name: "unit".into(),
+            nodes: 7,
+            edges: 9,
+            source: "s".into(),
+            edge_hash: "00deadbeef00cafe".into(),
+        };
+        let result = SweepResult {
+            series: vec![
+                SolverSeries {
+                    label: "G_ALL".into(),
+                    points: vec![(0, 0.0), (1, 1.0 / 3.0), (2, 1.0)],
+                },
+                SolverSeries {
+                    label: "Rand_K".into(),
+                    points: vec![(0, 0.0), (1, 0.125), (2, 0.5)],
+                },
+            ],
+        };
+        (config, dataset, result)
+    }
+
+    #[test]
+    fn save_then_load_roundtrips() {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let manifest = RunManifest::new(config.clone(), dataset.clone(), 4, 0.25);
+        let run_dir = store.save(&manifest, &result).unwrap();
+        assert!(run_dir.join("manifest.json").exists());
+        assert!(run_dir.join("result.json").exists());
+        assert!(run_dir.join("result.csv").exists());
+
+        let id = RunStore::run_id(&config, &dataset);
+        let loaded = store.load(&id).unwrap().expect("stored run found");
+        assert_eq!(loaded.manifest, manifest);
+        assert_eq!(loaded.result, result);
+        // Bit-exact FR floats through the round trip.
+        assert_eq!(
+            loaded.result.series[0].points[1].1.to_bits(),
+            (1.0f64 / 3.0).to_bits()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn run_ids_are_content_derived() {
+        let (config, dataset, _) = sample();
+        let id1 = RunStore::run_id(&config, &dataset);
+        let id2 = RunStore::run_id(&config.clone(), &dataset.clone());
+        assert_eq!(id1, id2, "same content, same id");
+        assert_eq!(id1.len(), 16);
+
+        let mut other = config.clone();
+        other.seed = 43;
+        assert_ne!(
+            RunStore::run_id(&other, &dataset),
+            id1,
+            "config changes the id"
+        );
+        let mut other_ds = dataset.clone();
+        other_ds.edge_hash = "ffffffffffffffff".into();
+        assert_ne!(
+            RunStore::run_id(&config, &other_ds),
+            id1,
+            "dataset changes the id"
+        );
+    }
+
+    #[test]
+    fn missing_run_is_none_not_error() {
+        let (store, dir) = temp_store();
+        assert!(store.load("0123456789abcdef").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn half_written_run_is_not_a_hit() {
+        let (store, dir) = temp_store();
+        let (config, dataset, _) = sample();
+        let id = RunStore::run_id(&config, &dataset);
+        // Simulate a crash that left only a manifest behind.
+        std::fs::create_dir_all(store.run_dir(&id)).unwrap();
+        std::fs::write(store.run_dir(&id).join("manifest.json"), "{}").unwrap();
+        assert!(store.load(&id).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_json_is_a_described_error() {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let manifest = RunManifest::new(config, dataset, 1, 0.0);
+        let run_dir = store.save(&manifest, &result).unwrap();
+        std::fs::write(run_dir.join("result.json"), "{not json").unwrap();
+        let err = store.load(&manifest.id).unwrap_err();
+        assert!(err.contains("result.json"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_matches_the_result() {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let manifest = RunManifest::new(config, dataset, 1, 0.0);
+        let run_dir = store.save(&manifest, &result).unwrap();
+        let csv = std::fs::read_to_string(run_dir.join("result.csv")).unwrap();
+        assert_eq!(csv, sweep_csv(&result));
+        assert!(csv.starts_with("k,G_ALL,Rand_K\n"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn graph_fingerprints_see_structure() {
+        use fp_graph::{DiGraph, NodeId};
+        let a = DiGraph::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
+        let b = DiGraph::from_pairs(3, [(0, 1), (0, 2)]).unwrap();
+        let fa = DatasetFingerprint::of_graph("a", &a, NodeId::new(0), "s");
+        let fb = DatasetFingerprint::of_graph("b", &b, NodeId::new(0), "s");
+        assert_ne!(fa.edge_hash, fb.edge_hash);
+        assert_eq!(fa.nodes, 3);
+        assert_eq!(fa.edges, 2);
+        let fa2 = DatasetFingerprint::of_graph("a", &a, NodeId::new(0), "s");
+        assert_eq!(fa.edge_hash, fa2.edge_hash);
+    }
+
+    #[test]
+    fn graph_fingerprints_see_the_source_index() {
+        use fp_graph::{DiGraph, NodeId};
+        // Same edge structure, same label — but the label binds to a
+        // different node. Must NOT collide (it is a different problem).
+        let g = DiGraph::from_pairs(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        let at0 = DatasetFingerprint::of_graph("g", &g, NodeId::new(0), "s");
+        let at1 = DatasetFingerprint::of_graph("g", &g, NodeId::new(1), "s");
+        assert_ne!(at0.edge_hash, at1.edge_hash);
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end exercise of the experiment-results subsystem through the
+//! public facade: sweep → store → cache hit → report parity, plus the
+//! determinism contract (`--jobs` must not change the bits) and a
+//! property pinning JSON round trips over random configs.
+
+use filter_placement::prelude::*;
+use filter_placement::results::json::Json;
+use filter_placement::results::{FromJson, SolverSeries, ToJson};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fp-it-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A quote-like dataset instance and its placement problem.
+fn quote_problem() -> (DiGraph, NodeId) {
+    let q = filter_placement::datasets::quote_like::generate(
+        &filter_placement::datasets::quote_like::QuoteLikeParams {
+            nodes: 300,
+            seed: 11,
+        },
+    );
+    (q.graph, q.source)
+}
+
+#[test]
+fn sweep_store_report_pipeline_roundtrips() {
+    let (graph, source) = quote_problem();
+    let problem = Problem::new(&graph, source).unwrap();
+    let cfg = SweepConfig {
+        ks: (0..=5).collect(),
+        trials: 5,
+        seed: 2012,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+
+    // jobs=1 and jobs=4 must agree bit-for-bit (DESIGN.md §5).
+    let serial = run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(1)).unwrap();
+    let parallel = run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(4)).unwrap();
+    assert_eq!(serial, parallel);
+
+    // Persist, then load back losslessly.
+    let root = temp_dir("store");
+    let store = RunStore::open(&root).unwrap();
+    let dataset = DatasetFingerprint::of_graph("quote-like n=300", &graph, source, "0");
+    let manifest = RunManifest::new(cfg.clone(), dataset.clone(), 4, 0.1);
+    store.save(&manifest, &parallel).unwrap();
+
+    let id = RunStore::run_id(&cfg, &dataset);
+    let loaded = store.load(&id).unwrap().expect("cache hit");
+    assert_eq!(loaded.result, parallel, "store round trip must be lossless");
+    assert_eq!(loaded.manifest.dataset, dataset);
+
+    // The figure-table renderings agree byte-for-byte from disk.
+    let from_disk = filter_placement::report::sweep_table(&loaded.result).to_string();
+    let live = filter_placement::report::sweep_table(&parallel).to_string();
+    assert_eq!(from_disk, live);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cli_sweep_out_and_report_agree_through_the_facade() {
+    let edges = "s a\ns b\na c\nb c\nc d\n";
+    let dir = temp_dir("cli");
+    let dir_str = dir.to_str().unwrap().to_string();
+    let argv: Vec<String> = [
+        "sweep", "--source", "s", "--kmax", "3", "--trials", "3", "--out", &dir_str,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let first = filter_placement::cli::run_with_input(&argv, edges).unwrap();
+    let (status, table) = first.split_once('\n').unwrap();
+    assert!(status.contains("saved"), "{status}");
+
+    let second = filter_placement::cli::run_with_input(&argv, edges).unwrap();
+    let (status2, table2) = second.split_once('\n').unwrap();
+    assert!(status2.contains("cache hit"), "{status2}");
+    assert_eq!(table2, table);
+
+    let run_dir = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap();
+    let report_argv: Vec<String> = ["report", "--run", run_dir.path().to_str().unwrap()]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let report = filter_placement::cli::run_with_input(&report_argv, "").unwrap();
+    assert_eq!(
+        report, table,
+        "report must reproduce the sweep table byte-for-byte"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_configs_roundtrip_through_json(
+        kmax in 0usize..200,
+        trials in 0usize..40,
+        seed in 0u64..,
+    ) {
+        let cfg = SweepConfig {
+            ks: (0..=kmax).collect(),
+            trials,
+            seed,
+            solvers: SolverKind::PAPER_SET.to_vec(),
+        };
+        let text = cfg.to_json().to_pretty();
+        let back = SweepConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn random_results_roundtrip_bit_exactly(
+        points in proptest::collection::vec((0usize..1000, 0.0f64..1.0), 1..12),
+    ) {
+        let result = SweepResult {
+            series: vec![SolverSeries {
+                label: "G_ALL".into(),
+                points: points.clone(),
+            }],
+        };
+        let text = result.to_json().to_compact();
+        let back = SweepResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        for (orig, recovered) in points.iter().zip(&back.series[0].points) {
+            prop_assert_eq!(orig.0, recovered.0);
+            prop_assert_eq!(orig.1.to_bits(), recovered.1.to_bits());
+        }
+    }
+}

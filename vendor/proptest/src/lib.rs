@@ -3,9 +3,13 @@
 //! macro, range / [`any`] / tuple / [`collection::vec`] strategies,
 //! `prop_assert*` macros, and [`ProptestConfig::with_cases`].
 //!
-//! No shrinking: a failing case panics with the generated inputs so it
-//! can be reproduced by hand. Generation is deterministic — the RNG is
-//! seeded from the test's module path and case index — so CI failures
+//! Failing cases **shrink**: every strategy can propose simpler
+//! variants of a failing value ([`Strategy::shrink`] — integers and
+//! floats halve toward the range start, vectors drop halves and single
+//! elements, tuples shrink component-wise), and the runner greedily
+//! re-tests candidates until none still fails, then reports the
+//! minimized inputs. Generation is deterministic — the RNG is seeded
+//! from the test's module path and case index — so CI failures
 //! reproduce locally.
 
 use rand::{Rng, RngCore, SeedableRng};
@@ -76,10 +80,31 @@ impl RngCore for TestRng {
 /// A value generator, mirroring (loosely) `proptest::strategy::Strategy`.
 pub trait Strategy {
     /// The type of generated values.
-    type Value: std::fmt::Debug;
+    type Value: std::fmt::Debug + Clone;
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose simpler variants of a failing value, simplest first.
+    /// The runner adopts the first candidate that still fails and
+    /// iterates; an empty list (the default) means "cannot shrink".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Halving ladder from `start` up to (excluding) `v`: the classic
+/// integer shrink order `start, …, v/2-ish, …, v-1`.
+macro_rules! int_shrink_ladder {
+    ($v:expr, $start:expr) => {{
+        let mut out = Vec::new();
+        let mut delta = $v - $start;
+        while delta > 0 {
+            out.push($v - delta);
+            delta /= 2;
+        }
+        out
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -88,6 +113,9 @@ macro_rules! impl_range_strategy {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_ladder!(*value, self.start)
             }
         }
     )*};
@@ -104,6 +132,9 @@ impl Strategy for core::ops::RangeFrom<u64> {
             self.start + rng.next_u64() % (u64::MAX - self.start + 1)
         }
     }
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        int_shrink_ladder!(*value, self.start)
+    }
 }
 
 impl Strategy for core::ops::RangeFrom<u128> {
@@ -116,12 +147,31 @@ impl Strategy for core::ops::RangeFrom<u128> {
             self.start + raw % (u128::MAX - self.start + 1)
         }
     }
+    fn shrink(&self, value: &u128) -> Vec<u128> {
+        int_shrink_ladder!(*value, self.start)
+    }
 }
 
 impl Strategy for core::ops::Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         rng.random_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            let mut mid = (self.start + *value) / 2.0;
+            for _ in 0..6 {
+                if mid > self.start && mid < *value {
+                    out.push(mid);
+                    mid = (mid + *value) / 2.0;
+                } else {
+                    break;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -138,53 +188,63 @@ impl Strategy for Any<bool> {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.random()
     }
-}
-
-impl Strategy for Any<u64> {
-    type Value = u64;
-    fn generate(&self, rng: &mut TestRng) -> u64 {
-        rng.next_u64()
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
-impl Strategy for Any<u32> {
-    type Value = u32;
-    fn generate(&self, rng: &mut TestRng) -> u32 {
-        rng.next_u32()
-    }
+macro_rules! impl_any_uint_strategy {
+    ($($t:ty => $gen:expr),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            #[allow(clippy::redundant_closure_call)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                ($gen)(rng)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_ladder!(*value, 0)
+            }
+        }
+    )*};
 }
 
-impl Strategy for Any<usize> {
-    type Value = usize;
-    fn generate(&self, rng: &mut TestRng) -> usize {
-        rng.next_u64() as usize
-    }
+impl_any_uint_strategy!(
+    u64 => |rng: &mut TestRng| rng.next_u64(),
+    u32 => |rng: &mut TestRng| rng.next_u32(),
+    usize => |rng: &mut TestRng| rng.next_u64() as usize,
+    u128 => |rng: &mut TestRng| ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
 }
 
-impl Strategy for Any<u128> {
-    type Value = u128;
-    fn generate(&self, rng: &mut TestRng) -> u128 {
-        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
-    }
-}
-
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng))
-    }
-}
-
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-        )
-    }
-}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
 
 pub mod collection {
     //! Collection strategies, mirroring `proptest::collection`.
@@ -204,6 +264,7 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
+
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = if self.size.start + 1 >= self.size.end {
                 self.size.start
@@ -211,6 +272,37 @@ pub mod collection {
                 rng.random_range(self.size.clone())
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Removal first (halves, then single elements down to the
+        /// minimum length), then element-wise shrinking. Per-position
+        /// work is bounded so candidate lists stay small.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            const MAX_POSITIONS: usize = 8;
+            let mut out = Vec::new();
+            let min = self.size.start;
+            if value.len() > min {
+                let keep = (value.len() / 2).max(min);
+                if keep < value.len() {
+                    out.push(value[..keep].to_vec());
+                    out.push(value[value.len() - keep..].to_vec());
+                }
+                for i in 0..value.len().min(MAX_POSITIONS) {
+                    if value.len() > min {
+                        let mut next = value.clone();
+                        next.remove(i);
+                        out.push(next);
+                    }
+                }
+            }
+            for i in 0..value.len().min(MAX_POSITIONS) {
+                for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -232,18 +324,16 @@ macro_rules! proptest {
         $(
             $(#[$attr])*
             fn $name() {
+                let __strategy = ($($strat,)+);
                 $crate::run_property(
                     concat!(module_path!(), "::", stringify!($name)),
                     &$cfg,
-                    |__rng| {
-                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
-                        let __inputs = format!(
-                            concat!($(stringify!($arg), " = {:?}; ",)+),
-                            $(&$arg),+
-                        );
+                    &__strategy,
+                    |__value| {
+                        let ($($arg,)+) = __value.clone();
                         let __result: ::std::result::Result<(), $crate::TestCaseError> =
                             (|| { $body ::std::result::Result::Ok(()) })();
-                        (__inputs, __result)
+                        __result
                     },
                 );
             }
@@ -265,17 +355,45 @@ macro_rules! proptest {
     };
 }
 
-/// Driver behind [`proptest!`]; runs `cfg.cases` deterministic cases.
-pub fn run_property<F>(ident: &str, cfg: &ProptestConfig, mut case: F)
-where
-    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
-{
+/// Total shrink candidates evaluated per failure before giving up (a
+/// bound on minimization work, not on correctness — the original
+/// failure is always reported even if unshrinkable).
+const SHRINK_BUDGET: usize = 1024;
+
+/// Driver behind [`proptest!`]; runs `cfg.cases` deterministic cases
+/// and greedily minimizes the first failure before panicking.
+pub fn run_property<S: Strategy>(
+    ident: &str,
+    cfg: &ProptestConfig,
+    strategy: &S,
+    mut test: impl FnMut(&S::Value) -> Result<(), TestCaseError>,
+) {
     for i in 0..cfg.cases {
         let mut rng = TestRng::for_case(ident, i);
-        let (inputs, result) = case(&mut rng);
-        if let Err(e) = result {
+        let value = strategy.generate(&mut rng);
+        if let Err(first) = test(&value) {
+            let mut best = value;
+            let mut best_err = first;
+            let mut steps = 0usize;
+            let mut budget = SHRINK_BUDGET;
+            'improve: while budget > 0 {
+                for cand in strategy.shrink(&best) {
+                    if budget == 0 {
+                        break 'improve;
+                    }
+                    budget -= 1;
+                    if let Err(e) = test(&cand) {
+                        best = cand;
+                        best_err = e;
+                        steps += 1;
+                        continue 'improve;
+                    }
+                }
+                break;
+            }
             panic!(
-                "property {ident} failed at case {i}/{}:\n  {e}\n  inputs: {inputs}",
+                "property {ident} failed at case {i}/{}:\n  {best_err}\n  minimized inputs \
+                 ({steps} shrink steps): {best:?}",
                 cfg.cases
             );
         }
@@ -363,6 +481,12 @@ mod tests {
             prop_assert!(pair.0 < 9);
             let _: bool = pair.1;
         }
+
+        #[test]
+        fn four_arguments_work(a in 0u64..5, b in 0usize..5, c in 0.0f64..1.0, d in 0u32..5) {
+            prop_assert!(a < 5 && b < 5 && d < 5);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
     }
 
     #[test]
@@ -373,16 +497,117 @@ mod tests {
         assert_eq!(s.generate(&mut a), s.generate(&mut b));
     }
 
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property should fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload")
+    }
+
     #[test]
-    #[should_panic(expected = "failed at case")]
-    fn failures_panic_with_inputs() {
-        crate::run_property("demo", &ProptestConfig::with_cases(1), |_| {
-            (
-                "x = 1; ".to_string(),
-                Err(TestCaseError {
-                    message: "boom".into(),
-                }),
-            )
+    fn failures_panic_with_minimized_inputs() {
+        // The property fails for every x >= 10; shrinking must walk the
+        // failure down to exactly the boundary value.
+        let message = panic_message(|| {
+            crate::run_property(
+                "demo-int",
+                &ProptestConfig::with_cases(64),
+                &(0usize..1000,),
+                |&(x,)| {
+                    if x >= 10 {
+                        Err(TestCaseError {
+                            message: "too big".into(),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
         });
+        assert!(message.contains("failed at case"), "{message}");
+        assert!(message.contains("(10,)"), "not minimized: {message}");
+    }
+
+    #[test]
+    fn vectors_shrink_by_removal_and_element() {
+        // Fails whenever the vector has >= 3 elements: minimal failing
+        // input is any 3-element vector, and element shrinking should
+        // drive the survivors to the range start (0).
+        let message = panic_message(|| {
+            crate::run_property(
+                "demo-vec",
+                &ProptestConfig::with_cases(64),
+                &(crate::collection::vec(0usize..50, 0..20),),
+                |(v,)| {
+                    if v.len() >= 3 {
+                        Err(TestCaseError {
+                            message: "long".into(),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        assert!(message.contains("[0, 0, 0]"), "not minimized: {message}");
+    }
+
+    #[test]
+    fn booleans_shrink_to_false() {
+        let message = panic_message(|| {
+            crate::run_property(
+                "demo-bool",
+                &ProptestConfig::with_cases(64),
+                &(any::<bool>(), 0u64..100),
+                |&(_, n)| {
+                    if n >= 1 {
+                        Err(TestCaseError {
+                            message: "nonzero".into(),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        assert!(message.contains("(false, 1)"), "not minimized: {message}");
+    }
+
+    #[test]
+    fn shrink_ladders_walk_toward_the_start() {
+        assert_eq!((3usize..100).shrink(&3), Vec::<usize>::new());
+        assert_eq!((3usize..100).shrink(&11), vec![3, 7, 9, 10]);
+        assert_eq!(any::<u64>().shrink(&4), vec![0, 2, 3]);
+        assert_eq!(any::<bool>().shrink(&false), Vec::<bool>::new());
+        let floats = (1.0f64..8.0).shrink(&5.0);
+        assert_eq!(floats[0], 1.0);
+        assert!(floats[1..].iter().all(|&f| (1.0..5.0).contains(&f)));
+        // Tuple shrink: one component at a time.
+        let t = (0usize..10, 0usize..10);
+        let cands = t.shrink(&(2, 1));
+        assert!(cands.contains(&(0, 1)) && cands.contains(&(2, 0)));
+        assert!(!cands.contains(&(0, 0)), "components shrink independently");
+    }
+
+    #[test]
+    fn unshrinkable_failures_still_report() {
+        let message = panic_message(|| {
+            crate::run_property(
+                "demo-stuck",
+                &ProptestConfig::with_cases(1),
+                &(0usize..10,),
+                |_| {
+                    Err(TestCaseError {
+                        message: "always".into(),
+                    })
+                },
+            );
+        });
+        assert!(message.contains("(0,)"), "{message}");
+        assert!(
+            message.contains("0 shrink steps") || message.contains("shrink steps"),
+            "{message}"
+        );
     }
 }
