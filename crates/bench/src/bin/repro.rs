@@ -7,9 +7,12 @@
 //!     --out DIR       persist every figure's numbers under DIR
 //!                     (sweeps through the run store — identical reruns
 //!                     are cache hits; CDF/runtime tables as *.csv)
-//!     --jobs N        sweep workers (0 = one per core)
+//!     --jobs N        in-process sweep threads (0 = one per core)
+//!     --workers N     sweep worker processes (0 = in-process); same
+//!                     stored bytes as in-process runs
 //!     --budget SECS   wall-clock cap; later figures are skipped and a
 //!                     sweep interrupted mid-flight is discarded
+//!                     (with --workers it only gates between figures)
 //!
 //! cargo run --release -p fp-bench --bin repro -- baseline [--fast] [--out FILE]
 //!     time every figure once and write a BENCH_baseline.json document
@@ -28,6 +31,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option
     let mut selected = Vec::new();
     let mut opts = fp_bench::ReproOptions::default();
     let mut out_file = None;
+    let mut jobs_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,6 +47,14 @@ fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option
                     .ok_or("--jobs needs a value")?
                     .parse()
                     .map_err(|_| "--jobs must be a non-negative integer".to_string())?;
+                jobs_given = true;
+            }
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers must be a non-negative integer".to_string())?;
             }
             "--budget" => {
                 let secs: f64 = it
@@ -59,11 +71,31 @@ fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option
             figure => selected.push(figure.to_string()),
         }
     }
+    if opts.workers > 0 && jobs_given {
+        return Err(
+            "--jobs sizes the in-process thread runner and --workers replaces it with a \
+             process pool; pass one or the other"
+                .to_string(),
+        );
+    }
     Ok((selected, opts, out_file))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Hidden `repro worker`: serve the process-pool protocol (the
+    // `--workers` dispatcher re-execs this binary with this argument).
+    if args.first().map(String::as_str) == Some("worker") {
+        if args.len() > 1 {
+            fail("worker takes no flags");
+        }
+        if let Err(e) = fp_core::worker::serve(std::io::stdin().lock(), std::io::stdout().lock()) {
+            fail(&e);
+        }
+        return;
+    }
+
     let (selected, opts, out_file) = match parse(&args) {
         Ok(parsed) => parsed,
         Err(e) => fail(&e),

@@ -5,6 +5,9 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match fp_core::cli::run(&args) {
+        // The hidden `worker` subcommand owns stdout for its frame
+        // protocol and returns an empty string — print nothing then.
+        Ok(out) if out.is_empty() => {}
         Ok(out) => println!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -5,8 +5,9 @@
 //!             [--seed N] [--format table|csv|dot]
 //! fp sweep    --input edges.txt --source <label> --kmax 10
 //!             [--trials 25] [--seed N] [--format table|csv]
-//!             [--out DIR] [--jobs N]
+//!             [--out DIR] [--jobs N] [--workers N]
 //! fp report   --run DIR [--format table|csv|json]
+//! fp report   --list DIR
 //! fp stats    --input edges.txt
 //! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
 //!             [--seed N] [--scale F]
@@ -22,7 +23,15 @@
 //! hash of config and dataset; re-running the identical sweep is a
 //! cache hit that loads from disk instead of recomputing.
 //! `report --run DIR/<id>` re-renders a stored run, byte-for-byte
-//! identical to the table the sweep printed.
+//! identical to the table the sweep printed; `report --list DIR`
+//! enumerates every run stored under `DIR`.
+//!
+//! `sweep --workers N` evaluates the sweep on `N` worker *processes*
+//! instead of in-process threads: each worker is this same binary
+//! re-exec'd with the hidden `worker` subcommand, fed cells over the
+//! `fp-results::protocol` pipe protocol (DESIGN.md §7). The stored
+//! bytes are identical to an in-process run's — `--jobs`/`--workers`
+//! are scheduling knobs, never part of the result.
 
 use crate::experiment::{run_sweep_with, SweepConfig, SweepResult};
 use crate::report::{cdf_table, sweep_table, Table};
@@ -31,11 +40,11 @@ use fp_algorithms::SolverKind;
 use fp_datasets::stats::DegreeStats;
 use fp_graph::{from_edge_list, to_dot, to_edge_list, DiGraph, NodeId};
 use fp_results::{
-    csv::sweep_csv, DatasetFingerprint, RunManifest, RunStore, RunnerOptions, ToJson,
+    csv::sweep_csv, worker::PoolOptions, worker::WorkerSpawner, DatasetFingerprint, RunManifest,
+    RunStore, RunnerOptions, ToJson,
 };
 use std::collections::HashMap;
 use std::path::Path;
-use std::time::Instant;
 
 /// Parse `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -162,6 +171,17 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         s.parse()
             .map_err(|_| "--jobs must be a non-negative integer (0 = one per core)".to_string())
     })?;
+    let workers: usize = flags.get("workers").map_or(Ok(0), |s| {
+        s.parse()
+            .map_err(|_| "--workers must be a non-negative integer (0 = in-process)".to_string())
+    })?;
+    if workers > 0 && flags.contains_key("jobs") {
+        return Err(
+            "--jobs sizes the in-process thread runner and --workers replaces it with a \
+             process pool; pass one or the other"
+                .to_string(),
+        );
+    }
     let format = flags.get("format").map_or("table", String::as_str);
     if !matches!(format, "table" | "csv") {
         return Err(format!("unknown --format {format:?} (table, csv)"));
@@ -172,14 +192,31 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         seed,
         solvers: SolverKind::PAPER_SET.to_vec(),
     };
-    let opts = RunnerOptions::with_jobs(jobs);
+
+    // The two sweep backends: in-process threads (--jobs) or a pool of
+    // re-exec'd worker processes (--workers). Identical bits either way.
+    let compute = || -> Result<SweepResult, String> {
+        if workers > 0 {
+            let spawner = WorkerSpawner::current_exe()?;
+            fp_results::run_sweep_workers(
+                &spawner,
+                &g,
+                source,
+                &cfg,
+                &PoolOptions::with_workers(workers),
+            )
+        } else {
+            let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+            Ok(
+                run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(jobs))
+                    .expect("no deadline"),
+            )
+        }
+    };
 
     let mut header = String::new();
     let result = match flags.get("out") {
-        None => {
-            let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
-            run_sweep_with(&problem, &cfg, &opts).expect("no deadline")
-        }
+        None => compute()?,
         Some(out) => {
             let store = RunStore::open(out)?;
             let dataset = DatasetFingerprint::of_graph("edge-list", &g, source, source_label);
@@ -193,15 +230,8 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
                     stored.result
                 }
                 None => {
-                    let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
-                    let started = Instant::now();
-                    let result = run_sweep_with(&problem, &cfg, &opts).expect("no deadline");
-                    let manifest = RunManifest::new(
-                        cfg.clone(),
-                        dataset,
-                        jobs,
-                        started.elapsed().as_secs_f64(),
-                    );
+                    let result = compute()?;
+                    let manifest = RunManifest::new(cfg.clone(), dataset);
                     let dir = store.save(&manifest, &result)?;
                     header = format!("run {id}: saved to {}\n", dir.display());
                     result
@@ -221,6 +251,15 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
 }
 
 fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
+    if let Some(root) = flags.get("list") {
+        if flags.contains_key("run") {
+            return Err("--list and --run are mutually exclusive".to_string());
+        }
+        if flags.contains_key("format") {
+            return Err("--list renders a table only; --format applies to --run".to_string());
+        }
+        return cmd_report_list(root);
+    }
     let dir = required(flags, "run")?;
     let stored = RunStore::load_dir(Path::new(dir))?;
     let result: SweepResult = stored.result;
@@ -230,6 +269,39 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<String, String> {
         "json" => Ok(result.to_json().to_pretty()),
         other => Err(format!("unknown --format {other:?} (table, csv, json)")),
     }
+}
+
+/// `fp report --list DIR`: one row per stored run.
+fn cmd_report_list(root: &str) -> Result<String, String> {
+    if !Path::new(root).is_dir() {
+        return Err(format!("{root:?} is not a directory"));
+    }
+    let store = RunStore::open(root)?;
+    let runs = store.list()?;
+    let mut table = Table::new([
+        "run",
+        "dataset",
+        "solvers",
+        "k max",
+        "trials",
+        "stored (unix)",
+    ]);
+    for run in &runs {
+        table.row([
+            run.id.clone(),
+            run.manifest.dataset.name.clone(),
+            run.manifest.config.solvers.len().to_string(),
+            run.manifest
+                .config
+                .ks
+                .iter()
+                .max()
+                .map_or("-".to_string(), |k| k.to_string()),
+            run.manifest.config.trials.to_string(),
+            run.modified_unix.to_string(),
+        ]);
+    }
+    Ok(format!("{} run(s) under {root}\n{table}", runs.len()))
 }
 
 fn cmd_stats(input: &str) -> Result<String, String> {
@@ -297,12 +369,17 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(to_edge_list(&g))
 }
 
-/// Usage text.
+/// Usage text. The hidden `worker` subcommand (the process-pool child
+/// behind `sweep --workers`) is deliberately absent: it speaks a binary
+/// frame protocol on stdin/stdout and is never typed by a person.
 pub const USAGE: &str = "usage: fp <solve|sweep|report|stats|generate> [--flag value]...
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
-           [--out DIR] [--jobs N]   (--out persists the run; identical reruns are cache hits)
+           [--out DIR] [--jobs N] [--workers N]
+           (--out persists the run; identical reruns are cache hits;
+            --workers evaluates on worker processes — same bytes as in-process)
   report   --run DIR [--format table|csv|json]   (re-render a stored run from disk)
+  report   --list DIR                            (enumerate the runs stored under DIR)
   stats    --input FILE
   generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]";
 
@@ -312,6 +389,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(USAGE.to_string());
     };
+    if command == "worker" {
+        // Hidden: serve the process-pool protocol on real stdin/stdout
+        // until the dispatcher shuts us down. Prints nothing.
+        if !rest.is_empty() {
+            return Err("worker takes no flags".to_string());
+        }
+        crate::worker::serve(std::io::stdin().lock(), std::io::stdout().lock())?;
+        return Ok(String::new());
+    }
     let flags = parse_flags(rest)?;
     let read_input = || -> Result<String, String> {
         let path = required(&flags, "input")?;
@@ -341,6 +427,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         "report" => cmd_report(&flags),
         "stats" => cmd_stats(input),
         "generate" => cmd_generate(&flags),
+        "worker" => Err("worker serves the pool protocol on real stdin/stdout".to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -618,12 +705,72 @@ mod tests {
     }
 
     #[test]
+    fn report_list_enumerates_stored_runs() {
+        let out_dir = temp_dir("list");
+        let out_str = out_dir.to_str().unwrap();
+        // Two distinct sweeps → two runs under the same store.
+        for seed in ["1", "2"] {
+            run_with_input(
+                &args(&[
+                    "sweep", "--source", "s", "--kmax", "1", "--trials", "1", "--seed", seed,
+                    "--out", out_str,
+                ]),
+                FIG1,
+            )
+            .unwrap();
+        }
+        let listing = run_with_input(&args(&["report", "--list", out_str]), "").unwrap();
+        assert!(listing.starts_with("2 run(s) under "), "{listing}");
+        assert!(listing.contains("edge-list"), "{listing}");
+        // Header + separator-free Table: 1 header row + 2 run rows.
+        let run_rows = listing.lines().filter(|l| l.contains("edge-list")).count();
+        assert_eq!(run_rows, 2, "{listing}");
+
+        // --list and --run together are refused.
+        let e = run_with_input(&args(&["report", "--list", out_str, "--run", out_str]), "")
+            .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+
+        // --format does not apply to --list (table only) — refuse it
+        // rather than silently hand a script the wrong output shape.
+        let e = run_with_input(&args(&["report", "--list", out_str, "--format", "csv"]), "")
+            .unwrap_err();
+        assert!(e.contains("--format applies to --run"), "{e}");
+
+        // --jobs and --workers are different backends; together they
+        // are refused instead of silently ignoring one.
+        let e = run_with_input(
+            &args(&[
+                "sweep",
+                "--source",
+                "s",
+                "--kmax",
+                "1",
+                "--jobs",
+                "2",
+                "--workers",
+                "2",
+            ]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("one or the other"), "{e}");
+
+        // A missing directory is an error, not an empty table.
+        let e =
+            run_with_input(&args(&["report", "--list", "/nonexistent/fp-store"]), "").unwrap_err();
+        assert!(e.contains("not a directory"), "{e}");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
     fn sweep_rejects_bad_numeric_flags() {
         for (flag, value) in [
             ("--kmax", "three"),
             ("--trials", "-1"),
             ("--seed", "0x10"),
             ("--jobs", "many"),
+            ("--workers", "-3"),
         ] {
             let mut a = vec!["sweep", "--source", "s", "--kmax", "2"];
             if flag == "--kmax" {

@@ -52,6 +52,7 @@ pub mod cli;
 pub mod experiment;
 mod problem;
 pub mod report;
+pub mod worker;
 
 pub use fp_algorithms as algorithms;
 pub use fp_datasets as datasets;

@@ -1,0 +1,224 @@
+//! The worker side of the process-pool sweep: `fp worker` /
+//! `repro worker`.
+//!
+//! [`serve`] speaks the [`fp_results::protocol`] frame protocol on a
+//! reader/writer pair (the real binaries pass stdin/stdout): say
+//! hello, receive the sweep context, then answer cell requests until
+//! a shutdown frame or a clean EOF. The graph arrives as explicit
+//! structure (node count + index pairs + source index), so the
+//! [`Problem`] built here is *identical* — index for index — to the
+//! dispatcher's, and every evaluated cell lands the same bits the
+//! in-process runner would produce.
+//!
+//! The subcommand is hidden: it is an implementation detail of
+//! `--workers N`, spawned by [`fp_results::worker`]'s dispatcher, not
+//! something a person types. Errors (malformed frames, an impossible
+//! graph) return `Err` and the binary exits non-zero; the dispatcher
+//! treats that as a crash and re-queues the in-flight cell.
+
+use crate::Problem;
+use fp_graph::{DiGraph, NodeId};
+use fp_results::protocol::{read_frame, write_frame, CellResponse, Frame, SweepInit, WorkerHello};
+use fp_results::sweep::eval_cell;
+use std::io::{Read, Write};
+
+/// Environment variable for failure-injection tests: after answering
+/// this many cells, the worker aborts on its next request without
+/// responding — the sharpest "worker died mid-cell" a test can stage.
+pub const FAIL_AFTER_ENV: &str = "FP_WORKER_FAIL_AFTER";
+
+/// Serve the worker protocol over `input`/`output` until shutdown or
+/// clean EOF.
+pub fn serve(mut input: impl Read, mut output: impl Write) -> Result<(), String> {
+    let fail_after: Option<usize> = std::env::var(FAIL_AFTER_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    write_frame(&mut output, &Frame::Hello(WorkerHello::current()))?;
+    let init = match read_frame(&mut input)? {
+        Some(Frame::Init(init)) => init,
+        Some(other) => return Err(format!("expected init, got {other:?}")),
+        None => return Ok(()), // dispatcher went away before init: nothing to do
+    };
+    let (problem, ks) = build_problem(init)?;
+
+    let mut served = 0usize;
+    loop {
+        match read_frame(&mut input)? {
+            Some(Frame::Request(req)) => {
+                if fail_after.is_some_and(|n| served >= n) {
+                    // Test hook: die abruptly with the cell in flight.
+                    std::process::exit(17);
+                }
+                let output_cell = eval_cell(&problem, &ks, &req.cell);
+                write_frame(
+                    &mut output,
+                    &Frame::Response(CellResponse {
+                        id: req.id,
+                        output: output_cell,
+                    }),
+                )?;
+                served += 1;
+            }
+            Some(Frame::Shutdown) | None => return Ok(()),
+            Some(other) => return Err(format!("expected a request, got {other:?}")),
+        }
+    }
+}
+
+/// Rebuild the dispatcher's exact problem from the init frame.
+fn build_problem(init: SweepInit) -> Result<(Problem, Vec<usize>), String> {
+    let g = DiGraph::from_pairs(init.nodes, init.edges)
+        .map_err(|e| format!("init frame carries an invalid graph: {e}"))?;
+    if init.source >= init.nodes {
+        return Err(format!(
+            "init frame source index {} out of range for {} nodes",
+            init.source, init.nodes
+        ));
+    }
+    let problem = Problem::new(&g, NodeId::new(init.source)).map_err(|e| e.to_string())?;
+    Ok((problem, init.ks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_algorithms::SolverKind;
+    use fp_results::model::SweepConfig;
+    use fp_results::protocol::{CellRequest, PROTOCOL_VERSION};
+    use fp_results::sweep::{reduce_cells, run_sweep_cells, sweep_cells, CellOut};
+    use fp_results::RunnerOptions;
+
+    fn diamond_init(ks: Vec<usize>) -> SweepInit {
+        SweepInit {
+            nodes: 4,
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            source: 0,
+            ks,
+        }
+    }
+
+    /// Drive a full conversation against `serve` through in-memory
+    /// pipes and return the responses.
+    fn converse(init: SweepInit, cells: &[fp_results::sweep::Cell]) -> Vec<CellOut> {
+        let mut dispatcher_out = Vec::new();
+        write_frame(&mut dispatcher_out, &Frame::Init(init)).unwrap();
+        for (i, cell) in cells.iter().enumerate() {
+            write_frame(
+                &mut dispatcher_out,
+                &Frame::Request(CellRequest {
+                    id: i as u64,
+                    cell: *cell,
+                }),
+            )
+            .unwrap();
+        }
+        write_frame(&mut dispatcher_out, &Frame::Shutdown).unwrap();
+
+        let mut worker_out = Vec::new();
+        serve(dispatcher_out.as_slice(), &mut worker_out).unwrap();
+
+        let mut r = worker_out.as_slice();
+        match read_frame(&mut r).unwrap() {
+            Some(Frame::Hello(h)) => assert_eq!(h.version, PROTOCOL_VERSION),
+            other => panic!("expected hello, got {other:?}"),
+        }
+        let mut outputs = Vec::new();
+        while let Some(frame) = read_frame(&mut r).unwrap() {
+            match frame {
+                Frame::Response(resp) => {
+                    assert_eq!(resp.id, outputs.len() as u64, "answers arrive in order");
+                    outputs.push(resp.output);
+                }
+                other => panic!("expected a response, got {other:?}"),
+            }
+        }
+        outputs
+    }
+
+    #[test]
+    fn served_cells_match_the_in_process_runner_bit_for_bit() {
+        let cfg = SweepConfig {
+            ks: vec![0, 1, 2],
+            trials: 3,
+            seed: 2012,
+            solvers: vec![SolverKind::GreedyAll, SolverKind::RandK, SolverKind::RandW],
+        };
+        let cells = sweep_cells(&cfg);
+        let outputs = converse(diamond_init(cfg.ks.clone()), &cells);
+        let via_worker = reduce_cells(&cfg, outputs);
+
+        let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let problem = Problem::new(&g, NodeId::new(0)).unwrap();
+        let in_process = run_sweep_cells(&problem, &cfg, &RunnerOptions::with_jobs(1)).unwrap();
+
+        assert_eq!(via_worker.series.len(), in_process.series.len());
+        for (a, b) in via_worker.series.iter().zip(&in_process.series) {
+            assert_eq!(a.label, b.label);
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.0, pb.0);
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "{}@k={}", a.label, pa.0);
+            }
+        }
+    }
+
+    #[test]
+    fn eof_before_init_is_a_clean_exit() {
+        let mut worker_out = Vec::new();
+        serve(&[][..], &mut worker_out).unwrap();
+        // It still said hello first.
+        assert!(matches!(
+            read_frame(&mut worker_out.as_slice()).unwrap(),
+            Some(Frame::Hello(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_input_is_a_described_error() {
+        let garbage = b"this is not a frame stream".to_vec();
+        let err = serve(garbage.as_slice(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("frame") || err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn anything_but_init_first_is_a_protocol_error() {
+        let mut dispatcher_out = Vec::new();
+        write_frame(
+            &mut dispatcher_out,
+            &Frame::Request(CellRequest {
+                id: 0,
+                cell: fp_results::sweep::Cell::Curve {
+                    solver: SolverKind::GreedyAll,
+                },
+            }),
+        )
+        .unwrap();
+        let err = serve(dispatcher_out.as_slice(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("expected init"), "{err}");
+    }
+
+    #[test]
+    fn invalid_init_graphs_are_refused() {
+        let bad = SweepInit {
+            nodes: 2,
+            edges: vec![(0, 5)], // target out of range
+            source: 0,
+            ks: vec![0, 1],
+        };
+        let mut dispatcher_out = Vec::new();
+        write_frame(&mut dispatcher_out, &Frame::Init(bad)).unwrap();
+        let err = serve(dispatcher_out.as_slice(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("invalid graph"), "{err}");
+
+        let bad_source = SweepInit {
+            nodes: 2,
+            edges: vec![(0, 1)],
+            source: 9,
+            ks: vec![0],
+        };
+        let mut dispatcher_out = Vec::new();
+        write_frame(&mut dispatcher_out, &Frame::Init(bad_source)).unwrap();
+        let err = serve(dispatcher_out.as_slice(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+}

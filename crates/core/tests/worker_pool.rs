@@ -1,0 +1,301 @@
+//! End-to-end tests of the process-pool sweep backend against the
+//! *real* `fp` binary (Cargo builds it for us and exposes the path as
+//! `CARGO_BIN_EXE_fp`).
+//!
+//! The two contracts under test are the ones the ISSUE pins:
+//!
+//! 1. `fp sweep --out A` and `fp sweep --workers 2 --out B` produce
+//!    **byte-identical** run directories (the same check the
+//!    `distributed-determinism` CI job performs with `diff -r`);
+//! 2. killing workers mid-sweep loses no cells and still produces the
+//!    bit-identical result — crashed workers are restarted and their
+//!    in-flight cells re-queued.
+
+use fp_core::prelude::*;
+use fp_results::worker::{run_sweep_workers, PoolOptions, WorkerSpawner};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The compiled `fp` binary.
+fn fp_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_fp")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fp-worker-it-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small layered edge list with enough structure that solvers
+/// disagree and randomized trials matter.
+const EDGES: &str = "s a\ns b\ns c\na d\na e\nb d\nb e\nc e\nd f\nd g\ne f\ne g\nf h\ng h\n";
+
+/// Every (relative path, bytes) under `root`, sorted.
+fn dir_contents(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap().display().to_string();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+/// Run the real `fp` binary, asserting success; returns stdout.
+fn fp(args: &[&str], workdir: &Path) -> String {
+    let out = Command::new(fp_exe())
+        .args(args)
+        .current_dir(workdir)
+        .output()
+        .expect("fp runs");
+    assert!(
+        out.status.success(),
+        "fp {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn in_process_and_worker_run_directories_are_byte_identical() {
+    let work = temp_dir("bytes");
+    let input = work.join("edges.txt");
+    std::fs::write(&input, EDGES).unwrap();
+    let input = input.to_str().unwrap().to_string();
+
+    let sweep = |extra: &[&str], out: &str| -> String {
+        let mut args = vec![
+            "sweep", "--input", &input, "--source", "s", "--kmax", "4", "--trials", "3", "--seed",
+            "11", "--out", out,
+        ];
+        args.extend_from_slice(extra);
+        fp(&args, &work)
+    };
+
+    let table_a = sweep(&["--jobs", "2"], "run-a");
+    let table_b = sweep(&["--workers", "2"], "run-b");
+
+    // Identical tables on stdout (modulo the path in the status line)…
+    assert_eq!(
+        table_a.split_once('\n').unwrap().1,
+        table_b.split_once('\n').unwrap().1,
+        "stdout tables must match"
+    );
+    // …and byte-identical stores on disk: same file set, same bytes.
+    let a = dir_contents(&work.join("run-a"));
+    let b = dir_contents(&work.join("run-b"));
+    assert_eq!(
+        a.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        b.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        "same file tree"
+    );
+    for ((path_a, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(bytes_a, bytes_b, "{path_a} differs between backends");
+    }
+    assert!(
+        a.iter().any(|(p, _)| p.ends_with("result.json")),
+        "a real run was stored: {a:?}"
+    );
+
+    // A worker rerun over the in-process store is a pure cache hit.
+    let again = sweep(&["--workers", "2"], "run-a");
+    assert!(again.contains("cache hit"), "{again}");
+
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+/// Spawner for the real `fp worker`, optionally injecting a failure
+/// after `fail_after` served cells.
+fn fp_worker_spawner(fail_after: Option<usize>) -> WorkerSpawner {
+    let spawner = WorkerSpawner::new(fp_exe()).arg("worker");
+    match fail_after {
+        Some(n) => spawner.env("FP_WORKER_FAIL_AFTER", n.to_string()),
+        None => spawner,
+    }
+}
+
+fn pool_problem() -> (DiGraph, NodeId, SweepConfig) {
+    let (g, labels) = fp_core::graph::from_edge_list(EDGES).unwrap();
+    let source = labels.iter().position(|l| l == "s").unwrap();
+    let cfg = SweepConfig {
+        ks: (0..=4).collect(),
+        trials: 4,
+        seed: 0xF1157E5,
+        solvers: SolverKind::PAPER_SET.to_vec(),
+    };
+    (g, NodeId::new(source), cfg)
+}
+
+#[test]
+fn killed_workers_lose_no_cells_and_keep_the_bits() {
+    let (g, source, cfg) = pool_problem();
+    let problem = Problem::new(&g, source).unwrap();
+    let reference = run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(1)).unwrap();
+
+    // Every worker dies on its third request, over and over: the pool
+    // must keep restarting them, re-queue each in-flight cell, and
+    // still finish every cell. The paper set has 4 deterministic
+    // solvers (4 curve cells) and 3 randomized ones (3 × 5 ks × 4
+    // trials = 60 trial cells); 64 cells at 2 per incarnation needs
+    // ~32 restarts.
+    let spawner = fp_worker_spawner(Some(2));
+    let via_pool = run_sweep_workers(
+        &spawner,
+        &g,
+        source,
+        &cfg,
+        &PoolOptions {
+            workers: 2,
+            max_restarts: 200,
+        },
+    )
+    .unwrap();
+
+    assert_eq!(via_pool.series.len(), reference.series.len());
+    for (a, b) in via_pool.series.iter().zip(&reference.series) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.0, pb.0);
+            assert_eq!(
+                pa.1.to_bits(),
+                pb.1.to_bits(),
+                "{}@k={} must survive worker crashes bit-exactly",
+                a.label,
+                pa.0
+            );
+        }
+    }
+}
+
+#[test]
+fn killed_workers_do_not_corrupt_the_store() {
+    // Same crash storm, but through the full CLI with --out: the store
+    // must hold exactly one complete, loadable run and no debris.
+    let work = temp_dir("crash-store");
+    let input = work.join("edges.txt");
+    std::fs::write(&input, EDGES).unwrap();
+
+    let out = Command::new(fp_exe())
+        .args([
+            "sweep",
+            "--input",
+            input.to_str().unwrap(),
+            "--source",
+            "s",
+            "--kmax",
+            "3",
+            "--trials",
+            "2",
+            "--workers",
+            "2",
+            "--out",
+            "store",
+        ])
+        .env("FP_WORKER_FAIL_AFTER", "2")
+        .current_dir(&work)
+        .output()
+        .expect("fp runs");
+    assert!(
+        out.status.success(),
+        "sweep must survive crashing workers:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let store = RunStore::open(work.join("store")).unwrap();
+    let runs = store.list().unwrap();
+    assert_eq!(runs.len(), 1, "exactly one complete run: {runs:?}");
+    let loaded = store.load(&runs[0].id).unwrap().expect("loadable");
+    assert_eq!(loaded.result.series.len(), 7, "all seven solvers stored");
+    // No staging debris left behind by the crashed children (only the
+    // dispatcher writes the store, so there should be none at all).
+    assert_eq!(store.sweep_staging(std::time::Duration::ZERO).unwrap(), 0);
+
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn exhausted_restart_budget_is_an_error_not_a_partial_result() {
+    let (g, source, cfg) = pool_problem();
+    // Workers die after every single cell and the budget tolerates
+    // only one restart: the pool must give up loudly.
+    let spawner = fp_worker_spawner(Some(0));
+    let err = run_sweep_workers(
+        &spawner,
+        &g,
+        source,
+        &cfg,
+        &PoolOptions {
+            workers: 2,
+            max_restarts: 1,
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("worker pool failed"), "{err}");
+    assert!(err.contains("restart(s) spent"), "{err}");
+}
+
+#[test]
+fn worker_subcommand_rejects_garbage_stdin() {
+    use std::io::Write as _;
+    let mut child = Command::new(fp_exe())
+        .arg("worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("fp worker spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"this is not a frame stream")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        !out.status.success(),
+        "garbage stdin must exit non-zero, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frame"), "stderr names the frame: {stderr}");
+}
+
+#[test]
+fn worker_pool_handles_multiple_workers_exceeding_cells() {
+    // More workers than cells: the pool must clamp, not wedge.
+    let (g, source, _) = pool_problem();
+    let cfg = SweepConfig {
+        ks: vec![0, 1],
+        trials: 1,
+        seed: 5,
+        solvers: vec![SolverKind::GreedyAll], // one curve cell
+    };
+    let via_pool = run_sweep_workers(
+        &fp_worker_spawner(None),
+        &g,
+        source,
+        &cfg,
+        &PoolOptions::with_workers(8),
+    )
+    .unwrap();
+    let problem = Problem::new(&g, source).unwrap();
+    let reference = run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(1)).unwrap();
+    assert_eq!(via_pool, reference);
+}

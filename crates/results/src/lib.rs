@@ -21,23 +21,31 @@
 //!   identical sweep is a cache hit.
 //! * [`csv`] — the figure-table CSV rendering shared by the store and
 //!   the `fp` CLI.
+//! * [`protocol`] — length-prefixed JSON frames for shipping sweep
+//!   cells to worker *processes* (`fp worker`).
+//! * [`worker`] — the process-pool dispatcher: spawns workers, streams
+//!   cells, restarts crashed workers and re-queues their in-flight
+//!   cells; bit-identical to the in-process runner.
 //!
 //! `fp-core` builds [`sweep::SweepBackend`] on `Problem` and the `fp`
-//! CLI exposes the store as `fp sweep --out DIR --jobs N` and
-//! `fp report --run DIR`; `fp-bench`'s `repro` persists every figure
-//! through it. See DESIGN.md §6 for the subsystem rationale and
-//! README.md for the workflow.
+//! CLI exposes the store as `fp sweep --out DIR --jobs N --workers N`
+//! and `fp report --run DIR` / `--list DIR`; `fp-bench`'s `repro`
+//! persists every figure through it. See DESIGN.md §6–§7 for the
+//! subsystem rationale and README.md for the workflow.
 
 pub mod csv;
 pub mod hash;
 pub mod json;
 pub mod model;
+pub mod protocol;
 pub mod runner;
 pub mod store;
 pub mod sweep;
+pub mod worker;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use model::{solver_from_label, SolverSeries, SweepConfig, SweepResult};
 pub use runner::{available_cores, run_parallel, RunOutcome, RunnerOptions};
-pub use store::{DatasetFingerprint, RunManifest, RunStore, StoredRun};
+pub use store::{DatasetFingerprint, RunListEntry, RunManifest, RunStore, StoredRun};
 pub use sweep::{run_sweep_cells, SweepBackend};
+pub use worker::{run_sweep_workers, PoolOptions, WorkerSpawner};

@@ -1,0 +1,474 @@
+//! The `fp worker` wire protocol: length-prefixed JSON frames.
+//!
+//! The process-pool backend ([`crate::worker`]) talks to each worker
+//! child over its stdin/stdout. Every message is a **frame**: a 4-byte
+//! big-endian length prefix followed by that many bytes of canonical
+//! compact JSON (the lossless [`crate::json`] writer — the same model
+//! the run store hashes, so `f64` FR samples cross the pipe
+//! bit-exactly).
+//!
+//! Conversation, dispatcher (D) side vs worker (W) side:
+//!
+//! ```text
+//! W → D   hello     { version, pid }          # first bytes on stdout
+//! D → W   init      { nodes, edges, source, ks }
+//! D → W   request   { id, cell }              # repeated, one at a time
+//! W → D   response  { id, output }            #   answers in order
+//! D → W   shutdown  {}                        # then stdin closes
+//! ```
+//!
+//! The dataset crosses as explicit structure (`nodes` + index pairs +
+//! `source` index), not as an edge-list *text*: re-parsing text assigns
+//! node ids by first appearance, which can permute indices and silently
+//! change every seeded solver — the worker must solve the *identical*
+//! problem, so the init frame preserves indices exactly.
+//!
+//! Framing errors (truncated prefix or body, a length above
+//! [`MAX_FRAME_LEN`], malformed JSON, an unknown `type`) are all loud
+//! `Err`s; only a clean EOF *between* frames reads as `Ok(None)`. The
+//! dispatcher treats any of them as a worker crash: the in-flight cell
+//! is re-queued and the worker restarted (see DESIGN.md §7).
+
+use crate::json::{FromJson, Json, ToJson};
+use crate::sweep::{Cell, CellOut};
+use fp_algorithms::SolverKind;
+use std::io::{ErrorKind, Read, Write};
+
+/// Protocol revision; the dispatcher refuses a worker whose hello
+/// carries a different one.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a frame body, so a corrupt length prefix fails fast
+/// instead of attempting a multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// The worker's opening message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerHello {
+    /// [`PROTOCOL_VERSION`] the worker speaks.
+    pub version: u64,
+    /// The worker's process id (for diagnostics).
+    pub pid: u64,
+}
+
+impl WorkerHello {
+    /// A hello for the current process at the current version.
+    pub fn current() -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            pid: std::process::id() as u64,
+        }
+    }
+}
+
+/// The sweep context a worker needs before it can evaluate cells: the
+/// exact graph (indices preserved), the source index, and the budget
+/// axis curve cells span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepInit {
+    /// Node count of the graph.
+    pub nodes: usize,
+    /// Every edge as an `(source index, target index)` pair, in storage
+    /// order.
+    pub edges: Vec<(usize, usize)>,
+    /// Index of the propagation source.
+    pub source: usize,
+    /// The sweep's budgets (what curve cells evaluate over).
+    pub ks: Vec<usize>,
+}
+
+/// One cell of work, tagged so responses can be matched up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellRequest {
+    /// Dispatcher-chosen tag echoed back in the response.
+    pub id: u64,
+    /// The cell to evaluate.
+    pub cell: Cell,
+}
+
+/// A worker's answer to one [`CellRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResponse {
+    /// The request's tag.
+    pub id: u64,
+    /// The cell's output.
+    pub output: CellOut,
+}
+
+/// Every message that can cross the pipe.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Worker → dispatcher handshake.
+    Hello(WorkerHello),
+    /// Dispatcher → worker sweep context.
+    Init(SweepInit),
+    /// Dispatcher → worker unit of work.
+    Request(CellRequest),
+    /// Worker → dispatcher result.
+    Response(CellResponse),
+    /// Dispatcher → worker: drain and exit cleanly.
+    Shutdown,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        match *self {
+            Cell::Curve { solver } => Json::object([
+                ("kind", Json::Str("curve".into())),
+                ("solver", solver.to_json()),
+            ]),
+            Cell::Trial { solver, k, seed } => Json::object([
+                ("kind", Json::Str("trial".into())),
+                ("solver", solver.to_json()),
+                ("k", k.to_json()),
+                ("seed", seed.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Cell {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let solver = SolverKind::from_json(v.expect("solver")?)?;
+        match v.expect("kind")?.as_str() {
+            Some("curve") => Ok(Cell::Curve { solver }),
+            Some("trial") => Ok(Cell::Trial {
+                solver,
+                k: v.expect("k")?.as_usize().ok_or("bad cell k")?,
+                seed: v.expect("seed")?.as_u64().ok_or("bad cell seed")?,
+            }),
+            other => Err(format!("unknown cell kind {other:?}")),
+        }
+    }
+}
+
+/// `(k, fr)` points as a JSON array of two-element arrays (the same
+/// shape [`crate::model::SolverSeries`] uses).
+fn points_to_json(points: &[(usize, f64)]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|&(k, fr)| Json::Array(vec![k.to_json(), fr.to_json()]))
+            .collect(),
+    )
+}
+
+fn points_from_json(v: &Json) -> Result<Vec<(usize, f64)>, String> {
+    v.as_array()
+        .ok_or("points must be an array")?
+        .iter()
+        .map(|p| {
+            let pair = p.as_array().filter(|a| a.len() == 2);
+            let pair = pair.ok_or_else(|| format!("point must be [k, fr]: {p:?}"))?;
+            let k = pair[0].as_usize().ok_or("bad point k")?;
+            let fr = pair[1].as_f64().ok_or("bad point fr")?;
+            Ok((k, fr))
+        })
+        .collect()
+}
+
+impl ToJson for CellOut {
+    fn to_json(&self) -> Json {
+        match self {
+            CellOut::Curve(points) => Json::object([
+                ("kind", Json::Str("curve".into())),
+                ("points", points_to_json(points)),
+            ]),
+            CellOut::Fr(fr) => {
+                Json::object([("kind", Json::Str("fr".into())), ("fr", fr.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for CellOut {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.expect("kind")?.as_str() {
+            Some("curve") => Ok(CellOut::Curve(points_from_json(v.expect("points")?)?)),
+            Some("fr") => Ok(CellOut::Fr(v.expect("fr")?.as_f64().ok_or("bad fr")?)),
+            other => Err(format!("unknown output kind {other:?}")),
+        }
+    }
+}
+
+impl ToJson for Frame {
+    fn to_json(&self) -> Json {
+        match self {
+            Frame::Hello(h) => Json::object([
+                ("type", Json::Str("hello".into())),
+                ("version", h.version.to_json()),
+                ("pid", h.pid.to_json()),
+            ]),
+            Frame::Init(init) => Json::object([
+                ("type", Json::Str("init".into())),
+                ("nodes", init.nodes.to_json()),
+                (
+                    "edges",
+                    Json::Array(
+                        init.edges
+                            .iter()
+                            .map(|&(u, v)| Json::Array(vec![u.to_json(), v.to_json()]))
+                            .collect(),
+                    ),
+                ),
+                ("source", init.source.to_json()),
+                ("ks", init.ks.to_json()),
+            ]),
+            Frame::Request(req) => Json::object([
+                ("type", Json::Str("request".into())),
+                ("id", req.id.to_json()),
+                ("cell", req.cell.to_json()),
+            ]),
+            Frame::Response(resp) => Json::object([
+                ("type", Json::Str("response".into())),
+                ("id", resp.id.to_json()),
+                ("output", resp.output.to_json()),
+            ]),
+            Frame::Shutdown => Json::object([("type", Json::Str("shutdown".into()))]),
+        }
+    }
+}
+
+impl FromJson for Frame {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.expect("type")?.as_str() {
+            Some("hello") => Ok(Frame::Hello(WorkerHello {
+                version: v.expect("version")?.as_u64().ok_or("bad version")?,
+                pid: v.expect("pid")?.as_u64().ok_or("bad pid")?,
+            })),
+            Some("init") => Ok(Frame::Init(SweepInit {
+                nodes: v.expect("nodes")?.as_usize().ok_or("bad nodes")?,
+                edges: v
+                    .expect("edges")?
+                    .as_array()
+                    .ok_or("edges must be an array")?
+                    .iter()
+                    .map(|e| {
+                        let pair = e.as_array().filter(|a| a.len() == 2);
+                        let pair = pair.ok_or_else(|| format!("edge must be [u, v]: {e:?}"))?;
+                        let u = pair[0].as_usize().ok_or("bad edge source")?;
+                        let t = pair[1].as_usize().ok_or("bad edge target")?;
+                        Ok((u, t))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                source: v.expect("source")?.as_usize().ok_or("bad source")?,
+                ks: v
+                    .expect("ks")?
+                    .as_array()
+                    .ok_or("ks must be an array")?
+                    .iter()
+                    .map(|k| k.as_usize().ok_or_else(|| format!("bad k: {k:?}")))
+                    .collect::<Result<Vec<_>, _>>()?,
+            })),
+            Some("request") => Ok(Frame::Request(CellRequest {
+                id: v.expect("id")?.as_u64().ok_or("bad request id")?,
+                cell: Cell::from_json(v.expect("cell")?)?,
+            })),
+            Some("response") => Ok(Frame::Response(CellResponse {
+                id: v.expect("id")?.as_u64().ok_or("bad response id")?,
+                output: CellOut::from_json(v.expect("output")?)?,
+            })),
+            Some("shutdown") => Ok(Frame::Shutdown),
+            other => Err(format!("unknown frame type {other:?}")),
+        }
+    }
+}
+
+/// Write one frame (length prefix + compact JSON) and flush, so the
+/// peer never waits on bytes stuck in a buffer.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), String> {
+    let body = frame.to_json().to_compact();
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| format!("frame too large: {} bytes", body.len()))?;
+    w.write_all(&len.to_be_bytes())
+        .and_then(|()| w.write_all(body.as_bytes()))
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("cannot write frame: {e}"))
+}
+
+/// Read one frame. `Ok(None)` on a clean EOF at a frame boundary;
+/// everything else that is not a well-formed frame — a truncated
+/// prefix or body, an oversized length, malformed JSON, an unknown
+/// `type` — is an `Err`.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, String> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err("truncated frame: EOF inside the length prefix".into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("cannot read frame prefix: {e}")),
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_LEN {
+        return Err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap (corrupt stream?)"
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)
+        .map_err(|e| format!("truncated frame: EOF inside a {len}-byte body: {e}"))?;
+    let text = String::from_utf8(body).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("frame is not JSON: {e}"))?;
+    Frame::from_json(&json)
+        .map(Some)
+        .map_err(|e| format!("bad frame: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame).unwrap();
+        let mut r = buf.as_slice();
+        let back = read_frame(&mut r).unwrap().expect("one frame");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after");
+        back
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        let frames = [
+            Frame::Hello(WorkerHello::current()),
+            Frame::Init(SweepInit {
+                nodes: 5,
+                edges: vec![(0, 1), (1, 2), (1, 4)],
+                source: 0,
+                ks: vec![0, 1, 2, 3],
+            }),
+            Frame::Request(CellRequest {
+                id: 7,
+                cell: Cell::Curve {
+                    solver: SolverKind::GreedyAll,
+                },
+            }),
+            Frame::Request(CellRequest {
+                id: u64::MAX,
+                cell: Cell::Trial {
+                    solver: SolverKind::RandK,
+                    k: 3,
+                    seed: u64::MAX - 1,
+                },
+            }),
+            Frame::Response(CellResponse {
+                id: 7,
+                output: CellOut::Curve(vec![(0, 0.0), (2, 2.0 / 3.0)]),
+            }),
+            Frame::Response(CellResponse {
+                id: 8,
+                output: CellOut::Fr(0.1 + 0.2), // not exactly 0.3
+            }),
+            Frame::Shutdown,
+        ];
+        for frame in &frames {
+            assert_eq!(&roundtrip(frame), frame);
+        }
+    }
+
+    #[test]
+    fn floats_cross_the_pipe_bit_exactly() {
+        let fr = 2.0f64 / 3.0;
+        let back = roundtrip(&Frame::Response(CellResponse {
+            id: 1,
+            output: CellOut::Fr(fr),
+        }));
+        match back {
+            Frame::Response(CellResponse {
+                output: CellOut::Fr(got),
+                ..
+            }) => assert_eq!(got.to_bits(), fr.to_bits()),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Hello(WorkerHello::current())).unwrap();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        let mut r = buf.as_slice();
+        assert!(matches!(read_frame(&mut r).unwrap(), Some(Frame::Hello(_))));
+        assert!(matches!(read_frame(&mut r).unwrap(), Some(Frame::Shutdown)));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_prefix_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Shutdown).unwrap();
+        buf.truncate(2); // half a length prefix
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("length prefix"), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Hello(WorkerHello::current())).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("truncated frame"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_fast() {
+        let buf = u32::MAX.to_be_bytes();
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_body_is_an_error() {
+        let body = b"{not json";
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("not JSON"), "{err}");
+    }
+
+    #[test]
+    fn unknown_frame_type_is_an_error() {
+        let body = br#"{"type":"frobnicate"}"#;
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("unknown frame type"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_body_is_an_error() {
+        let body = [0xFFu8, 0xFE, 0xFD];
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn bad_fields_name_the_problem() {
+        for (body, needle) in [
+            (r#"{"type":"hello","version":"x","pid":1}"#, "version"),
+            (
+                r#"{"type":"request","id":1,"cell":{"kind":"wat","solver":"G_ALL"}}"#,
+                "cell kind",
+            ),
+            (r#"{"type":"response","id":1,"output":{"kind":"fr"}}"#, "fr"),
+            (
+                r#"{"type":"init","nodes":2,"edges":[[0]],"source":0,"ks":[]}"#,
+                "edge",
+            ),
+        ] {
+            let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(body.as_bytes());
+            let err = read_frame(&mut buf.as_slice()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+}

@@ -14,7 +14,17 @@
 //! same dataset lands on the same directory and becomes a **cache
 //! hit**: the caller loads `result.json` instead of recomputing.
 //! Writes are atomic at the directory level (staged under a temp name,
-//! then renamed in), so a crashed run never masquerades as a hit.
+//! then renamed in), so a crashed run never masquerades as a hit;
+//! stale staging directories a killed process left behind are swept
+//! when the store is opened.
+//!
+//! Every byte under a run directory is a pure function of
+//! (config, dataset, result) — no timestamps, wall-clock readings, or
+//! scheduling knobs are written. That is what lets the
+//! `distributed-determinism` CI job `diff -r` an in-process run
+//! directory against a `--workers` one and demand byte equality.
+//! Wall-clock metadata lives in the filesystem instead: `fp report
+//! --list` reports each run's `manifest.json` modification time.
 
 use crate::csv::sweep_csv;
 use crate::hash::{fnv64_hex, Fnv64};
@@ -22,7 +32,7 @@ use crate::json::{FromJson, Json, ToJson};
 use crate::model::{SweepConfig, SweepResult};
 use fp_graph::{DiGraph, NodeId};
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 /// What a sweep ran *on*: enough structure to key the cache and to
 /// audit a stored run without the original input file.
@@ -99,6 +109,13 @@ impl FromJson for DatasetFingerprint {
 }
 
 /// Everything recorded about a run besides its numbers.
+///
+/// Deliberately **content-only**: no timestamps, wall-clock readings,
+/// or scheduling knobs (`--jobs`/`--workers`), so the manifest bytes —
+/// and with them the whole run directory — are identical however and
+/// whenever the sweep was computed. When a run happened is filesystem
+/// metadata (`fp report --list` shows it); how long it took belongs in
+/// `BENCH_baseline.json`-style timing documents, not the store.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunManifest {
     /// The content-derived run id (also the directory name).
@@ -109,33 +126,16 @@ pub struct RunManifest {
     pub config: SweepConfig,
     /// What it ran on.
     pub dataset: DatasetFingerprint,
-    /// Worker count used (0 = auto).
-    pub jobs: usize,
-    /// Wall-clock seconds the sweep took.
-    pub wall_secs: f64,
-    /// Unix seconds when the run finished.
-    pub created_unix: u64,
 }
 
 impl RunManifest {
     /// Assemble a manifest for a just-finished run.
-    pub fn new(
-        config: SweepConfig,
-        dataset: DatasetFingerprint,
-        jobs: usize,
-        wall_secs: f64,
-    ) -> Self {
+    pub fn new(config: SweepConfig, dataset: DatasetFingerprint) -> Self {
         Self {
             id: RunStore::run_id(&config, &dataset),
             tool: concat!("fp-results ", env!("CARGO_PKG_VERSION")).to_string(),
             config,
             dataset,
-            jobs,
-            wall_secs,
-            created_unix: SystemTime::now()
-                .duration_since(SystemTime::UNIX_EPOCH)
-                .map(|d| d.as_secs())
-                .unwrap_or(0),
         }
     }
 }
@@ -147,9 +147,6 @@ impl ToJson for RunManifest {
             ("tool", self.tool.to_json()),
             ("config", self.config.to_json()),
             ("dataset", self.dataset.to_json()),
-            ("jobs", self.jobs.to_json()),
-            ("wall_secs", Json::Float(self.wall_secs)),
-            ("created_unix", self.created_unix.to_json()),
         ])
     }
 }
@@ -161,12 +158,6 @@ impl FromJson for RunManifest {
             tool: v.expect("tool")?.as_str().ok_or("bad tool")?.to_string(),
             config: SweepConfig::from_json(v.expect("config")?)?,
             dataset: DatasetFingerprint::from_json(v.expect("dataset")?)?,
-            jobs: v.expect("jobs")?.as_usize().ok_or("bad jobs")?,
-            wall_secs: v.expect("wall_secs")?.as_f64().ok_or("bad wall_secs")?,
-            created_unix: v
-                .expect("created_unix")?
-                .as_u64()
-                .ok_or("bad created_unix")?,
         })
     }
 }
@@ -180,6 +171,28 @@ pub struct StoredRun {
     pub result: SweepResult,
 }
 
+/// One row of [`RunStore::list`].
+#[derive(Clone, Debug)]
+pub struct RunListEntry {
+    /// The run id (directory name).
+    pub id: String,
+    /// The run's manifest.
+    pub manifest: RunManifest,
+    /// When the run landed: `manifest.json`'s modification time, unix
+    /// seconds (0 when the filesystem cannot say). Kept out of the
+    /// manifest itself so run-directory bytes stay content-pure.
+    pub modified_unix: u64,
+}
+
+/// Prefix of staged (not yet renamed-in) run directories.
+const STAGING_PREFIX: &str = ".stage-";
+
+/// How old a staging directory must be before [`RunStore::open`]
+/// treats it as debris from a killed process and removes it. Young
+/// staging dirs may belong to a concurrent writer mid-save, so the
+/// sweep leaves them alone.
+const STALE_STAGING_AGE: Duration = Duration::from_secs(60 * 60);
+
 /// A directory of runs keyed by content hash.
 #[derive(Clone, Debug)]
 pub struct RunStore {
@@ -188,11 +201,94 @@ pub struct RunStore {
 
 impl RunStore {
     /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// Opening also sweeps staging debris: a process killed mid-save
+    /// leaves its `.stage-*` directory behind forever (the rename
+    /// never happens), so any staging dir older than an hour is
+    /// removed here. Failure to sweep never fails the open.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
         let root = root.into();
         std::fs::create_dir_all(&root)
             .map_err(|e| format!("cannot create store root {}: {e}", root.display()))?;
-        Ok(Self { root })
+        let store = Self { root };
+        let _ = store.sweep_staging(STALE_STAGING_AGE);
+        Ok(store)
+    }
+
+    /// Remove staging directories older than `older_than`; returns how
+    /// many were removed. `Duration::ZERO` removes them all (what a
+    /// caller that *knows* no concurrent writer exists can use).
+    pub fn sweep_staging(&self, older_than: Duration) -> Result<usize, String> {
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| format!("cannot read store root {}: {e}", self.root.display()))?;
+        let now = SystemTime::now();
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if !name.to_string_lossy().starts_with(STAGING_PREFIX) {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .map(|mtime| now.duration_since(mtime).unwrap_or_default() >= older_than)
+                .unwrap_or(true); // unreadable metadata: treat as debris
+            if stale && std::fs::remove_dir_all(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Enumerate the complete runs under this root, sorted by id.
+    ///
+    /// Entries that are not runs (staging debris, loose `*.csv` files
+    /// a `repro --out` session wrote, half-written directories) are
+    /// skipped, not errors; a corrupt manifest in an otherwise
+    /// complete run *is* an error, so damage never hides. Only
+    /// `manifest.json` is read — the (much larger) `result.json`
+    /// bodies are not touched, so listing a big store stays cheap.
+    pub fn list(&self) -> Result<Vec<RunListEntry>, String> {
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| format!("cannot read store root {}: {e}", self.root.display()))?;
+        let mut runs = Vec::new();
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            // A staging dir mid-save (or freshly abandoned) can already
+            // hold a full file triple — never list it as a run.
+            if entry
+                .file_name()
+                .to_string_lossy()
+                .starts_with(STAGING_PREFIX)
+            {
+                continue;
+            }
+            let manifest_path = dir.join("manifest.json");
+            if !dir.is_dir() || !manifest_path.exists() || !dir.join("result.json").exists() {
+                continue;
+            }
+            let text = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+            let manifest = Json::parse(&text)
+                .map_err(|e| format!("{}: {e}", manifest_path.display()))
+                .and_then(|json| {
+                    RunManifest::from_json(&json)
+                        .map_err(|e| format!("bad manifest.json in {}: {e}", dir.display()))
+                })?;
+            let modified_unix = std::fs::metadata(&manifest_path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.duration_since(SystemTime::UNIX_EPOCH).ok())
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            runs.push(RunListEntry {
+                id: entry.file_name().to_string_lossy().into_owned(),
+                manifest,
+                modified_unix,
+            });
+        }
+        runs.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(runs)
     }
 
     /// The store root.
@@ -244,9 +340,11 @@ impl RunStore {
     /// writer won the race), the existing directory is kept.
     pub fn save(&self, manifest: &RunManifest, result: &SweepResult) -> Result<PathBuf, String> {
         let final_dir = self.run_dir(&manifest.id);
-        let stage = self
-            .root
-            .join(format!(".stage-{}-{}", manifest.id, std::process::id()));
+        let stage = self.root.join(format!(
+            "{STAGING_PREFIX}{}-{}",
+            manifest.id,
+            std::process::id()
+        ));
         let write = |file: &str, contents: &str| -> Result<(), String> {
             let path = stage.join(file);
             std::fs::write(&path, contents)
@@ -326,7 +424,7 @@ mod tests {
     fn save_then_load_roundtrips() {
         let (store, dir) = temp_store();
         let (config, dataset, result) = sample();
-        let manifest = RunManifest::new(config.clone(), dataset.clone(), 4, 0.25);
+        let manifest = RunManifest::new(config.clone(), dataset.clone());
         let run_dir = store.save(&manifest, &result).unwrap();
         assert!(run_dir.join("manifest.json").exists());
         assert!(run_dir.join("result.json").exists());
@@ -391,7 +489,7 @@ mod tests {
     fn corrupt_json_is_a_described_error() {
         let (store, dir) = temp_store();
         let (config, dataset, result) = sample();
-        let manifest = RunManifest::new(config, dataset, 1, 0.0);
+        let manifest = RunManifest::new(config, dataset);
         let run_dir = store.save(&manifest, &result).unwrap();
         std::fs::write(run_dir.join("result.json"), "{not json").unwrap();
         let err = store.load(&manifest.id).unwrap_err();
@@ -403,7 +501,7 @@ mod tests {
     fn csv_matches_the_result() {
         let (store, dir) = temp_store();
         let (config, dataset, result) = sample();
-        let manifest = RunManifest::new(config, dataset, 1, 0.0);
+        let manifest = RunManifest::new(config, dataset);
         let run_dir = store.save(&manifest, &result).unwrap();
         let csv = std::fs::read_to_string(run_dir.join("result.csv")).unwrap();
         assert_eq!(csv, sweep_csv(&result));
@@ -423,6 +521,119 @@ mod tests {
         assert_eq!(fa.edges, 2);
         let fa2 = DatasetFingerprint::of_graph("a", &a, NodeId::new(0), "s");
         assert_eq!(fa.edge_hash, fa2.edge_hash);
+    }
+
+    #[test]
+    fn manifest_and_run_directory_bytes_are_content_pure() {
+        // Saving the same (config, dataset, result) twice — even from
+        // "different schedulers" — must produce identical bytes in
+        // every file; the distributed-determinism CI gate rests on it.
+        let (store_a, dir_a) = temp_store();
+        let (store_b, dir_b) = temp_store();
+        let (config, dataset, result) = sample();
+        let run_a = store_a
+            .save(&RunManifest::new(config.clone(), dataset.clone()), &result)
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let run_b = store_b
+            .save(&RunManifest::new(config, dataset), &result)
+            .unwrap();
+        for file in ["manifest.json", "result.json", "result.csv"] {
+            assert_eq!(
+                std::fs::read(run_a.join(file)).unwrap(),
+                std::fs::read(run_b.join(file)).unwrap(),
+                "{file} must be byte-identical"
+            );
+        }
+        let _ = std::fs::remove_dir_all(dir_a);
+        let _ = std::fs::remove_dir_all(dir_b);
+    }
+
+    #[test]
+    fn list_enumerates_complete_runs_and_skips_debris() {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let manifest = RunManifest::new(config.clone(), dataset.clone());
+        store.save(&manifest, &result).unwrap();
+
+        // Debris that must not appear: a half-written run, a loose
+        // csv, and a staging dir.
+        std::fs::create_dir_all(store.root().join("deadbeef00000000")).unwrap();
+        std::fs::write(
+            store.root().join("deadbeef00000000/manifest.json"),
+            manifest.to_json().to_pretty(),
+        )
+        .unwrap();
+        std::fs::write(store.root().join("fig04a.csv"), "k,count\n").unwrap();
+        std::fs::create_dir_all(store.root().join(".stage-zzz-1")).unwrap();
+        // A staging dir holding a *complete* file triple (killed just
+        // before the rename) must still be skipped, not listed.
+        let mid_save = store
+            .root()
+            .join(format!("{}{}-999", ".stage-", manifest.id));
+        std::fs::create_dir_all(&mid_save).unwrap();
+        for file in ["manifest.json", "result.json", "result.csv"] {
+            std::fs::copy(store.run_dir(&manifest.id).join(file), mid_save.join(file)).unwrap();
+        }
+
+        let runs = store.list().unwrap();
+        assert_eq!(runs.len(), 1, "{runs:?}");
+        assert_eq!(runs[0].id, manifest.id);
+        assert_eq!(runs[0].manifest.dataset.name, "unit");
+        assert_eq!(runs[0].manifest.config.solvers.len(), 2);
+        assert!(runs[0].modified_unix > 0, "mtime should be readable");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn list_reads_manifests_only_so_corrupt_results_do_not_block_it() {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let manifest = RunManifest::new(config, dataset);
+        let run_dir = store.save(&manifest, &result).unwrap();
+        // Damage the (large) result body: listing must still work —
+        // it renders manifest fields only and never parses results.
+        std::fs::write(run_dir.join("result.json"), "{broken").unwrap();
+        let runs = store.list().unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].id, manifest.id);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn list_surfaces_corrupt_manifests_instead_of_hiding_them() {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let manifest = RunManifest::new(config, dataset);
+        let run_dir = store.save(&manifest, &result).unwrap();
+        std::fs::write(run_dir.join("manifest.json"), "{broken").unwrap();
+        let err = store.list().unwrap_err();
+        assert!(err.contains("manifest.json"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn staging_debris_is_swept() {
+        let (store, dir) = temp_store();
+        let stale = store.root().join(".stage-dead-12345");
+        std::fs::create_dir_all(&stale).unwrap();
+        std::fs::write(stale.join("manifest.json"), "{}").unwrap();
+
+        // Fresh debris survives an open (a concurrent writer could
+        // still own it)...
+        let reopened = RunStore::open(store.root()).unwrap();
+        assert!(stale.exists(), "fresh staging dir must survive open");
+
+        // ...but an explicit zero-age sweep removes it, runs untouched.
+        let (config, dataset, result) = sample();
+        reopened
+            .save(&RunManifest::new(config, dataset), &result)
+            .unwrap();
+        let removed = reopened.sweep_staging(Duration::ZERO).unwrap();
+        assert_eq!(removed, 1);
+        assert!(!stale.exists());
+        assert_eq!(reopened.list().unwrap().len(), 1, "real runs survive");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

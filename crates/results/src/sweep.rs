@@ -32,21 +32,46 @@ pub trait SweepBackend: Sync {
 }
 
 /// One unit of schedulable work.
-#[derive(Clone, Copy, Debug)]
-enum Cell {
+///
+/// Public because the process-pool backend ([`crate::worker`]) ships
+/// cells to worker processes over the wire ([`crate::protocol`]); the
+/// in-process runner and the pool schedule exactly the same cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cell {
     /// A deterministic solver's full curve.
-    Curve { solver: SolverKind },
+    Curve {
+        /// The deterministic solver.
+        solver: SolverKind,
+    },
     /// One randomized trial at one budget.
     Trial {
+        /// The randomized solver.
         solver: SolverKind,
+        /// The budget.
         k: usize,
+        /// The trial's seed.
         seed: u64,
     },
 }
 
-enum CellOut {
+/// One cell's output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOut {
+    /// A deterministic solver's `(k, FR)` curve.
     Curve(Vec<(usize, f64)>),
+    /// One randomized trial's FR sample.
     Fr(f64),
+}
+
+impl CellOut {
+    /// Whether this output has the shape `cell` must produce (a worker
+    /// answering a curve cell with a trial sample is a protocol error).
+    pub fn matches(&self, cell: &Cell) -> bool {
+        matches!(
+            (self, cell),
+            (CellOut::Curve(_), Cell::Curve { .. }) | (CellOut::Fr(_), Cell::Trial { .. })
+        )
+    }
 }
 
 /// Effective trial count: the seed treated `trials = 0` as one trial.
@@ -55,7 +80,7 @@ fn effective_trials(cfg: &SweepConfig) -> usize {
 }
 
 /// Decompose `cfg` into cells, in configuration order.
-fn cells(cfg: &SweepConfig) -> Vec<Cell> {
+pub fn sweep_cells(cfg: &SweepConfig) -> Vec<Cell> {
     let trials = effective_trials(cfg);
     let mut out = Vec::new();
     for &solver in &cfg.solvers {
@@ -76,6 +101,16 @@ fn cells(cfg: &SweepConfig) -> Vec<Cell> {
     out
 }
 
+/// Evaluate one cell against a backend (`ks` is the sweep's budget
+/// axis, which curve cells span). Both sweep backends go through this:
+/// the in-process runner directly, the process pool inside each worker.
+pub fn eval_cell<B: SweepBackend>(backend: &B, ks: &[usize], cell: &Cell) -> CellOut {
+    match *cell {
+        Cell::Curve { solver } => CellOut::Curve(backend.deterministic_curve(solver, ks)),
+        Cell::Trial { solver, k, seed } => CellOut::Fr(backend.randomized_fr(solver, k, seed)),
+    }
+}
+
 /// Run the sweep across the runner's workers.
 ///
 /// Returns `None` iff `opts.deadline` expired before every cell ran —
@@ -86,15 +121,23 @@ pub fn run_sweep_cells<B: SweepBackend>(
     cfg: &SweepConfig,
     opts: &RunnerOptions,
 ) -> Option<SweepResult> {
-    let cells = cells(cfg);
-    let outcome = run_parallel(&cells, opts, |_, cell| match *cell {
-        Cell::Curve { solver } => CellOut::Curve(backend.deterministic_curve(solver, &cfg.ks)),
-        Cell::Trial { solver, k, seed } => CellOut::Fr(backend.randomized_fr(solver, k, seed)),
-    });
+    let cells = sweep_cells(cfg);
+    let outcome = run_parallel(&cells, opts, |_, cell| eval_cell(backend, &cfg.ks, cell));
     let outputs = outcome.into_complete()?;
+    Some(reduce_cells(cfg, outputs))
+}
 
-    // Reduce in configuration order; `outputs` is in cell order, which
-    // `cells()` produced in the same nesting, so a cursor suffices.
+/// Reduce per-cell outputs (in [`sweep_cells`] order) back into a
+/// [`SweepResult`] in configuration order: per-`k` means are summed in
+/// trial order, so the result is bit-identical however the cells were
+/// scheduled — threads, processes, or serially.
+///
+/// # Panics
+///
+/// Panics when `outputs` does not line up with `cfg`'s decomposition
+/// (wrong length or a shape mismatch); schedulers validate shapes with
+/// [`CellOut::matches`] before reducing.
+pub fn reduce_cells(cfg: &SweepConfig, outputs: Vec<CellOut>) -> SweepResult {
     let trials = effective_trials(cfg);
     let mut cursor = outputs.into_iter();
     let mut next = || cursor.next().expect("cell count mismatch");
@@ -128,7 +171,7 @@ pub fn run_sweep_cells<B: SweepBackend>(
             }
         })
         .collect();
-    Some(SweepResult { series })
+    SweepResult { series }
 }
 
 #[cfg(test)]

@@ -1,0 +1,499 @@
+//! The process-pool sweep backend: `fp worker` children driven over
+//! pipes.
+//!
+//! [`run_sweep_workers`] schedules the same (solver, k, trial) cells
+//! as the in-process runner ([`crate::runner`]), but each cell is
+//! evaluated by a **worker process** speaking the
+//! [`crate::protocol`] frame protocol on stdin/stdout. Scheduling is
+//! self-balancing the same way the thread runner's stealing is: every
+//! worker holds exactly one in-flight cell and pulls the next from a
+//! shared queue the moment it answers, so fast workers naturally take
+//! more cells and no worker idles while work remains.
+//!
+//! **Crash recovery.** A worker that exits, writes a malformed frame,
+//! answers the wrong request id, or answers with the wrong output
+//! shape is killed; its in-flight cell goes back to the front of the
+//! queue, and the dispatcher thread restarts a fresh worker (re-sent
+//! the init frame). Restarts after *progress* — the dead incarnation
+//! had completed at least one cell — are free; only no-progress crash
+//! loops draw from the pool-wide budget
+//! ([`PoolOptions::max_restarts`]). When the budget is exhausted the
+//! failing dispatcher thread re-queues its cell and retires — the
+//! surviving workers drain the queue, so cells are never lost. The
+//! pool only errors out when cells remain and *no* worker is left to
+//! run them.
+//!
+//! Known limitation: reads have no timeout, so a worker that *hangs*
+//! without closing its pipes (as opposed to exiting or writing
+//! garbage) blocks its dispatcher thread — and with it the sweep —
+//! until the process is killed externally. Local children share our
+//! fate anyway (same machine, same OOM killer); a remote transport
+//! will need per-frame deadlines before this pool can cross machines
+//! (see ROADMAP).
+//!
+//! **Determinism.** Results land in per-cell slots keyed by cell
+//! index and are reduced by [`reduce_cells`] in configuration order;
+//! floats cross the pipe losslessly (shortest-round-trip JSON). The
+//! sweep result is therefore bit-identical to the in-process runner's
+//! for every worker count, restart schedule, and `--jobs`/`--workers`
+//! combination — the property the `distributed-determinism` CI job
+//! pins with a byte-level `diff -r` of two run directories.
+
+use crate::model::{SweepConfig, SweepResult};
+use crate::protocol::{read_frame, write_frame, CellRequest, Frame, SweepInit, PROTOCOL_VERSION};
+use crate::sweep::{reduce_cells, sweep_cells, Cell, CellOut};
+use fp_graph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable naming the worker executable, overriding
+/// [`WorkerSpawner::current_exe`]'s default of the running binary
+/// (test harnesses are not `fp`, so their tests point this at the real
+/// binary instead).
+pub const WORKER_EXE_ENV: &str = "FP_WORKER_EXE";
+
+/// How to launch one worker process.
+#[derive(Clone, Debug)]
+pub struct WorkerSpawner {
+    program: PathBuf,
+    args: Vec<String>,
+    envs: Vec<(String, String)>,
+}
+
+impl WorkerSpawner {
+    /// Spawn `program` (no arguments yet).
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        Self {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+        }
+    }
+
+    /// The conventional self-exec spawner: run this same executable
+    /// with a single `worker` argument (both `fp` and `repro` serve
+    /// the protocol under that argument). [`WORKER_EXE_ENV`] overrides
+    /// the executable path.
+    pub fn current_exe() -> Result<Self, String> {
+        let program = match std::env::var_os(WORKER_EXE_ENV) {
+            Some(path) => PathBuf::from(path),
+            None => std::env::current_exe()
+                .map_err(|e| format!("cannot resolve the current executable: {e}"))?,
+        };
+        Ok(Self::new(program).arg("worker"))
+    }
+
+    /// Append an argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Set an environment variable on spawned workers.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    fn command(&self) -> Command {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .envs(self.envs.iter().map(|(k, v)| (k, v)))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        cmd
+    }
+}
+
+/// Pool sizing and resilience knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolOptions {
+    /// Worker processes (0 = one per available core).
+    pub workers: usize,
+    /// Pool-wide budget of **unproductive** restarts: only a worker
+    /// incarnation that died having completed zero cells draws from
+    /// it. A worker that keeps crashing *between* completed cells is
+    /// making progress — the pool restarts it for free (total work is
+    /// still bounded by the cell count) — while a crash loop that
+    /// never lands a cell exhausts the budget and fails the sweep
+    /// loudly instead of spinning forever.
+    pub max_restarts: usize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_restarts: 8,
+        }
+    }
+}
+
+impl PoolOptions {
+    /// `workers` processes with the default restart budget.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            crate::runner::available_cores()
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// One live worker child with buffered pipes.
+struct WorkerHandle {
+    child: Child,
+    stdin: BufWriter<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerHandle {
+    /// Spawn, complete the hello handshake, and send the init frame.
+    fn start(spawner: &WorkerSpawner, init: &SweepInit) -> Result<Self, String> {
+        let mut child = spawner
+            .command()
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {:?}: {e}", spawner.program))?;
+        let stdin = BufWriter::new(child.stdin.take().expect("piped stdin"));
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut handle = Self {
+            child,
+            stdin,
+            stdout,
+        };
+        let outcome = (|| {
+            match read_frame(&mut handle.stdout)? {
+                Some(Frame::Hello(hello)) if hello.version == PROTOCOL_VERSION => {}
+                Some(Frame::Hello(hello)) => {
+                    return Err(format!(
+                        "worker speaks protocol v{}, dispatcher v{PROTOCOL_VERSION}",
+                        hello.version
+                    ))
+                }
+                Some(other) => return Err(format!("expected hello, got {other:?}")),
+                None => return Err("worker exited before saying hello".into()),
+            }
+            write_frame(&mut handle.stdin, &Frame::Init(init.clone()))
+        })();
+        match outcome {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                handle.kill();
+                Err(e)
+            }
+        }
+    }
+
+    /// Send one cell, wait for its answer.
+    fn roundtrip(&mut self, id: u64, cell: &Cell) -> Result<CellOut, String> {
+        write_frame(
+            &mut self.stdin,
+            &Frame::Request(CellRequest { id, cell: *cell }),
+        )?;
+        match read_frame(&mut self.stdout)? {
+            Some(Frame::Response(resp)) if resp.id == id => {
+                if resp.output.matches(cell) {
+                    Ok(resp.output)
+                } else {
+                    Err(format!("cell {id}: output shape does not match the cell"))
+                }
+            }
+            Some(Frame::Response(resp)) => Err(format!(
+                "answered cell {} while cell {id} was asked",
+                resp.id
+            )),
+            Some(other) => Err(format!("expected a response, got {other:?}")),
+            None => Err("worker exited mid-cell".into()),
+        }
+    }
+
+    /// Ask the worker to exit, then reap it.
+    fn shutdown(mut self) {
+        let _ = write_frame(&mut self.stdin, &Frame::Shutdown);
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+
+    /// Kill a misbehaving worker and reap it.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Run `cfg`'s sweep on a pool of worker processes.
+///
+/// Bit-identical to [`crate::sweep::run_sweep_cells`] on the same
+/// problem for every worker count (see the module docs). Errors when
+/// the sweep cannot be completed — workers kept crashing past the
+/// restart budget, or the worker executable could not be launched at
+/// all.
+pub fn run_sweep_workers(
+    spawner: &WorkerSpawner,
+    g: &DiGraph,
+    source: NodeId,
+    cfg: &SweepConfig,
+    opts: &PoolOptions,
+) -> Result<SweepResult, String> {
+    let cells = sweep_cells(cfg);
+    if cells.is_empty() {
+        return Ok(reduce_cells(cfg, Vec::new()));
+    }
+    let init = SweepInit {
+        nodes: g.node_count(),
+        edges: g.edges().map(|(u, v)| (u.index(), v.index())).collect(),
+        source: source.index(),
+        ks: cfg.ks.clone(),
+    };
+    let workers = opts.effective_workers().clamp(1, cells.len());
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..cells.len()).collect());
+    let results: Mutex<Vec<Option<CellOut>>> = Mutex::new(vec![None; cells.len()]);
+    let pending = AtomicUsize::new(cells.len());
+    let restarts = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                dispatch_loop(
+                    spawner,
+                    &init,
+                    &cells,
+                    &queue,
+                    &results,
+                    &pending,
+                    &restarts,
+                    opts.max_restarts,
+                    &failures,
+                );
+            });
+        }
+    });
+
+    let outputs = results.into_inner().expect("results lock");
+    if outputs.iter().any(Option::is_none) {
+        let seen = failures.into_inner().expect("failures lock");
+        return Err(format!(
+            "worker pool failed before completing the sweep ({} restart(s) spent): {}",
+            restarts.load(Ordering::Relaxed),
+            if seen.is_empty() {
+                "no diagnostics".to_string()
+            } else {
+                seen.join("; ")
+            }
+        ));
+    }
+    Ok(reduce_cells(
+        cfg,
+        outputs.into_iter().map(|o| o.expect("checked")).collect(),
+    ))
+}
+
+/// Take one unit of the pool-wide restart budget; `false` = exhausted.
+fn take_restart(restarts: &AtomicUsize, max_restarts: usize) -> bool {
+    restarts
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+            (used < max_restarts).then_some(used + 1)
+        })
+        .is_ok()
+}
+
+/// One dispatcher thread: own a worker process, feed it cells until
+/// no cell is left pending, restarting it (budget permitting) when it
+/// fails.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_loop(
+    spawner: &WorkerSpawner,
+    init: &SweepInit,
+    cells: &[Cell],
+    queue: &Mutex<VecDeque<usize>>,
+    results: &Mutex<Vec<Option<CellOut>>>,
+    pending: &AtomicUsize,
+    restarts: &AtomicUsize,
+    max_restarts: usize,
+    failures: &Mutex<Vec<String>>,
+) {
+    // The live worker and how many cells its current incarnation has
+    // completed — a death at zero is a crash loop and draws from the
+    // restart budget; a death after progress restarts for free.
+    let mut live: Option<(WorkerHandle, usize)> = None;
+    let requeue = |idx: usize| queue.lock().expect("queue lock").push_front(idx);
+    'cells: loop {
+        // An empty queue is not the end while cells are still pending:
+        // a crashed peer may yet re-queue its in-flight cell, and this
+        // (healthy) worker must stay around to pick it up — otherwise
+        // a cell could be orphaned with no dispatcher left to run it.
+        let idx = loop {
+            if let Some(idx) = queue.lock().expect("queue lock").pop_front() {
+                break idx;
+            }
+            if pending.load(Ordering::Acquire) == 0 {
+                break 'cells;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        // Evaluate `idx`, restarting the worker on failure until the
+        // cell lands or the pool-wide restart budget runs dry.
+        loop {
+            if live.is_none() {
+                match WorkerHandle::start(spawner, init) {
+                    Ok(h) => live = Some((h, 0)),
+                    Err(e) => {
+                        failures.lock().expect("failures lock").push(e);
+                        if take_restart(restarts, max_restarts) {
+                            continue;
+                        }
+                        requeue(idx);
+                        return; // retire; surviving workers drain the queue
+                    }
+                }
+            }
+            let (worker, completed) = live.as_mut().expect("live worker");
+            match worker.roundtrip(idx as u64, &cells[idx]) {
+                Ok(out) => {
+                    results.lock().expect("results lock")[idx] = Some(out);
+                    pending.fetch_sub(1, Ordering::Release);
+                    *completed += 1;
+                    continue 'cells;
+                }
+                Err(e) => {
+                    failures
+                        .lock()
+                        .expect("failures lock")
+                        .push(format!("cell {idx}: {e}"));
+                    let (mut dead, progress) = live.take().expect("live worker");
+                    dead.kill();
+                    if progress == 0 && !take_restart(restarts, max_restarts) {
+                        requeue(idx);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    if let Some((worker, _)) = live.take() {
+        worker.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_algorithms::SolverKind;
+
+    fn small_graph() -> (DiGraph, NodeId) {
+        let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        (g, NodeId::new(0))
+    }
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig {
+            ks: vec![0, 1, 2],
+            trials: 2,
+            seed: 3,
+            solvers: vec![SolverKind::GreedyAll, SolverKind::RandK],
+        }
+    }
+
+    #[test]
+    fn empty_sweep_never_spawns_a_worker() {
+        let (g, source) = small_graph();
+        let cfg = SweepConfig {
+            solvers: vec![],
+            ..small_cfg()
+        };
+        // A spawner pointing nowhere: would error if ever launched.
+        let spawner = WorkerSpawner::new("/nonexistent/worker-binary");
+        let res = run_sweep_workers(&spawner, &g, source, &cfg, &PoolOptions::default()).unwrap();
+        assert!(res.series.is_empty());
+    }
+
+    #[test]
+    fn unlaunchable_worker_is_a_described_error() {
+        let (g, source) = small_graph();
+        let spawner = WorkerSpawner::new("/nonexistent/worker-binary");
+        let err = run_sweep_workers(
+            &spawner,
+            &g,
+            source,
+            &small_cfg(),
+            &PoolOptions {
+                workers: 2,
+                max_restarts: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot spawn worker"), "{err}");
+        assert!(err.contains("restart(s) spent"), "{err}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn worker_that_exits_before_hello_errors_out() {
+        let (g, source) = small_graph();
+        let spawner = WorkerSpawner::new("/bin/sh").arg("-c").arg("exit 0");
+        let err = run_sweep_workers(
+            &spawner,
+            &g,
+            source,
+            &small_cfg(),
+            &PoolOptions {
+                workers: 1,
+                max_restarts: 2,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("before saying hello"), "{err}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn worker_speaking_garbage_errors_out() {
+        let (g, source) = small_graph();
+        // 16 bytes of non-protocol output: a garbage length prefix.
+        let spawner = WorkerSpawner::new("/bin/sh")
+            .arg("-c")
+            .arg("printf 'XXXXXXXXXXXXXXXX'; sleep 5");
+        let err = run_sweep_workers(
+            &spawner,
+            &g,
+            source,
+            &small_cfg(),
+            &PoolOptions {
+                workers: 1,
+                max_restarts: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("exceeds") || err.contains("hello"), "{err}");
+    }
+
+    #[test]
+    fn restart_budget_is_pool_wide_and_exhaustible() {
+        let restarts = AtomicUsize::new(0);
+        assert!(take_restart(&restarts, 2));
+        assert!(take_restart(&restarts, 2));
+        assert!(!take_restart(&restarts, 2));
+        assert_eq!(restarts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_options_resolve_workers() {
+        assert!(PoolOptions::default().effective_workers() >= 1);
+        assert_eq!(PoolOptions::with_workers(3).effective_workers(), 3);
+        assert_eq!(PoolOptions::with_workers(3).max_restarts, 8);
+    }
+}

@@ -52,7 +52,7 @@ fn sweep_store_report_pipeline_roundtrips() {
     let root = temp_dir("store");
     let store = RunStore::open(&root).unwrap();
     let dataset = DatasetFingerprint::of_graph("quote-like n=300", &graph, source, "0");
-    let manifest = RunManifest::new(cfg.clone(), dataset.clone(), 4, 0.1);
+    let manifest = RunManifest::new(cfg.clone(), dataset.clone());
     store.save(&manifest, &parallel).unwrap();
 
     let id = RunStore::run_id(&cfg, &dataset);
