@@ -3,19 +3,23 @@
 use crate::{argmax_count, Solver};
 use fp_graph::NodeId;
 use fp_num::Count;
-use fp_propagation::{impacts, CGraph, FilterSet};
+use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine};
 
-/// Greedy_All: each round, recompute every node's exact marginal impact
-/// `I(v|A)` under the filters already chosen and take the argmax.
+/// Greedy_All: each round, take the argmax over every node's exact
+/// marginal impact `I(v|A)` under the filters already chosen.
 ///
 /// Because `F` is nonnegative, monotone, and submodular, this enjoys
 /// the Nemhauser–Wolsey–Fisher `(1 − 1/e)` guarantee (Theorem 3), and
 /// is *optimal* for `k = 1`.
 ///
-/// Our impact computation runs the O(|E|) prefix/suffix sensitivity
-/// passes instead of the paper's O(Δ·|E|) plist update, so a full run
-/// costs O(k·|E|). Rounds stop early once no candidate has positive
-/// impact — extra filters would be dead weight.
+/// Marginals come from the [`ImpactEngine`], which keeps prefix and
+/// suffix state up to date incrementally: after the initial O(|E|)
+/// sweeps a round costs an O(n) argmax scan plus an
+/// O(affected ∪ ancestors-of-pick) update, with zero per-round
+/// allocation — instead of the two fresh O(|E|) sweeps per round the
+/// naive path pays (kept as [`GreedyAll::place_full_recompute`], the
+/// equivalence oracle). Rounds stop early once no candidate has
+/// positive impact — extra filters would be dead weight.
 ///
 /// ```
 /// use fp_algorithms::{GreedyAll, Solver};
@@ -43,6 +47,24 @@ impl<C: Count> GreedyAll<C> {
             _count: core::marker::PhantomData,
         }
     }
+
+    /// Reference implementation: fresh [`impacts`] sweeps every round,
+    /// O(k·|E|) total. Bit-identical placements to [`Solver::place`];
+    /// the equivalence proptests and the `ablation_engine` bench run
+    /// both paths side by side.
+    pub fn place_full_recompute(cg: &CGraph, k: usize) -> FilterSet {
+        let mut filters = FilterSet::empty(cg.node_count());
+        for _ in 0..k {
+            let scores: Vec<C> = impacts(cg, &filters);
+            match argmax_count(&scores) {
+                Some(best) => {
+                    filters.insert(NodeId::new(best));
+                }
+                None => break,
+            }
+        }
+        filters
+    }
 }
 
 impl<C: Count> Default for GreedyAll<C> {
@@ -57,17 +79,23 @@ impl<C: Count> Solver for GreedyAll<C> {
     }
 
     fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        let mut filters = FilterSet::empty(cg.node_count());
-        for _ in 0..k {
-            let scores: Vec<C> = impacts(cg, &filters);
-            match argmax_count(&scores) {
+        let mut engine = ImpactEngine::<C>::new(cg, FilterSet::empty(cg.node_count()));
+        for round in 0..k {
+            match engine.best_candidate() {
                 Some(best) => {
-                    filters.insert(NodeId::new(best));
+                    if round + 1 == k {
+                        // Final pick: nobody reads the engine again, so
+                        // skip the two update passes.
+                        let mut filters = engine.into_filters();
+                        filters.insert(best);
+                        return filters;
+                    }
+                    engine.insert_filter(best);
                 }
                 None => break,
             }
         }
-        filters
+        engine.into_filters()
     }
 }
 
@@ -147,6 +175,18 @@ mod tests {
         let phi0: Sat64 = phi_total(&cg, &FilterSet::empty(12));
         let phi1: Sat64 = phi_total(&cg, &placement);
         assert_eq!(phi0.get() - phi1.get(), 2);
+    }
+
+    #[test]
+    fn engine_path_matches_the_full_recompute_oracle() {
+        let cg = figure1();
+        for k in 0..=5 {
+            assert_eq!(
+                GreedyAll::<Sat64>::new().place(&cg, k).nodes(),
+                GreedyAll::<Sat64>::place_full_recompute(&cg, k).nodes(),
+                "k={k}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::{top_k_by_count, Solver};
 use fp_graph::NodeId;
 use fp_num::Count;
-use fp_propagation::{impacts, CGraph, FilterSet};
+use fp_propagation::{impacts, CGraph, EngineScratch, FilterSet, ImpactEngine};
 
 /// Greedy_Max (§4.2 "computational speedups"): compute the impact
 /// `I(v) = (Prefix(v) − 1) × Suffix(v)` of every node *once* (no
@@ -13,6 +13,11 @@ use fp_propagation::{impacts, CGraph, FilterSet};
 /// spread across independent paths, but "fails to capture the
 /// correlation between filters placed on the same path" — the paper's
 /// Figure 10 pathology, reproduced in the citation-like dataset tests.
+///
+/// Scores come off a freshly initialized [`ImpactEngine`]; callers that
+/// solve many instances back to back (sweep cells, [`crate::MultiGreedy`]
+/// rounds) can recycle the engine's buffers through
+/// [`GreedyMax::place_with_scratch`].
 pub struct GreedyMax<C> {
     _count: core::marker::PhantomData<C>,
 }
@@ -23,6 +28,35 @@ impl<C: Count> GreedyMax<C> {
         Self {
             _count: core::marker::PhantomData,
         }
+    }
+
+    /// Reference implementation: one fresh [`impacts`] sweep.
+    /// Bit-identical placements to [`Solver::place`].
+    pub fn place_full_recompute(cg: &CGraph, k: usize) -> FilterSet {
+        let scores: Vec<C> = impacts(cg, &FilterSet::empty(cg.node_count()));
+        FilterSet::from_nodes(
+            cg.node_count(),
+            top_k_by_count(&scores, k).into_iter().map(NodeId::new),
+        )
+    }
+
+    /// [`Solver::place`] on a recycled workspace: the engine adopts
+    /// `scratch`'s buffers and returns them afterwards, so repeated
+    /// solves allocate nothing but the result set.
+    pub fn place_with_scratch(
+        cg: &CGraph,
+        k: usize,
+        scratch: EngineScratch<C>,
+        scores: &mut Vec<C>,
+    ) -> (FilterSet, EngineScratch<C>) {
+        let engine =
+            ImpactEngine::<C>::with_scratch(cg, FilterSet::empty(cg.node_count()), scratch);
+        engine.impacts_into(scores);
+        let placement = FilterSet::from_nodes(
+            cg.node_count(),
+            top_k_by_count(scores, k).into_iter().map(NodeId::new),
+        );
+        (placement, engine.into_scratch())
     }
 }
 
@@ -38,11 +72,8 @@ impl<C: Count> Solver for GreedyMax<C> {
     }
 
     fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        let scores: Vec<C> = impacts(cg, &FilterSet::empty(cg.node_count()));
-        FilterSet::from_nodes(
-            cg.node_count(),
-            top_k_by_count(&scores, k).into_iter().map(NodeId::new),
-        )
+        let mut scores = Vec::new();
+        Self::place_with_scratch(cg, k, EngineScratch::default(), &mut scores).0
     }
 }
 
@@ -120,5 +151,17 @@ mod tests {
     fn respects_budget() {
         let cg = figure1();
         assert!(GreedyMax::<Sat64>::new().place(&cg, 0).is_empty());
+    }
+
+    #[test]
+    fn engine_path_matches_the_full_recompute_oracle() {
+        let cg = figure1();
+        for k in 0..=4 {
+            assert_eq!(
+                GreedyMax::<Sat64>::new().place(&cg, k).nodes(),
+                GreedyMax::<Sat64>::place_full_recompute(&cg, k).nodes(),
+                "k={k}"
+            );
+        }
     }
 }

@@ -3,7 +3,7 @@
 use crate::Solver;
 use fp_graph::NodeId;
 use fp_num::Count;
-use fp_propagation::{impacts, phi_total, CGraph, FilterSet};
+use fp_propagation::{impacts, phi_total, CGraph, FilterSet, ImpactEngine};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,10 +14,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Submodularity of `F` means a node's marginal gain can only shrink as
 /// filters are added, so a stale gain is a valid upper bound. The solver
 /// keeps a max-heap of `(stale gain, node)`; each round it pops the top,
-/// re-evaluates that single node's exact gain (`Φ(A) − Φ(A ∪ {v})`, one
-/// forward pass), and either confirms it is still on top or re-inserts
-/// it. This is the classic CELF speedup [Leskovec et al., KDD'07] — one
-/// of the "computational speedups" the paper calls for.
+/// re-evaluates that single node's exact gain, and either confirms it is
+/// still on top or re-inserts it. This is the classic CELF speedup
+/// [Leskovec et al., KDD'07] — one of the "computational speedups" the
+/// paper calls for.
+///
+/// Re-scoring goes through the [`ImpactEngine`], which keeps exact
+/// prefix/suffix state under the filters chosen so far: one stale entry
+/// costs O(1) (a subtraction and a multiplication on current state)
+/// instead of the full O(|E|) forward pass the pre-engine implementation
+/// paid (kept as [`LazyGreedyAll::place_full_recompute`], the
+/// equivalence oracle). Engine impacts only shrink as filters are
+/// inserted — received counts and suffixes are both non-increasing and
+/// the product is monotone even for saturating counters — so the CELF
+/// upper-bound invariant holds on this path too.
 pub struct LazyGreedyAll<C> {
     evaluations: AtomicU64,
     _count: core::marker::PhantomData<C>,
@@ -37,6 +47,71 @@ impl<C: Count> LazyGreedyAll<C> {
     pub fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
+
+    /// Reference implementation (the pre-engine solver): the same CELF
+    /// queue, but every re-score is a fresh `Φ(A) − Φ(A ∪ {v})` forward
+    /// sweep and every pick re-runs `phi_total`. Places identically to
+    /// [`Solver::place`] except when a *saturating* counter has clamped:
+    /// there a Φ difference collapses to zero while the impact formula
+    /// still ranks candidates, so the engine path — like eager
+    /// [`crate::GreedyAll`], which always used the impact formula —
+    /// keeps placing where this oracle stops. That regime needs source
+    /// path counts beyond the counter's ceiling (2⁶⁴/2¹²⁸); the
+    /// production counter is `Wide128` and the cross-validation suite
+    /// pins its agreement with exact `BigCount` on every dataset.
+    pub fn place_full_recompute(cg: &CGraph, k: usize) -> FilterSet {
+        let n = cg.node_count();
+        let mut filters = FilterSet::empty(n);
+        if k == 0 {
+            return filters;
+        }
+        let initial: Vec<C> = impacts(cg, &FilterSet::empty(n));
+        let mut heap: BinaryHeap<(C, Reverse<usize>)> = initial
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_zero())
+            .map(|(v, g)| (g, Reverse(v)))
+            .collect();
+
+        let mut phi_current: C = phi_total(cg, &filters);
+        let mut fresh_round = vec![0u32; n];
+        let mut round: u32 = 1;
+
+        while filters.len() < k {
+            let Some((gain, Reverse(v))) = heap.pop() else {
+                break;
+            };
+            if gain.is_zero() {
+                break;
+            }
+            if fresh_round[v] == round {
+                filters.insert(NodeId::new(v));
+                phi_current = phi_total(cg, &filters);
+                round += 1;
+                continue;
+            }
+            let mut with_v = filters.clone();
+            with_v.insert(NodeId::new(v));
+            let phi_v: C = phi_total(cg, &with_v);
+            let exact = phi_current.saturating_sub(&phi_v);
+            fresh_round[v] = round;
+            if exact.is_zero() {
+                continue;
+            }
+            let take = match heap.peek() {
+                None => true,
+                Some((next, Reverse(u))) => exact > *next || (exact == *next && v < *u),
+            };
+            if take {
+                filters.insert(NodeId::new(v));
+                phi_current = phi_v;
+                round += 1;
+            } else {
+                heap.push((exact, Reverse(v)));
+            }
+        }
+        filters
+    }
 }
 
 impl<C: Count> Default for LazyGreedyAll<C> {
@@ -52,32 +127,30 @@ impl<C: Count> Solver for LazyGreedyAll<C> {
 
     fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
         let n = cg.node_count();
-        let mut filters = FilterSet::empty(n);
         if k == 0 {
             self.evaluations.store(0, Ordering::Relaxed);
-            return filters;
+            return FilterSet::empty(n);
         }
         let mut evals = 0u64;
+        let mut engine = ImpactEngine::<C>::new(cg, FilterSet::empty(n));
 
-        // Seed the heap with the exact round-0 impacts (two passes for
-        // all nodes at once — counted as n single evaluations would be
-        // unfair, so we count 1 batch).
-        let initial: Vec<C> = impacts(cg, &FilterSet::empty(n));
+        // Seed the heap with the exact round-0 impacts, straight off
+        // the freshly initialized engine (one batch — counted as 1).
         evals += 1;
         // Heap orders by (gain, Reverse(node)) so ties break toward the
         // smaller node id, matching the eager implementation.
-        let mut heap: BinaryHeap<(C, Reverse<usize>)> = initial
-            .into_iter()
-            .enumerate()
-            .filter(|(_, g)| !g.is_zero())
-            .map(|(v, g)| (g, Reverse(v)))
+        let mut heap: BinaryHeap<(C, Reverse<usize>)> = cg
+            .nodes()
+            .filter_map(|v| {
+                let g = engine.impact(v);
+                (!g.is_zero()).then_some((g, Reverse(v.index())))
+            })
             .collect();
 
-        let mut phi_current: C = phi_total(cg, &filters);
         let mut fresh_round = vec![0u32; n]; // round in which the gain was computed
         let mut round: u32 = 1;
 
-        while filters.len() < k {
+        while engine.filters().len() < k {
             let Some((gain, Reverse(v))) = heap.pop() else {
                 break;
             };
@@ -87,17 +160,13 @@ impl<C: Count> Solver for LazyGreedyAll<C> {
             if fresh_round[v] == round {
                 // Fresh for this round — by the upper-bound invariant it
                 // dominates everything below it.
-                filters.insert(NodeId::new(v));
-                phi_current = phi_total(cg, &filters);
+                engine.insert_filter(NodeId::new(v));
                 round += 1;
                 continue;
             }
-            // Stale: re-evaluate exactly.
-            let mut with_v = filters.clone();
-            with_v.insert(NodeId::new(v));
-            let phi_v: C = phi_total(cg, &with_v);
+            // Stale: re-score exactly from engine state, O(1).
+            let exact = engine.impact(NodeId::new(v));
             evals += 1;
-            let exact = phi_current.saturating_sub(&phi_v);
             fresh_round[v] = round;
             if exact.is_zero() {
                 continue;
@@ -108,15 +177,14 @@ impl<C: Count> Solver for LazyGreedyAll<C> {
                 Some((next, Reverse(u))) => exact > *next || (exact == *next && v < *u),
             };
             if take {
-                filters.insert(NodeId::new(v));
-                phi_current = phi_v;
+                engine.insert_filter(NodeId::new(v));
                 round += 1;
             } else {
                 heap.push((exact, Reverse(v)));
             }
         }
         self.evaluations.store(evals, Ordering::Relaxed);
-        filters
+        engine.into_filters()
     }
 }
 
@@ -152,6 +220,16 @@ mod tests {
             let lazy_solver = LazyGreedyAll::<Sat64>::new();
             let lazy = lazy_solver.place(&cg, k);
             assert_eq!(eager.nodes(), lazy.nodes(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_the_full_recompute_oracle() {
+        let cg = lattice();
+        for k in 0..=6 {
+            let engine = LazyGreedyAll::<Sat64>::new().place(&cg, k);
+            let oracle = LazyGreedyAll::<Sat64>::place_full_recompute(&cg, k);
+            assert_eq!(engine.nodes(), oracle.nodes(), "k={k}");
         }
     }
 

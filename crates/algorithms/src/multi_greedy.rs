@@ -8,9 +8,15 @@ use crate::argmax_count;
 use fp_graph::{DiGraph, GraphError, NodeId};
 use fp_num::Count;
 use fp_propagation::multi_item::MultiItemGraph;
-use fp_propagation::{impacts, CGraph, FilterSet};
+use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine};
 
 /// Greedy_All over a rate-weighted multi-source objective.
+///
+/// One [`ImpactEngine`] per source graph persists across the greedy
+/// rounds — each pick is pushed into every engine — so a round costs
+/// one O(n) combine over per-engine marginals plus the incremental
+/// insertions, instead of re-sweeping every graph from scratch. The
+/// per-node score buffers are allocated once and reused.
 pub struct MultiGreedy {
     graphs: Vec<(CGraph, u64)>,
 }
@@ -27,6 +33,52 @@ impl MultiGreedy {
 
     /// Place at most `k` filters maximizing the combined objective.
     pub fn place<C: Count>(&self, k: usize) -> FilterSet {
+        let n = self.graphs.first().map_or(0, |(cg, _)| cg.node_count());
+        let mut filters = FilterSet::empty(n);
+        // One engine per positive-rate source, kept current across
+        // rounds; zero-rate graphs contribute nothing (same skip as the
+        // oracle path, so accumulation order matches bit for bit).
+        let mut engines: Vec<(ImpactEngine<C>, C)> = self
+            .graphs
+            .iter()
+            .filter(|(_, rate)| *rate > 0)
+            .map(|(cg, rate)| {
+                (
+                    ImpactEngine::<C>::new(cg, FilterSet::empty(n)),
+                    C::from_u64(*rate),
+                )
+            })
+            .collect();
+        let mut combined: Vec<C> = vec![C::zero(); n];
+        let mut imp: Vec<C> = Vec::new();
+        for _ in 0..k {
+            for acc in combined.iter_mut() {
+                *acc = C::zero();
+            }
+            for (engine, r) in &engines {
+                engine.impacts_into(&mut imp);
+                for (acc, i) in combined.iter_mut().zip(&imp) {
+                    acc.add_assign(&i.mul(r));
+                }
+            }
+            match argmax_count(&combined) {
+                Some(best) => {
+                    let v = NodeId::new(best);
+                    filters.insert(v);
+                    for (engine, _) in engines.iter_mut() {
+                        engine.insert_filter(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        filters
+    }
+
+    /// Reference implementation: fresh [`impacts`] sweeps over every
+    /// graph, every round. Bit-identical placements to
+    /// [`MultiGreedy::place`]; kept as the equivalence oracle.
+    pub fn place_full_recompute<C: Count>(&self, k: usize) -> FilterSet {
         let n = self.graphs.first().map_or(0, |(cg, _)| cg.node_count());
         let mut filters = FilterSet::empty(n);
         for _ in 0..k {
@@ -118,6 +170,24 @@ mod tests {
         let f_own: Wide128 = skewed.f_value(&g, &sources, &ps);
         let f_other: Wide128 = skewed.f_value(&g, &sources, &pb);
         assert!(f_own >= f_other);
+    }
+
+    #[test]
+    fn engine_path_matches_the_full_recompute_oracle() {
+        let g = body();
+        let sources = [
+            (NodeId::new(0), 2),
+            (NodeId::new(1), 3),
+            (NodeId::new(2), 0),
+        ];
+        let multi = MultiGreedy::new(&g, &sources).unwrap();
+        for k in 0..=4 {
+            assert_eq!(
+                multi.place::<Wide128>(k).nodes(),
+                multi.place_full_recompute::<Wide128>(k).nodes(),
+                "k={k}"
+            );
+        }
     }
 
     #[test]

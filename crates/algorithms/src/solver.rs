@@ -74,6 +74,23 @@ impl SolverKind {
         }
     }
 
+    /// Place via the full-recompute oracle path: the greedy solvers'
+    /// `place_full_recompute` reference implementations (fresh
+    /// `impacts()` / `phi_total` sweeps every round) instead of the
+    /// incremental [`fp_propagation::ImpactEngine`]. Placements are
+    /// bit-identical to [`SolverKind::build`]`.place(..)` — the
+    /// engine-equivalence proptests and the fp-core oracle gate compare
+    /// the two paths; solvers without an engine path just run normally.
+    pub fn place_oracle<C: Count>(self, cg: &CGraph, k: usize, seed: u64) -> FilterSet {
+        match self {
+            SolverKind::GreedyAll => crate::GreedyAll::<C>::place_full_recompute(cg, k),
+            SolverKind::LazyGreedyAll => crate::LazyGreedyAll::<C>::place_full_recompute(cg, k),
+            SolverKind::GreedyMax => crate::GreedyMax::<C>::place_full_recompute(cg, k),
+            SolverKind::GreedyL => crate::GreedyL::<C>::place_full_recompute(cg, k),
+            other => other.build::<C>(seed).place(cg, k),
+        }
+    }
+
     /// Whether this solver is randomized (experiments average 25 runs).
     pub fn is_randomized(self) -> bool {
         matches!(

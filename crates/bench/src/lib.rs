@@ -408,9 +408,62 @@ pub fn print_figure(tables: &[(String, Table)]) {
     }
 }
 
+/// The layered-graph ladder `benches/scaling.rs` climbs (nodes per
+/// level; 10 levels, x/y = 1/4, the paper's sparse shape).
+pub const SCALING_LADDER: [usize; 4] = [25, 50, 100, 200];
+
+/// Wall-clock Greedy_All (k = 10) on one `SCALING_LADDER` rung, both
+/// paths: the incremental `ImpactEngine` solver and the full-recompute
+/// oracle. Placements are asserted identical before anything is timed;
+/// each path is timed `reps` times and the minimum is reported (the
+/// usual wall-clock floor estimator — ambient noise only ever adds).
+pub fn scaling_entry(per_level: usize, reps: usize) -> Json {
+    use fp_core::algorithms::{GreedyAll, Solver};
+    let lg = layered::generate(&LayeredParams {
+        levels: 10,
+        expected_per_level: per_level,
+        x: 1.0,
+        y: 4.0,
+        seed: SEED,
+    });
+    let cg = CGraph::new(&lg.graph, lg.source).expect("DAG");
+    let engine = GreedyAll::<Wide128>::new().place(&cg, 10);
+    let oracle = GreedyAll::<Wide128>::place_full_recompute(&cg, 10);
+    assert_eq!(
+        engine.nodes(),
+        oracle.nodes(),
+        "paths must place identically"
+    );
+
+    let time_min = |f: &dyn Fn() -> usize| -> f64 {
+        (0..reps.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let len = f();
+                let wall = start.elapsed().as_secs_f64();
+                assert!(len <= 10);
+                wall
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let engine_secs = time_min(&|| GreedyAll::<Wide128>::new().place(&cg, 10).len());
+    let oracle_secs = time_min(&|| GreedyAll::<Wide128>::place_full_recompute(&cg, 10).len());
+    Json::object([
+        ("per_level", per_level.to_json()),
+        ("nodes", lg.graph.node_count().to_json()),
+        ("edges", lg.graph.edge_count().to_json()),
+        ("engine_secs", Json::Float(engine_secs)),
+        ("oracle_secs", Json::Float(oracle_secs)),
+        ("speedup", Json::Float(oracle_secs / engine_secs)),
+    ])
+}
+
 /// Time every figure at the given scale and render the measurements as
 /// the `BENCH_baseline.json` document (see that file at the repo root
-/// for the checked-in reference run).
+/// for the checked-in reference run). Schema 2 adds the `scaling`
+/// section: Greedy_All k = 10 on the `benches/scaling.rs` layered
+/// ladder, engine vs full-recompute oracle (the ROADMAP's named
+/// hot-path target, so speedup claims cite this file like-for-like).
 pub fn baseline_json(scale: f64) -> Result<Json, String> {
     let mut entries = Vec::new();
     for name in FIGURES {
@@ -424,8 +477,12 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
             ("tables", tables.len().to_json()),
         ]));
     }
+    let scaling: Vec<Json> = SCALING_LADDER
+        .iter()
+        .map(|&per_level| scaling_entry(per_level, 5))
+        .collect();
     Ok(Json::object([
-        ("schema", "fp-bench-baseline/1".to_string().to_json()),
+        ("schema", "fp-bench-baseline/2".to_string().to_json()),
         (
             "tool",
             concat!("fp-bench ", env!("CARGO_PKG_VERSION"))
@@ -449,5 +506,6 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         ("cores", fp_results::available_cores().to_json()),
         ("scale", Json::Float(scale)),
         ("entries", Json::Array(entries)),
+        ("scaling", Json::Array(scaling)),
     ]))
 }

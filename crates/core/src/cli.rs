@@ -8,6 +8,7 @@
 //!             [--out DIR] [--jobs N] [--workers N]
 //! fp report   --run DIR [--format table|csv|json]
 //! fp report   --list DIR
+//! fp gc       --out DIR --keep N | --max-age SECS
 //! fp stats    --input edges.txt
 //! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
 //!             [--seed N] [--scale F]
@@ -24,7 +25,10 @@
 //! cache hit that loads from disk instead of recomputing.
 //! `report --run DIR/<id>` re-renders a stored run, byte-for-byte
 //! identical to the table the sweep printed; `report --list DIR`
-//! enumerates every run stored under `DIR`.
+//! enumerates every run stored under `DIR`; `gc --out DIR` evicts
+//! stored runs least-recently-used first (`--keep N` bounds the count,
+//! `--max-age SECS` the age) — cache hits count as uses, so a run that
+//! keeps answering sweeps stays young however old its bytes are.
 //!
 //! `sweep --workers N` evaluates the sweep on `N` worker *processes*
 //! instead of in-process threads: each worker is this same binary
@@ -40,8 +44,8 @@ use fp_algorithms::SolverKind;
 use fp_datasets::stats::DegreeStats;
 use fp_graph::{from_edge_list, to_dot, to_edge_list, DiGraph, NodeId};
 use fp_results::{
-    csv::sweep_csv, worker::PoolOptions, worker::WorkerSpawner, DatasetFingerprint, RunManifest,
-    RunStore, RunnerOptions, ToJson,
+    csv::sweep_csv, worker::PoolOptions, worker::WorkerSpawner, DatasetFingerprint, GcPolicy,
+    RunManifest, RunStore, RunnerOptions, ToJson,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -284,7 +288,7 @@ fn cmd_report_list(root: &str) -> Result<String, String> {
         "solvers",
         "k max",
         "trials",
-        "stored (unix)",
+        "used (unix)",
     ]);
     for run in &runs {
         table.row([
@@ -302,6 +306,46 @@ fn cmd_report_list(root: &str) -> Result<String, String> {
         ]);
     }
     Ok(format!("{} run(s) under {root}\n{table}", runs.len()))
+}
+
+/// `fp gc --out DIR --keep N | --max-age SECS`: evict stored runs,
+/// least recently *used* first.
+fn cmd_gc(flags: &HashMap<String, String>) -> Result<String, String> {
+    let root = required(flags, "out")?;
+    let keep = flags
+        .get("keep")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| "--keep must be a non-negative integer".to_string())
+        })
+        .transpose()?;
+    let max_age = flags
+        .get("max-age")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| "--max-age must be seconds".to_string())
+        })
+        .transpose()?;
+    let policy = match (keep, max_age) {
+        (Some(n), None) => GcPolicy::KeepNewest(n),
+        (None, Some(secs)) => GcPolicy::MaxAge(std::time::Duration::from_secs(secs)),
+        (Some(_), Some(_)) => return Err("--keep and --max-age are mutually exclusive".to_string()),
+        (None, None) => return Err("gc needs a policy: --keep N or --max-age SECS".to_string()),
+    };
+    if !Path::new(root).is_dir() {
+        return Err(format!("{root:?} is not a directory"));
+    }
+    let store = RunStore::open(root)?;
+    let total = store.list()?.len();
+    let evicted = store.gc(policy)?;
+    let mut out = format!("evicted {} of {total} run(s) under {root}\n", evicted.len());
+    for run in &evicted {
+        out.push_str(&format!(
+            "  {}  {}  last used {}\n",
+            run.id, run.manifest.dataset.name, run.modified_unix
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_stats(input: &str) -> Result<String, String> {
@@ -372,7 +416,7 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
 /// Usage text. The hidden `worker` subcommand (the process-pool child
 /// behind `sweep --workers`) is deliberately absent: it speaks a binary
 /// frame protocol on stdin/stdout and is never typed by a person.
-pub const USAGE: &str = "usage: fp <solve|sweep|report|stats|generate> [--flag value]...
+pub const USAGE: &str = "usage: fp <solve|sweep|report|gc|stats|generate> [--flag value]...
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
            [--out DIR] [--jobs N] [--workers N]
@@ -380,6 +424,8 @@ pub const USAGE: &str = "usage: fp <solve|sweep|report|stats|generate> [--flag v
             --workers evaluates on worker processes — same bytes as in-process)
   report   --run DIR [--format table|csv|json]   (re-render a stored run from disk)
   report   --list DIR                            (enumerate the runs stored under DIR)
+  gc       --out DIR --keep N | --max-age SECS   (evict stored runs, LRU first;
+            cache hits count as uses)
   stats    --input FILE
   generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]";
 
@@ -407,6 +453,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "solve" => cmd_solve(&flags, &read_input()?),
         "sweep" => cmd_sweep(&flags, &read_input()?),
         "report" => cmd_report(&flags),
+        "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(&read_input()?),
         "generate" => cmd_generate(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -425,6 +472,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         "solve" => cmd_solve(&flags, input),
         "sweep" => cmd_sweep(&flags, input),
         "report" => cmd_report(&flags),
+        "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(input),
         "generate" => cmd_generate(&flags),
         "worker" => Err("worker serves the pool protocol on real stdin/stdout".to_string()),
@@ -761,6 +809,84 @@ mod tests {
             run_with_input(&args(&["report", "--list", "/nonexistent/fp-store"]), "").unwrap_err();
         assert!(e.contains("not a directory"), "{e}");
         let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn gc_evicts_lru_and_cache_hits_count_as_uses() {
+        let out_dir = temp_dir("gc");
+        let out_str = out_dir.to_str().unwrap();
+        // Three distinct runs (different seeds).
+        let sweep = |seed: &str| {
+            args(&[
+                "sweep", "--source", "s", "--kmax", "1", "--trials", "1", "--seed", seed, "--out",
+                out_str,
+            ])
+        };
+        for seed in ["1", "2", "3"] {
+            run_with_input(&sweep(seed), FIG1).unwrap();
+        }
+        // Spread last-use times: seed 1 oldest, then 2, then 3.
+        let store = RunStore::open(out_str).unwrap();
+        let mut runs = store.list().unwrap();
+        runs.sort_by_key(|r| r.manifest.config.seed);
+        for (i, run) in runs.iter().enumerate() {
+            let manifest = store.run_dir(&run.id).join("manifest.json");
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(&manifest)
+                .unwrap()
+                .set_modified(
+                    std::time::SystemTime::now()
+                        - std::time::Duration::from_secs(3000 - 1000 * i as u64),
+                )
+                .unwrap();
+        }
+        // Re-running the oldest sweep is a cache hit — a *use* that
+        // must move it out of the eviction line.
+        let again = run_with_input(&sweep("1"), FIG1).unwrap();
+        assert!(again.contains("cache hit"), "{again}");
+
+        let report = run_with_input(&args(&["gc", "--out", out_str, "--keep", "2"]), "").unwrap();
+        assert!(report.starts_with("evicted 1 of 3 run(s)"), "{report}");
+        let left = store.list().unwrap();
+        let seeds: Vec<u64> = left.iter().map(|r| r.manifest.config.seed).collect();
+        assert!(seeds.contains(&1), "cache-hit run survives: {seeds:?}");
+        assert!(
+            !seeds.contains(&2),
+            "untouched LRU run is evicted: {seeds:?}"
+        );
+
+        // --max-age path: both survivors were used within the hour, so
+        // nothing is older than the cutoff; --keep 0 then empties it.
+        let report =
+            run_with_input(&args(&["gc", "--out", out_str, "--max-age", "3600"]), "").unwrap();
+        assert!(report.starts_with("evicted 0 of 2"), "{report}");
+        let report = run_with_input(&args(&["gc", "--out", out_str, "--keep", "0"]), "").unwrap();
+        assert!(report.starts_with("evicted 2 of 2"), "{report}");
+        assert!(store.list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn gc_rejects_bad_flag_combinations() {
+        let e = run_with_input(&args(&["gc", "--out", "/tmp"]), "").unwrap_err();
+        assert!(e.contains("--keep N or --max-age SECS"), "{e}");
+        let e = run_with_input(
+            &args(&["gc", "--out", "/tmp", "--keep", "1", "--max-age", "2"]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = run_with_input(&args(&["gc", "--keep", "1"]), "").unwrap_err();
+        assert!(e.contains("--out"), "{e}");
+        let e = run_with_input(&args(&["gc", "--out", "/tmp", "--keep", "soup"]), "").unwrap_err();
+        assert!(e.contains("--keep"), "{e}");
+        let e = run_with_input(
+            &args(&["gc", "--out", "/nonexistent/fp-store", "--keep", "1"]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("not a directory"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,650 @@
+//! The incremental impact engine: exact marginal impacts kept up to
+//! date in both directions under filter insertions.
+//!
+//! [`crate::impacts`] answers "what is `I(v|A)` for every `v`" with two
+//! fresh O(|E|) sweeps and three freshly allocated vectors — fine once,
+//! wasteful inside a greedy loop that asks the question `k` times while
+//! changing `A` by a single node each round. [`ImpactEngine`] maintains
+//! the same three vectors *incrementally*:
+//!
+//! * **forward** (`received`/`emitted`): inserting a filter at `v` can
+//!   only shrink emissions, so only nodes *downstream* of `v` change —
+//!   a dirty frontier processed in topological order, exactly the
+//!   bookkeeping [`crate::incremental::IncrementalPropagation`] does;
+//! * **backward** (`suffix`): the suffix recurrence gates a child's
+//!   continuation on `c ∉ A`, so inserting `v` flips only the gate its
+//!   parents see — only nodes *upstream* of `v` change, a mirror
+//!   frontier processed in reverse topological order.
+//!
+//! Both frontiers are bounded by the affected span and stop early when
+//! changes die out, so a greedy round after the first costs
+//! O(n + affected ∪ ancestors-of-pick) instead of O(|E|), with **zero
+//! per-round allocation**: the frontier flags and value vectors live in
+//! an [`EngineScratch`] that can also be recycled across engines
+//! ([`ImpactEngine::with_scratch`] / [`ImpactEngine::into_scratch`]).
+//!
+//! The engine's values are bit-identical to the naive path — the
+//! equivalence proptests in `tests/engine_equivalence.rs` pin
+//! `received == propagate().received`, `suffix == suffix_sensitivity()`
+//! and `impacts == impacts()` after every insertion. `impacts()` stays
+//! around as the oracle; the engine is the hot path.
+
+use crate::{propagate_into, CGraph, FilterSet};
+use fp_graph::NodeId;
+use fp_num::Count;
+
+/// One reverse-topological sweep filling `suffix` and its gated shadow
+/// together. Same op order as [`crate::suffix_sensitivity_into`] with
+/// the per-edge gate replaced by a read of the (already final) child's
+/// gated entry — adding zero where the oracle skips an add, so the
+/// results are bit-identical, branch-free, and need no second pass.
+fn init_suffix_gated<C: Count>(
+    cg: &CGraph,
+    filters: &FilterSet,
+    suffix: &mut Vec<C>,
+    gated: &mut Vec<C>,
+) {
+    let n = cg.node_count();
+    let csr = cg.csr();
+    let source = cg.source();
+    let one = C::one();
+    suffix.clear();
+    suffix.resize_with(n, C::zero);
+    gated.clear();
+    gated.resize_with(n, C::zero);
+    for &v in cg.topo().iter().rev() {
+        let mut s = C::zero();
+        for &c in csr.children(v) {
+            s.add_assign(&one);
+            s.add_assign(&gated[c.index()]);
+        }
+        if !filters.contains(v) && v != source {
+            gated[v.index()] = s.clone();
+        }
+        suffix[v.index()] = s;
+    }
+}
+
+/// A reusable dirty frontier: a flag per node plus a cursor walking the
+/// topological order, so each affected node is processed at most once
+/// per pass, after all of its updated predecessors.
+///
+/// Marking is one bool store — no heap, no position lookup, no per-edge
+/// tuple churn. Draining walks the topo array from where the pass began
+/// — forward for descendants, backward for ancestors — and the walk is
+/// sound because processing a node only ever dirties nodes strictly
+/// ahead of the cursor in the walk direction (children in the forward
+/// pass, parents in the backward pass).
+///
+/// The frontier is *adaptive*: while changes are sparse it tracks the
+/// dirty set exactly and stops as soon as the last change is consumed
+/// (the paper's "practically constant time" locality). But one greedy
+/// pick on a dense graph can dirty most of a region, and then even a
+/// bool store per in-edge costs more than the recomputation it
+/// schedules — so once the pending dirty count exceeds an eighth of the
+/// remaining span, the pass flips to **dense mode**: every remaining
+/// node in the span is handed out in order (recomputation is
+/// idempotent, so visiting an unchanged node is sound), marking becomes
+/// a no-op, and the per-edge bookkeeping vanishes. Walk cost is bounded
+/// by the affected span of the order either way.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DirtyFrontier {
+    dirty: Vec<bool>,
+    cursor: usize,
+    pending: usize,
+    dense: bool,
+}
+
+impl DirtyFrontier {
+    /// Pending-to-remaining-span ratio beyond which a pass goes dense
+    /// (numerator/denominator of the flip test `pending > remaining/8`).
+    const DENSE_DENOMINATOR: usize = 8;
+
+    /// Size (or resize) the flag vector for an `n`-node graph and drop
+    /// any stale contents.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        self.cursor = 0;
+        self.pending = 0;
+        self.dense = false;
+    }
+
+    /// Start a pass at topological position `pos` (the inserted
+    /// filter's own slot; the walk skips it since it is never marked).
+    pub(crate) fn begin(&mut self, pos: usize) {
+        debug_assert_eq!(self.pending, 0, "previous pass must be drained");
+        self.cursor = pos;
+        self.dense = false;
+    }
+
+    /// Whether the current pass has gone dense (callers skip the
+    /// marking loops entirely — the walk reaches everything anyway, and
+    /// the point of dense mode is to stop touching edge lists twice).
+    #[inline]
+    pub(crate) fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Mark `v` dirty unless it already is (no-op in dense mode — the
+    /// walk will reach `v` regardless).
+    #[inline]
+    pub(crate) fn mark(&mut self, v: NodeId) {
+        if !self.dense && !self.dirty[v.index()] {
+            self.dirty[v.index()] = true;
+            self.pending += 1;
+        }
+    }
+
+    /// Next node to reprocess, walking `topo` forward from the cursor.
+    pub(crate) fn next_up(&mut self, topo: &[NodeId]) -> Option<NodeId> {
+        if self.dense {
+            self.cursor += 1;
+            if self.cursor >= topo.len() {
+                debug_assert_eq!(self.pending, 0, "marks must lie within the span");
+                return None;
+            }
+            let v = topo[self.cursor];
+            if self.dirty[v.index()] {
+                self.dirty[v.index()] = false;
+                self.pending -= 1;
+            }
+            return Some(v);
+        }
+        if self.pending == 0 {
+            return None;
+        }
+        if self.pending * Self::DENSE_DENOMINATOR > topo.len() - self.cursor {
+            self.dense = true;
+            return self.next_up(topo);
+        }
+        loop {
+            self.cursor += 1;
+            let v = topo[self.cursor];
+            if self.dirty[v.index()] {
+                self.dirty[v.index()] = false;
+                self.pending -= 1;
+                return Some(v);
+            }
+        }
+    }
+
+    /// Next node to reprocess, walking `topo` backward from the cursor.
+    pub(crate) fn next_down(&mut self, topo: &[NodeId]) -> Option<NodeId> {
+        if self.dense {
+            if self.cursor == 0 {
+                debug_assert_eq!(self.pending, 0, "marks must lie within the span");
+                return None;
+            }
+            self.cursor -= 1;
+            let v = topo[self.cursor];
+            if self.dirty[v.index()] {
+                self.dirty[v.index()] = false;
+                self.pending -= 1;
+            }
+            return Some(v);
+        }
+        if self.pending == 0 {
+            return None;
+        }
+        if self.pending * Self::DENSE_DENOMINATOR > self.cursor {
+            self.dense = true;
+            return self.next_down(topo);
+        }
+        loop {
+            self.cursor -= 1;
+            let v = topo[self.cursor];
+            if self.dirty[v.index()] {
+                self.dirty[v.index()] = false;
+                self.pending -= 1;
+                return Some(v);
+            }
+        }
+    }
+}
+
+/// The engine's buffers, separated out so they can be recycled: a
+/// finished engine returns them via [`ImpactEngine::into_scratch`] and
+/// the next engine adopts them via [`ImpactEngine::with_scratch`],
+/// re-initializing values but reusing every allocation.
+#[derive(Clone, Debug)]
+pub struct EngineScratch<C> {
+    forward: DirtyFrontier,
+    backward: DirtyFrontier,
+    received: Vec<C>,
+    emitted: Vec<C>,
+    suffix: Vec<C>,
+    /// `gated[i]` = `suffix[i]` while node `i` passes the recurrence's
+    /// gate (`i ∉ A`, `i ≠ source`), else zero. The backward re-sum
+    /// reads this instead of testing the gate per edge — adding zero is
+    /// the identity for every [`Count`], so the sums stay bit-identical
+    /// to the oracle's gated loop while the inner loop becomes pure
+    /// loads and adds.
+    gated: Vec<C>,
+}
+
+impl<C> Default for EngineScratch<C> {
+    fn default() -> Self {
+        Self {
+            forward: DirtyFrontier::default(),
+            backward: DirtyFrontier::default(),
+            received: Vec::new(),
+            emitted: Vec::new(),
+            suffix: Vec::new(),
+            gated: Vec::new(),
+        }
+    }
+}
+
+/// Exact marginal impacts `I(v|A)` maintained incrementally under
+/// [`ImpactEngine::insert_filter`].
+///
+/// ```
+/// use fp_graph::{DiGraph, NodeId};
+/// use fp_num::Sat64;
+/// use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine};
+///
+/// // The paper's Figure 1: z2 (node 4) is the only useful filter.
+/// let g = DiGraph::from_pairs(
+///     7,
+///     [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
+/// ).unwrap();
+/// let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+/// let mut engine = ImpactEngine::<Sat64>::new(&cg, FilterSet::empty(7));
+/// assert_eq!(engine.best_candidate(), Some(NodeId::new(4)));
+/// engine.insert_filter(NodeId::new(4));
+/// // After the pick the engine's impacts still equal the oracle's.
+/// let oracle: Vec<Sat64> = impacts(&cg, engine.filters());
+/// let live: Vec<Sat64> = cg.nodes().map(|v| engine.impact(v)).collect();
+/// assert_eq!(live, oracle);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ImpactEngine<'a, C> {
+    cg: &'a CGraph,
+    filters: FilterSet,
+    phi: C,
+    s: EngineScratch<C>,
+}
+
+impl<'a, C: Count> ImpactEngine<'a, C> {
+    /// Initialize from an existing filter set: one forward and one
+    /// backward O(|E|) sweep, allocating fresh buffers.
+    pub fn new(cg: &'a CGraph, filters: FilterSet) -> Self {
+        Self::with_scratch(cg, filters, EngineScratch::default())
+    }
+
+    /// Like [`ImpactEngine::new`], but adopting a recycled
+    /// [`EngineScratch`] so no buffer is reallocated.
+    pub fn with_scratch(cg: &'a CGraph, filters: FilterSet, mut scratch: EngineScratch<C>) -> Self {
+        let n = cg.node_count();
+        scratch.forward.reset(n);
+        scratch.backward.reset(n);
+        propagate_into(cg, &filters, &mut scratch.received, &mut scratch.emitted);
+        init_suffix_gated(cg, &filters, &mut scratch.suffix, &mut scratch.gated);
+        let mut phi = C::zero();
+        for r in &scratch.received {
+            phi.add_assign(r);
+        }
+        Self {
+            cg,
+            filters,
+            phi,
+            s: scratch,
+        }
+    }
+
+    /// Release the buffers for the next engine to adopt.
+    pub fn into_scratch(self) -> EngineScratch<C> {
+        self.s
+    }
+
+    /// The graph being solved.
+    pub fn cgraph(&self) -> &'a CGraph {
+        self.cg
+    }
+
+    /// Current filter set.
+    pub fn filters(&self) -> &FilterSet {
+        &self.filters
+    }
+
+    /// Surrender the filter set (what a finished solver returns).
+    pub fn into_filters(self) -> FilterSet {
+        self.filters
+    }
+
+    /// Current `Φ(A, V)`.
+    ///
+    /// Maintained by exact subtraction of reception deltas, the same
+    /// bookkeeping as [`crate::incremental::IncrementalPropagation`]:
+    /// equal to a fresh [`crate::phi_total`] whenever Φ fits the
+    /// counter, but once a *saturating* counter has clamped, the
+    /// incremental value (`MAX − deltas`) and a re-clamped fresh sum
+    /// can differ. Use an exact counter where Φ may exceed the ceiling.
+    pub fn phi(&self) -> &C {
+        &self.phi
+    }
+
+    /// Copies received by `v` under the current set.
+    pub fn received(&self, v: NodeId) -> &C {
+        &self.s.received[v.index()]
+    }
+
+    /// Copies emitted (per out-edge) by `v` under the current set.
+    pub fn emitted(&self, v: NodeId) -> &C {
+        &self.s.emitted[v.index()]
+    }
+
+    /// Filter-aware suffix sensitivity `S_A(v)`.
+    pub fn suffix(&self, v: NodeId) -> &C {
+        &self.s.suffix[v.index()]
+    }
+
+    /// Exact marginal impact `I(v|A) = (recv_A(v) − 1)₊ × S_A(v)`; zero
+    /// for the source and for nodes already in `A`. O(1) — one
+    /// subtraction and one multiplication on current state.
+    pub fn impact(&self, v: NodeId) -> C {
+        if v == self.cg.source() || self.filters.contains(v) {
+            return C::zero();
+        }
+        self.s.received[v.index()]
+            .saturating_sub(&C::one())
+            .mul(&self.s.suffix[v.index()])
+    }
+
+    /// Write `impact(v)` for every node into `out` (reused, resized —
+    /// element-for-element what [`crate::impacts`] returns).
+    pub fn impacts_into(&self, out: &mut Vec<C>) {
+        out.clear();
+        out.extend(self.cg.nodes().map(|v| self.impact(v)));
+    }
+
+    /// The next greedy pick: the candidate with the largest positive
+    /// impact, ties toward the smaller node id — exactly
+    /// `argmax_count(&impacts(cg, filters))`. `None` when no candidate
+    /// has positive impact. One O(n) scan, no allocation.
+    pub fn best_candidate(&self) -> Option<NodeId> {
+        let one = C::one();
+        let mut best: Option<(NodeId, C)> = None;
+        for v in self.cg.nodes() {
+            // `(recv − 1)₊ × gated` equals `impact`: the gated entry is
+            // already zero for the source and for members of `A`, and
+            // multiplying by zero is zero for every counter type.
+            let imp = self.s.received[v.index()]
+                .saturating_sub(&one)
+                .mul(&self.s.gated[v.index()]);
+            if imp.is_zero() {
+                continue;
+            }
+            match &best {
+                Some((_, b)) if imp <= *b => {}
+                _ => best = Some((v, imp)),
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Add `v` as a filter, updating received/emitted/Φ downstream and
+    /// suffix sensitivities upstream. Returns `true` if `v` was newly
+    /// inserted. O(affected ∪ ancestors-of-`v`), allocation-free.
+    pub fn insert_filter(&mut self, v: NodeId) -> bool {
+        if !self.filters.insert(v) {
+            return false;
+        }
+        // `v` no longer passes the gate its parents apply, whatever its
+        // (unchanged) suffix value is.
+        self.s.gated[v.index()] = C::zero();
+        self.update_forward(v);
+        self.update_backward(v);
+        true
+    }
+
+    /// What `v` emits per out-edge given its reception `recv`.
+    fn emission_of(&self, v: NodeId, recv: &C) -> C {
+        if v == self.cg.source() {
+            C::one()
+        } else if self.filters.contains(v) {
+            if recv.is_zero() {
+                C::zero()
+            } else {
+                C::one()
+            }
+        } else {
+            recv.clone()
+        }
+    }
+
+    /// Forward dirty frontier (invariant: received counts only shrink).
+    fn update_forward(&mut self, v: NodeId) {
+        let cg = self.cg;
+        let csr = cg.csr();
+        let topo = cg.topo();
+        let new_emit = self.emission_of(v, &self.s.received[v.index()].clone());
+        if new_emit != self.s.emitted[v.index()] {
+            self.s.emitted[v.index()] = new_emit;
+            self.s.forward.begin(cg.topo_position(v));
+            for &c in csr.children(v) {
+                self.s.forward.mark(c);
+            }
+        }
+        while let Some(u) = self.s.forward.next_up(topo) {
+            // Recompute reception from (partially updated) parents.
+            let mut recv = C::zero();
+            for &p in csr.parents(u) {
+                recv.add_assign(&self.s.emitted[p.index()]);
+            }
+            let old_recv = std::mem::replace(&mut self.s.received[u.index()], recv.clone());
+            debug_assert!(
+                recv <= old_recv,
+                "adding filters cannot increase receptions"
+            );
+            if recv != old_recv {
+                self.phi = self.phi.saturating_sub(&old_recv.saturating_sub(&recv));
+            }
+            let new_emit = self.emission_of(u, &recv);
+            if new_emit != self.s.emitted[u.index()] {
+                self.s.emitted[u.index()] = new_emit;
+                if !self.s.forward.is_dense() {
+                    for &c in csr.children(u) {
+                        self.s.forward.mark(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward dirty frontier (invariant: suffixes only shrink).
+    ///
+    /// `S_A(u) = Σ_{c ∈ children(u)} (1 + [c ∉ A, c ≠ source]·S_A(c))`:
+    /// inserting `v` changes no suffix *at or below* `v` — it flips the
+    /// `[v ∉ A]` gate seen by `v`'s parents, and from there changes can
+    /// only travel upward. Reverse topological order (encoded as
+    /// `n − 1 − topo_position`) guarantees each ancestor is recomputed
+    /// once, after all of its updated children.
+    fn update_backward(&mut self, v: NodeId) {
+        let cg = self.cg;
+        let source = cg.source();
+        // The source is already gated out of every parent's sum, and a
+        // gate flip on a zero suffix changes nothing.
+        if v == source || self.s.suffix[v.index()].is_zero() {
+            return;
+        }
+        let csr = cg.csr();
+        let topo = cg.topo();
+        let one = C::one();
+        self.s.backward.begin(cg.topo_position(v));
+        for &p in csr.parents(v) {
+            self.s.backward.mark(p);
+        }
+        while let Some(u) = self.s.backward.next_down(topo) {
+            // Same op order as the oracle's gated loop (`s += 1` then a
+            // possibly-zero suffix term per child), so even saturating
+            // counters clamp identically.
+            let mut s = C::zero();
+            for &c in csr.children(u) {
+                s.add_assign(&one);
+                s.add_assign(&self.s.gated[c.index()]);
+            }
+            let old = &self.s.suffix[u.index()];
+            debug_assert!(s <= *old, "adding filters cannot increase suffixes");
+            if s != *old {
+                let open = !self.filters.contains(u) && u != source;
+                if open {
+                    self.s.gated[u.index()] = s.clone();
+                }
+                self.s.suffix[u.index()] = s;
+                // Parents consume S(u) only while u itself passes their
+                // gate; a filtered (or source) u propagates no further.
+                if open && !self.s.backward.is_dense() {
+                    for &p in csr.parents(u) {
+                        self.s.backward.mark(p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{impacts, phi_total, propagate, suffix_sensitivity};
+    use fp_graph::DiGraph;
+    use fp_num::{Sat64, Wide128};
+
+    fn figure1() -> CGraph {
+        let g = DiGraph::from_pairs(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 6),
+            ],
+        )
+        .unwrap();
+        CGraph::new(&g, NodeId::new(0)).unwrap()
+    }
+
+    fn assert_matches_oracle<C: Count>(engine: &ImpactEngine<C>, cg: &CGraph, tag: &str) {
+        let fresh = propagate::<C>(cg, engine.filters());
+        let suffix = suffix_sensitivity::<C>(cg, engine.filters());
+        let oracle: Vec<C> = impacts(cg, engine.filters());
+        for v in cg.nodes() {
+            assert_eq!(
+                engine.received(v),
+                &fresh.received[v.index()],
+                "{tag}: recv {v:?}"
+            );
+            assert_eq!(
+                engine.emitted(v),
+                &fresh.emitted[v.index()],
+                "{tag}: emit {v:?}"
+            );
+            assert_eq!(engine.suffix(v), &suffix[v.index()], "{tag}: suffix {v:?}");
+            assert_eq!(engine.impact(v), oracle[v.index()], "{tag}: impact {v:?}");
+        }
+        assert_eq!(
+            *engine.phi(),
+            phi_total::<C>(cg, engine.filters()),
+            "{tag}: phi"
+        );
+    }
+
+    #[test]
+    fn both_directions_track_the_oracle_through_insertions() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        assert_matches_oracle(&engine, &cg, "initial");
+        for v in [4usize, 1, 6, 2, 3, 5] {
+            assert!(engine.insert_filter(NodeId::new(v)));
+            assert_matches_oracle(&engine, &cg, &format!("after {v}"));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_source_insertions_are_safe() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Sat64>::new(&cg, FilterSet::empty(7));
+        assert!(engine.insert_filter(NodeId::new(4)));
+        let phi = *engine.phi();
+        assert!(
+            !engine.insert_filter(NodeId::new(4)),
+            "duplicate is a no-op"
+        );
+        assert_eq!(*engine.phi(), phi);
+        assert!(
+            engine.insert_filter(NodeId::new(0)),
+            "source enters the set"
+        );
+        assert_matches_oracle(&engine, &cg, "after source insert");
+    }
+
+    #[test]
+    fn starting_from_a_nonempty_set_matches() {
+        let cg = figure1();
+        let base = FilterSet::from_nodes(7, [NodeId::new(1)]);
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, base);
+        assert_matches_oracle(&engine, &cg, "nonempty start");
+        engine.insert_filter(NodeId::new(4));
+        assert_matches_oracle(&engine, &cg, "nonempty start + z2");
+    }
+
+    #[test]
+    fn best_candidate_matches_argmax_semantics() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Sat64>::new(&cg, FilterSet::empty(7));
+        // z2 is the only positive-impact node in Figure 1.
+        assert_eq!(engine.best_candidate(), Some(NodeId::new(4)));
+        engine.insert_filter(NodeId::new(4));
+        assert_eq!(engine.best_candidate(), None, "nothing left to gain");
+    }
+
+    #[test]
+    fn scratch_recycling_reuses_buffers_and_stays_exact() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        engine.insert_filter(NodeId::new(4));
+        let scratch = engine.into_scratch();
+        // Adopt the used scratch for a fresh solve on the same graph.
+        let mut engine = ImpactEngine::<Wide128>::with_scratch(&cg, FilterSet::empty(7), scratch);
+        assert_matches_oracle(&engine, &cg, "recycled scratch, fresh set");
+        engine.insert_filter(NodeId::new(1));
+        assert_matches_oracle(&engine, &cg, "recycled scratch + x");
+    }
+
+    #[test]
+    fn deep_chain_suffix_updates_stop_at_filters() {
+        // s → a → b → ... → tail, with a diamond at the head; filters
+        // inserted mid-chain must update ancestors' suffixes and leave
+        // descendants' untouched.
+        let mut g = DiGraph::with_nodes(1);
+        let s = NodeId::new(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        let join = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, join);
+        g.add_edge(b, join);
+        let mut tail = join;
+        let mut chain = vec![join];
+        for _ in 0..30 {
+            let next = g.add_node();
+            g.add_edge(tail, next);
+            tail = next;
+            chain.push(next);
+        }
+        let cg = CGraph::new(&g, s).unwrap();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(g.node_count()));
+        for &v in [chain[15], chain[7], join].iter() {
+            engine.insert_filter(v);
+            assert_matches_oracle(&engine, &cg, "chain insert");
+        }
+    }
+}

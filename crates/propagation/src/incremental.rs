@@ -14,14 +14,19 @@
 //! decrease and the Φ adjustment is an exact (never-clamping)
 //! subtraction.
 
+use crate::engine::DirtyFrontier;
 use crate::{propagate, CGraph, FilterSet, Propagation};
 use fp_graph::NodeId;
 use fp_num::Count;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Received/emitted/Φ state that updates in `O(affected)` per filter
 /// insertion instead of `O(|E|)` per evaluation.
+///
+/// This is the forward half of [`crate::ImpactEngine`]; solvers that
+/// never need suffix sensitivities (Greedy_L scores by prefix ×
+/// out-degree) use this lighter struct and skip the backward
+/// bookkeeping entirely. The dirty-frontier scratch persists across
+/// insertions, so rounds after the first are allocation-free.
 #[derive(Clone, Debug)]
 pub struct IncrementalPropagation<'a, C> {
     cg: &'a CGraph,
@@ -29,6 +34,7 @@ pub struct IncrementalPropagation<'a, C> {
     received: Vec<C>,
     emitted: Vec<C>,
     phi: C,
+    frontier: DirtyFrontier,
 }
 
 impl<'a, C: Count> IncrementalPropagation<'a, C> {
@@ -39,12 +45,15 @@ impl<'a, C: Count> IncrementalPropagation<'a, C> {
         for r in &received {
             phi.add_assign(r);
         }
+        let mut frontier = DirtyFrontier::default();
+        frontier.reset(cg.node_count());
         Self {
             cg,
             filters,
             received,
             emitted,
             phi,
+            frontier,
         }
     }
 
@@ -88,25 +97,22 @@ impl<'a, C: Count> IncrementalPropagation<'a, C> {
         if !self.filters.insert(v) {
             return false;
         }
-        let csr = self.cg.csr();
-        // Min-heap over topological positions guarantees each affected
-        // node is reprocessed once, after all its updated parents.
-        let mut heap: BinaryHeap<Reverse<(usize, NodeId)>> = BinaryHeap::new();
-        let mut queued = vec![false; self.cg.node_count()];
-
+        let cg = self.cg;
+        let csr = cg.csr();
+        // The persistent frontier (dirty flags over topological
+        // positions, drained by an advancing cursor) guarantees each
+        // affected node is reprocessed once, after all its updated
+        // parents.
         let new_emit = self.emission_of(v, &self.received[v.index()].clone());
         if new_emit != self.emitted[v.index()] {
             self.emitted[v.index()] = new_emit;
+            self.frontier.begin(cg.topo_position(v));
             for &c in csr.children(v) {
-                if !queued[c.index()] {
-                    queued[c.index()] = true;
-                    heap.push(Reverse((self.cg.topo_position(c), c)));
-                }
+                self.frontier.mark(c);
             }
         }
 
-        while let Some(Reverse((_, u))) = heap.pop() {
-            queued[u.index()] = false;
+        while let Some(u) = self.frontier.next_up(cg.topo()) {
             // Recompute reception from (partially updated) parents.
             let mut recv = C::zero();
             for &p in csr.parents(u) {
@@ -121,10 +127,9 @@ impl<'a, C: Count> IncrementalPropagation<'a, C> {
             let new_emit = self.emission_of(u, &recv);
             if new_emit != self.emitted[u.index()] {
                 self.emitted[u.index()] = new_emit;
-                for &c in csr.children(u) {
-                    if !queued[c.index()] {
-                        queued[c.index()] = true;
-                        heap.push(Reverse((self.cg.topo_position(c), c)));
+                if !self.frontier.is_dense() {
+                    for &c in csr.children(u) {
+                        self.frontier.mark(c);
                     }
                 }
             }

@@ -19,6 +19,10 @@
 //!   downstream; the paper's `Suffix` (filter-aware).
 //! * [`impacts`] — the exact marginal gain `I(v|A)` of each candidate
 //!   filter, the quantity Greedy_All maximizes.
+//! * [`ImpactEngine`] — the same marginals kept up to date
+//!   *incrementally* in both directions under filter insertions
+//!   (O(affected ∪ ancestors) per greedy round, zero per-round
+//!   allocation); `impacts` stays as its correctness oracle.
 //! * [`objective`] — `Φ`, `F`, and the Filter Ratio `FR`.
 //! * [`plist`] — the paper's original quadratic `plist` bookkeeping,
 //!   kept as an independently-derived validation oracle.
@@ -32,6 +36,7 @@
 //!   (the paper's footnote-1 generalization).
 
 mod cgraph;
+mod engine;
 mod filter_set;
 mod impact;
 pub mod incremental;
@@ -45,8 +50,9 @@ pub mod simulate;
 mod suffix;
 
 pub use cgraph::CGraph;
+pub use engine::{EngineScratch, ImpactEngine};
 pub use filter_set::FilterSet;
 pub use impact::impacts;
 pub use objective::{f_value, filter_ratio, phi_per_node, phi_total, ObjectiveCache};
-pub use propagate::{propagate, Propagation};
-pub use suffix::suffix_sensitivity;
+pub use propagate::{propagate, propagate_into, Propagation};
+pub use suffix::{suffix_sensitivity, suffix_sensitivity_into};

@@ -38,11 +38,28 @@ pub struct Propagation<C> {
 /// assert_eq!(prop.received[3].get(), 2);
 /// ```
 pub fn propagate<C: Count>(cg: &CGraph, filters: &FilterSet) -> Propagation<C> {
+    let mut received = Vec::new();
+    let mut emitted = Vec::new();
+    propagate_into(cg, filters, &mut received, &mut emitted);
+    Propagation { received, emitted }
+}
+
+/// [`propagate`] into caller-owned buffers (cleared and resized), so a
+/// hot loop — the [`crate::ImpactEngine`] re-initializing from recycled
+/// scratch — performs no allocation.
+pub fn propagate_into<C: Count>(
+    cg: &CGraph,
+    filters: &FilterSet,
+    received: &mut Vec<C>,
+    emitted: &mut Vec<C>,
+) {
     let n = cg.node_count();
     let csr = cg.csr();
     let source = cg.source();
-    let mut received = vec![C::zero(); n];
-    let mut emitted = vec![C::zero(); n];
+    received.clear();
+    received.resize_with(n, C::zero);
+    emitted.clear();
+    emitted.resize_with(n, C::zero);
     for &v in cg.topo() {
         let mut r = C::zero();
         for &p in csr.parents(v) {
@@ -62,7 +79,6 @@ pub fn propagate<C: Count>(cg: &CGraph, filters: &FilterSet) -> Propagation<C> {
         received[v.index()] = r;
         emitted[v.index()] = e;
     }
-    Propagation { received, emitted }
 }
 
 #[cfg(test)]

@@ -19,10 +19,20 @@ use fp_num::Count;
 ///
 /// One O(|E|) reverse-topological sweep.
 pub fn suffix_sensitivity<C: Count>(cg: &CGraph, filters: &FilterSet) -> Vec<C> {
+    let mut suffix = Vec::new();
+    suffix_sensitivity_into(cg, filters, &mut suffix);
+    suffix
+}
+
+/// [`suffix_sensitivity`] into a caller-owned buffer (cleared and
+/// resized), so the [`crate::ImpactEngine`] re-initializing from
+/// recycled scratch performs no allocation.
+pub fn suffix_sensitivity_into<C: Count>(cg: &CGraph, filters: &FilterSet, suffix: &mut Vec<C>) {
     let n = cg.node_count();
     let csr = cg.csr();
     let source = cg.source();
-    let mut suffix = vec![C::zero(); n];
+    suffix.clear();
+    suffix.resize_with(n, C::zero);
     for &v in cg.topo().iter().rev() {
         let mut s = C::zero();
         for &c in csr.children(v) {
@@ -33,7 +43,6 @@ pub fn suffix_sensitivity<C: Count>(cg: &CGraph, filters: &FilterSet) -> Vec<C> 
         }
         suffix[v.index()] = s;
     }
-    suffix
 }
 
 #[cfg(test)]

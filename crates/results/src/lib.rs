@@ -46,6 +46,6 @@ pub mod worker;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use model::{solver_from_label, SolverSeries, SweepConfig, SweepResult};
 pub use runner::{available_cores, run_parallel, RunOutcome, RunnerOptions};
-pub use store::{DatasetFingerprint, RunListEntry, RunManifest, RunStore, StoredRun};
+pub use store::{DatasetFingerprint, GcPolicy, RunListEntry, RunManifest, RunStore, StoredRun};
 pub use sweep::{run_sweep_cells, SweepBackend};
 pub use worker::{run_sweep_workers, PoolOptions, WorkerSpawner};

@@ -162,6 +162,19 @@ impl FromJson for RunManifest {
     }
 }
 
+/// Which stored runs [`RunStore::gc`] evicts.
+///
+/// Both policies order runs by *last use*: saving writes the manifest
+/// and every cache-hit [`RunStore::load`] bumps its mtime, so a run
+/// that keeps getting hit stays young however long ago it was computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// Keep the `n` most recently used runs, evict the rest.
+    KeepNewest(usize),
+    /// Evict runs whose last use is older than the given age.
+    MaxAge(Duration),
+}
+
 /// A run loaded back from disk.
 #[derive(Clone, Debug)]
 pub struct StoredRun {
@@ -178,9 +191,11 @@ pub struct RunListEntry {
     pub id: String,
     /// The run's manifest.
     pub manifest: RunManifest,
-    /// When the run landed: `manifest.json`'s modification time, unix
-    /// seconds (0 when the filesystem cannot say). Kept out of the
-    /// manifest itself so run-directory bytes stay content-pure.
+    /// When the run was last *used*: `manifest.json`'s modification
+    /// time, unix seconds (0 when the filesystem cannot say). Saving
+    /// sets it; every cache-hit [`RunStore::load`] bumps it, so GC
+    /// eviction is least-recently-used. Kept out of the manifest itself
+    /// so run-directory bytes stay content-pure.
     pub modified_unix: u64,
 }
 
@@ -308,12 +323,72 @@ impl RunStore {
     }
 
     /// Load a run by id; `Ok(None)` when it has never been stored.
+    ///
+    /// A successful load is a *use*: the manifest's mtime is bumped so
+    /// [`RunStore::gc`] treats frequently-hit runs as young. Only
+    /// filesystem metadata moves — the stored bytes stay content-pure.
     pub fn load(&self, id: &str) -> Result<Option<StoredRun>, String> {
         let dir = self.run_dir(id);
         if !dir.join("result.json").exists() || !dir.join("manifest.json").exists() {
             return Ok(None);
         }
-        Self::load_dir(&dir).map(Some)
+        let run = Self::load_dir(&dir)?;
+        Self::touch(&dir.join("manifest.json"));
+        Ok(Some(run))
+    }
+
+    /// Best-effort mtime bump (an unwritable store still serves hits).
+    fn touch(path: &Path) {
+        if let Ok(f) = std::fs::OpenOptions::new().append(true).open(path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+    }
+
+    /// Evict stored runs according to `policy`; returns the evicted
+    /// entries (already removed from disk). Incomplete directories and
+    /// loose CSVs are never touched — only what [`RunStore::list`]
+    /// reports is eligible.
+    pub fn gc(&self, policy: GcPolicy) -> Result<Vec<RunListEntry>, String> {
+        // Order by the manifest's *full-precision* mtime, not the
+        // second-truncated `modified_unix`: a cache hit and a save in
+        // the same second must still rank by which happened later, or
+        // the just-hit run could lose a tie and be evicted. Ties that
+        // survive full precision (coarse filesystems) break toward the
+        // lexicographically larger id so the order is deterministic.
+        let mut runs: Vec<(SystemTime, RunListEntry)> = self
+            .list()?
+            .into_iter()
+            .map(|run| {
+                let mtime = std::fs::metadata(self.run_dir(&run.id).join("manifest.json"))
+                    .and_then(|m| m.modified())
+                    .unwrap_or(SystemTime::UNIX_EPOCH);
+                (mtime, run)
+            })
+            .collect();
+        runs.sort_by(|(ta, a), (tb, b)| tb.cmp(ta).then_with(|| b.id.cmp(&a.id)));
+        let evict: Vec<RunListEntry> = match policy {
+            GcPolicy::KeepNewest(n) => runs
+                .split_off(n.min(runs.len()))
+                .into_iter()
+                .map(|(_, run)| run)
+                .collect(),
+            GcPolicy::MaxAge(age) => {
+                // Saturate absurd ages at the epoch (= evict nothing).
+                let cutoff = SystemTime::now()
+                    .checked_sub(age)
+                    .unwrap_or(SystemTime::UNIX_EPOCH);
+                runs.into_iter()
+                    .filter(|(mtime, _)| *mtime < cutoff)
+                    .map(|(_, run)| run)
+                    .collect()
+            }
+        };
+        for run in &evict {
+            let dir = self.run_dir(&run.id);
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| format!("cannot evict {}: {e}", dir.display()))?;
+        }
+        Ok(evict)
     }
 
     /// Load a run directly from its directory (what `fp report --run`
@@ -633,6 +708,135 @@ mod tests {
         assert_eq!(removed, 1);
         assert!(!stale.exists());
         assert_eq!(reopened.list().unwrap().len(), 1, "real runs survive");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Pin a run's last-use time (seconds ago) directly on disk.
+    fn age_run(store: &RunStore, id: &str, secs_ago: u64) {
+        let manifest = store.run_dir(id).join("manifest.json");
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&manifest)
+            .unwrap();
+        f.set_modified(SystemTime::now() - Duration::from_secs(secs_ago))
+            .unwrap();
+    }
+
+    /// Three runs with distinct configs, last used 3000/2000/1000
+    /// seconds ago (oldest first in the returned vec).
+    fn store_with_aged_runs() -> (RunStore, PathBuf, Vec<String>) {
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let mut ids = Vec::new();
+        for (i, secs_ago) in [3000u64, 2000, 1000].into_iter().enumerate() {
+            let mut cfg = config.clone();
+            cfg.seed = 100 + i as u64;
+            let manifest = RunManifest::new(cfg, dataset.clone());
+            store.save(&manifest, &result).unwrap();
+            age_run(&store, &manifest.id, secs_ago);
+            ids.push(manifest.id);
+        }
+        (store, dir, ids)
+    }
+
+    #[test]
+    fn gc_keep_newest_evicts_least_recently_used() {
+        let (store, dir, ids) = store_with_aged_runs();
+        let evicted = store.gc(GcPolicy::KeepNewest(2)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].id, ids[0], "oldest run goes first");
+        assert!(!store.run_dir(&ids[0]).exists());
+        let left: Vec<String> = store.list().unwrap().into_iter().map(|r| r.id).collect();
+        assert_eq!(left.len(), 2);
+        assert!(left.contains(&ids[1]) && left.contains(&ids[2]));
+        // Keeping at least as many as exist evicts nothing.
+        assert!(store.gc(GcPolicy::KeepNewest(5)).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_max_age_evicts_by_last_use() {
+        let (store, dir, ids) = store_with_aged_runs();
+        let evicted = store
+            .gc(GcPolicy::MaxAge(Duration::from_secs(2500)))
+            .unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].id, ids[0]);
+        let evicted = store
+            .gc(GcPolicy::MaxAge(Duration::from_secs(500)))
+            .unwrap();
+        assert_eq!(evicted.len(), 2, "both remaining runs are older than 500s");
+        assert!(store.list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cache_hits_survive_eviction_ordering() {
+        // The oldest-*stored* run is re-used (cache hit) just before a
+        // gc; the hit must refresh its position so it survives and the
+        // stale-but-never-hit run is evicted instead.
+        let (store, dir, ids) = store_with_aged_runs();
+        let hit = store.load(&ids[0]).unwrap().expect("stored run");
+        assert_eq!(hit.manifest.id, ids[0]);
+        let evicted = store.gc(GcPolicy::KeepNewest(2)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(
+            evicted[0].id, ids[1],
+            "the untouched middle run is now the LRU victim"
+        );
+        assert!(
+            store.run_dir(&ids[0]).exists(),
+            "the cache-hit run must survive"
+        );
+        // And the hit run's directory bytes are untouched (only mtime
+        // moved): it still loads and matches the original result.
+        assert!(store.load(&ids[0]).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn same_second_cache_hit_still_wins_the_eviction_tie() {
+        // Save A, save B, hit A — all within one second. The hit must
+        // rank A as most recently used (full-precision mtimes, not the
+        // second-truncated listing column), so B is the LRU victim.
+        let (store, dir) = temp_store();
+        let (config, dataset, result) = sample();
+        let mut ids = Vec::new();
+        for seed in [100u64, 101] {
+            let mut cfg = config.clone();
+            cfg.seed = seed;
+            let manifest = RunManifest::new(cfg, dataset.clone());
+            store.save(&manifest, &result).unwrap();
+            ids.push(manifest.id);
+        }
+        store.load(&ids[0]).unwrap().expect("stored run");
+        let mtime = |id: &str| {
+            std::fs::metadata(store.run_dir(id).join("manifest.json"))
+                .and_then(|m| m.modified())
+                .unwrap()
+        };
+        if mtime(&ids[0]) <= mtime(&ids[1]) {
+            // Coarse-mtime filesystem: the bump is invisible within one
+            // second and the ordering claim cannot be observed here.
+            let _ = std::fs::remove_dir_all(dir);
+            return;
+        }
+        let evicted = store.gc(GcPolicy::KeepNewest(1)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].id, ids[1], "the unused run is the victim");
+        assert!(store.run_dir(&ids[0]).exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_leaves_non_run_entries_alone() {
+        let (store, dir, _ids) = store_with_aged_runs();
+        std::fs::write(store.root().join("fig04a.csv"), "k,count\n").unwrap();
+        std::fs::create_dir_all(store.root().join(".stage-zzz-1")).unwrap();
+        let evicted = store.gc(GcPolicy::KeepNewest(0)).unwrap();
+        assert_eq!(evicted.len(), 3, "all runs evicted");
+        assert!(store.root().join("fig04a.csv").exists());
+        assert!(store.root().join(".stage-zzz-1").exists());
         let _ = std::fs::remove_dir_all(dir);
     }
 

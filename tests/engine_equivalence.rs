@@ -1,0 +1,200 @@
+//! Engine ↔ oracle equivalence on random inputs.
+//!
+//! The `ImpactEngine` keeps prefix, suffix, and Φ state up to date
+//! incrementally; these properties pin it to the naive full-recompute
+//! path on random DAGs and random filter-insertion sequences:
+//!
+//! * engine scores (received/emitted/suffix/impacts/Φ) equal a fresh
+//!   `propagate` / `suffix_sensitivity` / `impacts` / `phi_total` after
+//!   *every* insertion, for both `Sat64` and `Wide128`;
+//! * every engine-backed solver places identically to its
+//!   full-recompute oracle (`SolverKind::place_oracle`), which is what
+//!   keeps stored run directories byte-stable across the engine
+//!   rewrite.
+
+use fp_core::algorithms::{GreedyAll, LazyGreedyAll, MultiGreedy, Solver};
+use fp_core::datasets::erdos_renyi;
+use fp_core::num::Sat64;
+use fp_core::prelude::*;
+use fp_core::propagation::{impacts, phi_total, propagate, suffix_sensitivity, ImpactEngine};
+use proptest::prelude::*;
+
+/// Check the engine against every oracle quantity under `filters`.
+fn assert_engine_matches_oracle<C: Count>(
+    engine: &ImpactEngine<C>,
+    cg: &CGraph,
+    context: &str,
+) -> Result<(), proptest::TestCaseError> {
+    let fresh = propagate::<C>(cg, engine.filters());
+    let suffix: Vec<C> = suffix_sensitivity(cg, engine.filters());
+    let oracle: Vec<C> = impacts(cg, engine.filters());
+    for v in cg.nodes() {
+        let i = v.index();
+        prop_assert_eq!(
+            engine.received(v),
+            &fresh.received[i],
+            "received({}) diverged {}",
+            i,
+            context
+        );
+        prop_assert_eq!(
+            engine.emitted(v),
+            &fresh.emitted[i],
+            "emitted({}) diverged {}",
+            i,
+            context
+        );
+        prop_assert_eq!(
+            engine.suffix(v),
+            &suffix[i],
+            "suffix({}) diverged {}",
+            i,
+            context
+        );
+        prop_assert_eq!(
+            engine.impact(v),
+            oracle[i].clone(),
+            "impact({}) diverged {}",
+            i,
+            context
+        );
+    }
+    prop_assert_eq!(
+        engine.phi().clone(),
+        phi_total::<C>(cg, engine.filters()),
+        "phi diverged {}",
+        context
+    );
+    Ok(())
+}
+
+/// Random insertion order over all node ids, derived from a seed.
+fn insertion_sequence(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order.into_iter().map(NodeId::new).collect()
+}
+
+fn scores_match_for<C: Count>(
+    seed: u64,
+    p: f64,
+    inserts: usize,
+) -> Result<(), proptest::TestCaseError> {
+    let (g, s) = erdos_renyi::generate(16, p, seed);
+    let cg = CGraph::new(&g, s).unwrap();
+    let n = g.node_count();
+    let mut engine = ImpactEngine::<C>::new(&cg, FilterSet::empty(n));
+    assert_engine_matches_oracle(&engine, &cg, "before any insertion")?;
+    for (step, &v) in insertion_sequence(n, seed ^ 0xABCD)
+        .iter()
+        .take(inserts)
+        .enumerate()
+    {
+        engine.insert_filter(v);
+        assert_engine_matches_oracle(&engine, &cg, &format!("after step {step} (node {v:?})"))?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn engine_scores_equal_the_oracle_sat64(
+        seed in 0u64..4000,
+        p in 0.08f64..0.4,
+        inserts in 0usize..10,
+    ) {
+        scores_match_for::<Sat64>(seed, p, inserts)?;
+    }
+
+    #[test]
+    fn engine_scores_equal_the_oracle_wide128(
+        seed in 0u64..4000,
+        p in 0.08f64..0.4,
+        inserts in 0usize..10,
+    ) {
+        scores_match_for::<Wide128>(seed, p, inserts)?;
+    }
+
+    #[test]
+    fn every_solver_places_identically_on_both_paths(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+        k in 0usize..6,
+    ) {
+        let (g, s) = erdos_renyi::generate(14, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        for kind in [
+            SolverKind::GreedyAll,
+            SolverKind::LazyGreedyAll,
+            SolverKind::GreedyMax,
+            SolverKind::GreedyL,
+        ] {
+            let engine = kind.build::<Wide128>(0).place(&cg, k);
+            let oracle = kind.place_oracle::<Wide128>(&cg, k, 0);
+            prop_assert_eq!(
+                engine.nodes(),
+                oracle.nodes(),
+                "{:?} diverged from its oracle at k={}",
+                kind,
+                k
+            );
+            // And across count types, engine path only.
+            let engine_sat = kind.build::<Sat64>(0).place(&cg, k);
+            prop_assert_eq!(engine.nodes(), engine_sat.nodes());
+        }
+    }
+
+    #[test]
+    fn multi_greedy_places_identically_on_both_paths(
+        seed in 0u64..4000,
+        p in 0.08f64..0.3,
+        k in 0usize..5,
+        rate in 1u64..20,
+    ) {
+        let (g, s) = erdos_renyi::generate(12, p, seed);
+        // Two sources: the DAG root plus its first child (if any), one
+        // of them rate-skewed; plus a zero-rate source that must be a
+        // no-op on both paths.
+        let second = g
+            .out_neighbors(s)
+            .first()
+            .copied()
+            .unwrap_or(s);
+        let sources = [(s, 1), (second, rate), (s, 0)];
+        let multi = MultiGreedy::new(&g, &sources).unwrap();
+        let engine = multi.place::<Wide128>(k);
+        let oracle = multi.place_full_recompute::<Wide128>(k);
+        prop_assert_eq!(
+            engine.nodes(),
+            oracle.nodes(),
+            "multi-greedy diverged at k={}",
+            k
+        );
+    }
+
+    #[test]
+    fn lazy_and_eager_agree_with_the_eager_oracle(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+        k in 0usize..6,
+    ) {
+        // The strongest cross-check: CELF + engine, eager + engine, and
+        // eager + fresh sweeps all land on the same placement.
+        let (g, s) = erdos_renyi::generate(14, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        let eager_oracle = GreedyAll::<Wide128>::place_full_recompute(&cg, k);
+        let eager_engine = GreedyAll::<Wide128>::new().place(&cg, k);
+        let lazy_engine = LazyGreedyAll::<Wide128>::new().place(&cg, k);
+        prop_assert_eq!(eager_engine.nodes(), eager_oracle.nodes());
+        prop_assert_eq!(lazy_engine.nodes(), eager_oracle.nodes());
+    }
+}

@@ -8,10 +8,13 @@
 //! [`criterion_main!`] macros.
 //!
 //! Measurement model: each benchmark closure is warmed up briefly, then
-//! timed over enough iterations to fill a short measurement window
-//! (scaled down by `sample_size` requests so huge cases stay fast);
-//! mean wall-clock time per iteration is printed. This is deliberately
-//! simpler than criterion's bootstrap statistics but produces stable,
+//! timed over several independent measurement windows (their total
+//! scaled down by `sample_size` requests so huge cases stay fast). The
+//! reported figure is the **median of the per-window means after
+//! trimming the fastest and slowest window** — one scheduler hiccup or
+//! cache-cold window cannot drag the headline number, so a claimed
+//! speedup is not single-window noise. This is deliberately simpler
+//! than criterion's bootstrap statistics but produces stable,
 //! comparable numbers for `cargo bench` smoke runs — and compiles the
 //! exact same bench sources the real harness would.
 
@@ -170,6 +173,28 @@ impl Bencher {
     }
 }
 
+/// Number of independent measurement windows per benchmark.
+const WINDOWS: usize = 5;
+
+/// Robust location estimate for the per-window means: drop the fastest
+/// and slowest window (when there are enough to spare), then take the
+/// median of what remains. Even-length medians average the middle pair.
+fn trimmed_median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("window means are finite"));
+    let trimmed = if samples.len() >= 3 {
+        &samples[1..samples.len() - 1]
+    } else {
+        &samples[..]
+    };
+    let mid = trimmed.len() / 2;
+    if trimmed.len() % 2 == 1 {
+        trimmed[mid]
+    } else {
+        (trimmed[mid - 1] + trimmed[mid]) / 2.0
+    }
+}
+
 fn run_one<F>(
     label: &str,
     sample_size: usize,
@@ -188,29 +213,35 @@ fn run_one<F>(
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
 
     // Small requested sample sizes signal an expensive benchmark:
-    // shrink the window proportionally (criterion's default is 100).
-    let window = window.mul_f64((sample_size as f64 / 100.0).clamp(0.05, 1.0));
-    let iters = (window.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e6) as u64;
+    // shrink the total measurement time proportionally (criterion's
+    // default is 100), then split it into independent windows.
+    let total = window.mul_f64((sample_size as f64 / 100.0).clamp(0.05, 1.0));
+    let sub_window = total.div_f64(WINDOWS as f64);
+    let iters = (sub_window.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e6) as u64;
 
-    let mut b = Bencher {
-        iters,
-        elapsed: Duration::ZERO,
-    };
-    f(&mut b);
-    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    let mut means = [0.0f64; WINDOWS];
+    for mean in means.iter_mut() {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        *mean = b.elapsed.as_secs_f64() / iters as f64;
+    }
+    let mean = trimmed_median(&mut means);
     match throughput {
         Some(Throughput::Elements(n)) => println!(
-            "bench: {label:<40} {:>12}/iter  {:>14.0} elem/s  ({iters} iters)",
+            "bench: {label:<40} {:>12}/iter  {:>14.0} elem/s  ({iters} iters × {WINDOWS} windows)",
             fmt_time(mean),
             n as f64 / mean
         ),
         Some(Throughput::Bytes(n)) => println!(
-            "bench: {label:<40} {:>12}/iter  {:>14.0} B/s  ({iters} iters)",
+            "bench: {label:<40} {:>12}/iter  {:>14.0} B/s  ({iters} iters × {WINDOWS} windows)",
             fmt_time(mean),
             n as f64 / mean
         ),
         None => println!(
-            "bench: {label:<40} {:>12}/iter  ({iters} iters)",
+            "bench: {label:<40} {:>12}/iter  ({iters} iters × {WINDOWS} windows)",
             fmt_time(mean)
         ),
     }
@@ -273,5 +304,42 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn trimmed_median_drops_outlier_windows() {
+        // A wild outlier window must not move the estimate.
+        let mut samples = [1.0, 1.1, 0.9, 1.0, 50.0];
+        assert!((trimmed_median(&mut samples) - 1.0).abs() < 1e-12);
+        let mut samples = [0.001, 1.0, 1.2, 0.8, 1.1];
+        assert!((trimmed_median(&mut samples) - 1.0).abs() < 1e-12);
+        // Four windows: trim to two, average the middle pair.
+        let mut samples = [4.0, 1.0, 2.0, 3.0];
+        assert!((trimmed_median(&mut samples) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_median_handles_short_slices() {
+        assert!((trimmed_median(&mut [2.0]) - 2.0).abs() < 1e-12);
+        assert!((trimmed_median(&mut [1.0, 3.0]) - 2.0).abs() < 1e-12);
+        // Exactly three: min and max trimmed, middle survives.
+        assert!((trimmed_median(&mut [9.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_window_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("windows");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        // 1 calibration + WINDOWS measurement invocations.
+        assert_eq!(calls, 1 + WINDOWS as u32);
     }
 }
