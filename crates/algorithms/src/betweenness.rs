@@ -6,10 +6,10 @@
 //! … is z2." We implement Brandes' algorithm and a top-k selector so
 //! the claim can be measured, not just asserted.
 
-use crate::{top_k_by_count, Solver};
+use crate::{top_k_by_count, RankedSession, Solver, SolverSession};
 use fp_graph::{Csr, NodeId};
-use fp_num::{Approx64, Count};
-use fp_propagation::{CGraph, FilterSet};
+use fp_num::{Approx64, Count, Wide128};
+use fp_propagation::CGraph;
 
 /// Directed, unweighted betweenness centrality (Brandes 2001): for each
 /// node the number of shortest `s→t` paths passing through it, summed
@@ -82,7 +82,10 @@ impl Solver for BetweennessSolver {
         "Betweenness"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        // Centrality is a static score, so the ladder is the
+        // descending-centrality order; every prefix is the top-k
+        // placement (one-shot `place` comes from the trait default).
         let raw = betweenness_centrality(cg.csr());
         let scores: Vec<Approx64> = cg
             .nodes()
@@ -94,10 +97,13 @@ impl Solver for BetweennessSolver {
                 }
             })
             .collect();
-        FilterSet::from_nodes(
-            cg.node_count(),
-            top_k_by_count(&scores, k).into_iter().map(NodeId::new),
-        )
+        let ranked = top_k_by_count(&scores, cg.node_count())
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        // FR evaluation uses the production counter, not the float
+        // ranking scores.
+        Box::new(RankedSession::<Wide128>::new(cg, ranked))
     }
 }
 
@@ -153,8 +159,8 @@ mod tests {
     #[test]
     fn figure1_betweenness_solver_underperforms_greedy() {
         let (_, cg) = figure1();
-        let bt = BetweennessSolver::new().place(&cg, 1);
-        let ga = crate::GreedyAll::<Sat64>::new().place(&cg, 1);
+        let bt = BetweennessSolver::new().place(&cg, 1, 0);
+        let ga = crate::GreedyAll::<Sat64>::new().place(&cg, 1, 0);
         let f_bt: Sat64 = f_value(&cg, &bt);
         let f_ga: Sat64 = f_value(&cg, &ga);
         assert!(f_bt < f_ga, "centrality picks a useless filter here");

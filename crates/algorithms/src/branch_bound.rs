@@ -18,7 +18,7 @@
 //! Theorem 2) but typically orders of magnitude fewer nodes than brute
 //! force; the test suite pins its results to brute-force enumeration.
 
-use crate::Solver;
+use crate::{Solver, SolverSession};
 use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::{impacts, CGraph, FilterSet};
@@ -155,8 +155,13 @@ impl<C: Count> Solver for BranchBound<C> {
         "BnB(exact)"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        optimal_placement_bb::<C>(cg, k).filters
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        // Exact optima are unrelated across budgets (the optimal pair
+        // need not contain the optimal singleton), so the session is a
+        // one-shot: each `advance_to(k)` runs a fresh bounded search.
+        Box::new(crate::OneShotSession::<C, _>::new(cg, move |k| {
+            optimal_placement_bb::<C>(cg, k).filters
+        }))
     }
 }
 

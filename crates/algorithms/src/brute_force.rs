@@ -120,7 +120,7 @@ mod tests {
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
         for k in 1..=3 {
             let (_, opt) = optimal_placement::<Sat64>(&cg, k);
-            let greedy = GreedyAll::<Sat64>::new().place(&cg, k);
+            let greedy = GreedyAll::<Sat64>::new().place(&cg, k, 0);
             let f: Sat64 = f_value(&cg, &greedy);
             let bound = (1.0 - (-1.0f64).exp()) * opt.get() as f64;
             assert!(

@@ -1,6 +1,6 @@
 //! Greedy_All (Algorithm 1): the `(1 − 1/e)`-approximation.
 
-use crate::{argmax_count, Solver};
+use crate::{argmax_count, FrCache, Solver, SolverSession};
 use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine};
@@ -33,7 +33,7 @@ use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine};
 ///     [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6)],
 /// ).unwrap();
 /// let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-/// let placement = GreedyAll::<Wide128>::new().place(&cg, 1);
+/// let placement = GreedyAll::<Wide128>::new().place(&cg, 1, 0);
 /// assert_eq!(placement.nodes(), &[NodeId::new(4)]);
 /// ```
 pub struct GreedyAll<C> {
@@ -73,19 +73,64 @@ impl<C: Count> Default for GreedyAll<C> {
     }
 }
 
+/// The anytime session behind [`GreedyAll`]: one persistent
+/// [`ImpactEngine`] whose state survives across budget rungs, so a
+/// whole k-ladder costs one engine initialization plus one
+/// O(n + affected) round per rung — and `fr()` is an O(1) read of the
+/// engine's live `Φ`.
+pub struct GreedyAllSession<'a, C: Count> {
+    engine: ImpactEngine<'a, C>,
+    fr: FrCache<C>,
+}
+
+impl<'a, C: Count> GreedyAllSession<'a, C> {
+    fn new(cg: &'a CGraph) -> Self {
+        Self {
+            engine: ImpactEngine::new(cg, FilterSet::empty(cg.node_count())),
+            fr: FrCache::new(),
+        }
+    }
+}
+
+impl<C: Count> SolverSession for GreedyAllSession<'_, C> {
+    fn next_filter(&mut self) -> Option<NodeId> {
+        let best = self.engine.best_candidate()?;
+        self.engine.insert_filter(best);
+        Some(best)
+    }
+
+    fn placement(&self) -> &FilterSet {
+        self.engine.filters()
+    }
+
+    fn fr(&mut self) -> f64 {
+        let phi = self.engine.phi().clone();
+        self.fr.fr(self.engine.cgraph(), &phi)
+    }
+
+    fn into_placement(self: Box<Self>) -> FilterSet {
+        self.engine.into_filters()
+    }
+}
+
 impl<C: Count> Solver for GreedyAll<C> {
     fn name(&self) -> &'static str {
         "G_ALL"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        Box::new(GreedyAllSession::<C>::new(cg))
+    }
+
+    fn place(&self, cg: &CGraph, k: usize, _seed: u64) -> FilterSet {
+        // Same picks as a session walked `k` rungs, but the final pick
+        // skips the engine's two update passes — nobody reads the
+        // engine again on the one-shot path.
         let mut engine = ImpactEngine::<C>::new(cg, FilterSet::empty(cg.node_count()));
         for round in 0..k {
             match engine.best_candidate() {
                 Some(best) => {
                     if round + 1 == k {
-                        // Final pick: nobody reads the engine again, so
-                        // skip the two update passes.
                         let mut filters = engine.into_filters();
                         filters.insert(best);
                         return filters;
@@ -128,7 +173,7 @@ mod tests {
     #[test]
     fn figure1_first_pick_is_z2() {
         let cg = figure1();
-        let placement = GreedyAll::<Sat64>::new().place(&cg, 1);
+        let placement = GreedyAll::<Sat64>::new().place(&cg, 1, 0);
         assert_eq!(placement.nodes(), &[NodeId::new(4)]);
     }
 
@@ -137,7 +182,7 @@ mod tests {
         let cg = figure1();
         // One filter (z2) already achieves F(V); further picks have
         // zero impact and are skipped.
-        let placement = GreedyAll::<Sat64>::new().place(&cg, 5);
+        let placement = GreedyAll::<Sat64>::new().place(&cg, 5, 0);
         assert_eq!(placement.len(), 1);
         let f: Sat64 = f_value(&cg, &placement);
         let fv: Sat64 = f_value(&cg, &FilterSet::all(7));
@@ -169,7 +214,7 @@ mod tests {
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        let placement = GreedyAll::<Sat64>::new().place(&cg, 1);
+        let placement = GreedyAll::<Sat64>::new().place(&cg, 1, 0);
         assert_eq!(placement.nodes(), &[NodeId::new(4)], "A is optimal, not B");
         // And the gain matches the worked arithmetic: A saves (3-1)×1 = 2.
         let phi0: Sat64 = phi_total(&cg, &FilterSet::empty(12));
@@ -182,7 +227,7 @@ mod tests {
         let cg = figure1();
         for k in 0..=5 {
             assert_eq!(
-                GreedyAll::<Sat64>::new().place(&cg, k).nodes(),
+                GreedyAll::<Sat64>::new().place(&cg, k, 0).nodes(),
                 GreedyAll::<Sat64>::place_full_recompute(&cg, k).nodes(),
                 "k={k}"
             );
@@ -192,8 +237,8 @@ mod tests {
     #[test]
     fn wide_and_sat_counters_choose_identically() {
         let cg = figure1();
-        let a = GreedyAll::<Sat64>::new().place(&cg, 3);
-        let b = GreedyAll::<Wide128>::new().place(&cg, 3);
+        let a = GreedyAll::<Sat64>::new().place(&cg, 3, 0);
+        let b = GreedyAll::<Wide128>::new().place(&cg, 3, 0);
         assert_eq!(a.nodes(), b.nodes());
     }
 }

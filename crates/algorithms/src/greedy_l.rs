@@ -1,6 +1,6 @@
 //! Greedy_L (Algorithm 2): prefix × out-degree, recomputed per round.
 
-use crate::{argmax_count, Solver};
+use crate::{argmax_count, FrCache, Solver, SolverSession};
 use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::incremental::IncrementalPropagation;
@@ -74,36 +74,68 @@ impl<C: Count> Default for GreedyL<C> {
     }
 }
 
+/// The anytime session behind [`GreedyL`]: the filter-aware prefixes
+/// persist in one [`IncrementalPropagation`] across budget rungs, the
+/// per-round score buffer is allocated once, and `fr()` is an O(1)
+/// read of the incrementally maintained `Φ`.
+pub struct GreedyLSession<'a, C: Count> {
+    cg: &'a CGraph,
+    inc: IncrementalPropagation<'a, C>,
+    scores: Vec<C>,
+    fr: FrCache<C>,
+}
+
+impl<'a, C: Count> GreedyLSession<'a, C> {
+    fn new(cg: &'a CGraph) -> Self {
+        Self {
+            cg,
+            inc: IncrementalPropagation::new(cg, FilterSet::empty(cg.node_count())),
+            scores: Vec::with_capacity(cg.node_count()),
+            fr: FrCache::new(),
+        }
+    }
+}
+
+impl<C: Count> SolverSession for GreedyLSession<'_, C> {
+    fn next_filter(&mut self) -> Option<NodeId> {
+        let csr = self.cg.csr();
+        let one = C::one();
+        self.scores.clear();
+        self.scores.extend(self.cg.nodes().map(|v| {
+            if v == self.cg.source() || self.inc.filters().contains(v) {
+                return C::zero();
+            }
+            self.inc
+                .received(v)
+                .saturating_sub(&one)
+                .mul(&C::from_u64(csr.out_degree(v) as u64))
+        }));
+        let best = NodeId::new(argmax_count(&self.scores)?);
+        self.inc.insert_filter(best);
+        Some(best)
+    }
+
+    fn placement(&self) -> &FilterSet {
+        self.inc.filters()
+    }
+
+    fn fr(&mut self) -> f64 {
+        let phi = self.inc.phi().clone();
+        self.fr.fr(self.cg, &phi)
+    }
+
+    fn into_placement(self: Box<Self>) -> FilterSet {
+        self.inc.filters().clone()
+    }
+}
+
 impl<C: Count> Solver for GreedyL<C> {
     fn name(&self) -> &'static str {
         "G_L"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        let csr = cg.csr();
-        let n = cg.node_count();
-        let mut inc = IncrementalPropagation::<C>::new(cg, FilterSet::empty(n));
-        let one = C::one();
-        for _ in 0..k {
-            let scores: Vec<C> = cg
-                .nodes()
-                .map(|v| {
-                    if v == cg.source() || inc.filters().contains(v) {
-                        return C::zero();
-                    }
-                    inc.received(v)
-                        .saturating_sub(&one)
-                        .mul(&C::from_u64(csr.out_degree(v) as u64))
-                })
-                .collect();
-            match argmax_count(&scores) {
-                Some(best) => {
-                    inc.insert_filter(NodeId::new(best));
-                }
-                None => break,
-            }
-        }
-        inc.filters().clone()
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        Box::new(GreedyLSession::<C>::new(cg))
     }
 }
 
@@ -119,9 +151,9 @@ mod tests {
         let g = DiGraph::from_pairs(7, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6)])
             .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        let gl = GreedyL::<Sat64>::new().place(&cg, 1);
+        let gl = GreedyL::<Sat64>::new().place(&cg, 1, 0);
         assert_eq!(gl.nodes(), &[NodeId::new(4)], "G_L takes the deeper node");
-        let ga = crate::GreedyAll::<Sat64>::new().place(&cg, 1);
+        let ga = crate::GreedyAll::<Sat64>::new().place(&cg, 1, 0);
         assert_eq!(ga.nodes(), &[NodeId::new(3)], "G_ALL takes the join");
     }
 
@@ -130,7 +162,7 @@ mod tests {
         let g = DiGraph::from_pairs(7, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6)])
             .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        let placement = GreedyL::<Sat64>::new().place(&cg, 3);
+        let placement = GreedyL::<Sat64>::new().place(&cg, 3, 0);
         // d (4) first, then c (3); afterwards nothing has recv > 1.
         assert_eq!(placement.nodes(), &[NodeId::new(4), NodeId::new(3)]);
     }
@@ -160,7 +192,7 @@ mod tests {
             }
             let cg = CGraph::new(&g, s).unwrap();
             for k in [1usize, 3, 6] {
-                let fast = GreedyL::<Sat64>::new().place(&cg, k);
+                let fast = GreedyL::<Sat64>::new().place(&cg, k, 0);
                 let slow = GreedyL::<Sat64>::place_full_recompute(&cg, k);
                 assert_eq!(fast.nodes(), slow.nodes(), "seed {seed} k {k}");
             }
@@ -171,6 +203,6 @@ mod tests {
     fn zero_budget_returns_empty() {
         let g = DiGraph::from_pairs(2, [(0, 1)]).unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        assert!(GreedyL::<Sat64>::new().place(&cg, 0).is_empty());
+        assert!(GreedyL::<Sat64>::new().place(&cg, 0, 0).is_empty());
     }
 }

@@ -1,6 +1,6 @@
 //! Greedy_Max: impacts computed once, top-k.
 
-use crate::{top_k_by_count, Solver};
+use crate::{top_k_by_count, RankedSession, Solver, SolverSession};
 use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::{impacts, CGraph, EngineScratch, FilterSet, ImpactEngine};
@@ -71,7 +71,22 @@ impl<C: Count> Solver for GreedyMax<C> {
         "G_Max"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        // Scores never change (Greedy_Max ignores already-placed
+        // filters), so the whole ladder is the descending-score order:
+        // ranking every positive candidate once makes each prefix the
+        // solver's top-k placement.
+        let engine = ImpactEngine::<C>::new(cg, FilterSet::empty(cg.node_count()));
+        let mut scores = Vec::new();
+        engine.impacts_into(&mut scores);
+        let ranked = top_k_by_count(&scores, cg.node_count())
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        Box::new(RankedSession::<C>::new(cg, ranked))
+    }
+
+    fn place(&self, cg: &CGraph, k: usize, _seed: u64) -> FilterSet {
         let mut scores = Vec::new();
         Self::place_with_scratch(cg, k, EngineScratch::default(), &mut scores).0
     }
@@ -106,8 +121,8 @@ mod tests {
     #[test]
     fn agrees_with_greedy_all_for_k1() {
         let cg = figure1();
-        let a = GreedyAll::<Sat64>::new().place(&cg, 1);
-        let b = GreedyMax::<Sat64>::new().place(&cg, 1);
+        let a = GreedyAll::<Sat64>::new().place(&cg, 1, 0);
+        let b = GreedyMax::<Sat64>::new().place(&cg, 1, 0);
         assert_eq!(a.nodes(), b.nodes());
     }
 
@@ -134,13 +149,13 @@ mod tests {
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        let gm = GreedyMax::<Sat64>::new().place(&cg, 2);
+        let gm = GreedyMax::<Sat64>::new().place(&cg, 2, 0);
         // Both of Greedy_Max's picks lie on the same chain …
         let chain = [3usize, 4, 5];
         assert!(gm.nodes().iter().all(|v| chain.contains(&v.index())));
         // … so two filters achieve exactly what the best single filter
         // achieves (the chain head), while Greedy_All spends one.
-        let ga = GreedyAll::<Sat64>::new().place(&cg, 2);
+        let ga = GreedyAll::<Sat64>::new().place(&cg, 2, 0);
         assert_eq!(ga.len(), 1, "Greedy_All stops after the chain head");
         let f_ga: Sat64 = fp_propagation::f_value(&cg, &ga);
         let f_gm: Sat64 = fp_propagation::f_value(&cg, &gm);
@@ -150,7 +165,7 @@ mod tests {
     #[test]
     fn respects_budget() {
         let cg = figure1();
-        assert!(GreedyMax::<Sat64>::new().place(&cg, 0).is_empty());
+        assert!(GreedyMax::<Sat64>::new().place(&cg, 0, 0).is_empty());
     }
 
     #[test]
@@ -158,7 +173,7 @@ mod tests {
         let cg = figure1();
         for k in 0..=4 {
             assert_eq!(
-                GreedyMax::<Sat64>::new().place(&cg, k).nodes(),
+                GreedyMax::<Sat64>::new().place(&cg, k, 0).nodes(),
                 GreedyMax::<Sat64>::place_full_recompute(&cg, k).nodes(),
                 "k={k}"
             );

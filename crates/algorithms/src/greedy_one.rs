@@ -1,9 +1,9 @@
 //! Greedy_1: the degree-product heuristic.
 
-use crate::{top_k_by_count, Solver};
+use crate::{top_k_by_count, RankedSession, Solver, SolverSession};
 use fp_graph::NodeId;
 use fp_num::{Count, Wide128};
-use fp_propagation::{CGraph, FilterSet};
+use fp_propagation::CGraph;
 
 /// Greedy_1 (§4.2): score every node by the local copy lower bound
 /// `m(v) = din(v) × dout(v)` and pick the top `k`.
@@ -30,7 +30,10 @@ impl Solver for GreedyOne {
         "G_1"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        // The degree products are static, so the whole ladder is the
+        // descending-m(v) order; every prefix is the top-k placement
+        // (one-shot `place` comes from the trait default).
         let csr = cg.csr();
         let scores: Vec<Wide128> = cg
             .nodes()
@@ -43,10 +46,11 @@ impl Solver for GreedyOne {
                 }
             })
             .collect();
-        FilterSet::from_nodes(
-            cg.node_count(),
-            top_k_by_count(&scores, k).into_iter().map(NodeId::new),
-        )
+        let ranked = top_k_by_count(&scores, cg.node_count())
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        Box::new(RankedSession::<Wide128>::new(cg, ranked))
     }
 }
 
@@ -74,14 +78,14 @@ mod tests {
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        let placement = GreedyOne::new().place(&cg, 3);
+        let placement = GreedyOne::new().place(&cg, 3, 0);
         // The three m=2 nodes, ties broken by id.
         assert_eq!(
             placement.nodes(),
             &[NodeId::new(1), NodeId::new(2), NodeId::new(4)]
         );
         // The sink w never makes the cut even with a huge budget.
-        let big = GreedyOne::new().place(&cg, 10);
+        let big = GreedyOne::new().place(&cg, 10, 0);
         assert!(!big.contains(NodeId::new(6)));
     }
 
@@ -109,7 +113,7 @@ mod tests {
         )
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-        let placement = GreedyOne::new().place(&cg, 1);
+        let placement = GreedyOne::new().place(&cg, 1, 0);
         assert_eq!(placement.nodes(), &[NodeId::new(7)], "G_1 falls for B");
         let f: fp_num::Wide128 = fp_propagation::f_value(&cg, &placement);
         assert!(f.is_zero(), "and gains exactly nothing");
@@ -120,7 +124,7 @@ mod tests {
         let g = DiGraph::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
         // Only node 1 has positive m; k=3 still returns just {1}.
-        let placement = GreedyOne::new().place(&cg, 3);
+        let placement = GreedyOne::new().place(&cg, 3, 0);
         assert_eq!(placement.nodes(), &[NodeId::new(1)]);
     }
 }

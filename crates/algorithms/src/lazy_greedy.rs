@@ -1,6 +1,6 @@
 //! CELF-style lazy Greedy_All.
 
-use crate::Solver;
+use crate::{FrCache, Solver, SolverSession};
 use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::{impacts, phi_total, CGraph, FilterSet, ImpactEngine};
@@ -120,71 +120,120 @@ impl<C: Count> Default for LazyGreedyAll<C> {
     }
 }
 
-impl<C: Count> Solver for LazyGreedyAll<C> {
-    fn name(&self) -> &'static str {
-        "G_ALL(lazy)"
-    }
+/// The anytime session behind [`LazyGreedyAll`]: the CELF max-heap and
+/// the incremental [`ImpactEngine`] both persist across budget rungs,
+/// so a k-ladder pays the heap seeding once and each rung costs only
+/// the pops-and-rescores that rung genuinely needs.
+pub struct LazyGreedySession<'a, C: Count> {
+    engine: ImpactEngine<'a, C>,
+    heap: BinaryHeap<(C, Reverse<usize>)>,
+    /// Round in which each node's gain was last computed.
+    fresh_round: Vec<u32>,
+    round: u32,
+    evals: u64,
+    /// The owning solver's evaluation counter, kept current so
+    /// [`LazyGreedyAll::evaluations`] reports mid-ladder numbers too.
+    evaluations: &'a AtomicU64,
+    fr: FrCache<C>,
+}
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
+impl<'a, C: Count> LazyGreedySession<'a, C> {
+    fn new(cg: &'a CGraph, evaluations: &'a AtomicU64) -> Self {
         let n = cg.node_count();
-        if k == 0 {
-            self.evaluations.store(0, Ordering::Relaxed);
-            return FilterSet::empty(n);
-        }
-        let mut evals = 0u64;
-        let mut engine = ImpactEngine::<C>::new(cg, FilterSet::empty(n));
-
+        let engine = ImpactEngine::<C>::new(cg, FilterSet::empty(n));
         // Seed the heap with the exact round-0 impacts, straight off
         // the freshly initialized engine (one batch — counted as 1).
-        evals += 1;
         // Heap orders by (gain, Reverse(node)) so ties break toward the
         // smaller node id, matching the eager implementation.
-        let mut heap: BinaryHeap<(C, Reverse<usize>)> = cg
+        let heap: BinaryHeap<(C, Reverse<usize>)> = cg
             .nodes()
             .filter_map(|v| {
                 let g = engine.impact(v);
                 (!g.is_zero()).then_some((g, Reverse(v.index())))
             })
             .collect();
+        evaluations.store(1, Ordering::Relaxed);
+        Self {
+            engine,
+            heap,
+            fresh_round: vec![0; n],
+            round: 1,
+            evals: 1,
+            evaluations,
+            fr: FrCache::new(),
+        }
+    }
+}
 
-        let mut fresh_round = vec![0u32; n]; // round in which the gain was computed
-        let mut round: u32 = 1;
-
-        while engine.filters().len() < k {
-            let Some((gain, Reverse(v))) = heap.pop() else {
-                break;
-            };
+impl<C: Count> SolverSession for LazyGreedySession<'_, C> {
+    fn next_filter(&mut self) -> Option<NodeId> {
+        loop {
+            let (gain, Reverse(v)) = self.heap.pop()?;
             if gain.is_zero() {
-                break;
+                return None;
             }
-            if fresh_round[v] == round {
+            if self.fresh_round[v] == self.round {
                 // Fresh for this round — by the upper-bound invariant it
                 // dominates everything below it.
-                engine.insert_filter(NodeId::new(v));
-                round += 1;
-                continue;
+                self.engine.insert_filter(NodeId::new(v));
+                self.round += 1;
+                return Some(NodeId::new(v));
             }
             // Stale: re-score exactly from engine state, O(1).
-            let exact = engine.impact(NodeId::new(v));
-            evals += 1;
-            fresh_round[v] = round;
+            let exact = self.engine.impact(NodeId::new(v));
+            self.evals += 1;
+            self.evaluations.store(self.evals, Ordering::Relaxed);
+            self.fresh_round[v] = self.round;
             if exact.is_zero() {
                 continue;
             }
             // If it still beats the next-best stale bound, take it now.
-            let take = match heap.peek() {
+            let take = match self.heap.peek() {
                 None => true,
                 Some((next, Reverse(u))) => exact > *next || (exact == *next && v < *u),
             };
             if take {
-                engine.insert_filter(NodeId::new(v));
-                round += 1;
-            } else {
-                heap.push((exact, Reverse(v)));
+                self.engine.insert_filter(NodeId::new(v));
+                self.round += 1;
+                return Some(NodeId::new(v));
             }
+            self.heap.push((exact, Reverse(v)));
         }
-        self.evaluations.store(evals, Ordering::Relaxed);
-        engine.into_filters()
+    }
+
+    fn placement(&self) -> &FilterSet {
+        self.engine.filters()
+    }
+
+    fn fr(&mut self) -> f64 {
+        let phi = self.engine.phi().clone();
+        self.fr.fr(self.engine.cgraph(), &phi)
+    }
+
+    fn into_placement(self: Box<Self>) -> FilterSet {
+        self.engine.into_filters()
+    }
+}
+
+impl<C: Count> Solver for LazyGreedyAll<C> {
+    fn name(&self) -> &'static str {
+        "G_ALL(lazy)"
+    }
+
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        Box::new(LazyGreedySession::<C>::new(cg, &self.evaluations))
+    }
+
+    fn place(&self, cg: &CGraph, k: usize, _seed: u64) -> FilterSet {
+        if k == 0 {
+            // No rounds means no evaluations — skip the session's
+            // engine initialization and heap seeding entirely.
+            self.evaluations.store(0, Ordering::Relaxed);
+            return FilterSet::empty(cg.node_count());
+        }
+        let mut session = LazyGreedySession::<C>::new(cg, &self.evaluations);
+        session.advance_to(k);
+        Box::new(session).into_placement()
     }
 }
 
@@ -216,9 +265,9 @@ mod tests {
     fn matches_eager_greedy_all() {
         let cg = lattice();
         for k in 0..=6 {
-            let eager = GreedyAll::<Sat64>::new().place(&cg, k);
+            let eager = GreedyAll::<Sat64>::new().place(&cg, k, 0);
             let lazy_solver = LazyGreedyAll::<Sat64>::new();
-            let lazy = lazy_solver.place(&cg, k);
+            let lazy = lazy_solver.place(&cg, k, 0);
             assert_eq!(eager.nodes(), lazy.nodes(), "k={k}");
         }
     }
@@ -227,7 +276,7 @@ mod tests {
     fn matches_the_full_recompute_oracle() {
         let cg = lattice();
         for k in 0..=6 {
-            let engine = LazyGreedyAll::<Sat64>::new().place(&cg, k);
+            let engine = LazyGreedyAll::<Sat64>::new().place(&cg, k, 0);
             let oracle = LazyGreedyAll::<Sat64>::place_full_recompute(&cg, k);
             assert_eq!(engine.nodes(), oracle.nodes(), "k={k}");
         }
@@ -252,8 +301,8 @@ mod tests {
         .unwrap();
         let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
         for k in 0..=4 {
-            let eager = GreedyAll::<Sat64>::new().place(&cg, k);
-            let lazy = LazyGreedyAll::<Sat64>::new().place(&cg, k);
+            let eager = GreedyAll::<Sat64>::new().place(&cg, k, 0);
+            let lazy = LazyGreedyAll::<Sat64>::new().place(&cg, k, 0);
             assert_eq!(eager.nodes(), lazy.nodes(), "k={k}");
         }
     }
@@ -262,7 +311,7 @@ mod tests {
     fn reports_evaluation_counts() {
         let cg = lattice();
         let solver = LazyGreedyAll::<Sat64>::new();
-        let _ = solver.place(&cg, 4);
+        let _ = solver.place(&cg, 4, 0);
         assert!(solver.evaluations() >= 1);
         // The whole point: far fewer than n evaluations per round.
         assert!(solver.evaluations() < 4 * 10);

@@ -1,6 +1,12 @@
 //! Filter-placement algorithms (§4 of the paper) and supporting
 //! constructions.
 //!
+//! Solvers are stateless recipes exposing the **anytime session API**
+//! (DESIGN.md §9): [`Solver::session`] returns a [`SolverSession`]
+//! that owns all per-run state and walks the placement k-ladder rung
+//! by rung, with `fr()` read from live engine state; trial seeds for
+//! the randomized baselines enter at session start, not construction.
+//!
 //! DAG solvers (all implement [`Solver`]):
 //!
 //! * [`GreedyAll`] — the `(1 − 1/e)`-approximation: re-evaluates every
@@ -46,6 +52,7 @@ mod lazy_greedy;
 mod multi_greedy;
 mod random;
 pub mod reductions;
+mod session;
 mod solver;
 mod stochastic;
 pub mod tree_dp;
@@ -60,5 +67,6 @@ pub use greedy_one::GreedyOne;
 pub use lazy_greedy::LazyGreedyAll;
 pub use multi_greedy::MultiGreedy;
 pub use random::{RandI, RandK, RandW};
-pub use solver::{argmax_count, top_k_by_count, Solver, SolverKind};
+pub use session::{solve_ladder_with, walk_ladder, FrCache, OneShotSession, RankedSession};
+pub use solver::{argmax_count, top_k_by_count, Solver, SolverKind, SolverSession};
 pub use stochastic::MonteCarloGreedy;

@@ -148,7 +148,7 @@ mod tests {
         for k in 0..=3 {
             assert_eq!(
                 multi.place::<Wide128>(k).nodes(),
-                GreedyAll::<Wide128>::new().place(&cg, k).nodes(),
+                GreedyAll::<Wide128>::new().place(&cg, k, 0).nodes(),
                 "k={k}"
             );
         }

@@ -1,7 +1,15 @@
 //! The randomized baselines of §5: Rand_K, Rand_I, Rand_W.
+//!
+//! The solvers are stateless; the trial seed enters at
+//! [`Solver::session`]/[`Solver::place`] time, so one built solver
+//! serves every trial of a sweep. Rand_K is prefix-nested (its session
+//! ladders down one seeded shuffle); Rand_I and Rand_W are not — their
+//! membership probabilities depend on the budget itself — so their
+//! sessions redraw on [`SolverSession::advance_to`].
 
-use crate::Solver;
+use crate::{OneShotSession, RankedSession, Solver, SolverSession};
 use fp_graph::NodeId;
+use fp_num::Wide128;
 use fp_propagation::{CGraph, FilterSet};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -9,14 +17,18 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Rand_K: `k` filters chosen uniformly at random without replacement.
-pub struct RandK {
-    seed: u64,
-}
+pub struct RandK;
 
 impl RandK {
-    /// Construct with a seed (experiments average over 25 seeds).
-    pub fn new(seed: u64) -> Self {
-        Self { seed }
+    /// Construct the solver (stateless; seeds arrive per session).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Default for RandK {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -25,34 +37,29 @@ impl Solver for RandK {
         "Rand_K"
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+    fn session<'a>(&'a self, cg: &'a CGraph, seed: u64) -> Box<dyn SolverSession + 'a> {
+        // One seeded shuffle is the whole ladder: the placement at
+        // budget k is its first k entries, so Rand_K is prefix-nested
+        // and `advance_to(k)` equals the one-shot draw at k.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut nodes: Vec<NodeId> = cg.nodes().filter(|&v| v != cg.source()).collect();
         nodes.shuffle(&mut rng);
-        FilterSet::from_nodes(cg.node_count(), nodes.into_iter().take(k))
+        Box::new(RankedSession::<Wide128>::new(cg, nodes))
     }
 }
 
 /// Rand_I: every node becomes a filter independently with probability
 /// `k/n` (expected size `k`, actual size varies).
-pub struct RandI {
-    seed: u64,
-}
+pub struct RandI;
 
 impl RandI {
-    /// Construct with a seed.
-    pub fn new(seed: u64) -> Self {
-        Self { seed }
-    }
-}
-
-impl Solver for RandI {
-    fn name(&self) -> &'static str {
-        "Rand_I"
+    /// Construct the solver (stateless; seeds arrive per session).
+    pub fn new() -> Self {
+        Self
     }
 
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+    fn draw(cg: &CGraph, k: usize, seed: u64) -> FilterSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let n = cg.node_count();
         let p = if n == 0 { 0.0 } else { k as f64 / n as f64 };
         let mut filters = FilterSet::empty(n);
@@ -65,19 +72,38 @@ impl Solver for RandI {
     }
 }
 
+impl Default for RandI {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver for RandI {
+    fn name(&self) -> &'static str {
+        "Rand_I"
+    }
+
+    fn session<'a>(&'a self, cg: &'a CGraph, seed: u64) -> Box<dyn SolverSession + 'a> {
+        // Membership probability is k/n — a different distribution per
+        // budget — so placements are not nested and the session redraws
+        // at each `advance_to(k)`.
+        Box::new(OneShotSession::<Wide128, _>::new(cg, move |k| {
+            Self::draw(cg, k, seed)
+        }))
+    }
+}
+
 /// Rand_W: node `v` becomes a filter with probability `w(v)·k/n`, where
 /// `w(v) = Σ_{u ∈ children(v)} 1/din(u)` — children fed by few other
 /// parents weigh more ("the influence of node v on the number of items
 /// its child u receives is inversely proportional to the indegree of
 /// u"). Probabilities are clamped to 1.
-pub struct RandW {
-    seed: u64,
-}
+pub struct RandW;
 
 impl RandW {
-    /// Construct with a seed.
-    pub fn new(seed: u64) -> Self {
-        Self { seed }
+    /// Construct the solver (stateless; seeds arrive per session).
+    pub fn new() -> Self {
+        Self
     }
 
     /// The paper's node weight `w(v)`.
@@ -88,15 +114,9 @@ impl RandW {
             .map(|&u| 1.0 / cg.csr().in_degree(u) as f64)
             .sum()
     }
-}
 
-impl Solver for RandW {
-    fn name(&self) -> &'static str {
-        "Rand_W"
-    }
-
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+    fn draw(cg: &CGraph, k: usize, seed: u64) -> FilterSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let n = cg.node_count();
         let scale = if n == 0 { 0.0 } else { k as f64 / n as f64 };
         let mut filters = FilterSet::empty(n);
@@ -110,6 +130,26 @@ impl Solver for RandW {
             }
         }
         filters
+    }
+}
+
+impl Default for RandW {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver for RandW {
+    fn name(&self) -> &'static str {
+        "Rand_W"
+    }
+
+    fn session<'a>(&'a self, cg: &'a CGraph, seed: u64) -> Box<dyn SolverSession + 'a> {
+        // Like Rand_I, the per-node probability scales with k, so the
+        // session redraws at each `advance_to(k)`.
+        Box::new(OneShotSession::<Wide128, _>::new(cg, move |k| {
+            Self::draw(cg, k, seed)
+        }))
     }
 }
 
@@ -141,9 +181,28 @@ mod tests {
     fn rand_k_returns_exactly_k_distinct_non_source_nodes() {
         let cg = figure1();
         for seed in 0..10 {
-            let placement = RandK::new(seed).place(&cg, 3);
+            let placement = RandK::new().place(&cg, 3, seed);
             assert_eq!(placement.len(), 3);
             assert!(!placement.contains(cg.source()));
+        }
+    }
+
+    #[test]
+    fn rand_k_sessions_are_prefix_nested() {
+        let cg = figure1();
+        let solver = RandK::new();
+        let mut session = solver.session(&cg, 42);
+        let mut picks = Vec::new();
+        while let Some(v) = session.next_filter() {
+            picks.push(v);
+        }
+        assert_eq!(picks.len(), 6, "every non-source node ladders in");
+        for k in 0..=6 {
+            assert_eq!(
+                solver.place(&cg, k, 42).nodes(),
+                &picks[..k],
+                "prefix at k={k}"
+            );
         }
     }
 
@@ -151,9 +210,8 @@ mod tests {
     fn rand_i_has_expected_size_k() {
         let cg = figure1();
         let k = 3;
-        let total: usize = (0..600)
-            .map(|seed| RandI::new(seed).place(&cg, k).len())
-            .sum();
+        let solver = RandI::new();
+        let total: usize = (0..600).map(|seed| solver.place(&cg, k, seed).len()).sum();
         let mean = total as f64 / 600.0;
         // E[size] = k·(n−1)/n ≈ 2.57 here (source excluded).
         let expect = k as f64 * 6.0 / 7.0;
@@ -175,7 +233,7 @@ mod tests {
     fn rand_w_never_selects_zero_weight_sinks() {
         let cg = figure1();
         for seed in 0..20 {
-            let placement = RandW::new(seed).place(&cg, 5);
+            let placement = RandW::new().place(&cg, 5, seed);
             assert!(
                 !placement.contains(NodeId::new(6)),
                 "sink chosen at seed {seed}"
@@ -188,16 +246,32 @@ mod tests {
         let cg = figure1();
         for seed in [1, 7, 42] {
             assert_eq!(
-                RandK::new(seed).place(&cg, 2).nodes(),
-                RandK::new(seed).place(&cg, 2).nodes()
+                RandK::new().place(&cg, 2, seed).nodes(),
+                RandK::new().place(&cg, 2, seed).nodes()
             );
             assert_eq!(
-                RandI::new(seed).place(&cg, 2).nodes(),
-                RandI::new(seed).place(&cg, 2).nodes()
+                RandI::new().place(&cg, 2, seed).nodes(),
+                RandI::new().place(&cg, 2, seed).nodes()
             );
             assert_eq!(
-                RandW::new(seed).place(&cg, 2).nodes(),
-                RandW::new(seed).place(&cg, 2).nodes()
+                RandW::new().place(&cg, 2, seed).nodes(),
+                RandW::new().place(&cg, 2, seed).nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn non_nested_sessions_redraw_per_budget() {
+        let cg = figure1();
+        let solver = RandI::new();
+        let mut session = solver.session(&cg, 7);
+        assert!(session.next_filter().is_none(), "Rand_I does not ladder");
+        for k in [2usize, 5, 3] {
+            session.advance_to(k);
+            assert_eq!(
+                session.placement().nodes(),
+                solver.place(&cg, k, 7).nodes(),
+                "advance_to({k}) must equal the one-shot draw"
             );
         }
     }

@@ -1,25 +1,103 @@
-//! The [`Solver`] trait, the solver registry, and shared selection
-//! helpers.
+//! The [`Solver`] and [`SolverSession`] traits, the solver registry,
+//! and shared selection helpers.
 
+use fp_graph::NodeId;
 use fp_num::Count;
 use fp_propagation::{CGraph, FilterSet};
 
 /// A filter-placement algorithm for DAG c-graphs.
 ///
-/// Implementations must be deterministic given their construction
-/// parameters (randomized baselines take an explicit seed), so that
-/// experiments are reproducible.
+/// Solvers are *stateless recipes*: one built solver serves any number
+/// of graphs, budgets, and trial seeds. All per-run state — the
+/// incremental engine, scratch buffers, the RNG of a randomized
+/// baseline — lives in the [`SolverSession`] returned by
+/// [`Solver::session`], so experiments are reproducible from
+/// `(solver, graph, seed)` alone.
+///
+/// The paper's greedy algorithms are **anytime**: each round appends
+/// one filter, so the placement at every budget `k ≤ k_max` is a prefix
+/// of a single run. The session API exposes that ladder directly —
+/// callers that need a whole FR-versus-k curve walk *one* session up
+/// the budget axis instead of re-solving per `k` (see
+/// `Problem::solve_ladder` in `fp-core`).
 pub trait Solver: Send + Sync {
     /// Short display name matching the paper's legends (e.g. `"G_ALL"`).
     fn name(&self) -> &'static str;
 
-    /// Choose at most `k` filters for `cg`.
+    /// Start an anytime placement session on `cg`.
+    ///
+    /// The session owns every piece of per-run state; `seed` is read
+    /// only by randomized baselines (deterministic solvers ignore it).
+    /// Sessions start at budget 0 (no filters placed).
+    fn session<'a>(&'a self, cg: &'a CGraph, seed: u64) -> Box<dyn SolverSession + 'a>;
+
+    /// One-shot convenience: a fresh session advanced to budget `k`.
     ///
     /// Greedy solvers may return fewer than `k` filters when no
     /// remaining candidate has positive impact (additional filters
     /// would be dead weight); randomized baselines return a set whose
-    /// *expected* size is `k`, exactly as in §5.
-    fn place(&self, cg: &CGraph, k: usize) -> FilterSet;
+    /// *expected* size is `k`, exactly as in §5. `seed` is read only by
+    /// the randomized baselines.
+    fn place(&self, cg: &CGraph, k: usize, seed: u64) -> FilterSet {
+        let mut session = self.session(cg, seed);
+        session.advance_to(k);
+        session.into_placement()
+    }
+}
+
+/// One in-progress placement run: a solver's engine/scratch state plus
+/// the placement built so far, advanced one budget rung at a time.
+///
+/// Most solvers are **prefix-nested** (anytime): the placement at
+/// budget `k` extends the placement at `k − 1` by at most one filter,
+/// so [`SolverSession::next_filter`] walks the whole ladder and
+/// [`SolverSession::advance_to`] is just a bounded walk. The two
+/// non-nested randomized baselines (`Rand_I`, `Rand_W` — membership
+/// probabilities depend on `k` itself) instead *redraw* on
+/// `advance_to` and return `None` from `next_filter`; either way,
+/// after `advance_to(k)` the placement is bit-identical to
+/// [`Solver::place`]`(cg, k, seed)` (pinned by the ladder-equivalence
+/// proptests).
+pub trait SolverSession {
+    /// Extend the ladder by one rung: pick, commit, and return the next
+    /// filter. `None` when no remaining candidate helps (greedy early
+    /// stop), when the ladder is exhausted, or for the non-nested
+    /// randomized baselines (which only support [`advance_to`]).
+    ///
+    /// [`advance_to`]: SolverSession::advance_to
+    fn next_filter(&mut self) -> Option<NodeId>;
+
+    /// The placement built so far.
+    fn placement(&self) -> &FilterSet;
+
+    /// The paper's Filter Ratio `FR(A) = F(A)/F(V)` of the current
+    /// placement, read from the session's live state.
+    ///
+    /// Engine-backed sessions answer in O(1) from the incrementally
+    /// maintained `Φ(A, V)`; sessions without live propagation state
+    /// pay one forward pass. Denominators (`Φ(∅,V)`, `F(V)`) are
+    /// computed lazily on first use and cached for the session's
+    /// lifetime, so a whole FR curve costs the two passes once.
+    fn fr(&mut self) -> f64;
+
+    /// Bring the placement to budget `k`.
+    ///
+    /// Ladder sessions step [`SolverSession::next_filter`] until the
+    /// placement holds `k` filters (or the solver stops early);
+    /// non-nested randomized sessions replace the placement with a
+    /// fresh draw at budget `k`. Walking budgets in ascending order is
+    /// the cheap direction — a ladder session never rewinds, so asking
+    /// for a *smaller* budget than already placed is a no-op there.
+    fn advance_to(&mut self, k: usize) {
+        while self.placement().len() < k {
+            if self.next_filter().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Surrender the placement (what a finished solver returns).
+    fn into_placement(self: Box<Self>) -> FilterSet;
 }
 
 /// Registry of every solver the evaluation compares, in the paper's
@@ -58,18 +136,19 @@ impl SolverKind {
         SolverKind::RandK,
     ];
 
-    /// Instantiate with counter type `C`; `seed` only affects the
-    /// randomized baselines.
-    pub fn build<C: Count>(self, seed: u64) -> Box<dyn Solver> {
+    /// Instantiate with counter type `C`. Solvers are stateless — the
+    /// trial seed enters at [`Solver::session`]/[`Solver::place`] time,
+    /// so one built solver serves every trial of a sweep.
+    pub fn build<C: Count>(self) -> Box<dyn Solver> {
         match self {
             SolverKind::GreedyAll => Box::new(crate::GreedyAll::<C>::new()),
             SolverKind::LazyGreedyAll => Box::new(crate::LazyGreedyAll::<C>::new()),
             SolverKind::GreedyMax => Box::new(crate::GreedyMax::<C>::new()),
             SolverKind::GreedyOne => Box::new(crate::GreedyOne::new()),
             SolverKind::GreedyL => Box::new(crate::GreedyL::<C>::new()),
-            SolverKind::RandW => Box::new(crate::RandW::new(seed)),
-            SolverKind::RandI => Box::new(crate::RandI::new(seed)),
-            SolverKind::RandK => Box::new(crate::RandK::new(seed)),
+            SolverKind::RandW => Box::new(crate::RandW::new()),
+            SolverKind::RandI => Box::new(crate::RandI::new()),
+            SolverKind::RandK => Box::new(crate::RandK::new()),
             SolverKind::Betweenness => Box::new(crate::BetweennessSolver::new()),
         }
     }
@@ -87,7 +166,7 @@ impl SolverKind {
             SolverKind::LazyGreedyAll => crate::LazyGreedyAll::<C>::place_full_recompute(cg, k),
             SolverKind::GreedyMax => crate::GreedyMax::<C>::place_full_recompute(cg, k),
             SolverKind::GreedyL => crate::GreedyL::<C>::place_full_recompute(cg, k),
-            other => other.build::<C>(seed).place(cg, k),
+            other => other.build::<C>().place(cg, k, seed),
         }
     }
 
@@ -180,7 +259,7 @@ mod tests {
             SolverKind::RandK,
             SolverKind::Betweenness,
         ] {
-            let solver = kind.build::<Sat64>(1);
+            let solver = kind.build::<Sat64>();
             assert!(!solver.name().is_empty());
             assert_eq!(solver.name(), kind.label());
         }

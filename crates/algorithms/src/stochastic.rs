@@ -8,9 +8,9 @@
 //! *average impact across a fixed bundle of sampled realizations* — the
 //! sample-average-approximation of the stochastic problem.
 
-use crate::{argmax_count, Solver};
+use crate::{argmax_count, FrCache, Solver, SolverSession};
 use fp_graph::{DiGraph, NodeId};
-use fp_num::{Approx64, Count};
+use fp_num::{Approx64, Count, Wide128};
 use fp_propagation::probabilistic::{sample_realization, RelayProb};
 use fp_propagation::{impacts, CGraph, FilterSet};
 use rand::SeedableRng;
@@ -70,12 +70,71 @@ impl MonteCarloGreedy {
     }
 }
 
+/// The anytime session behind [`MonteCarloGreedy`]: the filter set
+/// grows round by round against the sampled bundle (greedy on a
+/// submodular sample-average is prefix-nested), with the combine
+/// buffers allocated once. `fr()` reports the *deterministic* FR on
+/// the session's c-graph — the sampled bundle has no single FR.
+struct MonteCarloSession<'a> {
+    solver: &'a MonteCarloGreedy,
+    cg: &'a CGraph,
+    filters: FilterSet,
+    avg: Vec<Approx64>,
+    imp: Vec<Approx64>,
+    fr: FrCache<Wide128>,
+}
+
+impl SolverSession for MonteCarloSession<'_> {
+    fn next_filter(&mut self) -> Option<NodeId> {
+        for a in self.avg.iter_mut() {
+            *a = Approx64::zero();
+        }
+        for cg in &self.solver.realizations {
+            self.imp.clear();
+            self.imp.extend(impacts::<Approx64>(cg, &self.filters));
+            for (a, i) in self.avg.iter_mut().zip(&self.imp) {
+                a.add_assign(i);
+            }
+        }
+        let best = NodeId::new(argmax_count(&self.avg)?);
+        self.filters.insert(best);
+        Some(best)
+    }
+
+    fn placement(&self) -> &FilterSet {
+        &self.filters
+    }
+
+    fn fr(&mut self) -> f64 {
+        self.fr.fr_of(self.cg, &self.filters)
+    }
+
+    fn into_placement(self: Box<Self>) -> FilterSet {
+        self.filters
+    }
+}
+
 impl Solver for MonteCarloGreedy {
     fn name(&self) -> &'static str {
         "MC-Greedy"
     }
 
-    fn place(&self, _cg: &CGraph, k: usize) -> FilterSet {
+    fn session<'a>(&'a self, cg: &'a CGraph, _seed: u64) -> Box<dyn SolverSession + 'a> {
+        // The realization bundle was sampled at construction (the
+        // session seed is unused); like `Solver::place`, the bundle —
+        // not `cg` — drives the picks.
+        let n = self.realizations.first().map_or(0, |cg| cg.node_count());
+        Box::new(MonteCarloSession {
+            solver: self,
+            cg,
+            filters: FilterSet::empty(n),
+            avg: vec![Approx64::zero(); n],
+            imp: Vec::with_capacity(n),
+            fr: FrCache::new(),
+        })
+    }
+
+    fn place(&self, _cg: &CGraph, k: usize, _seed: u64) -> FilterSet {
         self.place_sampled(k)
     }
 }
@@ -113,7 +172,7 @@ mod tests {
         let (g, s) = figure1();
         let mc = MonteCarloGreedy::new(&g, s, 1.0, 4, 7);
         let cg = CGraph::new(&g, s).unwrap();
-        let det = GreedyAll::<Wide128>::new().place(&cg, 2);
+        let det = GreedyAll::<Wide128>::new().place(&cg, 2, 0);
         let sto = mc.place_sampled(2);
         assert_eq!(det.nodes(), sto.nodes());
     }

@@ -27,7 +27,7 @@ fn bench_engine_ablation(c: &mut Criterion) {
         let cg = CGraph::new(&lg.graph, lg.source).expect("DAG");
 
         // Equivalence cross-check before timing anything.
-        let engine = GreedyAll::<Wide128>::new().place(&cg, 10);
+        let engine = GreedyAll::<Wide128>::new().place(&cg, 10, 0);
         let oracle = GreedyAll::<Wide128>::place_full_recompute(&cg, 10);
         assert_eq!(
             engine.nodes(),
@@ -39,7 +39,7 @@ fn bench_engine_ablation(c: &mut Criterion) {
         group.sample_size(10);
         group.throughput(Throughput::Elements(lg.graph.edge_count() as u64));
         group.bench_with_input(BenchmarkId::from_parameter("engine"), &cg, |b, cg| {
-            b.iter(|| black_box(GreedyAll::<Wide128>::new().place(cg, black_box(10))))
+            b.iter(|| black_box(GreedyAll::<Wide128>::new().place(cg, black_box(10), 0)))
         });
         group.bench_with_input(
             BenchmarkId::from_parameter("full_recompute"),

@@ -23,7 +23,10 @@ fn bench_incremental(c: &mut Criterion) {
     let cg = CGraph::new(&t.graph, t.source).expect("DAG");
     let n = t.graph.node_count();
     // A realistic insertion sequence: what Greedy_All actually picks.
-    let picks: Vec<_> = GreedyAll::<Wide128>::new().place(&cg, 10).nodes().to_vec();
+    let picks: Vec<_> = GreedyAll::<Wide128>::new()
+        .place(&cg, 10, 0)
+        .nodes()
+        .to_vec();
 
     // Correctness cross-check before timing.
     let mut inc = IncrementalPropagation::<Wide128>::new(&cg, FilterSet::empty(n));
@@ -60,7 +63,7 @@ fn bench_incremental(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy_l_modes_k10");
     group.sample_size(10);
     group.bench_function("incremental_bookkeeping", |b| {
-        b.iter(|| black_box(GreedyL::<Wide128>::new().place(&cg, black_box(10))))
+        b.iter(|| black_box(GreedyL::<Wide128>::new().place(&cg, black_box(10), 0)))
     });
     group.bench_function("full_recompute", |b| {
         b.iter(|| black_box(GreedyL::<Wide128>::place_full_recompute(&cg, black_box(10))))

@@ -16,8 +16,8 @@ fn bench_lazy(c: &mut Criterion) {
 
     let eager = GreedyAll::<Wide128>::new();
     let lazy = LazyGreedyAll::<Wide128>::new();
-    let a = eager.place(&cg, k);
-    let b = lazy.place(&cg, k);
+    let a = eager.place(&cg, k, 0);
+    let b = lazy.place(&cg, k, 0);
     assert_eq!(a.nodes(), b.nodes(), "lazy must select identically");
     eprintln!(
         "lazy greedy: {} single-node evaluations for k={k} on {} nodes",
@@ -28,10 +28,10 @@ fn bench_lazy(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy_all_variants_k10_citation");
     group.sample_size(10);
     group.bench_function("eager", |bch| {
-        bch.iter(|| black_box(eager.place(&cg, black_box(k))))
+        bch.iter(|| black_box(eager.place(&cg, black_box(k), 0)))
     });
     group.bench_function("lazy_celf", |bch| {
-        bch.iter(|| black_box(lazy.place(&cg, black_box(k))))
+        bch.iter(|| black_box(lazy.place(&cg, black_box(k), 0)))
     });
     group.finish();
 }

@@ -427,7 +427,7 @@ pub fn scaling_entry(per_level: usize, reps: usize) -> Json {
         seed: SEED,
     });
     let cg = CGraph::new(&lg.graph, lg.source).expect("DAG");
-    let engine = GreedyAll::<Wide128>::new().place(&cg, 10);
+    let engine = GreedyAll::<Wide128>::new().place(&cg, 10, 0);
     let oracle = GreedyAll::<Wide128>::place_full_recompute(&cg, 10);
     assert_eq!(
         engine.nodes(),
@@ -446,7 +446,7 @@ pub fn scaling_entry(per_level: usize, reps: usize) -> Json {
             })
             .fold(f64::INFINITY, f64::min)
     };
-    let engine_secs = time_min(&|| GreedyAll::<Wide128>::new().place(&cg, 10).len());
+    let engine_secs = time_min(&|| GreedyAll::<Wide128>::new().place(&cg, 10, 0).len());
     let oracle_secs = time_min(&|| GreedyAll::<Wide128>::place_full_recompute(&cg, 10).len());
     Json::object([
         ("per_level", per_level.to_json()),
@@ -458,12 +458,76 @@ pub fn scaling_entry(per_level: usize, reps: usize) -> Json {
     ])
 }
 
+/// Wall-clock for one whole Greedy_All FR **curve cell** (ks = 0..=10)
+/// on one `SCALING_LADDER` rung, both paths: the session walk behind
+/// `deterministic_curve` (one engine, FR from live Φ) and the per-k
+/// baseline (a fresh solve plus a fresh `f_of` pass per budget).
+/// Curves are asserted identical — budgets, placements, FR bits —
+/// before anything is timed; each path is timed `reps` times and the
+/// minimum is reported.
+pub fn ladder_entry(per_level: usize, reps: usize) -> Json {
+    let lg = layered::generate(&LayeredParams {
+        levels: 10,
+        expected_per_level: per_level,
+        x: 1.0,
+        y: 4.0,
+        seed: SEED,
+    });
+    let problem = Problem::new(&lg.graph, lg.source).expect("DAG");
+    let ks: Vec<usize> = (0..=10).collect();
+
+    let session = |p: &Problem| -> Vec<(usize, f64)> {
+        p.solve_ladder(SolverKind::GreedyAll, &ks, 0)
+            .into_iter()
+            .map(|(k, _, fr)| (k, fr))
+            .collect()
+    };
+    let per_k = |p: &Problem| -> Vec<(usize, f64)> {
+        ks.iter()
+            .map(|&k| (k, p.filter_ratio(&p.solve(SolverKind::GreedyAll, k))))
+            .collect()
+    };
+    let a = session(&problem);
+    let b = per_k(&problem);
+    assert_eq!(a.len(), b.len());
+    for ((ka, fra), (kb, frb)) in a.iter().zip(&b) {
+        assert_eq!(ka, kb);
+        assert_eq!(fra.to_bits(), frb.to_bits(), "curves must be bit-identical");
+    }
+
+    let time_min = |f: &dyn Fn() -> usize| -> f64 {
+        (0..reps.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let len = f();
+                let wall = start.elapsed().as_secs_f64();
+                assert_eq!(len, ks.len());
+                wall
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let session_secs = time_min(&|| session(&problem).len());
+    let per_k_secs = time_min(&|| per_k(&problem).len());
+    Json::object([
+        ("per_level", per_level.to_json()),
+        ("nodes", lg.graph.node_count().to_json()),
+        ("edges", lg.graph.edge_count().to_json()),
+        ("ks", ks.len().to_json()),
+        ("session_secs", Json::Float(session_secs)),
+        ("per_k_secs", Json::Float(per_k_secs)),
+        ("speedup", Json::Float(per_k_secs / session_secs)),
+    ])
+}
+
 /// Time every figure at the given scale and render the measurements as
 /// the `BENCH_baseline.json` document (see that file at the repo root
-/// for the checked-in reference run). Schema 2 adds the `scaling`
+/// for the checked-in reference run). Schema 2 added the `scaling`
 /// section: Greedy_All k = 10 on the `benches/scaling.rs` layered
 /// ladder, engine vs full-recompute oracle (the ROADMAP's named
 /// hot-path target, so speedup claims cite this file like-for-like).
+/// Schema 3 adds the `ladder` section: the whole-curve cell, session
+/// walk vs per-k re-solves (the numbers behind the anytime-session
+/// redesign).
 pub fn baseline_json(scale: f64) -> Result<Json, String> {
     let mut entries = Vec::new();
     for name in FIGURES {
@@ -481,8 +545,12 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         .iter()
         .map(|&per_level| scaling_entry(per_level, 5))
         .collect();
+    let ladder: Vec<Json> = SCALING_LADDER
+        .iter()
+        .map(|&per_level| ladder_entry(per_level, 5))
+        .collect();
     Ok(Json::object([
-        ("schema", "fp-bench-baseline/2".to_string().to_json()),
+        ("schema", "fp-bench-baseline/3".to_string().to_json()),
         (
             "tool",
             concat!("fp-bench ", env!("CARGO_PKG_VERSION"))
@@ -507,5 +575,6 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         ("scale", Json::Float(scale)),
         ("entries", Json::Array(entries)),
         ("scaling", Json::Array(scaling)),
+        ("ladder", Json::Array(ladder)),
     ]))
 }

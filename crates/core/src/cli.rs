@@ -8,6 +8,7 @@
 //!             [--out DIR] [--jobs N] [--workers N]
 //! fp report   --run DIR [--format table|csv|json]
 //! fp report   --list DIR
+//! fp diff     --a DIR --b DIR [--epsilon E]
 //! fp gc       --out DIR --keep N | --max-age SECS
 //! fp stats    --input edges.txt
 //! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
@@ -25,7 +26,11 @@
 //! cache hit that loads from disk instead of recomputing.
 //! `report --run DIR/<id>` re-renders a stored run, byte-for-byte
 //! identical to the table the sweep printed; `report --list DIR`
-//! enumerates every run stored under `DIR`; `gc --out DIR` evicts
+//! enumerates every run stored under `DIR`; `diff --a DIR --b DIR`
+//! compares two stored runs per (solver, k), flags FR deltas beyond an
+//! epsilon, and exits non-zero when any budget regressed (the
+//! store-growth companion to the determinism gate: rerun a sweep after
+//! a change, diff against the archived run); `gc --out DIR` evicts
 //! stored runs least-recently-used first (`--keep N` bounds the count,
 //! `--max-age SECS` the age) — cache hits count as uses, so a run that
 //! keeps answering sweeps stays young however old its bytes are.
@@ -308,6 +313,119 @@ fn cmd_report_list(root: &str) -> Result<String, String> {
     Ok(format!("{} run(s) under {root}\n{table}", runs.len()))
 }
 
+/// `fp diff --a DIR --b DIR [--epsilon E]`: compare two stored runs
+/// per (solver, k).
+///
+/// `DIR` is a run directory (what `report --run` takes). Every FR
+/// delta with `|Δ| > epsilon` is listed; the command *errors* (so the
+/// binary exits non-zero) when any budget **regresses** — `FR_b <
+/// FR_a − epsilon` — or when the two runs are incomparable: different
+/// dataset fingerprints (FRs from different graphs mean nothing side
+/// by side), different trial counts (different estimators), or
+/// different solver sets / budget axes. Seeds may differ — comparing
+/// seeds is a legitimate robustness check. Improvements are reported
+/// but are not failures, so the tool gates "no solver got worse" in
+/// CI while tolerating genuine gains.
+fn cmd_diff(flags: &HashMap<String, String>) -> Result<String, String> {
+    let a_dir = required(flags, "a")?;
+    let b_dir = required(flags, "b")?;
+    let epsilon: f64 = flags.get("epsilon").map_or(Ok(1e-12), |s| {
+        s.parse()
+            .map_err(|_| "--epsilon must be a number".to_string())
+    })?;
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err("--epsilon must be non-negative".to_string());
+    }
+    let a = RunStore::load_dir(Path::new(a_dir)).map_err(|e| format!("--a: {e}"))?;
+    let b = RunStore::load_dir(Path::new(b_dir)).map_err(|e| format!("--b: {e}"))?;
+
+    // FR pairs only mean something on the same experiment: same graph
+    // (structural fingerprint, not just the display name) and the same
+    // trial count (a different estimator is not a regression). Seeds
+    // MAY differ — comparing seeds is a legitimate robustness check.
+    let (da, db) = (&a.manifest.dataset, &b.manifest.dataset);
+    if (&da.edge_hash, da.nodes, da.edges, &da.source)
+        != (&db.edge_hash, db.nodes, db.edges, &db.source)
+    {
+        return Err(format!(
+            "runs are not comparable: --a ran on {} ({} nodes, {} edges, source {:?}, hash {}), \
+             --b on {} ({} nodes, {} edges, source {:?}, hash {})",
+            da.name,
+            da.nodes,
+            da.edges,
+            da.source,
+            da.edge_hash,
+            db.name,
+            db.nodes,
+            db.edges,
+            db.source,
+            db.edge_hash
+        ));
+    }
+    if a.manifest.config.trials != b.manifest.config.trials {
+        return Err(format!(
+            "runs are not comparable: --a averaged {} trial(s) per point, --b {}",
+            a.manifest.config.trials, b.manifest.config.trials
+        ));
+    }
+
+    let labels = |run: &fp_results::StoredRun| -> Vec<String> {
+        run.result.series.iter().map(|s| s.label.clone()).collect()
+    };
+    if labels(&a) != labels(&b) {
+        return Err(format!(
+            "runs are not comparable: --a has solvers [{}], --b has [{}]",
+            labels(&a).join(", "),
+            labels(&b).join(", ")
+        ));
+    }
+
+    let mut table = Table::new(["solver", "k", "FR a", "FR b", "delta"]);
+    let mut flagged = 0usize;
+    let mut regressions = 0usize;
+    for (sa, sb) in a.result.series.iter().zip(&b.result.series) {
+        let ka: Vec<usize> = sa.points.iter().map(|&(k, _)| k).collect();
+        let kb: Vec<usize> = sb.points.iter().map(|&(k, _)| k).collect();
+        if ka != kb {
+            return Err(format!(
+                "runs are not comparable: {} has budgets {ka:?} in --a but {kb:?} in --b",
+                sa.label
+            ));
+        }
+        for (&(k, fra), &(_, frb)) in sa.points.iter().zip(&sb.points) {
+            let delta = frb - fra;
+            if delta.abs() > epsilon {
+                flagged += 1;
+                if delta < 0.0 {
+                    regressions += 1;
+                }
+                table.row([
+                    sa.label.clone(),
+                    k.to_string(),
+                    format!("{fra:.6}"),
+                    format!("{frb:.6}"),
+                    format!("{delta:+.6}"),
+                ]);
+            }
+        }
+    }
+    let header = format!(
+        "{} vs {}: {} delta(s) beyond epsilon {epsilon:e}, {} regression(s)\n",
+        a.manifest.id, b.manifest.id, flagged, regressions
+    );
+    let body = if flagged == 0 {
+        header
+    } else {
+        header + &table.to_string()
+    };
+    if regressions > 0 {
+        // Error so `fp` exits non-zero — the report still reaches the
+        // operator (on stderr), which is what a CI gate wants.
+        return Err(body);
+    }
+    Ok(body)
+}
+
 /// `fp gc --out DIR --keep N | --max-age SECS`: evict stored runs,
 /// least recently *used* first.
 fn cmd_gc(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -416,7 +534,7 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
 /// Usage text. The hidden `worker` subcommand (the process-pool child
 /// behind `sweep --workers`) is deliberately absent: it speaks a binary
 /// frame protocol on stdin/stdout and is never typed by a person.
-pub const USAGE: &str = "usage: fp <solve|sweep|report|gc|stats|generate> [--flag value]...
+pub const USAGE: &str = "usage: fp <solve|sweep|report|diff|gc|stats|generate> [--flag value]...
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
            [--out DIR] [--jobs N] [--workers N]
@@ -424,6 +542,8 @@ pub const USAGE: &str = "usage: fp <solve|sweep|report|gc|stats|generate> [--fla
             --workers evaluates on worker processes — same bytes as in-process)
   report   --run DIR [--format table|csv|json]   (re-render a stored run from disk)
   report   --list DIR                            (enumerate the runs stored under DIR)
+  diff     --a DIR --b DIR [--epsilon E]         (compare two stored runs per (solver, k);
+            flags FR deltas beyond epsilon, exits non-zero if any budget regressed)
   gc       --out DIR --keep N | --max-age SECS   (evict stored runs, LRU first;
             cache hits count as uses)
   stats    --input FILE
@@ -453,6 +573,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "solve" => cmd_solve(&flags, &read_input()?),
         "sweep" => cmd_sweep(&flags, &read_input()?),
         "report" => cmd_report(&flags),
+        "diff" => cmd_diff(&flags),
         "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(&read_input()?),
         "generate" => cmd_generate(&flags),
@@ -472,6 +593,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         "solve" => cmd_solve(&flags, input),
         "sweep" => cmd_sweep(&flags, input),
         "report" => cmd_report(&flags),
+        "diff" => cmd_diff(&flags),
         "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(input),
         "generate" => cmd_generate(&flags),
@@ -864,6 +986,156 @@ mod tests {
         let report = run_with_input(&args(&["gc", "--out", out_str, "--keep", "0"]), "").unwrap();
         assert!(report.starts_with("evicted 2 of 2"), "{report}");
         assert!(store.list().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    /// Persist a synthetic run with the given G_ALL curve; returns its
+    /// run directory.
+    fn save_synthetic_run(store: &RunStore, seed: u64, curve: &[(usize, f64)]) -> String {
+        save_synthetic_run_on(store, seed, curve, "00deadbeef00cafe", 1)
+    }
+
+    /// [`save_synthetic_run`] with an explicit dataset hash and trial
+    /// count (for the comparability checks).
+    fn save_synthetic_run_on(
+        store: &RunStore,
+        seed: u64,
+        curve: &[(usize, f64)],
+        edge_hash: &str,
+        trials: usize,
+    ) -> String {
+        use fp_results::{SolverSeries, SweepResult};
+        let config = SweepConfig {
+            ks: curve.iter().map(|&(k, _)| k).collect(),
+            trials,
+            seed,
+            solvers: vec![SolverKind::GreedyAll],
+        };
+        let dataset = DatasetFingerprint {
+            name: "diff-test".into(),
+            nodes: 7,
+            edges: 9,
+            source: "s".into(),
+            edge_hash: edge_hash.into(),
+        };
+        let result = SweepResult {
+            series: vec![SolverSeries {
+                label: "G_ALL".into(),
+                points: curve.to_vec(),
+            }],
+        };
+        let manifest = RunManifest::new(config, dataset);
+        store
+            .save(&manifest, &result)
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn diff_flags_deltas_and_exits_nonzero_on_regression() {
+        let out_dir = temp_dir("diff");
+        let store = RunStore::open(out_dir.to_str().unwrap()).unwrap();
+        let base = save_synthetic_run(&store, 1, &[(0, 0.0), (1, 0.5), (2, 0.9)]);
+        // k=1 regresses by 0.1, k=2 improves by 0.05.
+        let changed = save_synthetic_run(&store, 2, &[(0, 0.0), (1, 0.4), (2, 0.95)]);
+
+        // A run against itself: no deltas, exit zero.
+        let same = run_with_input(&args(&["diff", "--a", &base, "--b", &base]), "").unwrap();
+        assert!(same.contains("0 delta(s)"), "{same}");
+        assert!(same.contains("0 regression(s)"), "{same}");
+
+        // Regression present: the command errors (non-zero exit) and
+        // the report names the regressing budget.
+        let report =
+            run_with_input(&args(&["diff", "--a", &base, "--b", &changed]), "").unwrap_err();
+        assert!(report.contains("2 delta(s)"), "{report}");
+        assert!(report.contains("1 regression(s)"), "{report}");
+        assert!(report.contains("G_ALL"), "{report}");
+        assert!(report.contains("-0.100000"), "{report}");
+
+        // The reverse direction only *improves* at k=1 ... but the k=2
+        // drop is now the regression, so it still fails.
+        let reverse =
+            run_with_input(&args(&["diff", "--a", &changed, "--b", &base]), "").unwrap_err();
+        assert!(reverse.contains("1 regression(s)"), "{reverse}");
+
+        // Pure improvement exits zero but still lists the delta.
+        let improved = save_synthetic_run(&store, 3, &[(0, 0.0), (1, 0.6), (2, 0.9)]);
+        let up = run_with_input(&args(&["diff", "--a", &base, "--b", &improved]), "").unwrap();
+        assert!(up.contains("1 delta(s)"), "{up}");
+        assert!(up.contains("0 regression(s)"), "{up}");
+        assert!(up.contains("+0.100000"), "{up}");
+
+        // A generous epsilon swallows every delta: exit zero again.
+        let lax = run_with_input(
+            &args(&["diff", "--a", &base, "--b", &changed, "--epsilon", "1.0"]),
+            "",
+        )
+        .unwrap();
+        assert!(lax.contains("0 delta(s)"), "{lax}");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn diff_rejects_incomparable_runs_and_bad_flags() {
+        let out_dir = temp_dir("diff-bad");
+        let out_str = out_dir.to_str().unwrap();
+        run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "1", "--trials", "1", "--out", out_str,
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        // Same store, different kmax: different budget axes.
+        run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "2", "--trials", "1", "--out", out_str,
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        let store = RunStore::open(out_str).unwrap();
+        let mut runs = store.list().unwrap();
+        runs.sort_by_key(|r| r.manifest.config.ks.len());
+        let a = store.run_dir(&runs[0].id).to_str().unwrap().to_string();
+        let b = store.run_dir(&runs[1].id).to_str().unwrap().to_string();
+        let e = run_with_input(&args(&["diff", "--a", &a, "--b", &b]), "").unwrap_err();
+        assert!(e.contains("not comparable"), "{e}");
+
+        let e = run_with_input(&args(&["diff", "--a", &a]), "").unwrap_err();
+        assert!(e.contains("--b"), "{e}");
+        let e = run_with_input(
+            &args(&["diff", "--a", &a, "--b", &b, "--epsilon", "soup"]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("--epsilon"), "{e}");
+        let e = run_with_input(
+            &args(&["diff", "--a", &a, "--b", &b, "--epsilon", "-1"]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("non-negative"), "{e}");
+        let e =
+            run_with_input(&args(&["diff", "--a", "/nonexistent/x", "--b", &b]), "").unwrap_err();
+        assert!(e.contains("--a"), "{e}");
+
+        // Same shape but a different dataset fingerprint: FR pairs
+        // would be meaningless, so the tool must refuse.
+        let curve = [(0usize, 0.0f64), (1, 0.5)];
+        let ds_a = save_synthetic_run_on(&store, 50, &curve, "00deadbeef00cafe", 1);
+        let ds_b = save_synthetic_run_on(&store, 51, &curve, "ffffffffffffffff", 1);
+        let e = run_with_input(&args(&["diff", "--a", &ds_a, "--b", &ds_b]), "").unwrap_err();
+        assert!(e.contains("not comparable"), "{e}");
+        assert!(e.contains("hash"), "{e}");
+
+        // Same dataset, different trial counts: different estimators.
+        let tr_b = save_synthetic_run_on(&store, 52, &curve, "00deadbeef00cafe", 25);
+        let e = run_with_input(&args(&["diff", "--a", &ds_a, "--b", &tr_b]), "").unwrap_err();
+        assert!(e.contains("trial"), "{e}");
         let _ = std::fs::remove_dir_all(&out_dir);
     }
 

@@ -1,10 +1,14 @@
 //! The FR-sweep experiment runner behind Figures 5, 7, 8 and 9.
 //!
 //! For each solver and each budget `k`, measure `FR` on the given
-//! c-graph. Deterministic solvers are *prefix-stable* (their choice at
+//! c-graph. Deterministic solvers are *anytime* (their choice at
 //! budget `k` is the first `k` choices of a single max-budget run), so
-//! one placement run serves the whole curve. Randomized baselines are
-//! re-run `trials` times per `k` (the paper uses 25) and averaged.
+//! one [`fp_algorithms::SolverSession`] walked up the budget axis
+//! serves the whole curve — one engine, zero re-solves, FR read from
+//! live state ([`Problem::solve_ladder`]). Randomized baselines are
+//! re-run `trials` times per `k` (the paper uses 25) and averaged;
+//! their solvers are stateless, with the trial seed entering at
+//! session start.
 //!
 //! The heavy lifting lives in [`fp_results`]: the sweep is decomposed
 //! into (solver, `k`, trial) cells and scheduled across a
@@ -17,7 +21,6 @@
 
 use crate::Problem;
 use fp_algorithms::SolverKind;
-use fp_propagation::FilterSet;
 use fp_results::runner::RunnerOptions;
 use fp_results::sweep::{run_sweep_cells, SweepBackend};
 
@@ -29,11 +32,12 @@ impl SweepBackend for Problem {
     }
 
     fn deterministic_curve(&self, solver: SolverKind, ks: &[usize]) -> Vec<(usize, f64)> {
-        // Prefix-stable: run once at the maximum budget, truncate.
-        let k_max = ks.iter().copied().max().unwrap_or(0);
-        let full: FilterSet = self.solve(solver, k_max);
-        ks.iter()
-            .map(|&k| (k, self.filter_ratio(&full.truncated(k))))
+        // Anytime: one session walks the whole budget axis — a single
+        // engine, zero re-solves, FR read from the session's live Φ at
+        // each rung (no per-k `ObjectiveCache::f_of` pass).
+        self.solve_ladder(solver, ks, 0)
+            .into_iter()
+            .map(|(k, _, fr)| (k, fr))
             .collect()
     }
 }

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::experiment::{run_sweep, run_sweep_with, SweepConfig, SweepResult};
     pub use crate::problem::Problem;
     pub use crate::report::Table;
-    pub use fp_algorithms::{Solver, SolverKind};
+    pub use fp_algorithms::{Solver, SolverKind, SolverSession};
     pub use fp_graph::{DiGraph, NodeId};
     pub use fp_num::{BigCount, Count, Wide128};
     pub use fp_propagation::{CGraph, FilterSet};

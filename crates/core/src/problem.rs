@@ -1,6 +1,6 @@
 //! [`Problem`]: the one-stop entry point.
 
-use fp_algorithms::{acyclic, SolverKind};
+use fp_algorithms::{acyclic, solve_ladder_with, SolverKind};
 use fp_graph::{DiGraph, GraphError, NodeId};
 use fp_num::Wide128;
 use fp_propagation::{CGraph, FilterSet, ObjectiveCache};
@@ -62,9 +62,33 @@ impl Problem {
     }
 
     /// Run a solver with budget `k` and an explicit seed (only the
-    /// randomized baselines depend on it).
+    /// randomized baselines depend on it). A thin wrapper over the
+    /// session API: one session advanced to `k`.
     pub fn solve_seeded(&self, kind: SolverKind, k: usize, seed: u64) -> FilterSet {
-        kind.build::<Wide128>(seed).place(&self.cg, k)
+        kind.build::<Wide128>().place(&self.cg, k, seed)
+    }
+
+    /// Solve a solver's whole **k-ladder** in one run: for each budget
+    /// in `ks`, the placement and its FR, computed by walking a single
+    /// [`fp_algorithms::SolverSession`] up the budget axis.
+    ///
+    /// The paper's greedy algorithms are anytime — the placement at
+    /// every `k ≤ k_max` is a prefix of one run — so the whole curve
+    /// costs one solve at `k_max` (O(solve(k_max)), not O(Σₖ solve(k)))
+    /// and each FR readout comes from the session's live `Φ` instead of
+    /// a fresh forward pass. Results come back in `ks`'s order
+    /// (duplicates included; any order is accepted — budgets are walked
+    /// ascending internally). Placements and FRs are bit-identical to
+    /// per-k [`Problem::solve_seeded`] + [`Problem::filter_ratio`] —
+    /// the ladder-equivalence proptests pin this for every solver.
+    pub fn solve_ladder(
+        &self,
+        kind: SolverKind,
+        ks: &[usize],
+        seed: u64,
+    ) -> Vec<(usize, FilterSet, f64)> {
+        let solver = kind.build::<Wide128>();
+        solve_ladder_with(solver.as_ref(), &self.cg, ks, seed)
     }
 
     /// Run a solver on the full-recompute *oracle* path (fresh
@@ -164,6 +188,36 @@ mod tests {
     #[test]
     fn rejects_bad_sources() {
         assert!(Problem::new(&figure1(), NodeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn ladder_matches_per_k_solves_bit_for_bit() {
+        let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+        let ks: Vec<usize> = (0..=4).collect();
+        for kind in SolverKind::PAPER_SET {
+            let ladder = p.solve_ladder(kind, &ks, 11);
+            assert_eq!(ladder.len(), ks.len());
+            for (k, placement, fr) in ladder {
+                let one_shot = p.solve_seeded(kind, k, 11);
+                assert_eq!(placement.nodes(), one_shot.nodes(), "{kind:?} k={k}");
+                assert_eq!(
+                    fr.to_bits(),
+                    p.filter_ratio(&one_shot).to_bits(),
+                    "{kind:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_accepts_unsorted_budgets_with_duplicates() {
+        let p = Problem::new(&figure1(), NodeId::new(0)).unwrap();
+        let ladder = p.solve_ladder(SolverKind::GreedyAll, &[3, 0, 3, 1], 0);
+        let ks: Vec<usize> = ladder.iter().map(|&(k, _, _)| k).collect();
+        assert_eq!(ks, vec![3, 0, 3, 1]);
+        assert!(ladder[1].1.is_empty());
+        assert_eq!(ladder[0].1.nodes(), ladder[2].1.nodes());
+        assert_eq!(ladder[3].1.nodes(), &[NodeId::new(4)]);
     }
 
     #[test]

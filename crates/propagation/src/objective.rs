@@ -80,6 +80,19 @@ impl<C: Count> ObjectiveCache<C> {
     pub fn filter_ratio(&self, cg: &CGraph, filters: &FilterSet) -> f64 {
         ratio_or(&self.f_of(cg, filters), &self.f_all, 1.0)
     }
+
+    /// [`ObjectiveCache::filter_ratio`] from an externally maintained
+    /// `Φ(A, V)` — what the incremental engines hold live — skipping
+    /// the forward pass entirely. The one home for the FR arithmetic:
+    /// solver sessions evaluate through this, so their curves stay
+    /// bit-identical to the pass-based path by construction.
+    pub fn filter_ratio_from_phi(&self, phi_current: &C) -> f64 {
+        ratio_or(
+            &self.phi_empty.saturating_sub(phi_current),
+            &self.f_all,
+            1.0,
+        )
+    }
 }
 
 /// One-shot `FR(A)`; builds the cache internally.

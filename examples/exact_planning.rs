@@ -62,7 +62,7 @@ fn main() {
     let cg = CGraph::new(&g, NodeId::new(0)).expect("DAG");
 
     println!("\nFigure-3 instance (greedy is suboptimal at k = 2):");
-    let greedy = GreedyAll::<Wide128>::new().place(&cg, 2);
+    let greedy = GreedyAll::<Wide128>::new().place(&cg, 2, 0);
     let f_greedy: Wide128 = f_value(&cg, &greedy);
     println!(
         "  Greedy_All picks {:?} — F = {}",

@@ -122,8 +122,8 @@ fn wide128_and_bigcount_choose_the_same_filters_on_twitter_like() {
         seed: 17,
     });
     let cg = CGraph::new(&t.graph, t.source).unwrap();
-    let wide = GreedyAll::<Wide128>::new().place(&cg, 6);
-    let big = GreedyAll::<BigCount>::new().place(&cg, 6);
+    let wide = GreedyAll::<Wide128>::new().place(&cg, 6, 0);
+    let big = GreedyAll::<BigCount>::new().place(&cg, 6, 0);
     assert_eq!(wide.nodes(), big.nodes());
 }
 
@@ -205,8 +205,8 @@ fn approx64_placements_match_bigcount_value_on_deep_graphs() {
         tail = join;
     }
     let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
-    let exact = GreedyAll::<BigCount>::new().place(&cg, 3);
-    let approx = GreedyAll::<Approx64>::new().place(&cg, 3);
+    let exact = GreedyAll::<BigCount>::new().place(&cg, 3, 0);
+    let approx = GreedyAll::<Approx64>::new().place(&cg, 3, 0);
     let f_exact: BigCount = fp_core::propagation::f_value(&cg, &exact);
     let f_approx: BigCount = fp_core::propagation::f_value(&cg, &approx);
     let ratio = fp_core::num::ratio(&f_approx, &f_exact).unwrap();

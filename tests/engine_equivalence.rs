@@ -138,7 +138,7 @@ proptest! {
             SolverKind::GreedyMax,
             SolverKind::GreedyL,
         ] {
-            let engine = kind.build::<Wide128>(0).place(&cg, k);
+            let engine = kind.build::<Wide128>().place(&cg, k, 0);
             let oracle = kind.place_oracle::<Wide128>(&cg, k, 0);
             prop_assert_eq!(
                 engine.nodes(),
@@ -148,7 +148,7 @@ proptest! {
                 k
             );
             // And across count types, engine path only.
-            let engine_sat = kind.build::<Sat64>(0).place(&cg, k);
+            let engine_sat = kind.build::<Sat64>().place(&cg, k, 0);
             prop_assert_eq!(engine.nodes(), engine_sat.nodes());
         }
     }
@@ -192,8 +192,8 @@ proptest! {
         let (g, s) = erdos_renyi::generate(14, p, seed);
         let cg = CGraph::new(&g, s).unwrap();
         let eager_oracle = GreedyAll::<Wide128>::place_full_recompute(&cg, k);
-        let eager_engine = GreedyAll::<Wide128>::new().place(&cg, k);
-        let lazy_engine = LazyGreedyAll::<Wide128>::new().place(&cg, k);
+        let eager_engine = GreedyAll::<Wide128>::new().place(&cg, k, 0);
+        let lazy_engine = LazyGreedyAll::<Wide128>::new().place(&cg, k, 0);
         prop_assert_eq!(eager_engine.nodes(), eager_oracle.nodes());
         prop_assert_eq!(lazy_engine.nodes(), eager_oracle.nodes());
     }

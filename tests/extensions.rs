@@ -24,7 +24,7 @@ fn branch_and_bound_certifies_greedy_on_a_real_dataset() {
     let cg = CGraph::new(&q.graph, q.source).unwrap();
     for k in 1..=3 {
         let exact = optimal_placement_bb::<Wide128>(&cg, k);
-        let greedy = GreedyAll::<Wide128>::new().place(&cg, k);
+        let greedy = GreedyAll::<Wide128>::new().place(&cg, k, 0);
         let f_greedy: Wide128 = f_value(&cg, &greedy);
         assert!(
             exact.f_value >= f_greedy,
@@ -46,7 +46,7 @@ fn incremental_phi_matches_full_recompute_on_twitter_like() {
     });
     let cg = CGraph::new(&t.graph, t.source).unwrap();
     let n = t.graph.node_count();
-    let picks = GreedyAll::<Wide128>::new().place(&cg, 8);
+    let picks = GreedyAll::<Wide128>::new().place(&cg, 8, 0);
     let mut inc = IncrementalPropagation::<Wide128>::new(&cg, FilterSet::empty(n));
     let mut reference = FilterSet::empty(n);
     for &v in picks.nodes() {
@@ -69,7 +69,7 @@ fn monte_carlo_greedy_beats_deterministic_placement_under_heavy_loss() {
     let p = 0.5;
     let k = 4;
     let cg = CGraph::new(&q.graph, q.source).unwrap();
-    let det = GreedyAll::<Wide128>::new().place(&cg, k);
+    let det = GreedyAll::<Wide128>::new().place(&cg, k, 0);
     let mc = MonteCarloGreedy::new(&q.graph, q.source, p, 40, 5).place_sampled(k);
     let probs = RelayProb::Uniform(p);
     let fr_det = expected_filter_ratio(&q.graph, q.source, &probs, &det, 300, 77);
@@ -98,7 +98,7 @@ fn multi_source_greedy_handles_competing_cascades() {
     // Must at least match running single-source greedy and evaluating
     // on the combined objective.
     let cg = CGraph::new(&t.graph, t.source).unwrap();
-    let single = GreedyAll::<Wide128>::new().place(&cg, 8);
+    let single = GreedyAll::<Wide128>::new().place(&cg, 8, 0);
     let f_single: Wide128 = multi.f_value(&t.graph, &sources, &single);
     assert!(f >= f_single, "{f} vs {f_single}");
 }
@@ -110,9 +110,9 @@ fn lazy_greedy_matches_eager_at_dataset_scale() {
         seed: 2,
     });
     let cg = CGraph::new(&t.graph, t.source).unwrap();
-    let eager = GreedyAll::<Wide128>::new().place(&cg, 10);
+    let eager = GreedyAll::<Wide128>::new().place(&cg, 10, 0);
     let lazy_solver = LazyGreedyAll::<Wide128>::new();
-    let lazy = lazy_solver.place(&cg, 10);
+    let lazy = lazy_solver.place(&cg, 10, 0);
     assert_eq!(eager.nodes(), lazy.nodes());
     // The lazy variant's whole point: far fewer than n·k evaluations.
     assert!(

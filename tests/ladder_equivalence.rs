@@ -1,0 +1,187 @@
+//! Session ↔ one-shot ↔ oracle equivalence on random inputs.
+//!
+//! The session API promises that walking one
+//! [`fp_core::algorithms::SolverSession`] up the budget axis visits
+//! exactly the placements the one-shot API would produce — that is
+//! what lets `deterministic_curve` evaluate a whole ks-axis through a
+//! single engine while stored run directories stay byte-identical.
+//! These properties pin it on random DAGs:
+//!
+//! * for **every** `SolverKind` and both `Sat64`/`Wide128`, the
+//!   session's placement after advancing to `k` is bit-identical to
+//!   one-shot `place(cg, k, seed)` and to the full-recompute oracle
+//!   (`SolverKind::place_oracle`);
+//! * prefix-nested solvers reach the same states when stepped one
+//!   `next_filter` rung at a time;
+//! * the session's live-state `fr()` is bit-identical to the
+//!   `ObjectiveCache` ratio of the same placement, at every rung;
+//! * `Problem::solve_ladder` agrees with per-k `solve_seeded` +
+//!   `filter_ratio`, budget for budget.
+
+use fp_core::datasets::erdos_renyi;
+use fp_core::num::Sat64;
+use fp_core::prelude::*;
+use fp_core::propagation::ObjectiveCache;
+use proptest::prelude::*;
+
+/// Every registry entry — the paper's seven plus the two extras.
+const ALL_KINDS: [SolverKind; 9] = [
+    SolverKind::GreedyAll,
+    SolverKind::LazyGreedyAll,
+    SolverKind::GreedyMax,
+    SolverKind::GreedyOne,
+    SolverKind::GreedyL,
+    SolverKind::RandW,
+    SolverKind::RandI,
+    SolverKind::RandK,
+    SolverKind::Betweenness,
+];
+
+/// One session advanced to each `k ≤ k_max` must match the one-shot
+/// and oracle placements bit for bit, and report the cache-identical
+/// FR at every stop.
+fn ladder_matches_for<C: Count>(
+    seed: u64,
+    p: f64,
+    k_max: usize,
+) -> Result<(), proptest::TestCaseError> {
+    let (g, s) = erdos_renyi::generate(14, p, seed);
+    let cg = CGraph::new(&g, s).unwrap();
+    let cache = ObjectiveCache::<C>::new(&cg);
+    for kind in ALL_KINDS {
+        let solver = kind.build::<C>();
+        let mut session = solver.session(&cg, seed);
+        for k in 0..=k_max {
+            session.advance_to(k);
+            let one_shot = solver.place(&cg, k, seed);
+            prop_assert_eq!(
+                session.placement().nodes(),
+                one_shot.nodes(),
+                "{:?} session diverged from place at k={}",
+                kind,
+                k
+            );
+            let oracle = kind.place_oracle::<C>(&cg, k, seed);
+            prop_assert_eq!(
+                one_shot.nodes(),
+                oracle.nodes(),
+                "{:?} diverged from its oracle at k={}",
+                kind,
+                k
+            );
+            let fr = session.fr();
+            let expect = cache.filter_ratio(&cg, session.placement());
+            prop_assert_eq!(
+                fr.to_bits(),
+                expect.to_bits(),
+                "{:?} fr diverged at k={} ({} vs {})",
+                kind,
+                k,
+                fr,
+                expect
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sessions_match_one_shot_and_oracle_sat64(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+        k_max in 0usize..6,
+    ) {
+        ladder_matches_for::<Sat64>(seed, p, k_max)?;
+    }
+
+    #[test]
+    fn sessions_match_one_shot_and_oracle_wide128(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+        k_max in 0usize..6,
+    ) {
+        ladder_matches_for::<Wide128>(seed, p, k_max)?;
+    }
+
+    #[test]
+    fn nested_solvers_step_through_identical_prefixes(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+    ) {
+        // Rung-by-rung next_filter (not advance_to): after k successful
+        // steps a prefix-nested session must sit exactly on place(k).
+        let (g, s) = erdos_renyi::generate(14, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        for kind in [
+            SolverKind::GreedyAll,
+            SolverKind::LazyGreedyAll,
+            SolverKind::GreedyMax,
+            SolverKind::GreedyOne,
+            SolverKind::GreedyL,
+            SolverKind::RandK,
+            SolverKind::Betweenness,
+        ] {
+            let solver = kind.build::<Wide128>();
+            let mut session = solver.session(&cg, seed);
+            let mut k = 0usize;
+            loop {
+                let stepped = session.next_filter();
+                if let Some(v) = stepped {
+                    k += 1;
+                    prop_assert_eq!(
+                        session.placement().nodes().last().copied(),
+                        Some(v),
+                        "{:?}: returned filter must be the appended one",
+                        kind
+                    );
+                }
+                let one_shot = solver.place(&cg, k, seed);
+                prop_assert_eq!(
+                    session.placement().nodes(),
+                    one_shot.nodes(),
+                    "{:?} prefix diverged after {} steps",
+                    kind,
+                    k
+                );
+                if stepped.is_none() || k > 14 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn problem_ladder_matches_per_k_solves(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+        k_max in 0usize..6,
+    ) {
+        let (g, s) = erdos_renyi::generate(14, p, seed);
+        let problem = Problem::new(&g, s).unwrap();
+        let ks: Vec<usize> = (0..=k_max).collect();
+        for kind in ALL_KINDS {
+            let ladder = problem.solve_ladder(kind, &ks, seed);
+            prop_assert_eq!(ladder.len(), ks.len());
+            for (k, placement, fr) in ladder {
+                let one_shot = problem.solve_seeded(kind, k, seed);
+                prop_assert_eq!(
+                    placement.nodes(),
+                    one_shot.nodes(),
+                    "{:?} ladder placement diverged at k={}",
+                    kind,
+                    k
+                );
+                prop_assert_eq!(
+                    fr.to_bits(),
+                    problem.filter_ratio(&one_shot).to_bits(),
+                    "{:?} ladder FR diverged at k={}",
+                    kind,
+                    k
+                );
+            }
+        }
+    }
+}

@@ -91,7 +91,7 @@ fn figure2_greedy1_falls_for_the_degree_product() {
     let g = figure2();
     let p = Problem::new(&g, NodeId::new(0)).unwrap();
     // m(B) = 1×4 = 4 beats m(A) = 3×1 = 3 …
-    let g1 = GreedyOne::new().place(p.cgraph(), 1);
+    let g1 = GreedyOne::new().place(p.cgraph(), 1, 0);
     assert_eq!(g1.nodes(), &[NodeId::new(7)]);
     // … but filtering B saves nothing,
     assert!(p.f_value(&g1).is_zero());
@@ -100,7 +100,7 @@ fn figure2_greedy1_falls_for_the_degree_product() {
     assert_eq!(opt.nodes(), &[NodeId::new(4)]);
     assert_eq!(f_opt.get(), 2);
     // Greedy_All finds it.
-    let ga = GreedyAll::<Wide128>::new().place(p.cgraph(), 1);
+    let ga = GreedyAll::<Wide128>::new().place(p.cgraph(), 1, 0);
     assert_eq!(ga.nodes(), opt.nodes());
 }
 
@@ -144,7 +144,7 @@ fn figure3_greedy_all_is_suboptimal_for_k2() {
     let cg = p.cgraph();
 
     // Greedy takes A first (largest single impact) …
-    let greedy = GreedyAll::<Wide128>::new().place(cg, 2);
+    let greedy = GreedyAll::<Wide128>::new().place(cg, 2, 0);
     assert_eq!(greedy.nodes()[0], NodeId::new(7), "A has the top impact");
     let f_greedy: Wide128 = f_value(cg, &greedy);
 

@@ -23,7 +23,7 @@ proptest! {
     ) {
         let (g, s) = erdos_renyi::generate(12, p, seed);
         let cg = CGraph::new(&g, s).unwrap();
-        let greedy = GreedyAll::<Wide128>::new().place(&cg, k);
+        let greedy = GreedyAll::<Wide128>::new().place(&cg, k, 0);
         let f_greedy: Wide128 = f_value(&cg, &greedy);
         let (_, f_opt) = brute_force::optimal_placement::<Wide128>(&cg, k);
         let bound = (1.0 - (-1.0f64).exp()) * f_opt.get() as f64;
@@ -37,7 +37,7 @@ proptest! {
     fn greedy_all_is_optimal_for_k1(seed in 0u64..4000, p in 0.08f64..0.4) {
         let (g, s) = erdos_renyi::generate(14, p, seed);
         let cg = CGraph::new(&g, s).unwrap();
-        let greedy = GreedyAll::<Wide128>::new().place(&cg, 1);
+        let greedy = GreedyAll::<Wide128>::new().place(&cg, 1, 0);
         let f_greedy: Wide128 = f_value(&cg, &greedy);
         let (_, f_opt) = brute_force::optimal_placement::<Wide128>(&cg, 1);
         prop_assert_eq!(f_greedy, f_opt);
@@ -109,8 +109,8 @@ proptest! {
     ) {
         let (g, s) = erdos_renyi::generate(20, p, seed);
         let cg = CGraph::new(&g, s).unwrap();
-        let eager = GreedyAll::<Wide128>::new().place(&cg, k);
-        let lazy = LazyGreedyAll::<Wide128>::new().place(&cg, k);
+        let eager = GreedyAll::<Wide128>::new().place(&cg, k, 0);
+        let lazy = LazyGreedyAll::<Wide128>::new().place(&cg, k, 0);
         prop_assert_eq!(eager.nodes(), lazy.nodes());
     }
 
@@ -124,7 +124,7 @@ proptest! {
         // the insertion order.
         let (g, s) = erdos_renyi::generate(18, p, seed);
         let cg = CGraph::new(&g, s).unwrap();
-        let placement = GreedyAll::<Wide128>::new().place(&cg, 8);
+        let placement = GreedyAll::<Wide128>::new().place(&cg, 8, 0);
         let mut last: u128 = 0;
         for i in 1..=placement.len() {
             let f: Wide128 = f_value(&cg, &placement.truncated(i));
@@ -156,10 +156,10 @@ proptest! {
             SolverKind::GreedyL,
             SolverKind::Betweenness,
         ] {
-            let solver = kind.build::<Wide128>(0);
-            let full = solver.place(&cg, 6);
+            let solver = kind.build::<Wide128>();
+            let full = solver.place(&cg, 6, 0);
             for k in 0..6 {
-                let partial = solver.place(&cg, k);
+                let partial = solver.place(&cg, k, 0);
                 let prefix: Vec<_> = full.nodes().iter().copied().take(k).collect();
                 prop_assert_eq!(
                     partial.nodes(),
