@@ -178,6 +178,29 @@ impl SolverKind {
         )
     }
 
+    /// Whether this solver's ladder is **prefix-nested**: the placement
+    /// at budget `k` extends the placement at `k − 1`, so one
+    /// [`SolverSession`] walked upward serves every budget and earlier
+    /// rungs can be read back as prefixes of the pick sequence.
+    ///
+    /// `Rand_I` and `Rand_W` are the two registry members where this is
+    /// false — their membership probabilities depend on `k` itself, so
+    /// [`SolverSession::advance_to`] *redraws* instead of extending
+    /// (see `fp_algorithms::session::OneShotSession`). Long-running
+    /// services use this to decide whether a warm session's history can
+    /// answer a smaller budget than it has already reached.
+    ///
+    /// ```
+    /// use fp_algorithms::SolverKind;
+    /// assert!(SolverKind::GreedyAll.is_prefix_nested());
+    /// assert!(SolverKind::RandK.is_prefix_nested()); // one shuffle, prefix-read
+    /// assert!(!SolverKind::RandI.is_prefix_nested());
+    /// assert!(!SolverKind::RandW.is_prefix_nested());
+    /// ```
+    pub fn is_prefix_nested(self) -> bool {
+        !matches!(self, SolverKind::RandW | SolverKind::RandI)
+    }
+
     /// The paper's legend label.
     pub fn label(self) -> &'static str {
         match self {

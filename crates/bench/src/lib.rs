@@ -519,6 +519,19 @@ pub fn ladder_entry(per_level: usize, reps: usize) -> Json {
     ])
 }
 
+/// The `serve` section of the baseline: a loadtest against an
+/// in-process `fp serve` daemon — 8 concurrent clients, 50 placement
+/// queries each, budgets interleaving over `0..=8` on the layered
+/// sparse graph. Every response is verified bit-identical to the batch
+/// ladder before any number is reported, so the recorded p50/p99 are
+/// latencies of *correct* answers.
+pub fn serve_entry() -> Result<Json, String> {
+    let cfg = fp_core::loadtest::LoadtestConfig::default();
+    let report =
+        fp_core::loadtest::run_loadtest(fp_core::registry::GraphRegistry::with_builtins(), &cfg)?;
+    Ok(report.to_json())
+}
+
 /// Time every figure at the given scale and render the measurements as
 /// the `BENCH_baseline.json` document (see that file at the repo root
 /// for the checked-in reference run). Schema 2 added the `scaling`
@@ -527,7 +540,8 @@ pub fn ladder_entry(per_level: usize, reps: usize) -> Json {
 /// hot-path target, so speedup claims cite this file like-for-like).
 /// Schema 3 adds the `ladder` section: the whole-curve cell, session
 /// walk vs per-k re-solves (the numbers behind the anytime-session
-/// redesign).
+/// redesign). Schema 4 adds the `serve` section: daemon latency under
+/// concurrent clients (see [`serve_entry`] and `fp loadtest`).
 pub fn baseline_json(scale: f64) -> Result<Json, String> {
     let mut entries = Vec::new();
     for name in FIGURES {
@@ -549,8 +563,9 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         .iter()
         .map(|&per_level| ladder_entry(per_level, 5))
         .collect();
+    let serve = serve_entry()?;
     Ok(Json::object([
-        ("schema", "fp-bench-baseline/3".to_string().to_json()),
+        ("schema", "fp-bench-baseline/4".to_string().to_json()),
         (
             "tool",
             concat!("fp-bench ", env!("CARGO_PKG_VERSION"))
@@ -576,5 +591,6 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         ("entries", Json::Array(entries)),
         ("scaling", Json::Array(scaling)),
         ("ladder", Json::Array(ladder)),
+        ("serve", serve),
     ]))
 }

@@ -13,6 +13,9 @@
 //! fp stats    --input edges.txt
 //! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
 //!             [--seed N] [--scale F]
+//! fp serve    [--addr HOST:PORT] [--ttl-secs N]
+//! fp loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N]
+//!             [--requests N] [--kmax N] [--baseline FILE]
 //! ```
 //!
 //! Edge lists are whitespace-separated `source target` lines (`#`
@@ -41,9 +44,23 @@
 //! `fp-results::protocol` pipe protocol (DESIGN.md §7). The stored
 //! bytes are identical to an in-process run's — `--jobs`/`--workers`
 //! are scheduling knobs, never part of the result.
+//!
+//! `serve` runs the long-lived placement daemon (see [`crate::serve`]
+//! and DESIGN.md §10); `loadtest` drives an in-process daemon with
+//! concurrent clients, verifies every answer bit-for-bit against the
+//! batch ladder, and reports p50/p99 latency and throughput (see
+//! [`crate::loadtest`]).
+//!
+//! Every subcommand's flag vocabulary lives in one `FLAG_SPEC` table;
+//! a flag outside it — a typo like `--solvr` — is an error, not
+//! silently ignored, and the help-audit test keeps [`USAGE`] and the
+//! table in lockstep.
 
 use crate::experiment::{run_sweep_with, SweepConfig, SweepResult};
+use crate::loadtest::{merge_serve_section, run_loadtest, LoadtestConfig};
+use crate::registry::GraphRegistry;
 use crate::report::{cdf_table, sweep_table, Table};
+use crate::serve::{ApiState, Server, DEFAULT_ADDR};
 use crate::Problem;
 use fp_algorithms::SolverKind;
 use fp_datasets::stats::DegreeStats;
@@ -69,6 +86,56 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
+}
+
+/// Per-command flag vocabulary: the single source of truth for what
+/// each subcommand accepts. Dispatch rejects any flag not listed here
+/// (a typo'd `--solvr` is an error, never silently ignored), and the
+/// help-audit test asserts [`USAGE`] documents exactly this set.
+const FLAG_SPEC: &[(&str, &[&str])] = &[
+    (
+        "solve",
+        &["input", "source", "solver", "k", "seed", "format"],
+    ),
+    (
+        "sweep",
+        &[
+            "input", "source", "kmax", "trials", "seed", "format", "out", "jobs", "workers",
+        ],
+    ),
+    ("report", &["run", "list", "format"]),
+    ("diff", &["a", "b", "epsilon"]),
+    ("gc", &["out", "keep", "max-age"]),
+    ("stats", &["input"]),
+    ("generate", &["dataset", "seed", "scale"]),
+    ("serve", &["addr", "ttl-secs"]),
+    (
+        "loadtest",
+        &[
+            "graph", "solver", "seed", "clients", "requests", "kmax", "baseline",
+        ],
+    ),
+];
+
+/// Refuse flags outside the command's [`FLAG_SPEC`] vocabulary.
+fn reject_unknown_flags(command: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let Some((_, allowed)) = FLAG_SPEC.iter().find(|(name, _)| *name == command) else {
+        return Ok(()); // unknown commands are reported by the dispatcher
+    };
+    let mut unknown: Vec<&str> = flags
+        .keys()
+        .map(String::as_str)
+        .filter(|name| !allowed.contains(name))
+        .collect();
+    unknown.sort_unstable();
+    if let Some(first) = unknown.first() {
+        let accepts: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+        return Err(format!(
+            "unknown flag --{first} for {command} (accepts: {})",
+            accepts.join(", ")
+        ));
+    }
+    Ok(())
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
@@ -531,10 +598,101 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(to_edge_list(&g))
 }
 
+/// `fp serve [--addr HOST:PORT] [--ttl-secs N]`: run the placement
+/// daemon until a `stop` call arrives (DESIGN.md §10).
+///
+/// Blocks for the server's whole lifetime; the bound address is
+/// announced on stderr up front (stdout stays machine-clean for the
+/// shutdown summary). Built-in graphs are preloaded; more can be
+/// uploaded over the wire. `--ttl-secs N` expires sessions idle longer
+/// than `N` seconds (default: never).
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
+    let addr = flags.get("addr").map_or(DEFAULT_ADDR, String::as_str);
+    let ttl = flags
+        .get("ttl-secs")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| "--ttl-secs must be a non-negative integer".to_string())
+        })
+        .transpose()?
+        .map(std::time::Duration::from_secs);
+    let registry = GraphRegistry::with_builtins();
+    let graphs = registry.len();
+    let server = Server::bind(addr, ApiState::new(registry, ttl))?;
+    let local = server.local_addr();
+    eprintln!(
+        "fp serve: listening on {local} ({graphs} built-in graph(s); frame + HTTP on one port; \
+         POST /stop or a `stop` call shuts down)"
+    );
+    server.run()?;
+    Ok(format!("fp serve: stopped ({local})\n"))
+}
+
+/// `fp loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N]
+/// [--requests N] [--kmax N] [--baseline FILE]`: drive an in-process
+/// daemon with concurrent clients and report verified latency.
+///
+/// Every response is checked bit-for-bit against the batch ladder
+/// before any latency is reported; `--baseline FILE` folds the numbers
+/// into an existing `BENCH_baseline.json`'s `serve` section.
+fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
+    let mut cfg = LoadtestConfig::default();
+    if let Some(graph) = flags.get("graph") {
+        cfg.graph = graph.clone();
+    }
+    if let Some(solver) = flags.get("solver") {
+        cfg.solver = parse_solver(solver)?;
+    }
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags.get(name).map_or(Ok(default), |s| {
+            s.parse()
+                .map_err(|_| format!("--{name} must be a non-negative integer"))
+        })
+    };
+    cfg.seed = flags.get("seed").map_or(Ok(cfg.seed), |s| {
+        s.parse()
+            .map_err(|_| "--seed must be an integer".to_string())
+    })?;
+    cfg.clients = parse_usize("clients", cfg.clients)?;
+    cfg.requests = parse_usize("requests", cfg.requests)?;
+    cfg.kmax = parse_usize("kmax", cfg.kmax)?;
+    if cfg.clients == 0 || cfg.requests == 0 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    let report = run_loadtest(GraphRegistry::with_builtins(), &cfg)?;
+    let mut out = format!(
+        "loadtest: {} × {} on {} / {} (seed {}, k 0..={})\n\
+         {} request(s), every answer bit-identical to the batch ladder\n\
+         p50 {} µs   p99 {} µs   max {} µs   {:.0} req/s   wall {} ms\n",
+        cfg.clients,
+        cfg.requests,
+        cfg.graph,
+        cfg.solver.label(),
+        cfg.seed,
+        cfg.kmax,
+        report.total_requests,
+        report.p50_us,
+        report.p99_us,
+        report.max_us,
+        report.throughput_rps,
+        report.wall_ms,
+    );
+    if let Some(path) = flags.get("baseline") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let mut doc = fp_results::Json::parse(&text).map_err(|e| format!("{path:?}: {e}"))?;
+        merge_serve_section(&mut doc, &report);
+        std::fs::write(path, doc.to_pretty()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        out.push_str(&format!("serve section updated in {path}\n"));
+    }
+    Ok(out)
+}
+
 /// Usage text. The hidden `worker` subcommand (the process-pool child
 /// behind `sweep --workers`) is deliberately absent: it speaks a binary
 /// frame protocol on stdin/stdout and is never typed by a person.
-pub const USAGE: &str = "usage: fp <solve|sweep|report|diff|gc|stats|generate> [--flag value]...
+pub const USAGE: &str =
+    "usage: fp <solve|sweep|report|diff|gc|stats|generate|serve|loadtest> [flags]
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
            [--out DIR] [--jobs N] [--workers N]
@@ -547,7 +705,14 @@ pub const USAGE: &str = "usage: fp <solve|sweep|report|diff|gc|stats|generate> [
   gc       --out DIR --keep N | --max-age SECS   (evict stored runs, LRU first;
             cache hits count as uses)
   stats    --input FILE
-  generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]";
+  generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]
+  serve    [--addr HOST:PORT] [--ttl-secs N]     (long-running placement daemon: frame + HTTP
+            transports on one port, built-in graphs preloaded, warm sessions per
+            (graph, solver, seed); POST /stop or a `stop` call shuts it down)
+  loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N] [--requests N] [--kmax N]
+           [--baseline FILE]  (drive an in-process daemon with concurrent clients, verify
+            every answer against the batch ladder, report p50/p99/throughput;
+            --baseline folds the numbers into BENCH_baseline.json's serve section)";
 
 /// Run the CLI against parsed argv (without the program name); returns
 /// the text to print or an error message.
@@ -565,6 +730,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Ok(String::new());
     }
     let flags = parse_flags(rest)?;
+    reject_unknown_flags(command, &flags)?;
     let read_input = || -> Result<String, String> {
         let path = required(&flags, "input")?;
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
@@ -577,6 +743,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(&read_input()?),
         "generate" => cmd_generate(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadtest" => cmd_loadtest(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -589,6 +757,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         return Err(USAGE.to_string());
     };
     let flags = parse_flags(rest)?;
+    reject_unknown_flags(command, &flags)?;
     match command.as_str() {
         "solve" => cmd_solve(&flags, input),
         "sweep" => cmd_sweep(&flags, input),
@@ -597,6 +766,8 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(input),
         "generate" => cmd_generate(&flags),
+        "serve" => Err("serve blocks on a live socket; use `fp serve` directly".to_string()),
+        "loadtest" => cmd_loadtest(&flags),
         "worker" => Err("worker serves the pool protocol on real stdin/stdout".to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -715,6 +886,88 @@ mod tests {
         let ok = parse_flags(&args(&["--a", "1", "--b", "2"])).unwrap();
         assert_eq!(ok["a"], "1");
         assert_eq!(ok["b"], "2");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        // The historical failure mode: `--solvr G_ALL` parsed fine and
+        // the command ran with the default — now it names the typo and
+        // lists the vocabulary.
+        let e = run_with_input(
+            &args(&[
+                "solve", "--source", "s", "--solvr", "G_ALL", "--k", "1", "--solver", "G_ALL",
+            ]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(e.contains("unknown flag --solvr"), "{e}");
+        assert!(e.contains("--solver"), "vocabulary listed: {e}");
+
+        let e = run_with_input(&args(&["gc", "--out", "/tmp", "--kep", "2"]), "").unwrap_err();
+        assert!(e.contains("unknown flag --kep for gc"), "{e}");
+
+        // `run` (the file-reading dispatcher) gates too, before
+        // touching the filesystem.
+        let e = run(&args(&["stats", "--inptu", "/nonexistent"])).unwrap_err();
+        assert!(e.contains("unknown flag --inptu"), "{e}");
+    }
+
+    /// Every flag the spec allows is documented in [`USAGE`], and every
+    /// `--flag` token in [`USAGE`] is allowed by some command's spec —
+    /// the help text can neither under- nor over-promise.
+    #[test]
+    fn usage_and_flag_spec_agree() {
+        use std::collections::BTreeSet;
+        let documented: BTreeSet<String> = USAGE
+            .split_whitespace()
+            .filter_map(|tok| tok.trim_start_matches(['[', '(']).strip_prefix("--"))
+            .map(|tok| {
+                tok.trim_end_matches(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                    .to_string()
+            })
+            .collect();
+        let allowed: BTreeSet<String> = FLAG_SPEC
+            .iter()
+            .flat_map(|(_, flags)| flags.iter().map(|f| f.to_string()))
+            .collect();
+        assert_eq!(
+            documented, allowed,
+            "USAGE and FLAG_SPEC drifted apart (left: documented, right: allowed)"
+        );
+        // Every public command is both documented and gated (`worker`
+        // is deliberately hidden and spec-free).
+        for (command, _) in FLAG_SPEC {
+            assert!(
+                USAGE.contains(command),
+                "command {command} missing from USAGE"
+            );
+        }
+        for command in USAGE
+            .lines()
+            .next()
+            .unwrap()
+            .trim_start_matches("usage: fp <")
+            .split(['|', '>'])
+            .filter(|c| !c.trim().is_empty() && !c.contains('['))
+        {
+            assert!(
+                FLAG_SPEC.iter().any(|(name, _)| *name == command),
+                "command {command} has no flag spec"
+            );
+        }
+    }
+
+    /// Each documented flag actually parses: passing it with a
+    /// syntactically valid value never trips the unknown-flag gate.
+    #[test]
+    fn every_documented_flag_passes_the_gate() {
+        for (command, flags) in FLAG_SPEC {
+            for flag in *flags {
+                let parsed = parse_flags(&args(&[&format!("--{flag}"), "1"])).unwrap();
+                reject_unknown_flags(command, &parsed)
+                    .unwrap_or_else(|e| panic!("{command} --{flag}: {e}"));
+            }
+        }
     }
 
     /// A unique scratch directory (removed by each test on success;

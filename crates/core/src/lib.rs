@@ -50,8 +50,11 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod loadtest;
 mod problem;
+pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod worker;
 
 pub use fp_algorithms as algorithms;

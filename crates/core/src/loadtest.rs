@@ -1,0 +1,340 @@
+//! `fp loadtest`: measure the serve daemon under concurrent traffic.
+//!
+//! The harness spins an in-process [`Server`] on an ephemeral port,
+//! opens one warm session, and drives `clients` concurrent frame
+//! connections, each issuing `requests` placement queries with budgets
+//! cycling through `0..=kmax` (each client starts at a different
+//! offset, so budgets interleave adversarially across clients).
+//!
+//! Every response is **verified** against a precomputed batch
+//! [`Problem::solve_ladder`](crate::Problem::solve_ladder) answer —
+//! FR bits and placement nodes must match exactly — so the loadtest
+//! doubles as a concurrency determinism check; a single mismatch fails
+//! the run.
+//!
+//! Latency percentiles use the nearest-rank method over all recorded
+//! round-trip times; throughput is total requests over wall time. The
+//! numbers land in the `serve` section of `BENCH_baseline.json` (see
+//! the `fp-bench` crate and `fp loadtest --baseline`).
+
+use crate::registry::GraphRegistry;
+use crate::serve::{ApiState, ServeClient, Server};
+use fp_algorithms::SolverKind;
+use fp_results::protocol::ServeCall;
+use fp_results::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Instant;
+
+/// What to drive and how hard.
+#[derive(Clone, Debug)]
+pub struct LoadtestConfig {
+    /// Registry name of the graph to query (e.g. `"fig1"`,
+    /// `"layered-sparse"`).
+    pub graph: String,
+    /// The solver whose session is driven.
+    pub solver: SolverKind,
+    /// Session seed.
+    pub seed: u64,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Queries issued per client.
+    pub requests: usize,
+    /// Budgets cycle through `0..=kmax`.
+    pub kmax: usize,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        Self {
+            graph: "layered-sparse".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+            clients: 8,
+            requests: 50,
+            kmax: 8,
+        }
+    }
+}
+
+/// The measured result of one loadtest run.
+#[derive(Clone, Debug)]
+pub struct LoadtestReport {
+    /// The driven configuration.
+    pub config: LoadtestConfig,
+    /// Total requests answered (`clients × requests`).
+    pub total_requests: usize,
+    /// Median round-trip latency, microseconds (nearest-rank).
+    pub p50_us: u64,
+    /// 99th-percentile round-trip latency, microseconds (nearest-rank).
+    pub p99_us: u64,
+    /// Worst observed round-trip, microseconds.
+    pub max_us: u64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Wall time of the client phase, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl LoadtestReport {
+    /// The `serve` section recorded in `BENCH_baseline.json`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("graph", self.config.graph.to_json()),
+            ("solver", self.config.solver.to_json()),
+            ("seed", self.config.seed.to_json()),
+            ("clients", self.config.clients.to_json()),
+            ("requests_per_client", self.config.requests.to_json()),
+            ("kmax", self.config.kmax.to_json()),
+            ("total_requests", self.total_requests.to_json()),
+            ("p50_us", self.p50_us.to_json()),
+            ("p99_us", self.p99_us.to_json()),
+            ("max_us", self.max_us.to_json()),
+            ("throughput_rps", self.throughput_rps.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("verified", Json::Bool(true)),
+        ])
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run a loadtest against an in-process daemon serving `registry`.
+///
+/// Fails on any transport error or any response that is not
+/// bit-identical to the batch answer.
+pub fn run_loadtest(
+    registry: GraphRegistry,
+    cfg: &LoadtestConfig,
+) -> Result<LoadtestReport, String> {
+    let entry = registry
+        .get(&cfg.graph)
+        .ok_or_else(|| format!("unknown graph {:?}", cfg.graph))?;
+    let ks: Vec<usize> = (0..=cfg.kmax).collect();
+    let expected: BTreeMap<usize, (Vec<usize>, u64)> = entry
+        .problem
+        .solve_ladder(cfg.solver, &ks, cfg.seed)
+        .into_iter()
+        .map(|(k, placement, fr)| {
+            let nodes = placement.nodes().iter().map(|v| v.index()).collect();
+            (k, (nodes, fr.to_bits()))
+        })
+        .collect();
+
+    let server = Server::bind("127.0.0.1:0", ApiState::new(registry, None))?;
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let mut opener = ServeClient::connect(addr)?;
+    let open = opener.call(ServeCall::SessionOpen {
+        graph: cfg.graph.clone(),
+        solver: cfg.solver,
+        seed: cfg.seed,
+    })?;
+    if open.status != 201 {
+        return Err(format!("session open failed: {}", open.body.to_compact()));
+    }
+    let session = open
+        .body
+        .expect("session")?
+        .as_str()
+        .ok_or("session id missing from open reply")?
+        .to_string();
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(cfg.clients);
+    for client_idx in 0..cfg.clients {
+        let session = session.clone();
+        let expected = expected.clone();
+        let requests = cfg.requests;
+        let kmax = cfg.kmax;
+        workers.push(
+            thread::Builder::new()
+                .name(format!("fp-loadtest-{client_idx}"))
+                .spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = ServeClient::connect(addr)?;
+                    let mut latencies = Vec::with_capacity(requests);
+                    for i in 0..requests {
+                        let k = (client_idx + i) % (kmax + 1);
+                        let sent = Instant::now();
+                        let reply = client.call(ServeCall::Query {
+                            session: session.clone(),
+                            ks: vec![k],
+                            deadline_ms: None,
+                        })?;
+                        latencies.push(sent.elapsed().as_micros() as u64);
+                        if reply.status != 200 {
+                            return Err(format!("query k={k} failed: {}", reply.body.to_compact()));
+                        }
+                        verify_row(&reply.body, k, &expected)?;
+                    }
+                    client.hang_up()?;
+                    Ok(latencies)
+                })
+                .map_err(|e| format!("cannot spawn client thread: {e}"))?,
+        );
+    }
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.clients * cfg.requests);
+    for worker in workers {
+        latencies.extend(
+            worker
+                .join()
+                .map_err(|_| "client thread panicked".to_string())??,
+        );
+    }
+    let wall = started.elapsed();
+    opener.hang_up()?;
+    handle.stop()?;
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    Ok(LoadtestReport {
+        config: cfg.clone(),
+        total_requests: total,
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+        throughput_rps: total as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        wall_ms: wall.as_millis() as u64,
+    })
+}
+
+/// Check one query reply against the batch answer, bit for bit.
+fn verify_row(
+    body: &Json,
+    k: usize,
+    expected: &BTreeMap<usize, (Vec<usize>, u64)>,
+) -> Result<(), String> {
+    let rows = body
+        .expect("results")?
+        .as_array()
+        .ok_or("results must be an array")?;
+    let row = rows.first().ok_or("empty results")?;
+    let got_k = row.expect("k")?.as_usize().ok_or("bad k in reply")?;
+    if got_k != k {
+        return Err(format!("asked k={k}, got k={got_k}"));
+    }
+    let fr = row.expect("fr")?.as_f64().ok_or("bad fr in reply")?;
+    let nodes: Vec<usize> = row
+        .expect("placement")?
+        .as_array()
+        .ok_or("bad placement in reply")?
+        .iter()
+        .map(|v| v.as_usize().ok_or("bad node in placement"))
+        .collect::<Result<_, _>>()?;
+    let (want_nodes, want_fr) = &expected[&k];
+    if fr.to_bits() != *want_fr || &nodes != want_nodes {
+        return Err(format!(
+            "serve answer diverged from batch at k={k}: \
+             fr {fr:?} (bits {:#x}) vs batch bits {want_fr:#x}, \
+             placement {nodes:?} vs {want_nodes:?}",
+            fr.to_bits()
+        ));
+    }
+    Ok(())
+}
+
+/// Set (or replace) the `serve` member of a baseline JSON document.
+///
+/// Used by `fp loadtest --baseline FILE` to fold measured serve
+/// numbers into an existing `BENCH_baseline.json` without disturbing
+/// the other sections.
+pub fn merge_serve_section(doc: &mut Json, report: &LoadtestReport) {
+    let serve = report.to_json();
+    if let Json::Object(members) = doc {
+        if let Some(slot) = members.iter_mut().find(|(k, _)| k == "serve") {
+            slot.1 = serve;
+        } else {
+            members.push(("serve".to_string(), serve));
+        }
+    } else {
+        *doc = Json::object([("serve", serve)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_registry() -> GraphRegistry {
+        let registry = GraphRegistry::new();
+        registry
+            .put_edge_list(
+                "fig1",
+                "s",
+                "s x\ns y\nx z1\nx z2\ny z2\ny z3\nz1 w\nz2 w\nz3 w\n",
+            )
+            .unwrap();
+        registry
+    }
+
+    #[test]
+    fn loadtest_measures_and_verifies() {
+        let cfg = LoadtestConfig {
+            graph: "fig1".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+            clients: 4,
+            requests: 10,
+            kmax: 3,
+        };
+        let report = run_loadtest(tiny_registry(), &cfg).unwrap();
+        assert_eq!(report.total_requests, 40);
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.p99_us <= report.max_us);
+        assert!(report.throughput_rps > 0.0);
+        let json = report.to_json();
+        assert_eq!(json.expect("verified").unwrap(), &Json::Bool(true));
+        assert_eq!(json.expect("total_requests").unwrap().as_usize(), Some(40));
+    }
+
+    #[test]
+    fn unknown_graph_fails_before_binding_a_port() {
+        let cfg = LoadtestConfig {
+            graph: "missing".into(),
+            ..LoadtestConfig::default()
+        };
+        let err = run_loadtest(GraphRegistry::new(), &cfg).unwrap_err();
+        assert!(err.contains("unknown graph"), "{err}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn merge_replaces_or_appends_the_serve_section() {
+        let cfg = LoadtestConfig {
+            graph: "fig1".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+            clients: 1,
+            requests: 2,
+            kmax: 1,
+        };
+        let report = run_loadtest(tiny_registry(), &cfg).unwrap();
+        let mut doc = Json::object([("schema", Json::Str("x/1".into()))]);
+        merge_serve_section(&mut doc, &report);
+        assert!(doc.expect("serve").is_ok());
+        // Merging again replaces rather than duplicates.
+        merge_serve_section(&mut doc, &report);
+        let Json::Object(members) = &doc else {
+            panic!()
+        };
+        assert_eq!(members.iter().filter(|(k, _)| k == "serve").count(), 1);
+    }
+}

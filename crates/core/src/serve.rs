@@ -1,0 +1,1470 @@
+//! `fp serve`: the long-running filter-placement daemon.
+//!
+//! Turns the batch repro into a query service: graphs are loaded once
+//! into a [`GraphRegistry`], each `(graph, solver, seed)` triple gets a
+//! **warm session** on its own OS thread, and placement / FR /
+//! ladder-curve queries are answered from live solver state in
+//! milliseconds instead of paying load + solve per request.
+//!
+//! # Determinism contract
+//!
+//! A serve answer for `(graph, solver, k, seed)` is **bit-identical**
+//! to the batch [`Problem::solve_ladder`](crate::Problem::solve_ladder)
+//! answer — same placement nodes, same FR bits. Warm sessions make
+//! this cheap, not different: prefix-nested solvers extend one ladder
+//! and cache `(pick, FR)` per rung; the non-nested randomized
+//! baselines (`Rand_I`/`Rand_W`, see
+//! [`SolverKind::is_prefix_nested`]) redraw per budget — a pure
+//! function of `(k, seed)` — and memoize. FR floats cross the wire
+//! through the lossless [`fp_results::json`] writer, so "bit-identical"
+//! survives serialization.
+//!
+//! # Transports
+//!
+//! One port, two protocols, sniffed from the first byte of each
+//! connection:
+//!
+//! * **Frames** — the length-prefixed JSON frames of
+//!   [`fp_results::protocol`] ([`Frame::Call`]/[`Frame::Reply`]); the
+//!   native transport, used by [`ServeClient`], `fp loadtest`, and
+//!   anything that wants a persistent conversation.
+//! * **HTTP/1.1** — a minimal hand-rolled front end (`GET /health`,
+//!   `POST /graphs`, `POST /sessions`, `GET
+//!   /sessions/:id/placement?k=`, ...) so the daemon is curl-able.
+//!   One request per connection (`Connection: close`).
+//!
+//! Both transports dispatch through the same [`ApiState::handle`], so
+//! an HTTP response body and a frame reply body are the same bytes for
+//! the same call.
+//!
+//! # Deadlines
+//!
+//! A query may carry `deadline_ms`. The deadline is enforced at **rung
+//! granularity**: the session checks the clock before growing its
+//! ladder by one more filter, answers `408` if time ran out before the
+//! requested budgets were reached, and *keeps* the partial ladder — a
+//! retry resumes where the expired query stopped. Already-cached rungs
+//! are always served, deadline or not.
+
+use crate::registry::{GraphEntry, GraphRegistry, PutError, PutOutcome};
+use fp_algorithms::SolverKind;
+use fp_graph::NodeId;
+use fp_num::Wide128;
+use fp_results::hash::Fnv64;
+use fp_results::protocol::{
+    read_frame, write_frame, Frame, ServeCall, ServeReply, ServeRequest, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use fp_results::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The default listen address: loopback, port 2012 (the paper's year).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:2012";
+
+// ---------------------------------------------------------------------
+// Warm sessions
+// ---------------------------------------------------------------------
+
+/// One `(k, FR, placement)` row of a query answer.
+///
+/// `placement` is the paper's filter set in **pick order** (insertion
+/// order for greedy ladders), as node indices into the session's
+/// graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KAnswer {
+    /// The requested budget.
+    pub k: usize,
+    /// `FR` at this budget — bit-identical to the batch ladder.
+    pub fr: f64,
+    /// The placement, in pick order.
+    pub placement: Vec<NodeId>,
+}
+
+/// Why a query got no answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The deadline expired before every requested budget was reached;
+    /// `ready` rungs are cached and a retry will resume from there.
+    Expired {
+        /// Ladder rungs computed so far.
+        ready: usize,
+    },
+    /// The session worker is gone (closed or expired concurrently).
+    Closed,
+}
+
+enum SessionCmd {
+    Query {
+        ks: Vec<usize>,
+        deadline: Option<Instant>,
+        reply: mpsc::Sender<Result<Vec<KAnswer>, QueryError>>,
+    },
+    Stop,
+}
+
+const STATE_WARMING: u8 = 1;
+const STATE_READY: u8 = 2;
+
+/// A warm session: one solver ladder kept alive on its own thread.
+///
+/// The handle is cheap to clone (via `Arc`) and thread-safe; queries
+/// from any number of connections are serialized through the session's
+/// command channel, which is what lets interleaved `advance_to`s from
+/// concurrent clients stay bit-identical to a single-client walk.
+pub struct SessionHandle {
+    /// Content-derived id: FNV-1a over (edge hash, solver label, seed).
+    pub id: String,
+    /// The graph being solved.
+    pub graph: Arc<GraphEntry>,
+    /// The solver whose ladder this session walks.
+    pub solver: SolverKind,
+    /// Seed captured at session start (randomized baselines only).
+    pub seed: u64,
+    state: Arc<AtomicU8>,
+    tx: mpsc::Sender<SessionCmd>,
+    last_used: Mutex<Instant>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("id", &self.id)
+            .field("graph", &self.graph.name)
+            .field("solver", &self.solver.label())
+            .field("seed", &self.seed)
+            .field("state", &self.state_name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionHandle {
+    /// Lifecycle state: `"warming"` (building the FR denominators) or
+    /// `"ready"`. Expired sessions are removed from the table, so the
+    /// `"expired"` state is observable only as a later 404.
+    pub fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::Acquire) {
+            STATE_WARMING => "warming",
+            STATE_READY => "ready",
+            _ => "created",
+        }
+    }
+
+    /// Answer the requested budgets, extending the warm ladder as far
+    /// as needed. Blocks while the session works; `deadline_ms` bounds
+    /// that work at rung granularity.
+    pub fn query(
+        &self,
+        ks: &[usize],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<KAnswer>, QueryError> {
+        *self.last_used.lock().expect("session lock poisoned") = Instant::now();
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(SessionCmd::Query {
+                ks: ks.to_vec(),
+                deadline,
+                reply: reply_tx,
+            })
+            .map_err(|_| QueryError::Closed)?;
+        reply_rx.recv().map_err(|_| QueryError::Closed)?
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_used
+            .lock()
+            .expect("session lock poisoned")
+            .elapsed()
+    }
+}
+
+/// Worker body for prefix-nested solvers: one live ladder plus a rung
+/// cache, so a budget is computed at most once per session lifetime.
+fn run_nested_session(
+    graph: &GraphEntry,
+    solver: SolverKind,
+    seed: u64,
+    state: &AtomicU8,
+    rx: &mpsc::Receiver<SessionCmd>,
+) {
+    let solver_impl = solver.build::<Wide128>();
+    let cg = graph.problem.cgraph();
+    let mut session = solver_impl.session(cg, seed);
+    // Rung 0: reading FR here does the one-time denominator passes —
+    // this is the "warming" work a fresh session pays up front.
+    let mut picks: Vec<NodeId> = Vec::new();
+    let mut frs: Vec<f64> = vec![session.fr()];
+    let mut exhausted = false;
+    state.store(STATE_READY, Ordering::Release);
+
+    while let Ok(cmd) = rx.recv() {
+        let SessionCmd::Query {
+            ks,
+            deadline,
+            reply,
+        } = cmd
+        else {
+            break;
+        };
+        let want = ks.iter().copied().max().unwrap_or(0);
+        let mut expired = false;
+        while picks.len() < want && !exhausted && !expired {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                expired = true;
+            } else if let Some(v) = session.next_filter() {
+                picks.push(v);
+                frs.push(session.fr());
+            } else {
+                exhausted = true;
+            }
+        }
+        // A budget past the ladder's natural end answers with the full
+        // ladder — exactly `advance_to`'s early-stop semantics.
+        let answerable = |k: usize| k <= picks.len() || exhausted;
+        let out = if ks.iter().all(|&k| answerable(k)) {
+            Ok(ks
+                .iter()
+                .map(|&k| {
+                    let rung = k.min(picks.len());
+                    KAnswer {
+                        k,
+                        fr: frs[rung],
+                        placement: picks[..rung].to_vec(),
+                    }
+                })
+                .collect())
+        } else {
+            Err(QueryError::Expired { ready: picks.len() })
+        };
+        let _ = reply.send(out);
+    }
+}
+
+/// Worker body for the non-nested randomized baselines: each budget is
+/// an independent redraw (a pure function of `(k, seed)`), memoized.
+fn run_one_shot_session(
+    graph: &GraphEntry,
+    solver: SolverKind,
+    seed: u64,
+    state: &AtomicU8,
+    rx: &mpsc::Receiver<SessionCmd>,
+) {
+    let mut memo: BTreeMap<usize, KAnswer> = BTreeMap::new();
+    let draw = |k: usize| {
+        let (_, placement, fr) = graph
+            .problem
+            .solve_ladder(solver, &[k], seed)
+            .pop()
+            .expect("one budget in, one answer out");
+        KAnswer {
+            k,
+            fr,
+            placement: placement.nodes().to_vec(),
+        }
+    };
+    memo.insert(0, draw(0)); // warm the objective denominators
+    state.store(STATE_READY, Ordering::Release);
+
+    while let Ok(cmd) = rx.recv() {
+        let SessionCmd::Query {
+            ks,
+            deadline,
+            reply,
+        } = cmd
+        else {
+            break;
+        };
+        let mut expired = false;
+        for &k in &ks {
+            if memo.contains_key(&k) {
+                continue;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                expired = true;
+                break;
+            }
+            memo.insert(k, draw(k));
+        }
+        let out = if expired {
+            Err(QueryError::Expired { ready: memo.len() })
+        } else {
+            Ok(ks.iter().map(|k| memo[k].clone()).collect())
+        };
+        let _ = reply.send(out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session table
+// ---------------------------------------------------------------------
+
+/// The daemon's table of warm sessions, keyed by content-derived id.
+///
+/// Duplicate creation is a *conflict* (HTTP 409) — the existing warm
+/// session already answers identically, so a second one could only
+/// waste a thread. Sessions expire after `ttl` of disuse; expiry is
+/// swept lazily on table access.
+pub struct SessionTable {
+    ttl: Option<Duration>,
+    sessions: Mutex<BTreeMap<String, Arc<SessionHandle>>>,
+}
+
+impl std::fmt::Debug for SessionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionTable")
+            .field("len", &self.len())
+            .field("ttl", &self.ttl)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionTable {
+    /// An empty table. `ttl` of `None` means sessions live until
+    /// explicitly closed.
+    pub fn new(ttl: Option<Duration>) -> Self {
+        Self {
+            ttl,
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The content-derived session id: FNV-1a over the graph's edge
+    /// hash, the solver label, and the seed. Two `sessions.open` calls
+    /// for the same triple collide by construction — that is the 409.
+    pub fn session_id(edge_hash: &str, solver: SolverKind, seed: u64) -> String {
+        let mut h = Fnv64::new();
+        h.update(edge_hash.as_bytes());
+        h.update(solver.label().as_bytes());
+        h.update_u64(seed);
+        h.finish_hex()
+    }
+
+    /// Open a warm session; `Err(id)` if that exact session exists.
+    pub fn open(
+        &self,
+        graph: Arc<GraphEntry>,
+        solver: SolverKind,
+        seed: u64,
+    ) -> Result<Arc<SessionHandle>, String> {
+        self.sweep_expired();
+        let id = Self::session_id(&graph.fingerprint.edge_hash, solver, seed);
+        let mut sessions = self.sessions.lock().expect("session table lock poisoned");
+        if sessions.contains_key(&id) {
+            return Err(id);
+        }
+        let (tx, rx) = mpsc::channel();
+        let state = Arc::new(AtomicU8::new(STATE_WARMING));
+        let handle = Arc::new(SessionHandle {
+            id: id.clone(),
+            graph: Arc::clone(&graph),
+            solver,
+            seed,
+            state: Arc::clone(&state),
+            tx,
+            last_used: Mutex::new(Instant::now()),
+        });
+        let worker_graph = Arc::clone(&graph);
+        thread::Builder::new()
+            .name(format!("fp-session-{id}"))
+            .spawn(move || {
+                if solver.is_prefix_nested() {
+                    run_nested_session(&worker_graph, solver, seed, &state, &rx);
+                } else {
+                    run_one_shot_session(&worker_graph, solver, seed, &state, &rx);
+                }
+            })
+            .expect("cannot spawn session thread");
+        sessions.insert(id, Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Look a session up by id (sweeping expired sessions first).
+    pub fn get(&self, id: &str) -> Option<Arc<SessionHandle>> {
+        self.sweep_expired();
+        self.sessions
+            .lock()
+            .expect("session table lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// Close a session explicitly; `false` if it does not exist.
+    pub fn close(&self, id: &str) -> bool {
+        let removed = self
+            .sessions
+            .lock()
+            .expect("session table lock poisoned")
+            .remove(id);
+        match removed {
+            Some(handle) => {
+                let _ = handle.tx.send(SessionCmd::Stop);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All live sessions, in id order.
+    pub fn list(&self) -> Vec<Arc<SessionHandle>> {
+        self.sweep_expired();
+        self.sessions
+            .lock()
+            .expect("session table lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session table lock poisoned")
+            .len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop every session (used at daemon shutdown).
+    pub fn close_all(&self) {
+        let drained: Vec<_> = {
+            let mut sessions = self.sessions.lock().expect("session table lock poisoned");
+            std::mem::take(&mut *sessions).into_values().collect()
+        };
+        for handle in drained {
+            let _ = handle.tx.send(SessionCmd::Stop);
+        }
+    }
+
+    fn sweep_expired(&self) {
+        let Some(ttl) = self.ttl else { return };
+        let mut sessions = self.sessions.lock().expect("session table lock poisoned");
+        let expired: Vec<String> = sessions
+            .iter()
+            .filter(|(_, h)| h.idle_for() > ttl)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in expired {
+            if let Some(handle) = sessions.remove(&id) {
+                let _ = handle.tx.send(SessionCmd::Stop);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The API
+// ---------------------------------------------------------------------
+
+/// The daemon's whole state: registry + session table + stop flag.
+///
+/// [`ApiState::handle`] is the single dispatch point both transports
+/// call, which is what makes an HTTP response body and a frame reply
+/// body byte-identical for the same [`ServeCall`].
+///
+/// ```
+/// use fp_core::registry::GraphRegistry;
+/// use fp_core::serve::ApiState;
+/// use fp_results::protocol::ServeCall;
+///
+/// let api = ApiState::new(GraphRegistry::new(), None);
+/// let (status, body) = api.handle(&ServeCall::Health);
+/// assert_eq!(status, 200);
+/// assert_eq!(body.expect("graphs").unwrap().as_usize(), Some(0));
+/// ```
+pub struct ApiState {
+    registry: GraphRegistry,
+    sessions: SessionTable,
+    stop: AtomicBool,
+}
+
+impl std::fmt::Debug for ApiState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiState")
+            .field("registry", &self.registry)
+            .field("sessions", &self.sessions)
+            .finish_non_exhaustive()
+    }
+}
+
+fn error_body(msg: impl Into<String>) -> Json {
+    Json::object([("error", Json::Str(msg.into()))])
+}
+
+fn session_json(handle: &SessionHandle) -> Json {
+    Json::object([
+        ("session", handle.id.to_json()),
+        ("graph", handle.graph.name.to_json()),
+        ("solver", handle.solver.to_json()),
+        ("seed", handle.seed.to_json()),
+        ("state", Json::Str(handle.state_name().to_string())),
+    ])
+}
+
+impl ApiState {
+    /// Assemble the daemon state. `ttl` bounds session idle lifetime.
+    pub fn new(registry: GraphRegistry, ttl: Option<Duration>) -> Self {
+        Self {
+            registry,
+            sessions: SessionTable::new(ttl),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a `stop` call has been accepted.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// The registry (for callers embedding the state in-process).
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The session table.
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
+    /// Dispatch one call; returns `(status, body)` where `status`
+    /// follows HTTP semantics (200/201/400/404/408/409) on both
+    /// transports.
+    pub fn handle(&self, call: &ServeCall) -> (u16, Json) {
+        match call {
+            ServeCall::Health => (
+                200,
+                Json::object([
+                    ("ok", Json::Bool(true)),
+                    ("protocol", PROTOCOL_VERSION.to_json()),
+                    ("graphs", self.registry.len().to_json()),
+                    ("sessions", self.sessions.len().to_json()),
+                ]),
+            ),
+            ServeCall::GraphList => (
+                200,
+                Json::object([(
+                    "graphs",
+                    Json::Array(
+                        self.registry
+                            .list()
+                            .iter()
+                            .map(|e| e.fingerprint.to_json())
+                            .collect(),
+                    ),
+                )]),
+            ),
+            ServeCall::GraphPut {
+                name,
+                source,
+                edges_text,
+            } => match self.registry.put_edge_list(name, source, edges_text) {
+                Ok((outcome, entry)) => (
+                    if outcome == PutOutcome::Created {
+                        201
+                    } else {
+                        200
+                    },
+                    Json::object([
+                        ("created", Json::Bool(outcome == PutOutcome::Created)),
+                        ("graph", entry.fingerprint.to_json()),
+                    ]),
+                ),
+                Err(err @ PutError::Conflict { .. }) => (409, error_body(err.to_string())),
+                Err(err @ PutError::Invalid(_)) => (400, error_body(err.to_string())),
+            },
+            ServeCall::SessionOpen {
+                graph,
+                solver,
+                seed,
+            } => {
+                let Some(entry) = self.registry.get(graph) else {
+                    return (404, error_body(format!("unknown graph {graph:?}")));
+                };
+                match self.sessions.open(entry, *solver, *seed) {
+                    Ok(handle) => (201, session_json(&handle)),
+                    Err(id) => (
+                        409,
+                        Json::object([
+                            ("error", Json::Str("session already exists".into())),
+                            ("session", id.to_json()),
+                        ]),
+                    ),
+                }
+            }
+            ServeCall::SessionList => (
+                200,
+                Json::object([(
+                    "sessions",
+                    Json::Array(
+                        self.sessions
+                            .list()
+                            .iter()
+                            .map(|h| session_json(h))
+                            .collect(),
+                    ),
+                )]),
+            ),
+            ServeCall::Query {
+                session,
+                ks,
+                deadline_ms,
+            } => {
+                if ks.is_empty() {
+                    return (400, error_body("ks must be non-empty"));
+                }
+                let Some(handle) = self.sessions.get(session) else {
+                    return (404, error_body(format!("unknown session {session:?}")));
+                };
+                match handle.query(ks, *deadline_ms) {
+                    Ok(answers) => (200, query_body(&handle, &answers)),
+                    Err(QueryError::Expired { ready }) => (
+                        408,
+                        Json::object([
+                            ("error", Json::Str("deadline expired".into())),
+                            ("ready_rungs", ready.to_json()),
+                        ]),
+                    ),
+                    Err(QueryError::Closed) => (404, error_body("session closed")),
+                }
+            }
+            ServeCall::SessionClose { session } => {
+                if self.sessions.close(session) {
+                    (200, Json::object([("closed", session.to_json())]))
+                } else {
+                    (404, error_body(format!("unknown session {session:?}")))
+                }
+            }
+            ServeCall::Stop => {
+                self.stop.store(true, Ordering::Release);
+                (200, Json::object([("stopping", Json::Bool(true))]))
+            }
+        }
+    }
+}
+
+fn query_body(handle: &SessionHandle, answers: &[KAnswer]) -> Json {
+    let rows = answers
+        .iter()
+        .map(|a| {
+            Json::object([
+                ("k", a.k.to_json()),
+                ("fr", a.fr.to_json()),
+                (
+                    "placement",
+                    Json::Array(a.placement.iter().map(|v| v.index().to_json()).collect()),
+                ),
+                (
+                    "labels",
+                    Json::Array(
+                        a.placement
+                            .iter()
+                            .map(|&v| Json::Str(handle.graph.node_label(v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("session", handle.id.to_json()),
+        ("solver", handle.solver.to_json()),
+        ("results", Json::Array(rows)),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// The server: one port, two sniffed transports
+// ---------------------------------------------------------------------
+
+/// A bound-but-not-yet-running daemon.
+///
+/// Binding and running are split so callers can learn the actual
+/// address first (port 0 binds an ephemeral port — what every test and
+/// the loadtest harness use).
+pub struct Server {
+    state: Arc<ApiState>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, state: ApiState) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read local addr: {e}"))?;
+        Ok(Self {
+            state: Arc::new(state),
+            listener,
+            addr,
+        })
+    }
+
+    /// The actual bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared daemon state (for in-process embedding).
+    pub fn state(&self) -> &Arc<ApiState> {
+        &self.state
+    }
+
+    /// Accept connections until a `stop` call arrives; each connection
+    /// is served on its own thread. Returns once the acceptor has
+    /// drained and every session is told to stop.
+    pub fn run(self) -> Result<(), String> {
+        for conn in self.listener.incoming() {
+            if self.state.stop_requested() {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => return Err(format!("accept failed: {e}")),
+            };
+            let state = Arc::clone(&self.state);
+            let addr = self.addr;
+            thread::Builder::new()
+                .name("fp-serve-conn".into())
+                .spawn(move || {
+                    // Connection errors (hangups, bad requests) end the
+                    // connection, never the daemon.
+                    let _ = serve_connection(&state, stream, addr);
+                })
+                .map_err(|e| format!("cannot spawn connection thread: {e}"))?;
+        }
+        self.state.sessions().close_all();
+        Ok(())
+    }
+
+    /// Run on a background thread; the returned handle stops the
+    /// daemon cleanly on [`ServerHandle::stop`].
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let state = Arc::clone(&self.state);
+        let join = thread::Builder::new()
+            .name("fp-serve-acceptor".into())
+            .spawn(move || self.run())
+            .expect("cannot spawn acceptor thread");
+        ServerHandle { addr, state, join }
+    }
+}
+
+/// A running background daemon (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ApiState>,
+    join: thread::JoinHandle<Result<(), String>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The daemon's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared daemon state.
+    pub fn state(&self) -> &Arc<ApiState> {
+        &self.state
+    }
+
+    /// Send `stop` and join the acceptor.
+    ///
+    /// Idempotent with a wire-level stop: if a client already called
+    /// `stop` (or `POST /stop`), the daemon may be gone before our
+    /// request lands — that still counts as stopped, so only the join
+    /// can fail then.
+    pub fn stop(self) -> Result<(), String> {
+        let request = ServeClient::connect(self.addr).and_then(|mut c| c.call(ServeCall::Stop));
+        if let Err(e) = request {
+            if !self.state.stop_requested() {
+                return Err(e);
+            }
+        }
+        self.join
+            .join()
+            .map_err(|_| "acceptor thread panicked".to_string())?
+    }
+}
+
+/// The first byte of a frame is the high byte of a big-endian length
+/// capped at [`MAX_FRAME_LEN`] (64 MiB ⇒ `0x04` at most); every HTTP
+/// method starts with an ASCII letter (`0x41`+). One peeked byte
+/// settles the transport.
+fn serve_connection(state: &ApiState, stream: TcpStream, addr: SocketAddr) -> Result<(), String> {
+    let mut first = [0u8; 1];
+    let n = stream
+        .peek(&mut first)
+        .map_err(|e| format!("cannot peek: {e}"))?;
+    if n == 0 {
+        return Ok(()); // connected and hung up
+    }
+    if first[0] <= 0x04 {
+        serve_frame_connection(state, stream, addr)
+    } else {
+        serve_http_connection(state, stream, addr)
+    }
+}
+
+fn wake_acceptor(addr: SocketAddr) {
+    // The acceptor blocks in `accept`; poke it so the stop flag is
+    // seen. The dummy connection is served (and sniffed as an
+    // immediate hangup) if the race goes the other way.
+    let _ = TcpStream::connect(addr);
+}
+
+fn serve_frame_connection(
+    state: &ApiState,
+    stream: TcpStream,
+    addr: SocketAddr,
+) -> Result<(), String> {
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader)? {
+            None | Some(Frame::Shutdown) => return Ok(()),
+            Some(Frame::Call(req)) => {
+                let stopping = matches!(req.call, ServeCall::Stop);
+                let (status, body) = state.handle(&req.call);
+                write_frame(
+                    &mut writer,
+                    &Frame::Reply(ServeReply {
+                        id: req.id,
+                        status,
+                        body,
+                    }),
+                )?;
+                if stopping {
+                    wake_acceptor(addr);
+                    return Ok(());
+                }
+            }
+            Some(other) => {
+                write_frame(
+                    &mut writer,
+                    &Frame::Reply(ServeReply {
+                        id: 0,
+                        status: 400,
+                        body: error_body(format!("expected a call frame, got {other:?}")),
+                    }),
+                )?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The HTTP/1.1 front end
+// ---------------------------------------------------------------------
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    query: BTreeMap<String, String>,
+    body: String,
+}
+
+fn http_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn read_http_request(reader: &mut impl BufRead) -> Result<HttpRequest, (u16, String)> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| (400, format!("cannot read request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or((400, "empty request line".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or((400, "request line has no target".to_string()))?;
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+
+    let mut content_len = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| (400, format!("cannot read header: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_len = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, format!("bad Content-Length {value:?}")))?;
+            }
+        }
+    }
+    if content_len > MAX_FRAME_LEN as usize {
+        return Err((413, format!("body of {content_len} bytes is too large")));
+    }
+    let mut body = vec![0u8; content_len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| (400, format!("truncated body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Map an HTTP request onto a [`ServeCall`].
+fn route(req: &HttpRequest) -> Result<ServeCall, (u16, String)> {
+    let q = |key: &str| -> Result<String, (u16, String)> {
+        req.query
+            .get(key)
+            .cloned()
+            .ok_or((400, format!("missing query parameter {key:?}")))
+    };
+    let q_u64 = |key: &str, default: u64| -> Result<u64, (u16, String)> {
+        match req.query.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| (400, format!("bad {key} {s:?}"))),
+        }
+    };
+    let deadline = || -> Result<Option<u64>, (u16, String)> {
+        match req.query.get("deadline_ms") {
+            None => Ok(None),
+            Some(_) => Ok(Some(q_u64("deadline_ms", 0)?)),
+        }
+    };
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => Ok(ServeCall::Health),
+        ("GET", ["graphs"]) => Ok(ServeCall::GraphList),
+        ("POST", ["graphs"]) => Ok(ServeCall::GraphPut {
+            name: q("name")?,
+            source: q("source")?,
+            edges_text: req.body.clone(),
+        }),
+        ("GET", ["sessions"]) => Ok(ServeCall::SessionList),
+        ("POST", ["sessions"]) => {
+            let solver = q("solver")?;
+            let solver = fp_results::solver_from_label(&solver).map_err(|e| (400, e))?;
+            Ok(ServeCall::SessionOpen {
+                graph: q("graph")?,
+                solver,
+                seed: q_u64("seed", 0)?,
+            })
+        }
+        ("GET", ["sessions", id, "placement"]) => Ok(ServeCall::Query {
+            session: (*id).to_string(),
+            ks: vec![q("k")?.parse().map_err(|_| (400, "bad k".to_string()))?],
+            deadline_ms: deadline()?,
+        }),
+        ("GET", ["sessions", id, "curve"]) => {
+            let ks: Vec<usize> = if let Some(list) = req.query.get("ks") {
+                list.split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| (400, format!("bad ks {list:?}")))?
+            } else {
+                let kmax = q("kmax")?
+                    .parse::<usize>()
+                    .map_err(|_| (400, "bad kmax".to_string()))?;
+                (0..=kmax).collect()
+            };
+            Ok(ServeCall::Query {
+                session: (*id).to_string(),
+                ks,
+                deadline_ms: deadline()?,
+            })
+        }
+        ("DELETE", ["sessions", id]) => Ok(ServeCall::SessionClose {
+            session: (*id).to_string(),
+        }),
+        ("POST", ["stop"]) => Ok(ServeCall::Stop),
+        (_, ["health" | "graphs" | "sessions" | "stop", ..]) => {
+            Err((405, format!("method {} not allowed here", req.method)))
+        }
+        _ => Err((404, format!("no route for {}", req.path))),
+    }
+}
+
+fn write_http_response(w: &mut impl Write, status: u16, body: &Json) -> Result<(), String> {
+    let body = body.to_compact();
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        http_reason(status),
+        body.len(),
+    )
+    .and_then(|()| w.flush())
+    .map_err(|e| format!("cannot write response: {e}"))
+}
+
+fn serve_http_connection(
+    state: &ApiState,
+    stream: TcpStream,
+    addr: SocketAddr,
+) -> Result<(), String> {
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    match read_http_request(&mut reader).and_then(|req| Ok((route(&req)?, ()))) {
+        Ok((call, ())) => {
+            let stopping = matches!(call, ServeCall::Stop);
+            let (status, body) = state.handle(&call);
+            write_http_response(&mut writer, status, &body)?;
+            if stopping {
+                wake_acceptor(addr);
+            }
+            Ok(())
+        }
+        Err((status, msg)) => write_http_response(&mut writer, status, &error_body(msg)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The frame client
+// ---------------------------------------------------------------------
+
+/// A frame-transport client: one persistent connection, matched
+/// call/reply ids.
+///
+/// This is what `fp loadtest` and the e2e tests drive; the CLI's
+/// one-shot queries use it too.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("next_id", &self.next_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeClient {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Send one call, wait for its reply.
+    pub fn call(&mut self, call: ServeCall) -> Result<ServeReply, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &Frame::Call(ServeRequest { id, call }))?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Reply(reply)) if reply.id == id => Ok(reply),
+            Some(Frame::Reply(reply)) => {
+                Err(format!("reply id {} does not match call id {id}", reply.id))
+            }
+            Some(other) => Err(format!("expected a reply frame, got {other:?}")),
+            None => Err("server hung up before replying".to_string()),
+        }
+    }
+
+    /// Send a clean `Shutdown` frame and drop the connection (the
+    /// daemon keeps running — this ends only this conversation).
+    pub fn hang_up(mut self) -> Result<(), String> {
+        write_frame(&mut self.writer, &Frame::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::GraphRegistry;
+    use std::io::Read;
+
+    fn api() -> ApiState {
+        let registry = GraphRegistry::new();
+        registry
+            .put_edge_list(
+                "fig1",
+                "s",
+                "s x\ns y\nx z1\nx z2\ny z2\ny z3\nz1 w\nz2 w\nz3 w\n",
+            )
+            .unwrap();
+        ApiState::new(registry, None)
+    }
+
+    fn open_session(api: &ApiState, solver: SolverKind, seed: u64) -> String {
+        let (status, body) = api.handle(&ServeCall::SessionOpen {
+            graph: "fig1".into(),
+            solver,
+            seed,
+        });
+        assert_eq!(status, 201, "{body:?}");
+        body.expect("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn health_counts_graphs_and_sessions() {
+        let api = api();
+        let (status, body) = api.handle(&ServeCall::Health);
+        assert_eq!(status, 200);
+        assert_eq!(body.expect("graphs").unwrap().as_usize(), Some(1));
+        assert_eq!(body.expect("sessions").unwrap().as_usize(), Some(0));
+        open_session(&api, SolverKind::GreedyAll, 0);
+        let (_, body) = api.handle(&ServeCall::Health);
+        assert_eq!(body.expect("sessions").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_session_is_a_409_naming_the_survivor() {
+        let api = api();
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        let (status, body) = api.handle(&ServeCall::SessionOpen {
+            graph: "fig1".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+        });
+        assert_eq!(status, 409);
+        assert_eq!(body.expect("session").unwrap().as_str(), Some(id.as_str()));
+        // A different seed is a different session.
+        let other = open_session(&api, SolverKind::GreedyAll, 1);
+        assert_ne!(id, other);
+    }
+
+    #[test]
+    fn queries_are_bit_identical_to_the_batch_ladder() {
+        let api = api();
+        let ks: Vec<usize> = vec![0, 1, 2, 3];
+        for solver in SolverKind::PAPER_SET {
+            let seed = 42;
+            let id = open_session(&api, solver, seed);
+            let (status, body) = api.handle(&ServeCall::Query {
+                session: id,
+                ks: ks.clone(),
+                deadline_ms: None,
+            });
+            assert_eq!(status, 200, "{solver:?}: {body:?}");
+            let batch = api
+                .registry()
+                .get("fig1")
+                .unwrap()
+                .problem
+                .solve_ladder(solver, &ks, seed);
+            let results = body.expect("results").unwrap().as_array().unwrap();
+            assert_eq!(results.len(), batch.len());
+            for (row, (k, placement, fr)) in results.iter().zip(batch) {
+                assert_eq!(row.expect("k").unwrap().as_usize(), Some(k));
+                let got_fr = row.expect("fr").unwrap().as_f64().unwrap();
+                assert_eq!(got_fr.to_bits(), fr.to_bits(), "{solver:?} k={k}");
+                let got_nodes: Vec<usize> = row
+                    .expect("placement")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_usize().unwrap())
+                    .collect();
+                let want: Vec<usize> = placement.nodes().iter().map(|v| v.index()).collect();
+                assert_eq!(got_nodes, want, "{solver:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_sessions_answer_smaller_budgets_after_larger_ones() {
+        let api = api();
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        let big = api.handle(&ServeCall::Query {
+            session: id.clone(),
+            ks: vec![3],
+            deadline_ms: None,
+        });
+        assert_eq!(big.0, 200);
+        let (status, body) = api.handle(&ServeCall::Query {
+            session: id,
+            ks: vec![1],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200);
+        let fig1 = api.registry().get("fig1").unwrap();
+        let batch = fig1.problem.solve_ladder(SolverKind::GreedyAll, &[1], 0);
+        let row = &body.expect("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            row.expect("fr").unwrap().as_f64().unwrap().to_bits(),
+            batch[0].2.to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_deadline_expires_fresh_work_but_serves_cached_rungs() {
+        let api = api();
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        // Demand fresh rungs in zero time: deterministic 408.
+        let (status, body) = api.handle(&ServeCall::Query {
+            session: id.clone(),
+            ks: vec![3],
+            deadline_ms: Some(0),
+        });
+        assert_eq!(status, 408, "{body:?}");
+        // Cached rungs (k=0 is always rung 0) are served even at 0 ms.
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: id.clone(),
+            ks: vec![0],
+            deadline_ms: Some(0),
+        });
+        assert_eq!(status, 200);
+        // And without a deadline the interrupted budget completes.
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: id,
+            ks: vec![3],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn error_paths_name_the_problem() {
+        let api = api();
+        let (status, _) = api.handle(&ServeCall::SessionOpen {
+            graph: "nope".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+        });
+        assert_eq!(status, 404);
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: "nope".into(),
+            ks: vec![1],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 404);
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: id,
+            ks: vec![],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 400);
+        let (status, _) = api.handle(&ServeCall::SessionClose {
+            session: "nope".into(),
+        });
+        assert_eq!(status, 404);
+        let (status, _) = api.handle(&ServeCall::GraphPut {
+            name: "fig1".into(),
+            source: "s".into(),
+            edges_text: "s t\n".into(),
+        });
+        assert_eq!(status, 409);
+    }
+
+    #[test]
+    fn close_then_query_is_a_404() {
+        let api = api();
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        let (status, _) = api.handle(&ServeCall::SessionClose {
+            session: id.clone(),
+        });
+        assert_eq!(status, 200);
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: id,
+            ks: vec![1],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn idle_sessions_expire_lazily() {
+        let registry = GraphRegistry::new();
+        registry.put_edge_list("g", "s", "s a\na b\n").unwrap();
+        let api = ApiState::new(registry, Some(Duration::from_millis(0)));
+        let (status, _) = api.handle(&ServeCall::SessionOpen {
+            graph: "g".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+        });
+        assert_eq!(status, 201);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(api.sessions().list().len(), 0, "ttl 0 expires on sweep");
+    }
+
+    #[test]
+    fn http_routes_map_onto_serve_calls() {
+        let req = |method: &str, target: &str, body: &str| {
+            let raw = format!(
+                "{method} {target} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let mut reader = std::io::BufReader::new(raw.as_bytes());
+            let parsed = read_http_request(&mut reader).unwrap();
+            route(&parsed)
+        };
+        assert_eq!(req("GET", "/health", "").unwrap(), ServeCall::Health);
+        assert_eq!(
+            req("POST", "/graphs?name=g&source=s", "s a\n").unwrap(),
+            ServeCall::GraphPut {
+                name: "g".into(),
+                source: "s".into(),
+                edges_text: "s a\n".into(),
+            }
+        );
+        assert_eq!(
+            req("POST", "/sessions?graph=g&solver=G_ALL&seed=7", "").unwrap(),
+            ServeCall::SessionOpen {
+                graph: "g".into(),
+                solver: SolverKind::GreedyAll,
+                seed: 7,
+            }
+        );
+        assert_eq!(
+            req("GET", "/sessions/abc/placement?k=3", "").unwrap(),
+            ServeCall::Query {
+                session: "abc".into(),
+                ks: vec![3],
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            req("GET", "/sessions/abc/curve?kmax=2&deadline_ms=50", "").unwrap(),
+            ServeCall::Query {
+                session: "abc".into(),
+                ks: vec![0, 1, 2],
+                deadline_ms: Some(50),
+            }
+        );
+        assert_eq!(
+            req("GET", "/sessions/abc/curve?ks=2,0,2", "").unwrap(),
+            ServeCall::Query {
+                session: "abc".into(),
+                ks: vec![2, 0, 2],
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            req("DELETE", "/sessions/abc", "").unwrap(),
+            ServeCall::SessionClose {
+                session: "abc".into(),
+            }
+        );
+        assert_eq!(req("POST", "/stop", "").unwrap(), ServeCall::Stop);
+        assert_eq!(req("PATCH", "/health", "").unwrap_err().0, 405);
+        assert_eq!(req("GET", "/wat", "").unwrap_err().0, 404);
+        assert_eq!(
+            req("GET", "/sessions/abc/placement", "").unwrap_err().0,
+            400
+        );
+    }
+
+    #[test]
+    fn frame_and_http_transports_serve_the_same_bytes() {
+        let server = Server::bind("127.0.0.1:0", api()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let mut client = ServeClient::connect(addr).unwrap();
+        let open = client
+            .call(ServeCall::SessionOpen {
+                graph: "fig1".into(),
+                solver: SolverKind::GreedyAll,
+                seed: 0,
+            })
+            .unwrap();
+        assert_eq!(open.status, 201);
+        let id = open
+            .body
+            .expect("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let frame_reply = client
+            .call(ServeCall::Query {
+                session: id.clone(),
+                ks: vec![2],
+                deadline_ms: None,
+            })
+            .unwrap();
+        assert_eq!(frame_reply.status, 200);
+
+        // Same query over HTTP: the body bytes must match the frame
+        // reply's body exactly.
+        let mut http = TcpStream::connect(addr).unwrap();
+        write!(
+            http,
+            "GET /sessions/{id}/placement?k=2 HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        http.read_to_string(&mut raw).unwrap();
+        let (head, http_body) = raw.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(http_body, frame_reply.body.to_compact());
+
+        client.hang_up().unwrap();
+        handle.stop().unwrap();
+    }
+}

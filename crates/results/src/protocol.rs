@@ -28,6 +28,35 @@
 //! `Err`s; only a clean EOF *between* frames reads as `Ok(None)`. The
 //! dispatcher treats any of them as a worker crash: the in-flight cell
 //! is re-queued and the worker restarted (see DESIGN.md §7).
+//!
+//! # The serve extension
+//!
+//! The same framing carries the **`fp serve` service protocol**
+//! (DESIGN.md §10): a client sends [`Frame::Call`] frames — a tagged
+//! [`ServeCall`] naming one operation against the daemon's graph
+//! registry / session table — and the server answers each with a
+//! [`Frame::Reply`] echoing the tag plus an HTTP-style status code and
+//! a JSON body. The body is an opaque [`Json`] value at this layer
+//! (the daemon's HTTP front end serves the *same* bytes), so numbers
+//! ride the lossless writer and a served FR curve is bit-identical to
+//! the batch path's:
+//!
+//! ```text
+//! C → S   call      { id, op, ... }           # one operation
+//! S → C   reply     { id, status, body }      #   answered in order
+//! C → S   shutdown  {}                        # then the client hangs up
+//! ```
+//!
+//! ```
+//! use fp_results::protocol::{read_frame, write_frame, Frame, ServeCall, ServeRequest};
+//!
+//! // A health probe, framed and read back losslessly.
+//! let call = Frame::Call(ServeRequest { id: 1, call: ServeCall::Health });
+//! let mut wire = Vec::new();
+//! write_frame(&mut wire, &call).unwrap();
+//! let back = read_frame(&mut wire.as_slice()).unwrap();
+//! assert_eq!(back, Some(call));
+//! ```
 
 use crate::json::{FromJson, Json, ToJson};
 use crate::sweep::{Cell, CellOut};
@@ -95,6 +124,87 @@ pub struct CellResponse {
     pub output: CellOut,
 }
 
+/// One operation against a running `fp serve` daemon.
+///
+/// Budgets (`ks`) and the optional per-request deadline are carried
+/// explicitly; everything else is addressed by string key — graphs by
+/// registry name or dataset fingerprint, sessions by their
+/// content-derived id (see DESIGN.md §10).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeCall {
+    /// Liveness probe; also reports registry/session counts.
+    Health,
+    /// Enumerate the graphs the registry holds.
+    GraphList,
+    /// Upload an edge list under `name`, rooted at the node labeled
+    /// `source`. Registering identical content twice is idempotent;
+    /// reusing a name for *different* content is a conflict.
+    GraphPut {
+        /// Registry name for the uploaded graph.
+        name: String,
+        /// Label of the propagation source within the edge list.
+        source: String,
+        /// The whitespace-separated `source target` edge-list text.
+        edges_text: String,
+    },
+    /// Create a warm solver session on a registered graph. The session
+    /// id is derived from `(graph, solver, seed)`; creating the same
+    /// session twice is a conflict (409), so clients either share by
+    /// agreement or vary the seed.
+    SessionOpen {
+        /// Graph key: registry name or dataset fingerprint hash.
+        graph: String,
+        /// The solver the session runs.
+        solver: SolverKind,
+        /// Trial seed (read only by randomized solvers).
+        seed: u64,
+    },
+    /// Enumerate live sessions.
+    SessionList,
+    /// Ask a session for its placement + FR at each budget in `ks`.
+    /// `deadline_ms` bounds the time the session may spend *computing*
+    /// (enforced between ladder rungs); rungs already warm are always
+    /// served.
+    Query {
+        /// The session id.
+        session: String,
+        /// Budgets to report, in the caller's order.
+        ks: Vec<usize>,
+        /// Optional compute budget in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Close a session explicitly (its worker thread exits).
+    SessionClose {
+        /// The session id.
+        session: String,
+    },
+    /// Stop the daemon: close every session, then leave the accept
+    /// loop.
+    Stop,
+}
+
+/// One tagged [`ServeCall`], so replies can be matched up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Client-chosen tag echoed back in the reply.
+    pub id: u64,
+    /// The operation.
+    pub call: ServeCall,
+}
+
+/// The daemon's answer to one [`ServeRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReply {
+    /// The request's tag.
+    pub id: u64,
+    /// HTTP-style status code (200/201 ok, 400 bad request, 404
+    /// unknown key, 408 deadline expired, 409 conflict, …). The HTTP
+    /// front end forwards it verbatim.
+    pub status: u16,
+    /// JSON body; the HTTP front end serves these same bytes.
+    pub body: Json,
+}
+
 /// Every message that can cross the pipe.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -106,7 +216,12 @@ pub enum Frame {
     Request(CellRequest),
     /// Worker → dispatcher result.
     Response(CellResponse),
-    /// Dispatcher → worker: drain and exit cleanly.
+    /// Client → serve daemon operation.
+    Call(ServeRequest),
+    /// Serve daemon → client answer.
+    Reply(ServeReply),
+    /// Dispatcher → worker (or serve client → daemon): drain and hang
+    /// up cleanly.
     Shutdown,
 }
 
@@ -191,6 +306,101 @@ impl FromJson for CellOut {
     }
 }
 
+impl ToJson for ServeCall {
+    fn to_json(&self) -> Json {
+        let op = |name: &str| Json::Str(name.to_string());
+        match self {
+            ServeCall::Health => Json::object([("op", op("health"))]),
+            ServeCall::GraphList => Json::object([("op", op("graphs.list"))]),
+            ServeCall::GraphPut {
+                name,
+                source,
+                edges_text,
+            } => Json::object([
+                ("op", op("graphs.put")),
+                ("name", name.to_json()),
+                ("source", source.to_json()),
+                ("edges_text", edges_text.to_json()),
+            ]),
+            ServeCall::SessionOpen {
+                graph,
+                solver,
+                seed,
+            } => Json::object([
+                ("op", op("sessions.open")),
+                ("graph", graph.to_json()),
+                ("solver", solver.to_json()),
+                ("seed", seed.to_json()),
+            ]),
+            ServeCall::SessionList => Json::object([("op", op("sessions.list"))]),
+            ServeCall::Query {
+                session,
+                ks,
+                deadline_ms,
+            } => {
+                let mut members = vec![
+                    ("op", op("query")),
+                    ("session", session.to_json()),
+                    ("ks", ks.to_json()),
+                ];
+                if let Some(ms) = deadline_ms {
+                    members.push(("deadline_ms", ms.to_json()));
+                }
+                Json::object(members)
+            }
+            ServeCall::SessionClose { session } => {
+                Json::object([("op", op("sessions.close")), ("session", session.to_json())])
+            }
+            ServeCall::Stop => Json::object([("op", op("stop"))]),
+        }
+    }
+}
+
+impl FromJson for ServeCall {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let text = |key: &str| -> Result<String, String> {
+            Ok(v.expect(key)?
+                .as_str()
+                .ok_or_else(|| format!("bad {key}"))?
+                .to_string())
+        };
+        match v.expect("op")?.as_str() {
+            Some("health") => Ok(ServeCall::Health),
+            Some("graphs.list") => Ok(ServeCall::GraphList),
+            Some("graphs.put") => Ok(ServeCall::GraphPut {
+                name: text("name")?,
+                source: text("source")?,
+                edges_text: text("edges_text")?,
+            }),
+            Some("sessions.open") => Ok(ServeCall::SessionOpen {
+                graph: text("graph")?,
+                solver: SolverKind::from_json(v.expect("solver")?)?,
+                seed: v.expect("seed")?.as_u64().ok_or("bad seed")?,
+            }),
+            Some("sessions.list") => Ok(ServeCall::SessionList),
+            Some("query") => Ok(ServeCall::Query {
+                session: text("session")?,
+                ks: v
+                    .expect("ks")?
+                    .as_array()
+                    .ok_or("ks must be an array")?
+                    .iter()
+                    .map(|k| k.as_usize().ok_or_else(|| format!("bad k: {k:?}")))
+                    .collect::<Result<Vec<_>, _>>()?,
+                deadline_ms: v
+                    .get("deadline_ms")
+                    .map(|ms| ms.as_u64().ok_or("bad deadline_ms"))
+                    .transpose()?,
+            }),
+            Some("sessions.close") => Ok(ServeCall::SessionClose {
+                session: text("session")?,
+            }),
+            Some("stop") => Ok(ServeCall::Stop),
+            other => Err(format!("unknown serve op {other:?}")),
+        }
+    }
+}
+
 impl ToJson for Frame {
     fn to_json(&self) -> Json {
         match self {
@@ -223,6 +433,26 @@ impl ToJson for Frame {
                 ("type", Json::Str("response".into())),
                 ("id", resp.id.to_json()),
                 ("output", resp.output.to_json()),
+            ]),
+            Frame::Call(call) => {
+                // Flatten the call's own members after `type` and `id`, so
+                // the wire shape matches every other frame kind: one flat
+                // object with a `type` discriminator up front.
+                let Json::Object(fields) = call.call.to_json() else {
+                    unreachable!("ServeCall always serializes to an object")
+                };
+                let mut members = vec![
+                    ("type".to_string(), Json::Str("call".into())),
+                    ("id".to_string(), call.id.to_json()),
+                ];
+                members.extend(fields);
+                Json::Object(members)
+            }
+            Frame::Reply(reply) => Json::object([
+                ("type", Json::Str("reply".into())),
+                ("id", reply.id.to_json()),
+                ("status", u64::from(reply.status).to_json()),
+                ("body", reply.body.clone()),
             ]),
             Frame::Shutdown => Json::object([("type", Json::Str("shutdown".into()))]),
         }
@@ -267,6 +497,16 @@ impl FromJson for Frame {
             Some("response") => Ok(Frame::Response(CellResponse {
                 id: v.expect("id")?.as_u64().ok_or("bad response id")?,
                 output: CellOut::from_json(v.expect("output")?)?,
+            })),
+            Some("call") => Ok(Frame::Call(ServeRequest {
+                id: v.expect("id")?.as_u64().ok_or("bad call id")?,
+                call: ServeCall::from_json(v)?,
+            })),
+            Some("reply") => Ok(Frame::Reply(ServeReply {
+                id: v.expect("id")?.as_u64().ok_or("bad reply id")?,
+                status: u16::try_from(v.expect("status")?.as_u64().ok_or("bad status")?)
+                    .map_err(|_| "status out of range".to_string())?,
+                body: v.expect("body")?.clone(),
             })),
             Some("shutdown") => Ok(Frame::Shutdown),
             other => Err(format!("unknown frame type {other:?}")),
@@ -464,6 +704,88 @@ mod tests {
                 r#"{"type":"init","nodes":2,"edges":[[0]],"source":0,"ks":[]}"#,
                 "edge",
             ),
+        ] {
+            let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+            buf.extend_from_slice(body.as_bytes());
+            let err = read_frame(&mut buf.as_slice()).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn every_serve_call_roundtrips() {
+        let calls = [
+            ServeCall::Health,
+            ServeCall::GraphList,
+            ServeCall::GraphPut {
+                name: "mine".into(),
+                source: "s".into(),
+                edges_text: "s a\ns b\na c\n".into(),
+            },
+            ServeCall::SessionOpen {
+                graph: "fig1".into(),
+                solver: SolverKind::GreedyAll,
+                seed: 2012,
+            },
+            ServeCall::SessionList,
+            ServeCall::Query {
+                session: "abc123".into(),
+                ks: vec![0, 1, 5],
+                deadline_ms: None,
+            },
+            ServeCall::Query {
+                session: "abc123".into(),
+                ks: vec![2],
+                deadline_ms: Some(250),
+            },
+            ServeCall::SessionClose {
+                session: "abc123".into(),
+            },
+            ServeCall::Stop,
+        ];
+        for (i, call) in calls.into_iter().enumerate() {
+            let frame = Frame::Call(ServeRequest { id: i as u64, call });
+            assert_eq!(roundtrip(&frame), frame);
+        }
+    }
+
+    #[test]
+    fn serve_replies_roundtrip_with_exact_float_bodies() {
+        let frame = Frame::Reply(ServeReply {
+            id: 9,
+            status: 200,
+            body: Json::object([("fr", (2.0f64 / 3.0).to_json())]),
+        });
+        let back = roundtrip(&frame);
+        assert_eq!(back, frame);
+        match back {
+            Frame::Reply(reply) => {
+                let fr = reply.body.expect("fr").unwrap().as_f64().unwrap();
+                assert_eq!(fr.to_bits(), (2.0f64 / 3.0).to_bits());
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_serve_fields_name_the_problem() {
+        for (body, needle) in [
+            (r#"{"type":"call","id":1,"op":"frob"}"#, "unknown serve op"),
+            (r#"{"type":"call","op":"health"}"#, "id"),
+            (r#"{"type":"call","id":1,"op":"query","session":"s"}"#, "ks"),
+            (
+                r#"{"type":"call","id":1,"op":"query","session":"s","ks":[1],"deadline_ms":"soon"}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"type":"call","id":1,"op":"sessions.open","graph":"g","solver":"NOPE","seed":1}"#,
+                "solver",
+            ),
+            (
+                r#"{"type":"reply","id":1,"status":99999,"body":null}"#,
+                "status",
+            ),
+            (r#"{"type":"reply","id":1,"status":200}"#, "body"),
         ] {
             let mut buf = (body.len() as u32).to_be_bytes().to_vec();
             buf.extend_from_slice(body.as_bytes());
