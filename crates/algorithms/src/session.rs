@@ -166,6 +166,7 @@ pub fn walk_ladder(session: &mut dyn SolverSession, ks: &[usize]) -> Vec<(usize,
     sorted.dedup();
     let mut at: Vec<(usize, FilterSet, f64)> = Vec::with_capacity(sorted.len());
     for &k in &sorted {
+        let _span = fp_obs::span("ladder.rung").arg("k", k as i64);
         session.advance_to(k);
         at.push((k, session.placement().clone(), session.fr()));
     }

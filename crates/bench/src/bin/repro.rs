@@ -13,6 +13,9 @@
 //!     --budget SECS   wall-clock cap; later figures are skipped and a
 //!                     sweep interrupted mid-flight is discarded
 //!                     (with --workers it only gates between figures)
+//!     --trace FILE    dump Chrome trace-event JSON of the run (spans
+//!                     use monotonic clocks only — the figures' bytes
+//!                     are identical traced or not)
 //!
 //! cargo run --release -p fp-bench --bin repro -- baseline [--fast] [--out FILE]
 //!     time every figure once and write a BENCH_baseline.json document
@@ -26,11 +29,20 @@ fn fail(message: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Everything `parse` extracts from argv.
+struct Parsed {
+    selected: Vec<String>,
+    opts: fp_bench::ReproOptions,
+    out_file: Option<String>,
+    trace_file: Option<String>,
+}
+
 /// Split argv into figure selections and `--flag value` options.
-fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option<String>), String> {
+fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut selected = Vec::new();
     let mut opts = fp_bench::ReproOptions::default();
     let mut out_file = None;
+    let mut trace_file = None;
     let mut jobs_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,6 +79,9 @@ fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option
                 }
                 opts.budget = Some(Duration::from_secs_f64(secs));
             }
+            "--trace" => {
+                trace_file = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             figure => selected.push(figure.to_string()),
         }
@@ -78,7 +93,22 @@ fn parse(args: &[String]) -> Result<(Vec<String>, fp_bench::ReproOptions, Option
                 .to_string(),
         );
     }
-    Ok((selected, opts, out_file))
+    Ok(Parsed {
+        selected,
+        opts,
+        out_file,
+        trace_file,
+    })
+}
+
+/// Stop recording and dump the span ring as Chrome trace-event JSON.
+fn dump_trace(path: &str) {
+    let tracer = fp_obs::tracer();
+    tracer.disable();
+    if let Err(e) = std::fs::write(path, tracer.chrome_trace_json()) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+    eprintln!("trace: {} span(s) written to {path}", tracer.len());
 }
 
 fn main() {
@@ -96,10 +126,18 @@ fn main() {
         return;
     }
 
-    let (selected, opts, out_file) = match parse(&args) {
+    let Parsed {
+        selected,
+        opts,
+        out_file,
+        trace_file,
+    } = match parse(&args) {
         Ok(parsed) => parsed,
         Err(e) => fail(&e),
     };
+    if trace_file.is_some() {
+        fp_obs::tracer().enable();
+    }
 
     // `repro baseline`: time the figures, emit BENCH_baseline.json.
     if selected.first().map(String::as_str) == Some("baseline") {
@@ -118,6 +156,9 @@ fn main() {
                 }
                 eprintln!("baseline written to {path}");
             }
+        }
+        if let Some(path) = &trace_file {
+            dump_trace(path);
         }
         return;
     }
@@ -154,5 +195,8 @@ fn main() {
             "results under {}: {computed} sweep(s) computed, {hits} cache hit(s)",
             dir.display()
         );
+    }
+    if let Some(path) = &trace_file {
+        dump_trace(path);
     }
 }

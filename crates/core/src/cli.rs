@@ -13,9 +13,11 @@
 //! fp stats    --input edges.txt
 //! fp generate --dataset layered-sparse|layered-dense|quote|twitter|citation
 //!             [--seed N] [--scale F]
-//! fp serve    [--addr HOST:PORT] [--ttl-secs N]
+//! fp serve    [--addr HOST:PORT] [--ttl-secs N] [--trace FILE]
 //! fp loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N]
 //!             [--requests N] [--kmax N] [--baseline FILE]
+//!             [--transport frame|http] [--check FILE [--tolerance F]]
+//! fp trace    --summary FILE
 //! ```
 //!
 //! Edge lists are whitespace-separated `source target` lines (`#`
@@ -57,7 +59,10 @@
 //! table in lockstep.
 
 use crate::experiment::{run_sweep_with, SweepConfig, SweepResult};
-use crate::loadtest::{merge_serve_section, run_loadtest, LoadtestConfig};
+use crate::loadtest::{
+    check_against_baseline, merge_serve_section, run_loadtest, LoadtestConfig, Transport,
+    DEFAULT_CHECK_TOLERANCE,
+};
 use crate::registry::GraphRegistry;
 use crate::report::{cdf_table, sweep_table, Table};
 use crate::serve::{ApiState, Server, DEFAULT_ADDR};
@@ -101,6 +106,7 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
         "sweep",
         &[
             "input", "source", "kmax", "trials", "seed", "format", "out", "jobs", "workers",
+            "trace",
         ],
     ),
     ("report", &["run", "list", "format"]),
@@ -108,13 +114,23 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
     ("gc", &["out", "keep", "max-age"]),
     ("stats", &["input"]),
     ("generate", &["dataset", "seed", "scale"]),
-    ("serve", &["addr", "ttl-secs"]),
+    ("serve", &["addr", "ttl-secs", "trace"]),
     (
         "loadtest",
         &[
-            "graph", "solver", "seed", "clients", "requests", "kmax", "baseline",
+            "graph",
+            "solver",
+            "seed",
+            "clients",
+            "requests",
+            "kmax",
+            "baseline",
+            "transport",
+            "check",
+            "tolerance",
         ],
     ),
+    ("trace", &["summary"]),
 ];
 
 /// Refuse flags outside the command's [`FLAG_SPEC`] vocabulary.
@@ -290,6 +306,7 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         }
     };
 
+    let trace = trace_enable(flags);
     let mut header = String::new();
     let result = match flags.get("out") {
         None => compute()?,
@@ -315,10 +332,14 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
             }
         }
     };
+    if let Some(path) = trace {
+        header.push_str(&trace_dump(path)?);
+    }
     let table = sweep_table(&result);
-    // CSV output must stay machine-clean: the run-status line is only
-    // prepended to the human-readable table (`report --format csv` and
-    // `sweep --out --format csv` emit interchangeable bytes).
+    // CSV output must stay machine-clean: the run-status and trace
+    // lines are only prepended to the human-readable table (`report
+    // --format csv` and `sweep --out --format csv` emit
+    // interchangeable bytes); the trace file is written either way.
     Ok(if format == "csv" {
         table.to_csv()
     } else {
@@ -598,6 +619,90 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(to_edge_list(&g))
 }
 
+/// Turn on the global span recorder when `--trace FILE` was passed;
+/// returns the dump path so the caller can write the ring out when the
+/// command finishes. Tracing touches monotonic clocks only, so the
+/// traced command's *results* are byte-identical to an untraced run
+/// (the determinism gate holds this).
+fn trace_enable(flags: &HashMap<String, String>) -> Option<&String> {
+    let path = flags.get("trace");
+    if path.is_some() {
+        fp_obs::tracer().enable();
+    }
+    path
+}
+
+/// Stop recording and dump the ring as Chrome trace-event JSON; returns
+/// a one-line status for the human-readable output.
+fn trace_dump(path: &str) -> Result<String, String> {
+    let tracer = fp_obs::tracer();
+    tracer.disable();
+    std::fs::write(path, tracer.chrome_trace_json())
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    let overwritten = tracer.overwritten();
+    let wrapped = if overwritten > 0 {
+        format!(" ({overwritten} older span(s) overwritten by the ring)")
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "trace: {} span(s) written to {path}{wrapped}\n",
+        tracer.len()
+    ))
+}
+
+/// `fp trace --summary FILE`: aggregate a dumped Chrome trace per span
+/// name — count, total, mean, and max duration, heaviest first.
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<String, String> {
+    let path = required(flags, "summary")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let doc = fp_results::Json::parse(&text).map_err(|e| format!("{path:?}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(fp_results::Json::as_array)
+        .ok_or_else(|| format!("{path:?} has no traceEvents array (not a trace dump?)"))?;
+    let mut durations = Vec::with_capacity(events.len());
+    for event in events {
+        // Complete ("X") events carry name + dur; anything else (e.g.
+        // metadata records) is skipped rather than rejected.
+        let (Some(name), Some(dur)) = (
+            event.get("name").and_then(fp_results::Json::as_str),
+            event.get("dur").and_then(fp_results::Json::as_f64),
+        ) else {
+            continue;
+        };
+        durations.push((name.to_string(), dur));
+    }
+    let rows = fp_obs::trace::summarize(&durations);
+    let mut out = format!(
+        "{} span(s) across {} name(s) in {path}\n",
+        durations.len(),
+        rows.len()
+    );
+    if let Some(overwritten) = doc
+        .get("overwrittenSpans")
+        .and_then(fp_results::Json::as_u64)
+    {
+        if overwritten > 0 {
+            out.push_str(&format!(
+                "ring overwrote {overwritten} older span(s) before the dump\n"
+            ));
+        }
+    }
+    let mut table = Table::new(["span", "count", "total us", "mean us", "max us"]);
+    for row in &rows {
+        table.row([
+            row.name.clone(),
+            row.count.to_string(),
+            format!("{:.1}", row.total_us),
+            format!("{:.1}", row.mean_us),
+            format!("{:.1}", row.max_us),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    Ok(out)
+}
+
 /// `fp serve [--addr HOST:PORT] [--ttl-secs N]`: run the placement
 /// daemon until a `stop` call arrives (DESIGN.md §10).
 ///
@@ -616,6 +721,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         })
         .transpose()?
         .map(std::time::Duration::from_secs);
+    let trace = trace_enable(flags);
     let registry = GraphRegistry::with_builtins();
     let graphs = registry.len();
     let server = Server::bind(addr, ApiState::new(registry, ttl))?;
@@ -625,16 +731,27 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
          POST /stop or a `stop` call shuts down)"
     );
     server.run()?;
-    Ok(format!("fp serve: stopped ({local})\n"))
+    let mut out = format!("fp serve: stopped ({local})\n");
+    if let Some(path) = trace {
+        out.push_str(&trace_dump(path)?);
+    }
+    Ok(out)
 }
 
 /// `fp loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N]
-/// [--requests N] [--kmax N] [--baseline FILE]`: drive an in-process
-/// daemon with concurrent clients and report verified latency.
+/// [--requests N] [--kmax N] [--transport frame|http] [--baseline FILE]
+/// [--check FILE [--tolerance F]]`: drive an in-process daemon with
+/// concurrent clients and report verified latency.
 ///
 /// Every response is checked bit-for-bit against the batch ladder
-/// before any latency is reported; `--baseline FILE` folds the numbers
-/// into an existing `BENCH_baseline.json`'s `serve` section.
+/// before any latency is reported. `--transport http` drives the HTTP
+/// endpoint instead of the frame protocol and measures a
+/// `Connection: close` phase and a keep-alive phase side by side.
+/// `--baseline FILE` folds the numbers into an existing
+/// `BENCH_baseline.json`'s `serve` section; `--check FILE` instead
+/// *compares* against that recorded section and errors (non-zero exit)
+/// when p50/p99 latency or throughput regressed beyond `--tolerance`
+/// (default [`DEFAULT_CHECK_TOLERANCE`]).
 fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
     let mut cfg = LoadtestConfig::default();
     if let Some(graph) = flags.get("graph") {
@@ -656,8 +773,30 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
     cfg.clients = parse_usize("clients", cfg.clients)?;
     cfg.requests = parse_usize("requests", cfg.requests)?;
     cfg.kmax = parse_usize("kmax", cfg.kmax)?;
+    cfg.transport = flags
+        .get("transport")
+        .map_or(Ok(cfg.transport), |s| Transport::parse(s))?;
     if cfg.clients == 0 || cfg.requests == 0 {
         return Err("--clients and --requests must be at least 1".to_string());
+    }
+    if flags.contains_key("tolerance") && !flags.contains_key("check") {
+        return Err("--tolerance only applies with --check FILE".to_string());
+    }
+    let tolerance: f64 = flags
+        .get("tolerance")
+        .map_or(Ok(DEFAULT_CHECK_TOLERANCE), |s| {
+            s.parse()
+                .map_err(|_| "--tolerance must be a number".to_string())
+        })?;
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err("--tolerance must be non-negative".to_string());
+    }
+    if flags.contains_key("check") && flags.contains_key("baseline") {
+        return Err(
+            "--baseline rewrites the serve section that --check compares against; \
+             pass one or the other"
+                .to_string(),
+        );
     }
     let report = run_loadtest(GraphRegistry::with_builtins(), &cfg)?;
     let mut out = format!(
@@ -677,6 +816,32 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
         report.throughput_rps,
         report.wall_ms,
     );
+    if let Some(http) = &report.http {
+        let phase = |name: &str, p: &crate::loadtest::PhaseNumbers| {
+            format!(
+                "  {name}: p50 {} µs   p99 {} µs   max {} µs   {:.0} req/s\n",
+                p.p50_us, p.p99_us, p.max_us, p.throughput_rps,
+            )
+        };
+        out.push_str("http phases (headline numbers are keep-alive):\n");
+        out.push_str(&phase("close     ", &http.close));
+        out.push_str(&phase("keep-alive", &http.keep_alive));
+    }
+    if let Some(path) = flags.get("check") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let doc = fp_results::Json::parse(&text).map_err(|e| format!("{path:?}: {e}"))?;
+        let check = check_against_baseline(&report, &doc, tolerance)?;
+        out.push_str(&format!("check against {path} (tolerance {tolerance}):\n"));
+        for line in &check.lines {
+            out.push_str(&format!("  {line}\n"));
+        }
+        if check.regressed {
+            // Error so `fp` exits non-zero — the report still reaches
+            // the operator (on stderr), which is what a CI gate wants.
+            return Err(out);
+        }
+    }
     if let Some(path) = flags.get("baseline") {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
@@ -692,12 +857,13 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
 /// behind `sweep --workers`) is deliberately absent: it speaks a binary
 /// frame protocol on stdin/stdout and is never typed by a person.
 pub const USAGE: &str =
-    "usage: fp <solve|sweep|report|diff|gc|stats|generate|serve|loadtest> [flags]
+    "usage: fp <solve|sweep|report|diff|gc|stats|generate|serve|loadtest|trace> [flags]
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
-           [--out DIR] [--jobs N] [--workers N]
+           [--out DIR] [--jobs N] [--workers N] [--trace FILE]
            (--out persists the run; identical reruns are cache hits;
-            --workers evaluates on worker processes — same bytes as in-process)
+            --workers evaluates on worker processes — same bytes as in-process;
+            --trace dumps Chrome trace-event JSON of the run)
   report   --run DIR [--format table|csv|json]   (re-render a stored run from disk)
   report   --list DIR                            (enumerate the runs stored under DIR)
   diff     --a DIR --b DIR [--epsilon E]         (compare two stored runs per (solver, k);
@@ -706,13 +872,21 @@ pub const USAGE: &str =
             cache hits count as uses)
   stats    --input FILE
   generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]
-  serve    [--addr HOST:PORT] [--ttl-secs N]     (long-running placement daemon: frame + HTTP
-            transports on one port, built-in graphs preloaded, warm sessions per
-            (graph, solver, seed); POST /stop or a `stop` call shuts it down)
+  serve    [--addr HOST:PORT] [--ttl-secs N] [--trace FILE]
+           (long-running placement daemon: frame + HTTP transports on one port,
+            built-in graphs preloaded, warm sessions per (graph, solver, seed),
+            GET /metrics for Prometheus text or ?format=json; POST /stop or a
+            `stop` call shuts it down; --trace dumps spans at shutdown)
   loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N] [--requests N] [--kmax N]
-           [--baseline FILE]  (drive an in-process daemon with concurrent clients, verify
-            every answer against the batch ladder, report p50/p99/throughput;
-            --baseline folds the numbers into BENCH_baseline.json's serve section)";
+           [--transport frame|http] [--baseline FILE] [--check FILE [--tolerance F]]
+           (drive an in-process daemon with concurrent clients, verify every answer
+            against the batch ladder, report p50/p99/throughput; --transport http
+            measures Connection: close and keep-alive phases side by side;
+            --baseline folds the numbers into BENCH_baseline.json's serve section;
+            --check compares against a recorded baseline and exits non-zero on
+            regression beyond the tolerance)
+  trace    --summary FILE  (aggregate a dumped Chrome trace per span name:
+            count, total, mean, max — heaviest first)";
 
 /// Run the CLI against parsed argv (without the program name); returns
 /// the text to print or an error message.
@@ -745,6 +919,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(&flags),
         "serve" => cmd_serve(&flags),
         "loadtest" => cmd_loadtest(&flags),
+        "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -768,6 +943,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         "generate" => cmd_generate(&flags),
         "serve" => Err("serve blocks on a live socket; use `fp serve` directly".to_string()),
         "loadtest" => cmd_loadtest(&flags),
+        "trace" => cmd_trace(&flags),
         "worker" => Err("worker serves the pool protocol on real stdin/stdout".to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -1542,6 +1718,97 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.contains("unknown --format"), "{e}");
+    }
+
+    #[test]
+    fn traced_sweep_dumps_spans_and_trace_summary_aggregates_them() {
+        let dir = temp_dir("trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("sweep.trace.json");
+        let trace_str = trace_path.to_str().unwrap();
+
+        let out = run_with_input(
+            &args(&[
+                "sweep", "--source", "s", "--kmax", "2", "--trials", "2", "--trace", trace_str,
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        assert!(out.contains("span(s) written to"), "{out}");
+
+        // The dump is valid JSON in the Chrome trace-event envelope and
+        // holds engine spans from the sweep.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let doc = fp_results::Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty(), "a sweep records spans");
+
+        // `fp trace --summary` renders the per-name aggregate table.
+        let summary = run_with_input(&args(&["trace", "--summary", trace_str]), "").unwrap();
+        assert!(summary.contains("span(s) across"), "{summary}");
+        assert!(summary.contains("sweep.cell.curve"), "{summary}");
+        assert!(summary.contains("count"), "{summary}");
+
+        // Tracing is a side channel: the traced table equals untraced.
+        fp_obs::tracer().disable();
+        let untraced = run_with_input(
+            &args(&["sweep", "--source", "s", "--kmax", "2", "--trials", "2"]),
+            FIG1,
+        )
+        .unwrap();
+        let traced_table = out.split_once("written to").unwrap().1;
+        let traced_table = traced_table.split_once('\n').unwrap().1;
+        assert_eq!(traced_table, untraced);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_summary_rejects_missing_and_malformed_dumps() {
+        let e = run_with_input(&args(&["trace"]), "").unwrap_err();
+        assert!(e.contains("--summary"), "{e}");
+        let e =
+            run_with_input(&args(&["trace", "--summary", "/nonexistent/t.json"]), "").unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+
+        let dir = temp_dir("trace-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let not_a_trace = dir.join("not-a-trace.json");
+        std::fs::write(&not_a_trace, "{\"foo\": 1}").unwrap();
+        let e = run_with_input(
+            &args(&["trace", "--summary", not_a_trace.to_str().unwrap()]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("traceEvents"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loadtest_rejects_bad_transport_and_check_combinations() {
+        let e =
+            run_with_input(&args(&["loadtest", "--transport", "carrier-pigeon"]), "").unwrap_err();
+        assert!(e.contains("unknown transport"), "{e}");
+        let e = run_with_input(&args(&["loadtest", "--tolerance", "0.5"]), "").unwrap_err();
+        assert!(e.contains("--check"), "{e}");
+        let e = run_with_input(
+            &args(&[
+                "loadtest",
+                "--check",
+                "/tmp/b.json",
+                "--baseline",
+                "/tmp/b.json",
+            ]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("one or the other"), "{e}");
+        let e = run_with_input(
+            &args(&["loadtest", "--check", "/tmp/b.json", "--tolerance", "soup"]),
+            "",
+        )
+        .unwrap_err();
+        assert!(e.contains("--tolerance"), "{e}");
     }
 
     #[test]

@@ -23,8 +23,36 @@ use fp_algorithms::SolverKind;
 use fp_results::protocol::ServeCall;
 use fp_results::{Json, ToJson};
 use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Which transport the loadtest clients drive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// Persistent length-prefixed frame connections (the native
+    /// protocol; one connection per client for the whole run).
+    #[default]
+    Frame,
+    /// HTTP/1.1, measured twice: a `Connection: close` phase (one
+    /// connection per request, the pre-keep-alive behavior) and a
+    /// keep-alive phase (one connection per client). Both numbers are
+    /// recorded; the report's headline latencies are the keep-alive
+    /// phase's.
+    Http,
+}
+
+impl Transport {
+    /// Parse a `--transport` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "frame" => Ok(Self::Frame),
+            "http" => Ok(Self::Http),
+            other => Err(format!("unknown transport {other:?} (want frame or http)")),
+        }
+    }
+}
 
 /// What to drive and how hard.
 #[derive(Clone, Debug)]
@@ -42,6 +70,8 @@ pub struct LoadtestConfig {
     pub requests: usize,
     /// Budgets cycle through `0..=kmax`.
     pub kmax: usize,
+    /// Which transport the clients speak.
+    pub transport: Transport,
 }
 
 impl Default for LoadtestConfig {
@@ -53,8 +83,57 @@ impl Default for LoadtestConfig {
             clients: 8,
             requests: 50,
             kmax: 8,
+            transport: Transport::Frame,
         }
     }
+}
+
+/// One measured phase: latency percentiles plus throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseNumbers {
+    /// Median round-trip latency, microseconds (nearest-rank).
+    pub p50_us: u64,
+    /// 99th-percentile round-trip latency, microseconds (nearest-rank).
+    pub p99_us: u64,
+    /// Worst observed round-trip, microseconds.
+    pub max_us: u64,
+    /// Requests per second over the phase.
+    pub throughput_rps: f64,
+    /// Wall time of the phase, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl PhaseNumbers {
+    fn from_samples(mut latencies: Vec<u64>, wall: Duration) -> Self {
+        latencies.sort_unstable();
+        Self {
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+            max_us: latencies.last().copied().unwrap_or(0),
+            throughput_rps: latencies.len() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+            wall_ms: wall.as_millis() as u64,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object([
+            ("p50_us", self.p50_us.to_json()),
+            ("p99_us", self.p99_us.to_json()),
+            ("max_us", self.max_us.to_json()),
+            ("throughput_rps", self.throughput_rps.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+        ])
+    }
+}
+
+/// The two HTTP phases' numbers, recorded side by side so the cost of
+/// per-request reconnects is visible in one report.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpNumbers {
+    /// `Connection: close` — one TCP connection per request.
+    pub close: PhaseNumbers,
+    /// `Connection: keep-alive` — one connection per client.
+    pub keep_alive: PhaseNumbers,
 }
 
 /// The measured result of one loadtest run.
@@ -62,7 +141,7 @@ impl Default for LoadtestConfig {
 pub struct LoadtestReport {
     /// The driven configuration.
     pub config: LoadtestConfig,
-    /// Total requests answered (`clients × requests`).
+    /// Total requests answered (`clients × requests` per phase).
     pub total_requests: usize,
     /// Median round-trip latency, microseconds (nearest-rank).
     pub p50_us: u64,
@@ -74,26 +153,41 @@ pub struct LoadtestReport {
     pub throughput_rps: f64,
     /// Wall time of the client phase, milliseconds.
     pub wall_ms: u64,
+    /// Both HTTP phases when `transport` was [`Transport::Http`].
+    pub http: Option<HttpNumbers>,
 }
 
 impl LoadtestReport {
     /// The `serve` section recorded in `BENCH_baseline.json`.
     pub fn to_json(&self) -> Json {
-        Json::object([
-            ("graph", self.config.graph.to_json()),
-            ("solver", self.config.solver.to_json()),
-            ("seed", self.config.seed.to_json()),
-            ("clients", self.config.clients.to_json()),
-            ("requests_per_client", self.config.requests.to_json()),
-            ("kmax", self.config.kmax.to_json()),
-            ("total_requests", self.total_requests.to_json()),
-            ("p50_us", self.p50_us.to_json()),
-            ("p99_us", self.p99_us.to_json()),
-            ("max_us", self.max_us.to_json()),
-            ("throughput_rps", self.throughput_rps.to_json()),
-            ("wall_ms", self.wall_ms.to_json()),
-            ("verified", Json::Bool(true)),
-        ])
+        let mut members = vec![
+            ("graph".to_string(), self.config.graph.to_json()),
+            ("solver".to_string(), self.config.solver.to_json()),
+            ("seed".to_string(), self.config.seed.to_json()),
+            ("clients".to_string(), self.config.clients.to_json()),
+            (
+                "requests_per_client".to_string(),
+                self.config.requests.to_json(),
+            ),
+            ("kmax".to_string(), self.config.kmax.to_json()),
+            ("total_requests".to_string(), self.total_requests.to_json()),
+            ("p50_us".to_string(), self.p50_us.to_json()),
+            ("p99_us".to_string(), self.p99_us.to_json()),
+            ("max_us".to_string(), self.max_us.to_json()),
+            ("throughput_rps".to_string(), self.throughput_rps.to_json()),
+            ("wall_ms".to_string(), self.wall_ms.to_json()),
+            ("verified".to_string(), Json::Bool(true)),
+        ];
+        if let Some(http) = &self.http {
+            members.push((
+                "http".to_string(),
+                Json::object([
+                    ("close", http.close.to_json()),
+                    ("keep_alive", http.keep_alive.to_json()),
+                ]),
+            ));
+        }
+        Json::Object(members)
     }
 }
 
@@ -148,40 +242,54 @@ pub fn run_loadtest(
         .ok_or("session id missing from open reply")?
         .to_string();
 
+    let (headline, total, http) = match cfg.transport {
+        Transport::Frame => {
+            let (latencies, wall) = drive_frame_clients(addr, &session, cfg, &expected)?;
+            let total = latencies.len();
+            (PhaseNumbers::from_samples(latencies, wall), total, None)
+        }
+        Transport::Http => {
+            let (close_lat, close_wall) =
+                drive_http_clients(addr, &session, cfg, &expected, false)?;
+            let (ka_lat, ka_wall) = drive_http_clients(addr, &session, cfg, &expected, true)?;
+            let total = ka_lat.len();
+            let close = PhaseNumbers::from_samples(close_lat, close_wall);
+            let keep_alive = PhaseNumbers::from_samples(ka_lat, ka_wall);
+            (keep_alive, total, Some(HttpNumbers { close, keep_alive }))
+        }
+    };
+    opener.hang_up()?;
+    handle.stop()?;
+
+    Ok(LoadtestReport {
+        config: cfg.clone(),
+        total_requests: total,
+        p50_us: headline.p50_us,
+        p99_us: headline.p99_us,
+        max_us: headline.max_us,
+        throughput_rps: headline.throughput_rps,
+        wall_ms: headline.wall_ms,
+        http,
+    })
+}
+
+/// Fan the workload out over `cfg.clients` threads, collect every
+/// per-request latency, and report the phase's wall time.
+fn drive_clients<W>(cfg: &LoadtestConfig, worker: W) -> Result<(Vec<u64>, Duration), String>
+where
+    W: Fn(usize) -> Result<Vec<u64>, String> + Clone + Send + 'static,
+{
     let started = Instant::now();
     let mut workers = Vec::with_capacity(cfg.clients);
     for client_idx in 0..cfg.clients {
-        let session = session.clone();
-        let expected = expected.clone();
-        let requests = cfg.requests;
-        let kmax = cfg.kmax;
+        let worker = worker.clone();
         workers.push(
             thread::Builder::new()
                 .name(format!("fp-loadtest-{client_idx}"))
-                .spawn(move || -> Result<Vec<u64>, String> {
-                    let mut client = ServeClient::connect(addr)?;
-                    let mut latencies = Vec::with_capacity(requests);
-                    for i in 0..requests {
-                        let k = (client_idx + i) % (kmax + 1);
-                        let sent = Instant::now();
-                        let reply = client.call(ServeCall::Query {
-                            session: session.clone(),
-                            ks: vec![k],
-                            deadline_ms: None,
-                        })?;
-                        latencies.push(sent.elapsed().as_micros() as u64);
-                        if reply.status != 200 {
-                            return Err(format!("query k={k} failed: {}", reply.body.to_compact()));
-                        }
-                        verify_row(&reply.body, k, &expected)?;
-                    }
-                    client.hang_up()?;
-                    Ok(latencies)
-                })
+                .spawn(move || worker(client_idx))
                 .map_err(|e| format!("cannot spawn client thread: {e}"))?,
         );
     }
-
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.clients * cfg.requests);
     for worker in workers {
         latencies.extend(
@@ -190,21 +298,204 @@ pub fn run_loadtest(
                 .map_err(|_| "client thread panicked".to_string())??,
         );
     }
-    let wall = started.elapsed();
-    opener.hang_up()?;
-    handle.stop()?;
+    Ok((latencies, started.elapsed()))
+}
 
-    latencies.sort_unstable();
-    let total = latencies.len();
-    Ok(LoadtestReport {
-        config: cfg.clone(),
-        total_requests: total,
-        p50_us: percentile(&latencies, 50.0),
-        p99_us: percentile(&latencies, 99.0),
-        max_us: latencies.last().copied().unwrap_or(0),
-        throughput_rps: total as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
-        wall_ms: wall.as_millis() as u64,
+/// One frame connection per client for the whole phase.
+fn drive_frame_clients(
+    addr: SocketAddr,
+    session: &str,
+    cfg: &LoadtestConfig,
+    expected: &BTreeMap<usize, (Vec<usize>, u64)>,
+) -> Result<(Vec<u64>, Duration), String> {
+    let session = session.to_string();
+    let expected = expected.clone();
+    let requests = cfg.requests;
+    let kmax = cfg.kmax;
+    drive_clients(cfg, move |client_idx| {
+        let mut client = ServeClient::connect(addr)?;
+        let mut latencies = Vec::with_capacity(requests);
+        for i in 0..requests {
+            let k = (client_idx + i) % (kmax + 1);
+            let sent = Instant::now();
+            let reply = client.call(ServeCall::Query {
+                session: session.clone(),
+                ks: vec![k],
+                deadline_ms: None,
+            })?;
+            latencies.push(sent.elapsed().as_micros() as u64);
+            if reply.status != 200 {
+                return Err(format!("query k={k} failed: {}", reply.body.to_compact()));
+            }
+            verify_row(&reply.body, k, &expected)?;
+        }
+        client.hang_up()?;
+        Ok(latencies)
     })
+}
+
+/// HTTP clients. With `keep_alive` each client reuses one connection
+/// for the whole phase; without it every request pays connect + close
+/// — exactly what the daemon did before it honored keep-alive.
+fn drive_http_clients(
+    addr: SocketAddr,
+    session: &str,
+    cfg: &LoadtestConfig,
+    expected: &BTreeMap<usize, (Vec<usize>, u64)>,
+    keep_alive: bool,
+) -> Result<(Vec<u64>, Duration), String> {
+    let session = session.to_string();
+    let expected = expected.clone();
+    let requests = cfg.requests;
+    let kmax = cfg.kmax;
+    drive_clients(cfg, move |client_idx| {
+        let mut conn: Option<(BufReader<TcpStream>, TcpStream)> = None;
+        let mut latencies = Vec::with_capacity(requests);
+        for i in 0..requests {
+            let k = (client_idx + i) % (kmax + 1);
+            let sent = Instant::now();
+            if conn.is_none() {
+                let stream =
+                    TcpStream::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+                // Without this, Nagle queues each small request behind
+                // the peer's delayed ACK and keep-alive connections eat
+                // a ~40 ms stall per round-trip.
+                let _ = stream.set_nodelay(true);
+                let reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| format!("cannot clone stream: {e}"))?,
+                );
+                conn = Some((reader, stream));
+            }
+            let (reader, writer) = conn.as_mut().expect("connection just ensured");
+            let connection = if keep_alive { "keep-alive" } else { "close" };
+            // One write_all, not write!(stream, ...): the format macro
+            // would issue one syscall per fragment on a raw stream, and
+            // a multi-segment request is exactly what trips Nagle.
+            let request = format!(
+                "GET /sessions/{session}/placement?k={k} HTTP/1.1\r\n\
+                 Host: loadtest\r\nConnection: {connection}\r\n\r\n"
+            );
+            writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("cannot write request: {e}"))?;
+            let (status, body) = read_http_reply(reader)?;
+            latencies.push(sent.elapsed().as_micros() as u64);
+            if status != 200 {
+                return Err(format!("query k={k} failed over http: {body}"));
+            }
+            let body = Json::parse(&body).map_err(|e| format!("bad reply body: {e:?}"))?;
+            verify_row(&body, k, &expected)?;
+            if !keep_alive {
+                conn = None;
+            }
+        }
+        Ok(latencies)
+    })
+}
+
+/// Read one HTTP response: status line, headers, `Content-Length`
+/// body bytes.
+fn read_http_reply(reader: &mut BufReader<TcpStream>) -> Result<(u16, String), String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read status line: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {line:?}"))?;
+    let mut content_len = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("cannot read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_len = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("truncated reply body: {e}"))?;
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| "reply body is not UTF-8".to_string())
+}
+
+/// Default relative tolerance for `fp loadtest --check`: latencies may
+/// grow and throughput may shrink by up to 50% before the check fails.
+/// Generous on purpose — shared CI machines are noisy; the gate is for
+/// order-of-magnitude regressions, not single-digit drift.
+pub const DEFAULT_CHECK_TOLERANCE: f64 = 0.5;
+
+/// The verdict of comparing a fresh report against a recorded baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineCheck {
+    /// One human-readable line per compared metric.
+    pub lines: Vec<String>,
+    /// Whether any metric regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compare `report` against the `serve` section of a baseline document
+/// (the shape `fp loadtest --baseline` writes into
+/// `BENCH_baseline.json`). Within `tolerance` (relative), p50/p99 may
+/// grow and throughput may shrink; anything worse is a regression.
+pub fn check_against_baseline(
+    report: &LoadtestReport,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<BaselineCheck, String> {
+    let serve = baseline
+        .get("serve")
+        .ok_or("baseline has no serve section (run fp loadtest --baseline first)")?;
+    let base_u64 = |key: &str| -> Result<u64, String> {
+        serve
+            .expect(key)?
+            .as_u64()
+            .ok_or_else(|| format!("bad {key} in baseline serve section"))
+    };
+    let base_rps = serve
+        .expect("throughput_rps")?
+        .as_f64()
+        .ok_or("bad throughput_rps in baseline serve section")?;
+
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    let mut check_latency = |name: &str, fresh: u64, base: u64| {
+        let limit = (base as f64 * (1.0 + tolerance)).ceil() as u64;
+        let ok = fresh <= limit;
+        regressed |= !ok;
+        lines.push(format!(
+            "{name}: fresh {fresh} us vs baseline {base} us (limit {limit} us) .. {}",
+            if ok { "ok" } else { "REGRESSED" }
+        ));
+    };
+    check_latency("p50_us", report.p50_us, base_u64("p50_us")?);
+    check_latency("p99_us", report.p99_us, base_u64("p99_us")?);
+    let floor = base_rps * (1.0 - tolerance);
+    let ok = report.throughput_rps >= floor;
+    regressed |= !ok;
+    lines.push(format!(
+        "throughput_rps: fresh {:.1} vs baseline {base_rps:.1} (floor {floor:.1}) .. {}",
+        report.throughput_rps,
+        if ok { "ok" } else { "REGRESSED" }
+    ));
+    Ok(BaselineCheck { lines, regressed })
 }
 
 /// Check one query reply against the batch answer, bit for bit.
@@ -285,15 +576,110 @@ mod tests {
             clients: 4,
             requests: 10,
             kmax: 3,
+            transport: Transport::Frame,
         };
         let report = run_loadtest(tiny_registry(), &cfg).unwrap();
         assert_eq!(report.total_requests, 40);
         assert!(report.p50_us <= report.p99_us);
         assert!(report.p99_us <= report.max_us);
         assert!(report.throughput_rps > 0.0);
+        assert!(report.http.is_none(), "frame runs record no http section");
         let json = report.to_json();
         assert_eq!(json.expect("verified").unwrap(), &Json::Bool(true));
         assert_eq!(json.expect("total_requests").unwrap().as_usize(), Some(40));
+        assert!(json.get("http").is_none());
+    }
+
+    #[test]
+    fn http_transport_measures_close_and_keepalive_phases() {
+        let cfg = LoadtestConfig {
+            graph: "fig1".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+            clients: 2,
+            requests: 5,
+            kmax: 2,
+            transport: Transport::Http,
+        };
+        let report = run_loadtest(tiny_registry(), &cfg).unwrap();
+        assert_eq!(report.total_requests, 10, "per phase");
+        let http = report.http.expect("http section recorded");
+        assert!(http.close.throughput_rps > 0.0);
+        assert!(http.keep_alive.throughput_rps > 0.0);
+        // Headline numbers are the keep-alive phase's.
+        assert_eq!(report.p50_us, http.keep_alive.p50_us);
+        let json = report.to_json();
+        let section = json.expect("http").unwrap();
+        assert!(section.expect("close").unwrap().get("p50_us").is_some());
+        assert!(section
+            .expect("keep_alive")
+            .unwrap()
+            .get("p99_us")
+            .is_some());
+    }
+
+    #[test]
+    fn transport_parses_and_rejects() {
+        assert_eq!(Transport::parse("frame").unwrap(), Transport::Frame);
+        assert_eq!(Transport::parse("http").unwrap(), Transport::Http);
+        assert!(Transport::parse("carrier-pigeon").is_err());
+    }
+
+    fn report_with(p50: u64, p99: u64, rps: f64) -> LoadtestReport {
+        LoadtestReport {
+            config: LoadtestConfig::default(),
+            total_requests: 100,
+            p50_us: p50,
+            p99_us: p99,
+            max_us: p99 * 2,
+            throughput_rps: rps,
+            wall_ms: 10,
+            http: None,
+        }
+    }
+
+    fn baseline_doc(p50: u64, p99: u64, rps: f64) -> Json {
+        Json::object([(
+            "serve",
+            Json::object([
+                ("p50_us", p50.to_json()),
+                ("p99_us", p99.to_json()),
+                ("throughput_rps", rps.to_json()),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn baseline_check_passes_within_tolerance() {
+        let report = report_with(120, 900, 900.0);
+        let check = check_against_baseline(&report, &baseline_doc(100, 800, 1000.0), 0.5).unwrap();
+        assert!(!check.regressed, "{:?}", check.lines);
+        assert_eq!(check.lines.len(), 3);
+        assert!(check.lines.iter().all(|l| l.ends_with("ok")));
+    }
+
+    #[test]
+    fn baseline_check_flags_each_regression() {
+        let base = baseline_doc(100, 800, 1000.0);
+        for (p50, p99, rps) in [(151, 800, 1000.0), (100, 1201, 1000.0), (100, 800, 499.0)] {
+            let check = check_against_baseline(&report_with(p50, p99, rps), &base, 0.5).unwrap();
+            assert!(check.regressed, "{p50} {p99} {rps}");
+            assert_eq!(
+                check
+                    .lines
+                    .iter()
+                    .filter(|l| l.ends_with("REGRESSED"))
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_check_requires_a_serve_section() {
+        let report = report_with(1, 1, 1.0);
+        let err = check_against_baseline(&report, &Json::object([]), 0.5).unwrap_err();
+        assert!(err.contains("no serve section"), "{err}");
     }
 
     #[test]
@@ -325,6 +711,7 @@ mod tests {
             clients: 1,
             requests: 2,
             kmax: 1,
+            transport: Transport::Frame,
         };
         let report = run_loadtest(tiny_registry(), &cfg).unwrap();
         let mut doc = Json::object([("schema", Json::Str("x/1".into()))]);

@@ -111,6 +111,42 @@ enum SessionCmd {
 const STATE_WARMING: u8 = 1;
 const STATE_READY: u8 = 2;
 
+/// Per-session observability counters, shared between the session's
+/// worker thread (rung depth, cache hits) and the dispatch layer
+/// (query count, deadline misses, body bytes). Reported as the
+/// `"stats"` object in session JSON, so `GET /sessions` carries them.
+///
+/// These are plain atomics on the side of the session — never inputs
+/// to solver state — so they cannot perturb placements or FR bits.
+#[derive(Debug, Default)]
+struct SessionStats {
+    /// Queries dispatched to this session (including failed ones).
+    queries: fp_obs::Counter,
+    /// Warm ladder length (nested) or memoized budget count (one-shot).
+    rung_depth: fp_obs::Gauge,
+    /// Requested budgets that were already warm when the query arrived.
+    rung_cache_hits: fp_obs::Counter,
+    /// Queries answered 408 because `deadline_ms` expired.
+    deadline_misses: fp_obs::Counter,
+    /// Compact-JSON bytes of query calls received.
+    bytes_in: fp_obs::Counter,
+    /// Compact-JSON bytes of query reply bodies produced.
+    bytes_out: fp_obs::Counter,
+}
+
+impl SessionStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("queries", self.queries.get().to_json()),
+            ("rung_depth", Json::Int(i128::from(self.rung_depth.get()))),
+            ("rung_cache_hits", self.rung_cache_hits.get().to_json()),
+            ("deadline_misses", self.deadline_misses.get().to_json()),
+            ("bytes_in", self.bytes_in.get().to_json()),
+            ("bytes_out", self.bytes_out.get().to_json()),
+        ])
+    }
+}
+
 /// A warm session: one solver ladder kept alive on its own thread.
 ///
 /// The handle is cheap to clone (via `Arc`) and thread-safe; queries
@@ -127,6 +163,7 @@ pub struct SessionHandle {
     /// Seed captured at session start (randomized baselines only).
     pub seed: u64,
     state: Arc<AtomicU8>,
+    stats: Arc<SessionStats>,
     tx: mpsc::Sender<SessionCmd>,
     last_used: Mutex<Instant>,
 }
@@ -191,6 +228,7 @@ fn run_nested_session(
     solver: SolverKind,
     seed: u64,
     state: &AtomicU8,
+    stats: &SessionStats,
     rx: &mpsc::Receiver<SessionCmd>,
 ) {
     let solver_impl = solver.build::<Wide128>();
@@ -212,6 +250,11 @@ fn run_nested_session(
         else {
             break;
         };
+        let _span = fp_obs::span("session.query").arg("ks", ks.len() as i64);
+        let warm = picks.len();
+        stats
+            .rung_cache_hits
+            .add(ks.iter().filter(|&&k| k <= warm || exhausted).count() as u64);
         let want = ks.iter().copied().max().unwrap_or(0);
         let mut expired = false;
         while picks.len() < want && !exhausted && !expired {
@@ -224,6 +267,7 @@ fn run_nested_session(
                 exhausted = true;
             }
         }
+        stats.rung_depth.set(picks.len() as i64);
         // A budget past the ladder's natural end answers with the full
         // ladder — exactly `advance_to`'s early-stop semantics.
         let answerable = |k: usize| k <= picks.len() || exhausted;
@@ -253,6 +297,7 @@ fn run_one_shot_session(
     solver: SolverKind,
     seed: u64,
     state: &AtomicU8,
+    stats: &SessionStats,
     rx: &mpsc::Receiver<SessionCmd>,
 ) {
     let mut memo: BTreeMap<usize, KAnswer> = BTreeMap::new();
@@ -280,9 +325,11 @@ fn run_one_shot_session(
         else {
             break;
         };
+        let _span = fp_obs::span("session.query").arg("ks", ks.len() as i64);
         let mut expired = false;
         for &k in &ks {
             if memo.contains_key(&k) {
+                stats.rung_cache_hits.inc();
                 continue;
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -291,6 +338,7 @@ fn run_one_shot_session(
             }
             memo.insert(k, draw(k));
         }
+        stats.rung_depth.set(memo.len() as i64);
         let out = if expired {
             Err(QueryError::Expired { ready: memo.len() })
         } else {
@@ -360,12 +408,14 @@ impl SessionTable {
         }
         let (tx, rx) = mpsc::channel();
         let state = Arc::new(AtomicU8::new(STATE_WARMING));
+        let stats = Arc::new(SessionStats::default());
         let handle = Arc::new(SessionHandle {
             id: id.clone(),
             graph: Arc::clone(&graph),
             solver,
             seed,
             state: Arc::clone(&state),
+            stats: Arc::clone(&stats),
             tx,
             last_used: Mutex::new(Instant::now()),
         });
@@ -374,9 +424,9 @@ impl SessionTable {
             .name(format!("fp-session-{id}"))
             .spawn(move || {
                 if solver.is_prefix_nested() {
-                    run_nested_session(&worker_graph, solver, seed, &state, &rx);
+                    run_nested_session(&worker_graph, solver, seed, &state, &stats, &rx);
                 } else {
-                    run_one_shot_session(&worker_graph, solver, seed, &state, &rx);
+                    run_one_shot_session(&worker_graph, solver, seed, &state, &stats, &rx);
                 }
             })
             .expect("cannot spawn session thread");
@@ -507,6 +557,51 @@ fn session_json(handle: &SessionHandle) -> Json {
         ("solver", handle.solver.to_json()),
         ("seed", handle.seed.to_json()),
         ("state", Json::Str(handle.state_name().to_string())),
+        ("stats", handle.stats.to_json()),
+    ])
+}
+
+/// The metrics snapshot as canonical JSON: integers stay integers (the
+/// lossless writer), histograms keep their cumulative `(le, count)`
+/// bucket pairs. This is the `?format=json` body of `GET /metrics` and
+/// the frame reply for [`ServeCall::Metrics`].
+fn metrics_json(snap: &fp_obs::Snapshot) -> Json {
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(n, v)| (n.clone(), v.to_json()))
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(n, v)| (n.clone(), Json::Int(i128::from(*v))))
+        .collect();
+    let histograms = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            Json::object([
+                ("name", h.name.to_json()),
+                (
+                    "buckets",
+                    Json::Array(
+                        h.buckets
+                            .iter()
+                            .map(|&(le, n)| {
+                                Json::object([("le", le.to_json()), ("count", n.to_json())])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("sum", h.sum.to_json()),
+                ("count", h.count.to_json()),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("counters", Json::Object(counters)),
+        ("gauges", Json::Object(gauges)),
+        ("histograms", Json::Array(histograms)),
     ])
 }
 
@@ -539,6 +634,17 @@ impl ApiState {
     /// follows HTTP semantics (200/201/400/404/408/409) on both
     /// transports.
     pub fn handle(&self, call: &ServeCall) -> (u16, Json) {
+        let started = Instant::now();
+        let span = fp_obs::span("serve.request");
+        let (status, body) = self.dispatch(call);
+        let _span = span.arg("status", i64::from(status));
+        fp_obs::counter("fp_serve_requests_total").inc();
+        fp_obs::histogram("fp_serve_handle_us", fp_obs::metrics::LATENCY_US_BUCKETS)
+            .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        (status, body)
+    }
+
+    fn dispatch(&self, call: &ServeCall) -> (u16, Json) {
         match call {
             ServeCall::Health => (
                 200,
@@ -624,17 +730,27 @@ impl ApiState {
                 let Some(handle) = self.sessions.get(session) else {
                     return (404, error_body(format!("unknown session {session:?}")));
                 };
-                match handle.query(ks, *deadline_ms) {
+                handle.stats.queries.inc();
+                handle
+                    .stats
+                    .bytes_in
+                    .add(call.to_json().to_compact().len() as u64);
+                let (status, body) = match handle.query(ks, *deadline_ms) {
                     Ok(answers) => (200, query_body(&handle, &answers)),
-                    Err(QueryError::Expired { ready }) => (
-                        408,
-                        Json::object([
-                            ("error", Json::Str("deadline expired".into())),
-                            ("ready_rungs", ready.to_json()),
-                        ]),
-                    ),
+                    Err(QueryError::Expired { ready }) => {
+                        handle.stats.deadline_misses.inc();
+                        (
+                            408,
+                            Json::object([
+                                ("error", Json::Str("deadline expired".into())),
+                                ("ready_rungs", ready.to_json()),
+                            ]),
+                        )
+                    }
                     Err(QueryError::Closed) => (404, error_body("session closed")),
-                }
+                };
+                handle.stats.bytes_out.add(body.to_compact().len() as u64);
+                (status, body)
             }
             ServeCall::SessionClose { session } => {
                 if self.sessions.close(session) {
@@ -643,6 +759,7 @@ impl ApiState {
                     (404, error_body(format!("unknown session {session:?}")))
                 }
             }
+            ServeCall::Metrics => (200, metrics_json(&fp_obs::registry().snapshot())),
             ServeCall::Stop => {
                 self.stop.store(true, Ordering::Release);
                 (200, Json::object([("stopping", Json::Bool(true))]))
@@ -816,6 +933,10 @@ impl ServerHandle {
 /// method starts with an ASCII letter (`0x41`+). One peeked byte
 /// settles the transport.
 fn serve_connection(state: &ApiState, stream: TcpStream, addr: SocketAddr) -> Result<(), String> {
+    // Replies are small (a flushed burst per request); Nagle would hold
+    // them hostage to the peer's delayed ACK on keep-alive connections
+    // (~40 ms per round-trip on loopback), so send them immediately.
+    let _ = stream.set_nodelay(true);
     let mut first = [0u8; 1];
     let n = stream
         .peek(&mut first)
@@ -891,6 +1012,10 @@ struct HttpRequest {
     path: String,
     query: BTreeMap<String, String>,
     body: String,
+    /// Whether the client asked `Connection: keep-alive`. The daemon
+    /// defaults to `Connection: close` (one request per connection);
+    /// keep-alive is honored only when requested explicitly.
+    keep_alive: bool,
 }
 
 fn http_reason(status: u16) -> &'static str {
@@ -907,11 +1032,17 @@ fn http_reason(status: u16) -> &'static str {
     }
 }
 
-fn read_http_request(reader: &mut impl BufRead) -> Result<HttpRequest, (u16, String)> {
+/// Read one HTTP request. `Ok(None)` is a clean EOF — the client hung
+/// up between requests, which a keep-alive loop treats as the normal
+/// end of the conversation rather than an error.
+fn read_http_request(reader: &mut impl BufRead) -> Result<Option<HttpRequest>, (u16, String)> {
     let mut line = String::new();
-    reader
+    let n = reader
         .read_line(&mut line)
         .map_err(|e| (400, format!("cannot read request line: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -931,6 +1062,7 @@ fn read_http_request(reader: &mut impl BufRead) -> Result<HttpRequest, (u16, Str
     }
 
     let mut content_len = 0usize;
+    let mut keep_alive = false;
     loop {
         let mut header = String::new();
         reader
@@ -946,6 +1078,8 @@ fn read_http_request(reader: &mut impl BufRead) -> Result<HttpRequest, (u16, Str
                     .trim()
                     .parse()
                     .map_err(|_| (400, format!("bad Content-Length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             }
         }
     }
@@ -957,12 +1091,13 @@ fn read_http_request(reader: &mut impl BufRead) -> Result<HttpRequest, (u16, Str
         .read_exact(&mut body)
         .map_err(|e| (400, format!("truncated body: {e}")))?;
     let body = String::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
-    Ok(HttpRequest {
+    Ok(Some(HttpRequest {
         method,
         path,
         query,
         body,
-    })
+        keep_alive,
+    }))
 }
 
 /// Map an HTTP request onto a [`ServeCall`].
@@ -988,6 +1123,7 @@ fn route(req: &HttpRequest) -> Result<ServeCall, (u16, String)> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => Ok(ServeCall::Health),
+        ("GET", ["metrics"]) => Ok(ServeCall::Metrics),
         ("GET", ["graphs"]) => Ok(ServeCall::GraphList),
         ("POST", ["graphs"]) => Ok(ServeCall::GraphPut {
             name: q("name")?,
@@ -1031,23 +1167,44 @@ fn route(req: &HttpRequest) -> Result<ServeCall, (u16, String)> {
             session: (*id).to_string(),
         }),
         ("POST", ["stop"]) => Ok(ServeCall::Stop),
-        (_, ["health" | "graphs" | "sessions" | "stop", ..]) => {
+        (_, ["health" | "metrics" | "graphs" | "sessions" | "stop", ..]) => {
             Err((405, format!("method {} not allowed here", req.method)))
         }
         _ => Err((404, format!("no route for {}", req.path))),
     }
 }
 
-fn write_http_response(w: &mut impl Write, status: u16, body: &Json) -> Result<(), String> {
-    let body = body.to_compact();
+fn write_http_payload(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Result<(), String> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         http_reason(status),
         body.len(),
     )
     .and_then(|()| w.flush())
     .map_err(|e| format!("cannot write response: {e}"))
+}
+
+fn write_http_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> Result<(), String> {
+    write_http_payload(
+        w,
+        status,
+        "application/json",
+        &body.to_compact(),
+        keep_alive,
+    )
 }
 
 fn serve_http_connection(
@@ -1061,17 +1218,51 @@ fn serve_http_connection(
             .map_err(|e| format!("cannot clone stream: {e}"))?,
     );
     let mut writer = BufWriter::new(stream);
-    match read_http_request(&mut reader).and_then(|req| Ok((route(&req)?, ()))) {
-        Ok((call, ())) => {
-            let stopping = matches!(call, ServeCall::Stop);
-            let (status, body) = state.handle(&call);
-            write_http_response(&mut writer, status, &body)?;
-            if stopping {
-                wake_acceptor(addr);
+    loop {
+        let req = match read_http_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean hangup between requests
+            Err((status, msg)) => {
+                // Parse errors close the connection: framing is gone.
+                return write_http_response(&mut writer, status, &error_body(msg), false);
             }
-            Ok(())
+        };
+        let keep_alive = req.keep_alive;
+        // `GET /metrics` defaults to Prometheus text exposition;
+        // `?format=json` falls through to the normal dispatch so the
+        // JSON body stays byte-identical to a frame reply.
+        if req.method == "GET"
+            && req.path == "/metrics"
+            && req.query.get("format").map(String::as_str) != Some("json")
+        {
+            fp_obs::counter("fp_serve_requests_total").inc();
+            let text = fp_obs::registry().snapshot().to_prometheus_text();
+            write_http_payload(
+                &mut writer,
+                200,
+                "text/plain; version=0.0.4",
+                &text,
+                keep_alive,
+            )?;
+        } else {
+            match route(&req) {
+                Ok(call) => {
+                    let stopping = matches!(call, ServeCall::Stop);
+                    let (status, body) = state.handle(&call);
+                    write_http_response(&mut writer, status, &body, keep_alive)?;
+                    if stopping {
+                        wake_acceptor(addr);
+                        return Ok(());
+                    }
+                }
+                Err((status, msg)) => {
+                    write_http_response(&mut writer, status, &error_body(msg), keep_alive)?;
+                }
+            }
         }
-        Err((status, msg)) => write_http_response(&mut writer, status, &error_body(msg)),
+        if !keep_alive {
+            return Ok(());
+        }
     }
 }
 
@@ -1360,10 +1551,15 @@ mod tests {
                 body.len()
             );
             let mut reader = std::io::BufReader::new(raw.as_bytes());
-            let parsed = read_http_request(&mut reader).unwrap();
+            let parsed = read_http_request(&mut reader).unwrap().unwrap();
             route(&parsed)
         };
         assert_eq!(req("GET", "/health", "").unwrap(), ServeCall::Health);
+        assert_eq!(req("GET", "/metrics", "").unwrap(), ServeCall::Metrics);
+        assert_eq!(
+            req("GET", "/metrics?format=json", "").unwrap(),
+            ServeCall::Metrics
+        );
         assert_eq!(
             req("POST", "/graphs?name=g&source=s", "s a\n").unwrap(),
             ServeCall::GraphPut {
@@ -1466,5 +1662,147 @@ mod tests {
 
         client.hang_up().unwrap();
         handle.stop().unwrap();
+    }
+
+    /// Read one HTTP response off a keep-alive connection: status
+    /// line + headers, then exactly `Content-Length` body bytes.
+    fn read_http_response(reader: &mut impl BufRead) -> (u16, BTreeMap<String, String>, String) {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            let (name, value) = header.split_once(':').unwrap();
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        }
+        let len: usize = headers["content-length"].parse().unwrap();
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).unwrap();
+        (status, headers, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = Server::bind("127.0.0.1:0", api()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for _ in 0..3 {
+            write!(
+                writer,
+                "GET /health HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n"
+            )
+            .unwrap();
+            let (status, headers, body) = read_http_response(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(headers["connection"], "keep-alive");
+            assert!(body.contains("\"ok\":true"), "{body}");
+        }
+        // Without the header the daemon still closes after one reply.
+        write!(writer, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (status, headers, _) = read_http_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(headers["connection"], "close");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection must be closed after reply");
+
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text_and_lossless_json() {
+        let server = Server::bind("127.0.0.1:0", api()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        // A request beforehand guarantees the serve series exist.
+        let mut client = ServeClient::connect(addr).unwrap();
+        assert_eq!(client.call(ServeCall::Health).unwrap().status, 200);
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write!(
+            writer,
+            "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n"
+        )
+        .unwrap();
+        let (status, headers, text) = read_http_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(headers["content-type"].starts_with("text/plain"));
+        assert!(
+            text.contains("# TYPE fp_serve_requests_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fp_serve_handle_us_bucket{le=\"+Inf\"}"),
+            "{text}"
+        );
+
+        // Same connection (keep-alive): the JSON flavor, which must be
+        // byte-compatible with the frame reply's canonical shape.
+        write!(
+            writer,
+            "GET /metrics?format=json HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        .unwrap();
+        let (status, headers, body) = read_http_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(headers["content-type"], "application/json");
+        let parsed = Json::parse(&body).unwrap();
+        let counters = parsed.expect("counters").unwrap();
+        assert!(counters.get("fp_serve_requests_total").is_some(), "{body}");
+        assert!(parsed.expect("histograms").unwrap().as_array().is_some());
+
+        let frame_reply = client.call(ServeCall::Metrics).unwrap();
+        assert_eq!(frame_reply.status, 200);
+        assert!(frame_reply
+            .body
+            .expect("counters")
+            .unwrap()
+            .get("fp_serve_requests_total")
+            .is_some());
+
+        client.hang_up().unwrap();
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn session_stats_ride_along_in_session_json() {
+        let api = api();
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        let query = |ks: Vec<usize>, deadline_ms: Option<u64>| {
+            api.handle(&ServeCall::Query {
+                session: id.clone(),
+                ks,
+                deadline_ms,
+            })
+        };
+        // Fresh session, zero deadline: a deterministic deadline miss.
+        assert_eq!(query(vec![1], Some(0)).0, 408, "fresh rung at 0 ms");
+        assert_eq!(query(vec![1], None).0, 200);
+        assert_eq!(query(vec![1], None).0, 200, "second k=1 query is warm");
+
+        let (status, body) = api.handle(&ServeCall::SessionList);
+        assert_eq!(status, 200);
+        let sessions = body.expect("sessions").unwrap().as_array().unwrap();
+        let stats = sessions[0].expect("stats").unwrap();
+        let get = |key: &str| stats.expect(key).unwrap().as_u64().unwrap();
+        assert_eq!(get("queries"), 3);
+        assert_eq!(get("rung_depth"), 1);
+        assert!(get("rung_cache_hits") >= 1, "second k=1 query was warm");
+        assert_eq!(get("deadline_misses"), 1);
+        assert!(get("bytes_in") > 0);
+        assert!(get("bytes_out") > 0);
     }
 }

@@ -1,0 +1,31 @@
+//! `fp-obs`: the stack's observability spine — zero dependencies, two
+//! halves, one invariant.
+//!
+//! * [`metrics`] — a process-global registry of atomic counters,
+//!   gauges, and fixed-bucket histograms. Handles are `Arc`s to plain
+//!   atomics, so the write path (`inc`, `observe`) is lock-free; only
+//!   registration (first lookup of a name) takes a mutex. Snapshots
+//!   render to Prometheus text exposition format here; `fp serve`
+//!   additionally renders the same snapshot as lossless canonical JSON.
+//! * [`trace`] — a global ring-buffer span recorder behind one
+//!   `AtomicBool`. When tracing is off a [`trace::Span`] guard costs a
+//!   single relaxed load; when on, the guard stamps monotonic
+//!   [`std::time::Instant`]s and pushes a record into a bounded ring
+//!   (oldest spans overwritten, never unbounded growth). The ring dumps
+//!   as Chrome trace-event JSON (`chrome://tracing` / Perfetto).
+//!
+//! # Observation never perturbs determinism
+//!
+//! Nothing in this crate feeds back into solver-visible state: metrics
+//! are write-only atomics read by exporters, spans use monotonic clocks
+//! only and live outside every result path. A traced run's placements,
+//! FR bits, and run dirs are byte-identical to an untraced run's — a
+//! property gated by test (`tests/obs_determinism.rs` at the workspace
+//! root) and by the distributed-determinism CI job, which diffs a
+//! `--trace`d sweep's run dir against an untraced one.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Snapshot};
+pub use trace::{span, tracer, Span, SpanRecord, Tracer};

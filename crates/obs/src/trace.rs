@@ -1,0 +1,459 @@
+//! Ring-buffer span tracing with RAII guards and Chrome trace-event
+//! JSON export.
+//!
+//! A [`Span`] guard stamps a monotonic start time at creation and
+//! records `(name, start, duration, thread, args)` into a bounded ring
+//! when dropped. The global [`Tracer`] is disabled by default; a
+//! disabled guard costs one relaxed atomic load and records nothing.
+//! The ring overwrites its oldest spans when full, so a long-running
+//! daemon can stay traced indefinitely with bounded memory — the
+//! export notes how many spans were overwritten.
+//!
+//! Timing uses [`Instant`] only (never wall clocks, never anything a
+//! solver can read back), so enabling tracing cannot perturb any
+//! result: the determinism gates run traced and untraced binaries
+//! against each other.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (a code-chosen literal, e.g. `"serve.request"`).
+    pub name: &'static str,
+    /// Start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Small sequential id of the recording thread.
+    pub tid: u64,
+    /// Numeric span arguments, e.g. `("k", 3)`.
+    pub args: Vec<(&'static str, i64)>,
+}
+
+/// Default ring capacity: 64Ki spans (~a few MB at typical arg counts).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+#[derive(Default)]
+struct Ring {
+    cap: usize,
+    slots: Vec<SpanRecord>,
+    /// Next write index once `slots` has grown to `cap`.
+    next: usize,
+    /// Total spans ever recorded (so `total - len` = overwritten).
+    total: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: SpanRecord) {
+        self.total += 1;
+        if self.slots.len() < self.cap {
+            self.slots.push(rec);
+        } else {
+            self.slots[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Records in chronological order.
+    fn ordered(&self) -> Vec<SpanRecord> {
+        let (older, newer) = self.slots.split_at(self.next);
+        newer.iter().chain(older).cloned().collect()
+    }
+}
+
+/// The span recorder: an enable flag plus a bounded ring.
+pub struct Tracer {
+    enabled: AtomicBool,
+    next_tid: AtomicU64,
+    ring: Mutex<Ring>,
+    epoch: OnceLock<Instant>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer whose ring holds at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            next_tid: AtomicU64::new(1),
+            ring: Mutex::new(Ring {
+                cap: capacity.max(1),
+                ..Ring::default()
+            }),
+            epoch: OnceLock::new(),
+        }
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Clear the ring and start recording.
+    pub fn enable(&self) {
+        self.clear();
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (the ring keeps what it holds).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Drop every recorded span.
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        ring.slots.clear();
+        ring.next = 0;
+        ring.total = 0;
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer ring poisoned").slots.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans overwritten because the ring wrapped.
+    pub fn overwritten(&self) -> u64 {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        ring.total - ring.slots.len() as u64
+    }
+
+    /// Start a span; records on drop if the tracer is enabled now.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        let start = self.is_enabled().then(|| {
+            // Fix the epoch at first traced span so start offsets stay
+            // small; `get_or_init` makes this safe from any thread.
+            let epoch = *self.epoch.get_or_init(Instant::now);
+            let now = Instant::now();
+            (now, now.saturating_duration_since(epoch).as_nanos() as u64)
+        });
+        Span {
+            tracer: self,
+            name,
+            start,
+            args: Vec::new(),
+        }
+    }
+
+    /// Copy the recorded spans in chronological order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.ring.lock().expect("tracer ring poisoned").ordered()
+    }
+
+    /// Render the ring as Chrome trace-event JSON (the "JSON Array
+    /// Format" with a `traceEvents` envelope), timestamps and durations
+    /// in fractional microseconds. Load the output in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        let records = self.records();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, rec) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"fp\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                escape(rec.name),
+                micros(rec.start_ns),
+                micros(rec.dur_ns),
+                rec.tid,
+            ));
+            if !rec.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in rec.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{v}", escape(k)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"overwrittenSpans\":{}}}",
+            self.overwritten()
+        ));
+        out
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.ring.lock().expect("tracer ring poisoned").push(rec);
+    }
+
+    fn thread_id(&self) -> u64 {
+        thread_local! {
+            static TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+        }
+        TID.with(|tid| {
+            if tid.get() == 0 {
+                tid.set(self.next_tid.fetch_add(1, Ordering::Relaxed));
+            }
+            tid.get()
+        })
+    }
+}
+
+/// Nanoseconds as fractional microseconds, e.g. `1234.567`.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// An RAII span guard (see [`Tracer::span`] and the [`crate::span!`] macro).
+/// Bind it — `let _span = span!("solve");` — so it drops at scope end.
+#[must_use = "a span records its duration when dropped; bind it to a variable"]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    /// `(start, start_ns_since_epoch)`; `None` when tracing was off at
+    /// creation — then the whole guard is a no-op.
+    start: Option<(Instant, u64)>,
+    args: Vec<(&'static str, i64)>,
+}
+
+impl Span<'_> {
+    /// Attach a numeric argument (no-op when tracing is off).
+    pub fn arg(mut self, key: &'static str, value: i64) -> Self {
+        if self.start.is_some() {
+            self.args.push((key, value));
+        }
+        self
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some((start, start_ns)) = self.start else {
+            return;
+        };
+        self.tracer.record(SpanRecord {
+            name: self.name,
+            start_ns,
+            dur_ns: start.elapsed().as_nanos() as u64,
+            tid: self.tracer.thread_id(),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// The process-global tracer (what [`crate::span!`] records into).
+pub fn tracer() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(Tracer::default)
+}
+
+/// Start a span on the global tracer.
+pub fn span(name: &'static str) -> Span<'static> {
+    tracer().span(name)
+}
+
+/// `span!("name")` or `span!("name", k = 3, size = n)` — an RAII span
+/// guard on the global tracer with numeric arguments.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(,)?) => {
+        $crate::trace::span($name)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::trace::span($name)$(.arg(stringify!($k), $v as i64))+
+    };
+}
+
+/// One row of a per-span-name aggregate (see [`summarize`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryRow {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Total duration, microseconds.
+    pub total_us: f64,
+    /// Mean duration, microseconds.
+    pub mean_us: f64,
+    /// Longest single span, microseconds.
+    pub max_us: f64,
+}
+
+/// Aggregate `(name, duration_us)` pairs per name, sorted by total
+/// time descending (ties by name). This is what `fp trace --summary`
+/// prints after parsing a dumped trace file.
+pub fn summarize(durations: &[(String, f64)]) -> Vec<SummaryRow> {
+    let mut by_name: std::collections::BTreeMap<&str, (u64, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for (name, dur) in durations {
+        let slot = by_name.entry(name).or_insert((0, 0.0, 0.0));
+        slot.0 += 1;
+        slot.1 += dur;
+        slot.2 = slot.2.max(*dur);
+    }
+    let mut rows: Vec<SummaryRow> = by_name
+        .into_iter()
+        .map(|(name, (count, total, max))| SummaryRow {
+            name: name.to_string(),
+            count,
+            total_us: total,
+            mean_us: total / count as f64,
+            max_us: max,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_us
+            .partial_cmp(&a.total_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let t = Tracer::new(8);
+        {
+            let _span = t.span("quiet").arg("k", 1);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.overwritten(), 0);
+    }
+
+    #[test]
+    fn enabled_span_records_name_args_and_duration() {
+        let t = Tracer::new(8);
+        t.enable();
+        {
+            let _span = t.span("solve").arg("k", 3).arg("n", 100);
+        }
+        let records = t.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "solve");
+        assert_eq!(records[0].args, vec![("k", 3), ("n", 100)]);
+        assert!(records[0].tid >= 1);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_the_newest_spans() {
+        let t = Tracer::new(4);
+        t.enable();
+        for i in 0..10 {
+            let _span = t.span("tick").arg("i", i);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.overwritten(), 6);
+        let kept: Vec<i64> = t.records().iter().map(|r| r.args[0].1).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest overwritten first");
+    }
+
+    #[test]
+    fn enable_clears_previous_recordings() {
+        let t = Tracer::new(8);
+        t.enable();
+        {
+            let _span = t.span("old");
+        }
+        t.disable();
+        t.enable();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_json_shape() {
+        let t = Tracer::new(8);
+        t.enable();
+        {
+            let _span = t.span("solve").arg("k", 2);
+        }
+        {
+            let _span = t.span("io");
+        }
+        let json = t.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"name\":\"solve\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"args\":{\"k\":2}"), "{json}");
+        assert!(json.contains("\"overwrittenSpans\":0"), "{json}");
+        // Two events → exactly one separating comma between objects.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn micros_formats_fractional_microseconds() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+        assert_eq!(micros(999), "0.999");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn summarize_aggregates_and_sorts_by_total() {
+        let rows = summarize(&[
+            ("b".to_string(), 10.0),
+            ("a".to_string(), 1.0),
+            ("b".to_string(), 20.0),
+            ("a".to_string(), 3.0),
+        ]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "b");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_us, 30.0);
+        assert_eq!(rows[0].mean_us, 15.0);
+        assert_eq!(rows[0].max_us, 20.0);
+        assert_eq!(rows[1].name, "a");
+        assert_eq!(rows[1].total_us, 4.0);
+    }
+
+    #[test]
+    fn global_macro_guard_is_silent_while_disabled() {
+        // The global tracer starts disabled; the macro must be a no-op.
+        let before = tracer().len();
+        {
+            let _span = crate::span!("global.test", k = 1);
+        }
+        assert_eq!(tracer().len(), before);
+    }
+}

@@ -203,6 +203,34 @@ impl DirtyFrontier {
     }
 }
 
+/// Cached global-registry handles for the engine's counters, so the
+/// per-insert write path is pure atomics (the registry mutex is taken
+/// once, at engine construction).
+///
+/// These observe the engine — insert count, per-pass frontier sizes,
+/// sparse→dense flips — and never feed back into it: no solver-visible
+/// state reads a metric, so instrumented and bare solves stay
+/// bit-identical.
+#[derive(Clone, Debug)]
+struct EngineMetrics {
+    inserts: std::sync::Arc<fp_obs::Counter>,
+    dense_flips: std::sync::Arc<fp_obs::Counter>,
+    forward_frontier: std::sync::Arc<fp_obs::Histogram>,
+    backward_frontier: std::sync::Arc<fp_obs::Histogram>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        let buckets = fp_obs::metrics::SIZE_BUCKETS;
+        Self {
+            inserts: fp_obs::counter("fp_engine_inserts_total"),
+            dense_flips: fp_obs::counter("fp_engine_dense_flips_total"),
+            forward_frontier: fp_obs::histogram("fp_engine_forward_frontier_nodes", buckets),
+            backward_frontier: fp_obs::histogram("fp_engine_backward_frontier_nodes", buckets),
+        }
+    }
+}
+
 /// The engine's buffers, separated out so they can be recycled: a
 /// finished engine returns them via [`ImpactEngine::into_scratch`] and
 /// the next engine adopts them via [`ImpactEngine::with_scratch`],
@@ -214,6 +242,7 @@ pub struct EngineScratch<C> {
     received: Vec<C>,
     emitted: Vec<C>,
     suffix: Vec<C>,
+    metrics: EngineMetrics,
     /// `gated[i]` = `suffix[i]` while node `i` passes the recurrence's
     /// gate (`i ∉ A`, `i ≠ source`), else zero. The backward re-sum
     /// reads this instead of testing the gate per edge — adding zero is
@@ -231,6 +260,7 @@ impl<C> Default for EngineScratch<C> {
             received: Vec::new(),
             emitted: Vec::new(),
             suffix: Vec::new(),
+            metrics: EngineMetrics::default(),
             gated: Vec::new(),
         }
     }
@@ -391,11 +421,19 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
         if !self.filters.insert(v) {
             return false;
         }
+        let span = fp_obs::span("engine.insert");
         // `v` no longer passes the gate its parents apply, whatever its
         // (unchanged) suffix value is.
         self.s.gated[v.index()] = C::zero();
-        self.update_forward(v);
-        self.update_backward(v);
+        let (fwd, fwd_dense) = self.update_forward(v);
+        let (bwd, bwd_dense) = self.update_backward(v);
+        let m = &self.s.metrics;
+        m.inserts.inc();
+        m.forward_frontier.observe(fwd as u64);
+        m.backward_frontier.observe(bwd as u64);
+        m.dense_flips
+            .add(u64::from(fwd_dense) + u64::from(bwd_dense));
+        let _span = span.arg("fwd", fwd as i64).arg("bwd", bwd as i64);
         true
     }
 
@@ -415,10 +453,12 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
     }
 
     /// Forward dirty frontier (invariant: received counts only shrink).
-    fn update_forward(&mut self, v: NodeId) {
+    /// Returns `(nodes reprocessed, whether the pass went dense)`.
+    fn update_forward(&mut self, v: NodeId) -> (usize, bool) {
         let cg = self.cg;
         let csr = cg.csr();
         let topo = cg.topo();
+        let mut processed = 0usize;
         let new_emit = self.emission_of(v, &self.s.received[v.index()].clone());
         if new_emit != self.s.emitted[v.index()] {
             self.s.emitted[v.index()] = new_emit;
@@ -428,6 +468,7 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
             }
         }
         while let Some(u) = self.s.forward.next_up(topo) {
+            processed += 1;
             // Recompute reception from (partially updated) parents.
             let mut recv = C::zero();
             for &p in csr.parents(u) {
@@ -451,6 +492,7 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
                 }
             }
         }
+        (processed, self.s.forward.is_dense())
     }
 
     /// Backward dirty frontier (invariant: suffixes only shrink).
@@ -461,22 +503,24 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
     /// only travel upward. Reverse topological order (encoded as
     /// `n − 1 − topo_position`) guarantees each ancestor is recomputed
     /// once, after all of its updated children.
-    fn update_backward(&mut self, v: NodeId) {
+    fn update_backward(&mut self, v: NodeId) -> (usize, bool) {
         let cg = self.cg;
         let source = cg.source();
         // The source is already gated out of every parent's sum, and a
         // gate flip on a zero suffix changes nothing.
         if v == source || self.s.suffix[v.index()].is_zero() {
-            return;
+            return (0, false);
         }
         let csr = cg.csr();
         let topo = cg.topo();
         let one = C::one();
+        let mut processed = 0usize;
         self.s.backward.begin(cg.topo_position(v));
         for &p in csr.parents(v) {
             self.s.backward.mark(p);
         }
         while let Some(u) = self.s.backward.next_down(topo) {
+            processed += 1;
             // Same op order as the oracle's gated loop (`s += 1` then a
             // possibly-zero suffix term per child), so even saturating
             // counters clamp identically.
@@ -502,6 +546,7 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
                 }
             }
         }
+        (processed, self.s.backward.is_dense())
     }
 }
 

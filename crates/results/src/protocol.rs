@@ -178,6 +178,10 @@ pub enum ServeCall {
         /// The session id.
         session: String,
     },
+    /// Snapshot the process-wide metrics registry (counters, gauges,
+    /// histograms) as canonical JSON. The HTTP front end additionally
+    /// renders the same snapshot as Prometheus text.
+    Metrics,
     /// Stop the daemon: close every session, then leave the accept
     /// loop.
     Stop,
@@ -351,6 +355,7 @@ impl ToJson for ServeCall {
             ServeCall::SessionClose { session } => {
                 Json::object([("op", op("sessions.close")), ("session", session.to_json())])
             }
+            ServeCall::Metrics => Json::object([("op", op("metrics"))]),
             ServeCall::Stop => Json::object([("op", op("stop"))]),
         }
     }
@@ -395,6 +400,7 @@ impl FromJson for ServeCall {
             Some("sessions.close") => Ok(ServeCall::SessionClose {
                 session: text("session")?,
             }),
+            Some("metrics") => Ok(ServeCall::Metrics),
             Some("stop") => Ok(ServeCall::Stop),
             other => Err(format!("unknown serve op {other:?}")),
         }
@@ -741,6 +747,7 @@ mod tests {
             ServeCall::SessionClose {
                 session: "abc123".into(),
             },
+            ServeCall::Metrics,
             ServeCall::Stop,
         ];
         for (i, call) in calls.into_iter().enumerate() {

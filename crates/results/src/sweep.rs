@@ -105,9 +105,16 @@ pub fn sweep_cells(cfg: &SweepConfig) -> Vec<Cell> {
 /// axis, which curve cells span). Both sweep backends go through this:
 /// the in-process runner directly, the process pool inside each worker.
 pub fn eval_cell<B: SweepBackend>(backend: &B, ks: &[usize], cell: &Cell) -> CellOut {
+    fp_obs::counter("fp_sweep_cells_total").inc();
     match *cell {
-        Cell::Curve { solver } => CellOut::Curve(backend.deterministic_curve(solver, ks)),
-        Cell::Trial { solver, k, seed } => CellOut::Fr(backend.randomized_fr(solver, k, seed)),
+        Cell::Curve { solver } => {
+            let _span = fp_obs::span("sweep.cell.curve");
+            CellOut::Curve(backend.deterministic_curve(solver, ks))
+        }
+        Cell::Trial { solver, k, seed } => {
+            let _span = fp_obs::span("sweep.cell.trial").arg("k", k as i64);
+            CellOut::Fr(backend.randomized_fr(solver, k, seed))
+        }
     }
 }
 

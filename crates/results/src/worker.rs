@@ -304,11 +304,15 @@ pub fn run_sweep_workers(
 
 /// Take one unit of the pool-wide restart budget; `false` = exhausted.
 fn take_restart(restarts: &AtomicUsize, max_restarts: usize) -> bool {
-    restarts
+    let granted = restarts
         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
             (used < max_restarts).then_some(used + 1)
         })
-        .is_ok()
+        .is_ok();
+    if granted {
+        fp_obs::counter("fp_pool_restarts_total").inc();
+    }
+    granted
 }
 
 /// One dispatcher thread: own a worker process, feed it cells until
@@ -330,14 +334,25 @@ fn dispatch_loop(
     // completed — a death at zero is a crash loop and draws from the
     // restart budget; a death after progress restarts for free.
     let mut live: Option<(WorkerHandle, usize)> = None;
-    let requeue = |idx: usize| queue.lock().expect("queue lock").push_front(idx);
+    let queue_depth = fp_obs::gauge("fp_pool_queue_depth");
+    let requeues = fp_obs::counter("fp_pool_requeues_total");
+    let requeue = |idx: usize| {
+        requeues.inc();
+        queue.lock().expect("queue lock").push_front(idx);
+    };
     'cells: loop {
         // An empty queue is not the end while cells are still pending:
         // a crashed peer may yet re-queue its in-flight cell, and this
         // (healthy) worker must stay around to pick it up — otherwise
         // a cell could be orphaned with no dispatcher left to run it.
         let idx = loop {
-            if let Some(idx) = queue.lock().expect("queue lock").pop_front() {
+            let popped = {
+                let mut q = queue.lock().expect("queue lock");
+                let popped = q.pop_front();
+                queue_depth.set(q.len() as i64);
+                popped
+            };
+            if let Some(idx) = popped {
                 break idx;
             }
             if pending.load(Ordering::Acquire) == 0 {
@@ -362,6 +377,7 @@ fn dispatch_loop(
                 }
             }
             let (worker, completed) = live.as_mut().expect("live worker");
+            let _span = fp_obs::span("pool.cell").arg("cell", idx as i64);
             match worker.roundtrip(idx as u64, &cells[idx]) {
                 Ok(out) => {
                     results.lock().expect("results lock")[idx] = Some(out);
