@@ -532,6 +532,123 @@ pub fn serve_entry() -> Result<Json, String> {
     Ok(report.to_json())
 }
 
+/// The `online` section of the baseline: a filter placement maintained
+/// live under a deterministic edge-mutation stream on the layered
+/// graph (per_level 200 = the n2001 scaling rung), measured two ways.
+///
+/// The **curve** replays the same stream once per drift threshold and
+/// records repair cost (repair rounds, greedy picks) against final
+/// quality (the live placement's FR vs a cold rebuild's FR on the
+/// final graph) — counts and FRs only, all deterministic. The
+/// **timing** compares the online path (incremental engine, repairs
+/// only when drift crosses the default 0.05 threshold) against the
+/// rebuild-per-mutation baseline (a cold Greedy_All solve after every
+/// event); both process the identical stream, and before any timing
+/// the threshold-0 driver's placement is asserted bit-identical to a
+/// cold rebuild on the final graph.
+pub fn online_entry(per_level: usize, events: usize, reps: usize) -> Json {
+    use fp_core::online::{greedy_rebuild, mutation_stream, OnlineConfig, OnlinePlacement};
+    use fp_core::propagation::{Mutation, ObjectiveCache};
+
+    let lg = layered::generate(&LayeredParams {
+        levels: 10,
+        expected_per_level: per_level,
+        x: 1.0,
+        y: 4.0,
+        seed: SEED,
+    });
+    let problem = Problem::new(&lg.graph, lg.source).expect("DAG");
+    let base = problem.cgraph();
+    let stream = mutation_stream(base, events, SEED);
+    let k = 8usize;
+
+    // Repair-cost-vs-quality curve over the threshold sweep.
+    let mut curve = Vec::new();
+    for t in [0.0, 0.01, 0.05, 0.25] {
+        let mut driver = OnlinePlacement::new(
+            base.clone(),
+            OnlineConfig {
+                k,
+                drift_threshold: t,
+            },
+        );
+        for &m in &stream {
+            driver.apply_event(m).expect("stream is applicable");
+        }
+        let stats = driver.stats();
+        let final_fr = driver.quality();
+        let cg = driver.engine().cgraph();
+        let rebuilt = greedy_rebuild(cg, k);
+        let cache = ObjectiveCache::<Wide128>::new(cg);
+        let rebuild_fr = cache.filter_ratio(cg, &rebuilt);
+        if t == 0.0 {
+            // Repair-on-anything must land exactly where a cold solve
+            // on the final graph lands — the equivalence every timing
+            // claim below leans on.
+            assert_eq!(
+                driver.placement().nodes(),
+                rebuilt.nodes(),
+                "threshold-0 online placement diverged from a cold rebuild"
+            );
+        }
+        curve.push(Json::object([
+            ("threshold", Json::Float(t)),
+            ("repairs", stats.repairs.to_json()),
+            ("repair_picks", stats.repair_picks.to_json()),
+            ("final_fr", Json::Float(final_fr)),
+            ("rebuild_fr", Json::Float(rebuild_fr)),
+        ]));
+    }
+
+    let time_min = |f: &dyn Fn() -> usize| -> f64 {
+        (0..reps.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let len = f();
+                let wall = start.elapsed().as_secs_f64();
+                assert!(len > 0);
+                wall
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let online_secs = time_min(&|| {
+        let mut driver = OnlinePlacement::new(base.clone(), OnlineConfig::default());
+        for &m in &stream {
+            driver.apply_event(m).expect("stream is applicable");
+        }
+        driver.placement().len()
+    });
+    let rebuild_secs = time_min(&|| {
+        let mut cg = base.clone();
+        let mut placed = 0;
+        for &m in &stream {
+            match m {
+                Mutation::InsertEdge { from, to } => {
+                    cg.insert_edge(from, to).expect("stream is applicable");
+                }
+                Mutation::RemoveEdge { from, to } => {
+                    assert!(cg.remove_edge(from, to), "stream is applicable");
+                }
+                _ => unreachable!("mutation_stream emits edge events only"),
+            }
+            placed += greedy_rebuild(&cg, k).len();
+        }
+        placed
+    });
+
+    Json::object([
+        ("per_level", per_level.to_json()),
+        ("nodes", lg.graph.node_count().to_json()),
+        ("edges", lg.graph.edge_count().to_json()),
+        ("events", events.to_json()),
+        ("k", k.to_json()),
+        ("curve", Json::Array(curve)),
+        ("online_secs", Json::Float(online_secs)),
+        ("rebuild_secs", Json::Float(rebuild_secs)),
+        ("speedup", Json::Float(rebuild_secs / online_secs)),
+    ])
+}
+
 /// Time every figure at the given scale and render the measurements as
 /// the `BENCH_baseline.json` document (see that file at the repo root
 /// for the checked-in reference run). Schema 2 added the `scaling`
@@ -541,7 +658,10 @@ pub fn serve_entry() -> Result<Json, String> {
 /// Schema 3 adds the `ladder` section: the whole-curve cell, session
 /// walk vs per-k re-solves (the numbers behind the anytime-session
 /// redesign). Schema 4 adds the `serve` section: daemon latency under
-/// concurrent clients (see [`serve_entry`] and `fp loadtest`).
+/// concurrent clients (see [`serve_entry`] and `fp loadtest`). Schema
+/// 5 adds the `online` section: live-graph maintenance, online engine
+/// vs rebuild-per-mutation, plus the repair-cost-vs-quality threshold
+/// curve (see [`online_entry`] and `fp online`).
 pub fn baseline_json(scale: f64) -> Result<Json, String> {
     let mut entries = Vec::new();
     for name in FIGURES {
@@ -564,8 +684,9 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         .map(|&per_level| ladder_entry(per_level, 5))
         .collect();
     let serve = serve_entry()?;
+    let online = online_entry(200, 64, 3);
     Ok(Json::object([
-        ("schema", "fp-bench-baseline/4".to_string().to_json()),
+        ("schema", "fp-bench-baseline/5".to_string().to_json()),
         (
             "tool",
             concat!("fp-bench ", env!("CARGO_PKG_VERSION"))
@@ -592,5 +713,35 @@ pub fn baseline_json(scale: f64) -> Result<Json, String> {
         ("scaling", Json::Array(scaling)),
         ("ladder", Json::Array(ladder)),
         ("serve", serve),
+        ("online", online),
     ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_entry_reports_curve_and_speedup() {
+        let entry = online_entry(25, 16, 1);
+        let curve = entry.expect("curve").unwrap().as_array().unwrap();
+        assert_eq!(curve.len(), 4, "one row per threshold");
+        // Threshold 0 tracks rebuild quality exactly.
+        let zero = &curve[0];
+        assert_eq!(
+            zero.expect("final_fr").unwrap().as_f64().unwrap().to_bits(),
+            zero.expect("rebuild_fr")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits()
+        );
+        // Repair cost is monotone non-increasing in the threshold.
+        let picks: Vec<usize> = curve
+            .iter()
+            .map(|row| row.expect("repair_picks").unwrap().as_usize().unwrap())
+            .collect();
+        assert!(picks.windows(2).all(|w| w[0] >= w[1]), "{picks:?}");
+        assert!(entry.expect("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
 }

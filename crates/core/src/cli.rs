@@ -16,7 +16,11 @@
 //! fp serve    [--addr HOST:PORT] [--ttl-secs N] [--trace FILE]
 //! fp loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N]
 //!             [--requests N] [--kmax N] [--baseline FILE]
-//!             [--transport frame|http] [--check FILE [--tolerance F]]
+//!             [--transport frame|http] [--mutations N]
+//!             [--check FILE [--tolerance F]]
+//! fp online   --input edges.txt --source <label> [--k N] [--events N]
+//!             [--seed N] [--thresholds F,F,...] [--format table|csv]
+//!             [--out DIR]
 //! fp trace    --summary FILE
 //! ```
 //!
@@ -128,6 +132,20 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
             "transport",
             "check",
             "tolerance",
+            "mutations",
+        ],
+    ),
+    (
+        "online",
+        &[
+            "input",
+            "source",
+            "k",
+            "events",
+            "seed",
+            "thresholds",
+            "format",
+            "out",
         ],
     ),
     ("trace", &["summary"]),
@@ -776,6 +794,7 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
     cfg.transport = flags
         .get("transport")
         .map_or(Ok(cfg.transport), |s| Transport::parse(s))?;
+    cfg.mutations = parse_usize("mutations", cfg.mutations)?;
     if cfg.clients == 0 || cfg.requests == 0 {
         return Err("--clients and --requests must be at least 1".to_string());
     }
@@ -827,6 +846,14 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
         out.push_str(&phase("close     ", &http.close));
         out.push_str(&phase("keep-alive", &http.keep_alive));
     }
+    if let Some(m) = &report.mutation {
+        out.push_str(&format!(
+            "mutation phase: {} edge insert(s) applied, every rebuilt answer \
+             bit-identical to the batch ladder\n  \
+             mutate p50 {} µs   p99 {} µs   max {} µs\n",
+            report.mutations_applied, m.p50_us, m.p99_us, m.max_us,
+        ));
+    }
     if let Some(path) = flags.get("check") {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
@@ -853,11 +880,170 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// `fp online --input FILE --source LABEL [--k N] [--events N] [--seed N]
+/// [--thresholds F,F,...] [--format table|csv] [--out DIR]`: maintain a
+/// `k`-filter placement under a deterministic edge-mutation stream.
+///
+/// The stream comes from [`crate::online::mutation_stream`] — seeded,
+/// insert-forward, applicable by construction — and is replayed once
+/// per drift threshold, so one run reads out the whole
+/// repair-cost-vs-quality trade-off: threshold `0` repairs on any Φ
+/// movement (rebuild quality, maximum repair cost), large thresholds
+/// never repair (zero cost, drifting quality). Every number reported
+/// is a count or an FR — no wall-clock values — so two runs over the
+/// same inputs produce byte-identical output and `--out` directories
+/// (`online.json`, `online.csv`) that `diff -r` clean; the CI
+/// online-determinism job relies on exactly that.
+fn cmd_online(flags: &HashMap<String, String>, input: &str) -> Result<String, String> {
+    let (g, _labels, source) = load_graph(input, required(flags, "source")?)?;
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags.get(name).map_or(Ok(default), |s| {
+            s.parse()
+                .map_err(|_| format!("--{name} must be a non-negative integer"))
+        })
+    };
+    let k = parse_usize("k", 8)?;
+    let events = parse_usize("events", 200)?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
+        s.parse()
+            .map_err(|_| "--seed must be an integer".to_string())
+    })?;
+    let thresholds: Vec<f64> = flags
+        .get("thresholds")
+        .map_or("0,0.05,0.1", String::as_str)
+        .split(',')
+        .map(|s| {
+            let t: f64 = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad threshold {s:?} in --thresholds"))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("--thresholds must be finite and >= 0, got {s:?}"));
+            }
+            Ok(t)
+        })
+        .collect::<Result<_, _>>()?;
+    if thresholds.is_empty() {
+        return Err("--thresholds must name at least one drift threshold".to_string());
+    }
+
+    let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+    let base = problem.cgraph();
+    let stream = crate::online::mutation_stream(base, events, seed);
+
+    let mut table = Table::new([
+        "threshold",
+        "applied",
+        "repairs",
+        "repair picks",
+        "final FR",
+        "rebuild FR",
+        "drift",
+    ]);
+    let mut rows_json = Vec::new();
+    let mut edges_end = base.edge_count();
+    for &t in &thresholds {
+        let mut driver = crate::online::OnlinePlacement::new(
+            base.clone(),
+            crate::online::OnlineConfig {
+                k,
+                drift_threshold: t,
+            },
+        );
+        for &m in &stream {
+            driver
+                .apply_event(m)
+                .map_err(|e| format!("stream event rejected: {e}"))?;
+        }
+        let stats = driver.stats();
+        let final_fr = driver.quality();
+        let cg = driver.engine().cgraph();
+        edges_end = cg.edge_count();
+        let rebuilt = crate::online::greedy_rebuild(cg, k);
+        let cache = fp_propagation::ObjectiveCache::<fp_num::Wide128>::new(cg);
+        let rebuild_fr = cache.filter_ratio(cg, &rebuilt);
+        let drift = driver.drift();
+        table.row([
+            format!("{t}"),
+            stats.applied.to_string(),
+            stats.repairs.to_string(),
+            stats.repair_picks.to_string(),
+            format!("{final_fr:.6}"),
+            format!("{rebuild_fr:.6}"),
+            format!("{drift:.6}"),
+        ]);
+        rows_json.push(fp_results::Json::object([
+            ("threshold", t.to_json()),
+            ("applied", stats.applied.to_json()),
+            ("repairs", stats.repairs.to_json()),
+            ("repair_picks", stats.repair_picks.to_json()),
+            ("final_fr", final_fr.to_json()),
+            ("rebuild_fr", rebuild_fr.to_json()),
+            ("drift", drift.to_json()),
+        ]));
+    }
+
+    let header = format!(
+        "online: {} nodes, {} -> {} edges over {} event(s) (seed {}, k {})\n\
+         each threshold replays the same deterministic stream; repair = drop all + re-greedy\n",
+        g.node_count(),
+        base.edge_count(),
+        edges_end,
+        events,
+        seed,
+        k,
+    );
+    let csv = {
+        let mut csv = String::from("threshold,applied,repairs,repair_picks,final_fr,rebuild_fr\n");
+        for row in &rows_json {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                row.expect("threshold")?.as_f64().unwrap_or(0.0),
+                row.expect("applied")?.as_usize().unwrap_or(0),
+                row.expect("repairs")?.as_usize().unwrap_or(0),
+                row.expect("repair_picks")?.as_usize().unwrap_or(0),
+                row.expect("final_fr")?.as_f64().unwrap_or(0.0),
+                row.expect("rebuild_fr")?.as_f64().unwrap_or(0.0),
+            ));
+        }
+        csv
+    };
+    if let Some(dir) = flags.get("out") {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        let doc = fp_results::Json::object([
+            ("schema", fp_results::Json::Str("fp-online-run/1".into())),
+            (
+                "graph",
+                fp_results::Json::object([
+                    ("nodes", g.node_count().to_json()),
+                    ("edges_start", base.edge_count().to_json()),
+                    ("edges_end", edges_end.to_json()),
+                ]),
+            ),
+            ("k", k.to_json()),
+            ("events", events.to_json()),
+            ("seed", seed.to_json()),
+            ("thresholds", fp_results::Json::Array(rows_json)),
+        ]);
+        std::fs::write(dir.join("online.json"), doc.to_pretty())
+            .map_err(|e| format!("cannot write online.json: {e}"))?;
+        std::fs::write(dir.join("online.csv"), &csv)
+            .map_err(|e| format!("cannot write online.csv: {e}"))?;
+    }
+    let format = flags.get("format").map_or("table", String::as_str);
+    match format {
+        "table" => Ok(format!("{header}{table}")),
+        "csv" => Ok(format!("{header}{csv}")),
+        other => Err(format!("unknown format {other:?} (want table or csv)")),
+    }
+}
+
 /// Usage text. The hidden `worker` subcommand (the process-pool child
 /// behind `sweep --workers`) is deliberately absent: it speaks a binary
 /// frame protocol on stdin/stdout and is never typed by a person.
 pub const USAGE: &str =
-    "usage: fp <solve|sweep|report|diff|gc|stats|generate|serve|loadtest|trace> [flags]
+    "usage: fp <solve|sweep|report|diff|gc|stats|generate|serve|loadtest|online|trace> [flags]
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
            [--out DIR] [--jobs N] [--workers N] [--trace FILE]
@@ -878,13 +1064,22 @@ pub const USAGE: &str =
             GET /metrics for Prometheus text or ?format=json; POST /stop or a
             `stop` call shuts it down; --trace dumps spans at shutdown)
   loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N] [--requests N] [--kmax N]
-           [--transport frame|http] [--baseline FILE] [--check FILE [--tolerance F]]
+           [--transport frame|http] [--mutations N] [--baseline FILE]
+           [--check FILE [--tolerance F]]
            (drive an in-process daemon with concurrent clients, verify every answer
             against the batch ladder, report p50/p99/throughput; --transport http
             measures Connection: close and keep-alive phases side by side;
+            --mutations N follows up with N live edge insertions, each verified
+            against a batch solve on the mutated graph;
             --baseline folds the numbers into BENCH_baseline.json's serve section;
             --check compares against a recorded baseline and exits non-zero on
             regression beyond the tolerance)
+  online   --input FILE --source LABEL [--k N] [--events N] [--seed N]
+           [--thresholds F,F,...] [--format table|csv] [--out DIR]
+           (maintain a k-filter placement under a deterministic edge-mutation
+            stream, re-running greedy repair when Phi drift crosses each
+            threshold; reports repair cost vs quality per threshold — counts
+            and FRs only, so --out run dirs are byte-identical across reruns)
   trace    --summary FILE  (aggregate a dumped Chrome trace per span name:
             count, total, mean, max — heaviest first)";
 
@@ -919,6 +1114,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(&flags),
         "serve" => cmd_serve(&flags),
         "loadtest" => cmd_loadtest(&flags),
+        "online" => cmd_online(&flags, &read_input()?),
         "trace" => cmd_trace(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -943,6 +1139,7 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
         "generate" => cmd_generate(&flags),
         "serve" => Err("serve blocks on a live socket; use `fp serve` directly".to_string()),
         "loadtest" => cmd_loadtest(&flags),
+        "online" => cmd_online(&flags, input),
         "trace" => cmd_trace(&flags),
         "worker" => Err("worker serves the pool protocol on real stdin/stdout".to_string()),
         other => Err(format!("unknown command {other:?}")),
@@ -1091,6 +1288,136 @@ mod tests {
     /// Every flag the spec allows is documented in [`USAGE`], and every
     /// `--flag` token in [`USAGE`] is allowed by some command's spec —
     /// the help text can neither under- nor over-promise.
+    #[test]
+    fn online_reports_one_row_per_threshold_deterministically() {
+        let run = || {
+            run_with_input(
+                &args(&[
+                    "online",
+                    "--source",
+                    "s",
+                    "--k",
+                    "2",
+                    "--events",
+                    "20",
+                    "--seed",
+                    "7",
+                    "--thresholds",
+                    "0,1e9",
+                ]),
+                FIG1,
+            )
+            .unwrap()
+        };
+        let out = run();
+        assert!(out.contains("online: 7 nodes"), "{out}");
+        assert!(out.contains("20 event(s)"), "{out}");
+        // One row per threshold; the never-repair threshold spends no
+        // picks, the repair-on-anything one repairs at least once.
+        let row = |prefix: &str| {
+            out.lines()
+                .map(str::trim_start)
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no {prefix:?} row in {out}"))
+                .split_whitespace()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        let always = row("0 ");
+        let never = row("1000000000 ");
+        assert!(always[2].parse::<usize>().unwrap() >= 1, "{out}");
+        assert_eq!(never[2], "0", "{out}");
+        assert_eq!(never[3], "0", "{out}");
+        assert!(out == run(), "fp online must be deterministic");
+    }
+
+    #[test]
+    fn online_csv_lists_repair_cost_vs_quality() {
+        let out = run_with_input(
+            &args(&[
+                "online",
+                "--source",
+                "s",
+                "--k",
+                "2",
+                "--events",
+                "16",
+                "--thresholds",
+                "0",
+                "--format",
+                "csv",
+            ]),
+            FIG1,
+        )
+        .unwrap();
+        assert!(
+            out.contains("threshold,applied,repairs,repair_picks,final_fr,rebuild_fr"),
+            "{out}"
+        );
+        // Threshold 0 tracks rebuild quality exactly: the final FR
+        // column equals the rebuild FR column on every row.
+        let row = out
+            .lines()
+            .find(|l| l.starts_with("0,"))
+            .unwrap_or_else(|| panic!("no threshold-0 row in {out}"));
+        let cells: Vec<&str> = row.split(',').collect();
+        assert_eq!(cells[4], cells[5], "{out}");
+    }
+
+    #[test]
+    fn online_out_dir_is_byte_identical_across_reruns() {
+        let run_into = |dir: &std::path::Path| {
+            run_with_input(
+                &args(&[
+                    "online",
+                    "--source",
+                    "s",
+                    "--k",
+                    "2",
+                    "--events",
+                    "12",
+                    "--out",
+                    dir.to_str().unwrap(),
+                ]),
+                FIG1,
+            )
+            .unwrap();
+        };
+        let a = temp_dir("online-a");
+        let b = temp_dir("online-b");
+        run_into(&a);
+        run_into(&b);
+        for file in ["online.json", "online.csv"] {
+            let left = std::fs::read(a.join(file)).unwrap();
+            let right = std::fs::read(b.join(file)).unwrap();
+            assert_eq!(left, right, "{file} differs between identical runs");
+        }
+        let doc = std::fs::read_to_string(a.join("online.json")).unwrap();
+        assert!(doc.contains("fp-online-run/1"), "{doc}");
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn online_rejects_bad_thresholds() {
+        for bad in ["nan", "-1", "inf", ""] {
+            let err = run_with_input(
+                &args(&["online", "--source", "s", "--thresholds", bad]),
+                FIG1,
+            )
+            .unwrap_err();
+            assert!(err.contains("threshold"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn loadtest_accepts_a_mutations_flag() {
+        // Flag vocabulary only — the full phase is exercised by the
+        // loadtest module's own tests.
+        let err = run_with_input(&args(&["loadtest", "--mutations", "x"]), "").unwrap_err();
+        assert!(err.contains("--mutations"), "{err}");
+    }
+
     #[test]
     fn usage_and_flag_spec_agree() {
         use std::collections::BTreeSet;

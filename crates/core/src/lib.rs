@@ -51,6 +51,7 @@
 pub mod cli;
 pub mod experiment;
 pub mod loadtest;
+pub mod online;
 mod problem;
 pub mod registry;
 pub mod report;
@@ -69,6 +70,7 @@ pub use problem::Problem;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::experiment::{run_sweep, run_sweep_with, SweepConfig, SweepResult};
+    pub use crate::online::{OnlineConfig, OnlinePlacement};
     pub use crate::problem::Problem;
     pub use crate::report::Table;
     pub use fp_algorithms::{Solver, SolverKind, SolverSession};

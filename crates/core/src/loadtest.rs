@@ -72,6 +72,11 @@ pub struct LoadtestConfig {
     pub kmax: usize,
     /// Which transport the clients speak.
     pub transport: Transport,
+    /// Edge insertions driven through `POST /sessions/:id/mutations`
+    /// after the query phase (0 = no mutation phase). Each accepted
+    /// mutation is followed by a full re-query verified against a
+    /// batch solve on a locally mutated copy of the graph.
+    pub mutations: usize,
 }
 
 impl Default for LoadtestConfig {
@@ -84,6 +89,7 @@ impl Default for LoadtestConfig {
             requests: 50,
             kmax: 8,
             transport: Transport::Frame,
+            mutations: 0,
         }
     }
 }
@@ -155,6 +161,12 @@ pub struct LoadtestReport {
     pub wall_ms: u64,
     /// Both HTTP phases when `transport` was [`Transport::Http`].
     pub http: Option<HttpNumbers>,
+    /// The mutation phase's numbers when `mutations > 0`: latency is
+    /// the mutate round-trip alone (re-query verification excluded).
+    pub mutation: Option<PhaseNumbers>,
+    /// Mutations actually applied (less than requested only when the
+    /// graph runs out of absent forward edges to insert).
+    pub mutations_applied: usize,
 }
 
 impl LoadtestReport {
@@ -186,6 +198,13 @@ impl LoadtestReport {
                     ("keep_alive", http.keep_alive.to_json()),
                 ]),
             ));
+        }
+        if let Some(mutation) = &self.mutation {
+            let mut section = mutation.to_json();
+            if let Json::Object(fields) = &mut section {
+                fields.push(("applied".to_string(), self.mutations_applied.to_json()));
+            }
+            members.push(("mutations".to_string(), section));
         }
         Json::Object(members)
     }
@@ -258,6 +277,13 @@ pub fn run_loadtest(
             (keep_alive, total, Some(HttpNumbers { close, keep_alive }))
         }
     };
+    let (mutation, mutations_applied) = if cfg.mutations > 0 {
+        let (numbers, applied) = drive_mutation_phase(addr, &session, cfg, &entry)?;
+        (Some(numbers), applied)
+    } else {
+        (None, 0)
+    };
+
     opener.hang_up()?;
     handle.stop()?;
 
@@ -270,7 +296,99 @@ pub fn run_loadtest(
         throughput_rps: headline.throughput_rps,
         wall_ms: headline.wall_ms,
         http,
+        mutation,
+        mutations_applied,
     })
+}
+
+/// The live-graph phase: drive edge insertions through the session and
+/// verify the rebuilt session answers against a batch solve on a
+/// locally mutated copy of the graph after every mutation.
+///
+/// Insert-only on purpose: insertions can never orphan a placed filter
+/// (the only 409 the mutation API raises for a structurally legal
+/// edit), so a conflict here is a hard failure rather than an expected
+/// outcome, and the phase stays deterministic. Candidate edges are
+/// absent forward pairs in the original topological order, walked in a
+/// fixed order, so acyclicity is preserved by construction and two
+/// runs drive identical traffic.
+fn drive_mutation_phase(
+    addr: SocketAddr,
+    session: &str,
+    cfg: &LoadtestConfig,
+    entry: &crate::registry::GraphEntry,
+) -> Result<(PhaseNumbers, usize), String> {
+    let mut local = entry.problem.cgraph().clone();
+    let topo: Vec<_> = local.topo().to_vec();
+    let mut client = ServeClient::connect(addr)?;
+    let mut latencies = Vec::with_capacity(cfg.mutations);
+    let started = Instant::now();
+    let mut applied = 0;
+    'outer: for gap in 1..topo.len() {
+        for i in 0..topo.len() - gap {
+            if applied == cfg.mutations {
+                break 'outer;
+            }
+            let (u, v) = (topo[i], topo[i + gap]);
+            if local.csr().children(u).contains(&v) {
+                continue;
+            }
+            let sent = Instant::now();
+            let reply = client.call(ServeCall::Mutate {
+                session: session.to_string(),
+                mutation: "insert_edge".into(),
+                from: entry.labels[u.index()].clone(),
+                to: entry.labels[v.index()].clone(),
+            })?;
+            latencies.push(sent.elapsed().as_micros() as u64);
+            if reply.status != 200 {
+                return Err(format!(
+                    "mutation {u:?} -> {v:?} failed: {}",
+                    reply.body.to_compact()
+                ));
+            }
+            local
+                .insert_edge(u, v)
+                .map_err(|e| format!("local mirror rejected {u:?} -> {v:?}: {e:?}"))?;
+            if reply.body.expect("edges")?.as_usize() != Some(local.edge_count()) {
+                return Err(format!(
+                    "edge count diverged after {u:?} -> {v:?}: {}",
+                    reply.body.to_compact()
+                ));
+            }
+            applied += 1;
+
+            // Re-query the whole ladder and hold it to the batch
+            // answer on the mutated graph, bit for bit.
+            let ks: Vec<usize> = (0..=cfg.kmax).collect();
+            let expected: BTreeMap<usize, (Vec<usize>, u64)> =
+                crate::Problem::from_cgraph(local.clone())
+                    .solve_ladder(cfg.solver, &ks, cfg.seed)
+                    .into_iter()
+                    .map(|(k, placement, fr)| {
+                        let nodes = placement.nodes().iter().map(|n| n.index()).collect();
+                        (k, (nodes, fr.to_bits()))
+                    })
+                    .collect();
+            let reply = client.call(ServeCall::Query {
+                session: session.to_string(),
+                ks: vec![cfg.kmax],
+                deadline_ms: None,
+            })?;
+            if reply.status != 200 {
+                return Err(format!(
+                    "post-mutation query failed: {}",
+                    reply.body.to_compact()
+                ));
+            }
+            verify_row(&reply.body, cfg.kmax, &expected)?;
+        }
+    }
+    client.hang_up()?;
+    Ok((
+        PhaseNumbers::from_samples(latencies, started.elapsed()),
+        applied,
+    ))
 }
 
 /// Fan the workload out over `cfg.clients` threads, collect every
@@ -577,6 +695,7 @@ mod tests {
             requests: 10,
             kmax: 3,
             transport: Transport::Frame,
+            mutations: 0,
         };
         let report = run_loadtest(tiny_registry(), &cfg).unwrap();
         assert_eq!(report.total_requests, 40);
@@ -600,6 +719,7 @@ mod tests {
             requests: 5,
             kmax: 2,
             transport: Transport::Http,
+            mutations: 0,
         };
         let report = run_loadtest(tiny_registry(), &cfg).unwrap();
         assert_eq!(report.total_requests, 10, "per phase");
@@ -619,6 +739,28 @@ mod tests {
     }
 
     #[test]
+    fn mutation_phase_applies_inserts_and_verifies_rebuilds() {
+        let cfg = LoadtestConfig {
+            graph: "fig1".into(),
+            solver: SolverKind::GreedyAll,
+            seed: 0,
+            clients: 2,
+            requests: 4,
+            kmax: 3,
+            transport: Transport::Frame,
+            mutations: 3,
+        };
+        let report = run_loadtest(tiny_registry(), &cfg).unwrap();
+        assert_eq!(report.mutations_applied, 3);
+        let phase = report.mutation.expect("mutation phase recorded");
+        assert!(phase.p50_us <= phase.max_us);
+        let json = report.to_json();
+        let section = json.expect("mutations").unwrap();
+        assert_eq!(section.expect("applied").unwrap().as_usize(), Some(3));
+        assert!(section.get("p99_us").is_some());
+    }
+
+    #[test]
     fn transport_parses_and_rejects() {
         assert_eq!(Transport::parse("frame").unwrap(), Transport::Frame);
         assert_eq!(Transport::parse("http").unwrap(), Transport::Http);
@@ -635,6 +777,8 @@ mod tests {
             throughput_rps: rps,
             wall_ms: 10,
             http: None,
+            mutation: None,
+            mutations_applied: 0,
         }
     }
 
@@ -712,6 +856,7 @@ mod tests {
             requests: 2,
             kmax: 1,
             transport: Transport::Frame,
+            mutations: 0,
         };
         let report = run_loadtest(tiny_registry(), &cfg).unwrap();
         let mut doc = Json::object([("schema", Json::Str("x/1".into()))]);

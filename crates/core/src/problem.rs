@@ -46,6 +46,22 @@ impl Problem {
         })
     }
 
+    /// Wrap an already-frozen (hence acyclic) c-graph directly.
+    ///
+    /// This is how mutation paths rebuild a `Problem` after editing a
+    /// graph through [`fp_propagation::ImpactEngine`] or
+    /// [`CGraph::insert_edge`]/[`CGraph::remove_edge`]: the mutated
+    /// c-graph is acyclic by construction, so no Acyclic extraction
+    /// runs and `was_cyclic` is `false`.
+    pub fn from_cgraph(cg: CGraph) -> Self {
+        let cache = ObjectiveCache::new(&cg);
+        Self {
+            cg,
+            cache,
+            was_cyclic: false,
+        }
+    }
+
     /// The (acyclic) communication graph being solved.
     pub fn cgraph(&self) -> &CGraph {
         &self.cg
@@ -183,6 +199,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn from_cgraph_matches_new_on_acyclic_inputs() {
+        let g = figure1();
+        let via_new = Problem::new(&g, NodeId::new(0)).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        let via_cg = Problem::from_cgraph(cg);
+        assert!(!via_cg.was_cyclic());
+        assert!(via_cg.phi_empty() == via_new.phi_empty());
+        assert!(via_cg.f_all() == via_new.f_all());
+        let a = via_new.solve(SolverKind::GreedyAll, 2);
+        let b = via_cg.solve(SolverKind::GreedyAll, 2);
+        assert_eq!(a.nodes(), b.nodes());
     }
 
     #[test]

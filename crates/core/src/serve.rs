@@ -47,6 +47,7 @@
 //! are always served, deadline or not.
 
 use crate::registry::{GraphEntry, GraphRegistry, PutError, PutOutcome};
+use crate::Problem;
 use fp_algorithms::SolverKind;
 use fp_graph::NodeId;
 use fp_num::Wide128;
@@ -99,11 +100,52 @@ pub enum QueryError {
     Closed,
 }
 
+/// One structural edit to a session's private copy of its graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeMutation {
+    /// `true` inserts the edge, `false` removes it.
+    pub insert: bool,
+    /// Edge tail.
+    pub from: NodeId,
+    /// Edge head.
+    pub to: NodeId,
+}
+
+/// What a session mutation did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutateOutcome {
+    /// `"insert_edge"` or `"remove_edge"`.
+    pub op: &'static str,
+    /// Edge count of the session's graph after the mutation.
+    pub edges: usize,
+    /// Whether the insertion forced a topological-order rebuild.
+    pub reordered: bool,
+    /// How many leading ladder rungs the session predicts survive the
+    /// mutation and pre-warms. A *hint only*: every rung is recomputed
+    /// on the mutated graph, so answers stay bit-identical to a cold
+    /// session regardless of this number.
+    pub retained_rungs: usize,
+}
+
+/// Why a session mutation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutateError {
+    /// A cycle, a duplicate or unknown edge, or an edge removal that
+    /// would orphan a placed filter (all 409 on the wire).
+    Conflict(String),
+    /// The session worker is gone (closed or expired concurrently).
+    Closed,
+}
+
 enum SessionCmd {
     Query {
         ks: Vec<usize>,
         deadline: Option<Instant>,
         reply: mpsc::Sender<Result<Vec<KAnswer>, QueryError>>,
+    },
+    Mutate {
+        m: EdgeMutation,
+        reply: mpsc::Sender<Result<MutateOutcome, MutateError>>,
     },
     Stop,
 }
@@ -132,6 +174,11 @@ struct SessionStats {
     bytes_in: fp_obs::Counter,
     /// Compact-JSON bytes of query reply bodies produced.
     bytes_out: fp_obs::Counter,
+    /// Structural mutations accepted by this session.
+    mutations: fp_obs::Counter,
+    /// Total rungs predicted to survive across those mutations (the
+    /// pre-warm work saved, in units of one ladder rung).
+    rungs_retained: fp_obs::Counter,
 }
 
 impl SessionStats {
@@ -143,6 +190,8 @@ impl SessionStats {
             ("deadline_misses", self.deadline_misses.get().to_json()),
             ("bytes_in", self.bytes_in.get().to_json()),
             ("bytes_out", self.bytes_out.get().to_json()),
+            ("mutations", self.mutations.get().to_json()),
+            ("rungs_retained", self.rungs_retained.get().to_json()),
         ])
     }
 }
@@ -213,6 +262,24 @@ impl SessionHandle {
         reply_rx.recv().map_err(|_| QueryError::Closed)?
     }
 
+    /// Apply one structural mutation to the session's private copy of
+    /// its graph (the registry's shared entry is never touched — other
+    /// sessions on the same graph keep solving the original).
+    ///
+    /// On success the worker rebuilds its solver session on the
+    /// mutated graph and pre-warms the predicted surviving ladder
+    /// prefix; later queries are bit-identical to a cold session
+    /// opened on that graph. Conflicting mutations (cycle, duplicate
+    /// or unknown edge, orphaned placed filter) change nothing.
+    pub fn mutate(&self, m: EdgeMutation) -> Result<MutateOutcome, MutateError> {
+        *self.last_used.lock().expect("session lock poisoned") = Instant::now();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(SessionCmd::Mutate { m, reply: reply_tx })
+            .map_err(|_| MutateError::Closed)?;
+        reply_rx.recv().map_err(|_| MutateError::Closed)?
+    }
+
     fn idle_for(&self) -> Duration {
         self.last_used
             .lock()
@@ -221,8 +288,77 @@ impl SessionHandle {
     }
 }
 
+/// How one epoch of a session worker ended: the daemon (or channel)
+/// stopped it, or a mutation was accepted and the next epoch must
+/// rebuild on the mutated graph.
+enum EpochEnd {
+    Stopped,
+    Mutated { problem: Problem, retain: usize },
+}
+
+/// Validate and apply one edge mutation against `cg`, returning the
+/// mutated graph and whether the topological order was rebuilt.
+/// Conflicts — a cycle, a self-loop, an out-of-range endpoint, a
+/// duplicate or unknown edge, or an edge removal that would leave one
+/// of `placed` unreachable from the source — return `Err` and build
+/// nothing.
+fn mutate_cgraph(
+    cg: &fp_propagation::CGraph,
+    placed: &[NodeId],
+    m: EdgeMutation,
+) -> Result<(fp_propagation::CGraph, bool), String> {
+    let mut next = cg.clone();
+    let reordered = if m.insert {
+        if m.from.index() < cg.node_count() && cg.csr().children(m.from).contains(&m.to) {
+            return Err(format!(
+                "edge {} -> {} already exists",
+                m.from.index(),
+                m.to.index()
+            ));
+        }
+        next.insert_edge(m.from, m.to).map_err(|e| e.to_string())?
+    } else {
+        if !next.remove_edge(m.from, m.to) {
+            return Err(format!(
+                "edge {} -> {} does not exist",
+                m.from.index(),
+                m.to.index()
+            ));
+        }
+        false
+    };
+    if !m.insert && !placed.is_empty() {
+        let reach = fp_graph::reachable_from(next.csr(), next.source());
+        if let Some(lost) = placed.iter().find(|p| !reach.contains(p.index())) {
+            return Err(format!(
+                "removing edge {} -> {} would orphan placed filter {}",
+                m.from.index(),
+                m.to.index(),
+                lost.index()
+            ));
+        }
+    }
+    Ok((next, reordered))
+}
+
+/// Predict how many leading rungs of the old ladder survive the
+/// mutation: the longest prefix of picks disjoint from the mutation
+/// site and its downstream cone (whose received counts move; picks
+/// upstream keep theirs, though their *order* can still shift, which
+/// is why this is only a pre-warm hint — the rebuilt session
+/// recomputes every rung, so a wrong prediction costs warm-up time,
+/// never correctness).
+fn retained_prefix(next: &fp_propagation::CGraph, picks: &[NodeId], m: EdgeMutation) -> usize {
+    let affected = fp_graph::reachable_from(next.csr(), m.to);
+    picks
+        .iter()
+        .take_while(|&&p| !affected.contains(p.index()) && p != m.from)
+        .count()
+}
+
 /// Worker body for prefix-nested solvers: one live ladder plus a rung
-/// cache, so a budget is computed at most once per session lifetime.
+/// cache, so a budget is computed at most once per *epoch* (mutations
+/// end the epoch and rebuild the ladder on the mutated graph).
 fn run_nested_session(
     graph: &GraphEntry,
     solver: SolverKind,
@@ -231,67 +367,131 @@ fn run_nested_session(
     stats: &SessionStats,
     rx: &mpsc::Receiver<SessionCmd>,
 ) {
-    let solver_impl = solver.build::<Wide128>();
-    let cg = graph.problem.cgraph();
-    let mut session = solver_impl.session(cg, seed);
-    // Rung 0: reading FR here does the one-time denominator passes —
-    // this is the "warming" work a fresh session pays up front.
-    let mut picks: Vec<NodeId> = Vec::new();
-    let mut frs: Vec<f64> = vec![session.fr()];
-    let mut exhausted = false;
-    state.store(STATE_READY, Ordering::Release);
-
-    while let Ok(cmd) = rx.recv() {
-        let SessionCmd::Query {
-            ks,
-            deadline,
-            reply,
-        } = cmd
-        else {
-            break;
-        };
-        let _span = fp_obs::span("session.query").arg("ks", ks.len() as i64);
-        let warm = picks.len();
-        stats
-            .rung_cache_hits
-            .add(ks.iter().filter(|&&k| k <= warm || exhausted).count() as u64);
-        let want = ks.iter().copied().max().unwrap_or(0);
-        let mut expired = false;
-        while picks.len() < want && !exhausted && !expired {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                expired = true;
-            } else if let Some(v) = session.next_filter() {
-                picks.push(v);
-                frs.push(session.fr());
-            } else {
-                exhausted = true;
+    let mut local: Option<Problem> = None;
+    let mut warm_to = 0usize;
+    loop {
+        let problem = local.as_ref().unwrap_or(&graph.problem);
+        match run_nested_epoch(problem, solver, seed, state, stats, rx, warm_to) {
+            EpochEnd::Stopped => return,
+            EpochEnd::Mutated { problem, retain } => {
+                state.store(STATE_WARMING, Ordering::Release);
+                local = Some(problem);
+                warm_to = retain;
             }
         }
-        stats.rung_depth.set(picks.len() as i64);
-        // A budget past the ladder's natural end answers with the full
-        // ladder — exactly `advance_to`'s early-stop semantics.
-        let answerable = |k: usize| k <= picks.len() || exhausted;
-        let out = if ks.iter().all(|&k| answerable(k)) {
-            Ok(ks
-                .iter()
-                .map(|&k| {
-                    let rung = k.min(picks.len());
-                    KAnswer {
-                        k,
-                        fr: frs[rung],
-                        placement: picks[..rung].to_vec(),
-                    }
-                })
-                .collect())
-        } else {
-            Err(QueryError::Expired { ready: picks.len() })
-        };
-        let _ = reply.send(out);
     }
 }
 
+fn run_nested_epoch(
+    problem: &Problem,
+    solver: SolverKind,
+    seed: u64,
+    state: &AtomicU8,
+    stats: &SessionStats,
+    rx: &mpsc::Receiver<SessionCmd>,
+    warm_to: usize,
+) -> EpochEnd {
+    let solver_impl = solver.build::<Wide128>();
+    let cg = problem.cgraph();
+    let mut session = solver_impl.session(cg, seed);
+    // Rung 0: reading FR here does the one-time denominator passes —
+    // this is the "warming" work a fresh session pays up front. After
+    // a mutation, the predicted surviving prefix is re-walked here too.
+    let mut picks: Vec<NodeId> = Vec::new();
+    let mut frs: Vec<f64> = vec![session.fr()];
+    let mut exhausted = false;
+    while picks.len() < warm_to && !exhausted {
+        if let Some(v) = session.next_filter() {
+            picks.push(v);
+            frs.push(session.fr());
+        } else {
+            exhausted = true;
+        }
+    }
+    state.store(STATE_READY, Ordering::Release);
+
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SessionCmd::Query {
+                ks,
+                deadline,
+                reply,
+            } => {
+                let _span = fp_obs::span("session.query").arg("ks", ks.len() as i64);
+                let warm = picks.len();
+                stats
+                    .rung_cache_hits
+                    .add(ks.iter().filter(|&&k| k <= warm || exhausted).count() as u64);
+                let want = ks.iter().copied().max().unwrap_or(0);
+                let mut expired = false;
+                while picks.len() < want && !exhausted && !expired {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        expired = true;
+                    } else if let Some(v) = session.next_filter() {
+                        picks.push(v);
+                        frs.push(session.fr());
+                    } else {
+                        exhausted = true;
+                    }
+                }
+                stats.rung_depth.set(picks.len() as i64);
+                // A budget past the ladder's natural end answers with
+                // the full ladder — exactly `advance_to`'s early-stop
+                // semantics.
+                let answerable = |k: usize| k <= picks.len() || exhausted;
+                let out = if ks.iter().all(|&k| answerable(k)) {
+                    Ok(ks
+                        .iter()
+                        .map(|&k| {
+                            let rung = k.min(picks.len());
+                            KAnswer {
+                                k,
+                                fr: frs[rung],
+                                placement: picks[..rung].to_vec(),
+                            }
+                        })
+                        .collect())
+                } else {
+                    Err(QueryError::Expired { ready: picks.len() })
+                };
+                let _ = reply.send(out);
+            }
+            SessionCmd::Mutate { m, reply } => {
+                let _span = fp_obs::span("session.mutate");
+                match mutate_cgraph(problem.cgraph(), &picks, m) {
+                    Ok((next, reordered)) => {
+                        let retain = retained_prefix(&next, &picks, m);
+                        stats.mutations.inc();
+                        stats.rungs_retained.add(retain as u64);
+                        let _ = reply.send(Ok(MutateOutcome {
+                            op: if m.insert {
+                                "insert_edge"
+                            } else {
+                                "remove_edge"
+                            },
+                            edges: next.edge_count(),
+                            reordered,
+                            retained_rungs: retain,
+                        }));
+                        return EpochEnd::Mutated {
+                            problem: Problem::from_cgraph(next),
+                            retain,
+                        };
+                    }
+                    Err(msg) => {
+                        let _ = reply.send(Err(MutateError::Conflict(msg)));
+                    }
+                }
+            }
+            SessionCmd::Stop => return EpochEnd::Stopped,
+        }
+    }
+    EpochEnd::Stopped
+}
+
 /// Worker body for the non-nested randomized baselines: each budget is
-/// an independent redraw (a pure function of `(k, seed)`), memoized.
+/// an independent redraw (a pure function of `(k, seed)`), memoized
+/// per epoch (mutations clear the memo along with the graph).
 fn run_one_shot_session(
     graph: &GraphEntry,
     solver: SolverKind,
@@ -300,10 +500,30 @@ fn run_one_shot_session(
     stats: &SessionStats,
     rx: &mpsc::Receiver<SessionCmd>,
 ) {
+    let mut local: Option<Problem> = None;
+    loop {
+        let problem = local.as_ref().unwrap_or(&graph.problem);
+        match run_one_shot_epoch(problem, solver, seed, state, stats, rx) {
+            EpochEnd::Stopped => return,
+            EpochEnd::Mutated { problem, .. } => {
+                state.store(STATE_WARMING, Ordering::Release);
+                local = Some(problem);
+            }
+        }
+    }
+}
+
+fn run_one_shot_epoch(
+    problem: &Problem,
+    solver: SolverKind,
+    seed: u64,
+    state: &AtomicU8,
+    stats: &SessionStats,
+    rx: &mpsc::Receiver<SessionCmd>,
+) -> EpochEnd {
     let mut memo: BTreeMap<usize, KAnswer> = BTreeMap::new();
     let draw = |k: usize| {
-        let (_, placement, fr) = graph
-            .problem
+        let (_, placement, fr) = problem
             .solve_ladder(solver, &[k], seed)
             .pop()
             .expect("one budget in, one answer out");
@@ -317,35 +537,71 @@ fn run_one_shot_session(
     state.store(STATE_READY, Ordering::Release);
 
     while let Ok(cmd) = rx.recv() {
-        let SessionCmd::Query {
-            ks,
-            deadline,
-            reply,
-        } = cmd
-        else {
-            break;
-        };
-        let _span = fp_obs::span("session.query").arg("ks", ks.len() as i64);
-        let mut expired = false;
-        for &k in &ks {
-            if memo.contains_key(&k) {
-                stats.rung_cache_hits.inc();
-                continue;
+        match cmd {
+            SessionCmd::Query {
+                ks,
+                deadline,
+                reply,
+            } => {
+                let _span = fp_obs::span("session.query").arg("ks", ks.len() as i64);
+                let mut expired = false;
+                for &k in &ks {
+                    if memo.contains_key(&k) {
+                        stats.rung_cache_hits.inc();
+                        continue;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        expired = true;
+                        break;
+                    }
+                    memo.insert(k, draw(k));
+                }
+                stats.rung_depth.set(memo.len() as i64);
+                let out = if expired {
+                    Err(QueryError::Expired { ready: memo.len() })
+                } else {
+                    Ok(ks.iter().map(|k| memo[k].clone()).collect())
+                };
+                let _ = reply.send(out);
             }
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                expired = true;
-                break;
+            SessionCmd::Mutate { m, reply } => {
+                let _span = fp_obs::span("session.mutate");
+                // "Placed" filters for the orphan rule: everything a
+                // memoized answer has handed out.
+                let placed: Vec<NodeId> = {
+                    let mut all: Vec<NodeId> =
+                        memo.values().flat_map(|a| a.placement.clone()).collect();
+                    all.sort_unstable();
+                    all.dedup();
+                    all
+                };
+                match mutate_cgraph(problem.cgraph(), &placed, m) {
+                    Ok((next, reordered)) => {
+                        stats.mutations.inc();
+                        let _ = reply.send(Ok(MutateOutcome {
+                            op: if m.insert {
+                                "insert_edge"
+                            } else {
+                                "remove_edge"
+                            },
+                            edges: next.edge_count(),
+                            reordered,
+                            retained_rungs: 0,
+                        }));
+                        return EpochEnd::Mutated {
+                            problem: Problem::from_cgraph(next),
+                            retain: 0,
+                        };
+                    }
+                    Err(msg) => {
+                        let _ = reply.send(Err(MutateError::Conflict(msg)));
+                    }
+                }
             }
-            memo.insert(k, draw(k));
+            SessionCmd::Stop => return EpochEnd::Stopped,
         }
-        stats.rung_depth.set(memo.len() as i64);
-        let out = if expired {
-            Err(QueryError::Expired { ready: memo.len() })
-        } else {
-            Ok(ks.iter().map(|k| memo[k].clone()).collect())
-        };
-        let _ = reply.send(out);
     }
+    EpochEnd::Stopped
 }
 
 // ---------------------------------------------------------------------
@@ -751,6 +1007,57 @@ impl ApiState {
                 };
                 handle.stats.bytes_out.add(body.to_compact().len() as u64);
                 (status, body)
+            }
+            ServeCall::Mutate {
+                session,
+                mutation,
+                from,
+                to,
+            } => {
+                let insert = match mutation.as_str() {
+                    "insert_edge" => true,
+                    "remove_edge" => false,
+                    other => {
+                        return (400, error_body(format!("unknown mutation kind {other:?}")));
+                    }
+                };
+                let Some(handle) = self.sessions.get(session) else {
+                    return (404, error_body(format!("unknown session {session:?}")));
+                };
+                let resolve = |label: &str| {
+                    handle
+                        .graph
+                        .labels
+                        .iter()
+                        .position(|l| l == label)
+                        .map(NodeId::new)
+                };
+                let Some(u) = resolve(from) else {
+                    return (400, error_body(format!("unknown node label {from:?}")));
+                };
+                let Some(v) = resolve(to) else {
+                    return (400, error_body(format!("unknown node label {to:?}")));
+                };
+                match handle.mutate(EdgeMutation {
+                    insert,
+                    from: u,
+                    to: v,
+                }) {
+                    Ok(out) => (
+                        200,
+                        Json::object([
+                            ("session", handle.id.to_json()),
+                            ("applied", Json::Str(out.op.to_string())),
+                            ("from", from.to_json()),
+                            ("to", to.to_json()),
+                            ("edges", out.edges.to_json()),
+                            ("reordered", Json::Bool(out.reordered)),
+                            ("retained_rungs", out.retained_rungs.to_json()),
+                        ]),
+                    ),
+                    Err(MutateError::Conflict(msg)) => (409, error_body(msg)),
+                    Err(MutateError::Closed) => (404, error_body("session closed")),
+                }
             }
             ServeCall::SessionClose { session } => {
                 if self.sessions.close(session) {
@@ -1163,6 +1470,12 @@ fn route(req: &HttpRequest) -> Result<ServeCall, (u16, String)> {
                 deadline_ms: deadline()?,
             })
         }
+        ("POST", ["sessions", id, "mutations"]) => Ok(ServeCall::Mutate {
+            session: (*id).to_string(),
+            mutation: q("mutation")?,
+            from: q("from")?,
+            to: q("to")?,
+        }),
         ("DELETE", ["sessions", id]) => Ok(ServeCall::SessionClose {
             session: (*id).to_string(),
         }),
@@ -1513,6 +1826,190 @@ mod tests {
     }
 
     #[test]
+    fn mutated_sessions_answer_bit_identical_to_a_batch_solve_on_the_mutated_graph() {
+        let api = api();
+        let ks: Vec<usize> = vec![0, 1, 2, 3];
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        // Warm the ladder so the mutation has rungs to retain.
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: id.clone(),
+            ks: ks.clone(),
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200);
+        // fig1 labels by first appearance: s=0 x=1 y=2 z1=3 z2=4 z3=5 w=6.
+        let (status, body) = api.handle(&ServeCall::Mutate {
+            session: id.clone(),
+            mutation: "insert_edge".into(),
+            from: "z1".into(),
+            to: "z3".into(),
+        });
+        assert_eq!(status, 200, "{body:?}");
+        assert_eq!(
+            body.expect("applied").unwrap().as_str(),
+            Some("insert_edge")
+        );
+        assert_eq!(body.expect("edges").unwrap().as_usize(), Some(10));
+        assert_eq!(body.expect("reordered").unwrap(), &Json::Bool(false));
+        // Warm picks were [z2]; the insertion affects {z3, w}, so the
+        // one warm rung is predicted to survive.
+        assert_eq!(body.expect("retained_rungs").unwrap().as_usize(), Some(1));
+
+        // The batch oracle: the same edge inserted into a private copy.
+        let fig1 = api.registry().get("fig1").unwrap();
+        let mut cg = fig1.problem.cgraph().clone();
+        cg.insert_edge(NodeId::new(3), NodeId::new(5)).unwrap();
+        let batch = Problem::from_cgraph(cg).solve_ladder(SolverKind::GreedyAll, &ks, 0);
+        let (status, body) = api.handle(&ServeCall::Query {
+            session: id.clone(),
+            ks: ks.clone(),
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200, "{body:?}");
+        let results = body.expect("results").unwrap().as_array().unwrap();
+        for (row, (k, placement, fr)) in results.iter().zip(batch) {
+            let got_fr = row.expect("fr").unwrap().as_f64().unwrap();
+            assert_eq!(got_fr.to_bits(), fr.to_bits(), "k={k}");
+            let got: Vec<usize> = row
+                .expect("placement")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_usize().unwrap())
+                .collect();
+            let want: Vec<usize> = placement.nodes().iter().map(|v| v.index()).collect();
+            assert_eq!(got, want, "k={k}");
+        }
+        // The registry's shared entry is untouched.
+        assert_eq!(fig1.problem.cgraph().edge_count(), 9);
+        // And the session reports the mutation in its stats.
+        let (_, listing) = api.handle(&ServeCall::SessionList);
+        let sessions = listing.expect("sessions").unwrap().as_array().unwrap();
+        let stats = sessions[0].expect("stats").unwrap();
+        assert_eq!(stats.expect("mutations").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn conflicting_mutations_are_409_and_change_nothing() {
+        let api = api();
+        let id = open_session(&api, SolverKind::GreedyAll, 0);
+        for (mutation, from, to) in [
+            ("remove_edge", "s", "w"),   // unknown edge
+            ("insert_edge", "s", "x"),   // duplicate
+            ("insert_edge", "w", "s"),   // cycle
+            ("insert_edge", "z2", "z2"), // self-loop
+        ] {
+            let (status, body) = api.handle(&ServeCall::Mutate {
+                session: id.clone(),
+                mutation: mutation.into(),
+                from: from.into(),
+                to: to.into(),
+            });
+            assert_eq!(status, 409, "{mutation} {from}->{to}: {body:?}");
+        }
+        // Bad input shapes are 400s, missing sessions 404s.
+        let (status, _) = api.handle(&ServeCall::Mutate {
+            session: id.clone(),
+            mutation: "paint_node".into(),
+            from: "s".into(),
+            to: "x".into(),
+        });
+        assert_eq!(status, 400);
+        let (status, _) = api.handle(&ServeCall::Mutate {
+            session: id.clone(),
+            mutation: "insert_edge".into(),
+            from: "nope".into(),
+            to: "x".into(),
+        });
+        assert_eq!(status, 400);
+        let (status, _) = api.handle(&ServeCall::Mutate {
+            session: "nope".into(),
+            mutation: "insert_edge".into(),
+            from: "s".into(),
+            to: "x".into(),
+        });
+        assert_eq!(status, 404);
+        // After all those rejections the session still answers the
+        // ORIGINAL graph's ladder bit-for-bit.
+        let fig1 = api.registry().get("fig1").unwrap();
+        let batch = fig1.problem.solve_ladder(SolverKind::GreedyAll, &[2], 0);
+        let (status, body) = api.handle(&ServeCall::Query {
+            session: id,
+            ks: vec![2],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200);
+        let row = &body.expect("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            row.expect("fr").unwrap().as_f64().unwrap().to_bits(),
+            batch[0].2.to_bits()
+        );
+    }
+
+    #[test]
+    fn removals_that_orphan_a_placed_filter_are_409() {
+        // A chain s → a → b: Rand_K at k=2 must place {a, b}, so
+        // removing a → b would leave placed filter b unreachable.
+        let registry = GraphRegistry::new();
+        registry.put_edge_list("chain", "s", "s a\na b\n").unwrap();
+        let api = ApiState::new(registry, None);
+        let (status, body) = api.handle(&ServeCall::SessionOpen {
+            graph: "chain".into(),
+            solver: SolverKind::RandK,
+            seed: 1,
+        });
+        assert_eq!(status, 201);
+        let id = body
+            .expect("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: id.clone(),
+            ks: vec![2],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200);
+        let (status, body) = api.handle(&ServeCall::Mutate {
+            session: id.clone(),
+            mutation: "remove_edge".into(),
+            from: "a".into(),
+            to: "b".into(),
+        });
+        assert_eq!(status, 409, "{body:?}");
+        let msg = body.expect("error").unwrap().as_str().unwrap().to_string();
+        assert!(msg.contains("orphan"), "{msg}");
+        // The refused removal left the graph intact: a fresh session
+        // with nothing placed yet can remove that same edge.
+        let (status, _) = api.handle(&ServeCall::SessionClose {
+            session: id.clone(),
+        });
+        assert_eq!(status, 200);
+        let (status, body) = api.handle(&ServeCall::SessionOpen {
+            graph: "chain".into(),
+            solver: SolverKind::RandK,
+            seed: 1,
+        });
+        assert_eq!(status, 201);
+        let fresh = body
+            .expect("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let (status, body) = api.handle(&ServeCall::Mutate {
+            session: fresh,
+            mutation: "remove_edge".into(),
+            from: "a".into(),
+            to: "b".into(),
+        });
+        assert_eq!(status, 200, "{body:?}");
+        assert_eq!(body.expect("edges").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
     fn close_then_query_is_a_404() {
         let api = api();
         let id = open_session(&api, SolverKind::GreedyAll, 0);
@@ -1598,6 +2095,20 @@ mod tests {
                 session: "abc".into(),
                 ks: vec![2, 0, 2],
                 deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            req(
+                "POST",
+                "/sessions/abc/mutations?mutation=insert_edge&from=a&to=b",
+                ""
+            )
+            .unwrap(),
+            ServeCall::Mutate {
+                session: "abc".into(),
+                mutation: "insert_edge".into(),
+                from: "a".into(),
+                to: "b".into(),
             }
         );
         assert_eq!(

@@ -8,7 +8,11 @@
 
 use crate::{DiGraph, NodeId};
 
-/// An immutable digraph in compressed-sparse-row form (both directions).
+/// A digraph in compressed-sparse-row form (both directions).
+///
+/// Reads are the whole point; the only writes are the edge splices
+/// ([`Csr::splice_edge`] / [`Csr::unsplice_edge`]) that keep dynamic
+/// graphs out of the thaw → mutate → refreeze slow path.
 #[derive(Clone, Debug)]
 pub struct Csr {
     out_offsets: Vec<u32>,
@@ -107,6 +111,64 @@ impl Csr {
             .unwrap_or(0)
     }
 
+    /// Splice the edge `u → v` into both adjacency arrays in place,
+    /// appending to `u`'s children and to `v`'s parents — exactly where
+    /// a thaw → [`DiGraph::add_edge`] → refreeze round-trip would put
+    /// it, but as two `memmove`s instead of a full rebuild. The caller
+    /// is responsible for endpoint validation and (for DAG consumers)
+    /// acyclicity; this is pure storage maintenance.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn splice_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u.index() < self.node_count(), "source out of range");
+        assert!(v.index() < self.node_count(), "target out of range");
+        let at = self.out_offsets[u.index() + 1] as usize;
+        self.out_targets.insert(at, v);
+        for off in &mut self.out_offsets[u.index() + 1..] {
+            *off += 1;
+        }
+        let at = self.in_offsets[v.index() + 1] as usize;
+        self.in_sources.insert(at, u);
+        for off in &mut self.in_offsets[v.index() + 1..] {
+            *off += 1;
+        }
+    }
+
+    /// Remove the first occurrence of `u → v` from both adjacency
+    /// arrays in place; returns whether the edge existed. Mirrors
+    /// [`DiGraph::remove_edge`]'s order preservation, so unsplicing an
+    /// edge that was just spliced restores the exact prior arrays.
+    pub fn unsplice_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return false;
+        }
+        let (lo, hi) = (
+            self.out_offsets[u.index()] as usize,
+            self.out_offsets[u.index() + 1] as usize,
+        );
+        let Some(oi) = self.out_targets[lo..hi].iter().position(|&t| t == v) else {
+            return false;
+        };
+        self.out_targets.remove(lo + oi);
+        for off in &mut self.out_offsets[u.index() + 1..] {
+            *off -= 1;
+        }
+        let (lo, hi) = (
+            self.in_offsets[v.index()] as usize,
+            self.in_offsets[v.index() + 1] as usize,
+        );
+        let ii = self.in_sources[lo..hi]
+            .iter()
+            .position(|&s| s == u)
+            .expect("in-adjacency mirrors out-adjacency");
+        self.in_sources.remove(lo + ii);
+        for off in &mut self.in_offsets[v.index() + 1..] {
+            *off -= 1;
+        }
+        true
+    }
+
     /// Thaw back into a mutable [`DiGraph`].
     pub fn to_digraph(&self) -> DiGraph {
         let mut g = DiGraph::with_nodes(self.node_count());
@@ -172,7 +234,65 @@ mod tests {
         assert_eq!(e1, e2);
     }
 
+    #[test]
+    fn splice_matches_thaw_add_refreeze() {
+        let g = diamond();
+        let mut spliced = Csr::from_digraph(&g);
+        spliced.splice_edge(NodeId::new(0), NodeId::new(3));
+        let mut thawed = g.clone();
+        thawed.add_edge(NodeId::new(0), NodeId::new(3));
+        let rebuilt = Csr::from_digraph(&thawed);
+        for u in rebuilt.nodes() {
+            assert_eq!(spliced.children(u), rebuilt.children(u));
+            assert_eq!(spliced.parents(u), rebuilt.parents(u));
+        }
+        assert_eq!(spliced.edge_count(), 5);
+    }
+
+    #[test]
+    fn unsplice_undoes_splice_and_reports_absence() {
+        let g = diamond();
+        let before = Csr::from_digraph(&g);
+        let mut csr = before.clone();
+        assert!(!csr.unsplice_edge(NodeId::new(0), NodeId::new(3)), "absent");
+        assert!(!csr.unsplice_edge(NodeId::new(0), NodeId::new(9)), "range");
+        csr.splice_edge(NodeId::new(0), NodeId::new(3));
+        assert!(csr.unsplice_edge(NodeId::new(0), NodeId::new(3)));
+        for u in before.nodes() {
+            assert_eq!(csr.children(u), before.children(u));
+            assert_eq!(csr.parents(u), before.parents(u));
+        }
+        assert_eq!(csr.edge_count(), 4);
+    }
+
     proptest! {
+        #[test]
+        fn random_splices_match_digraph_mutations(
+            edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+            ops in proptest::collection::vec((any::<bool>(), 0usize..12, 0usize..12), 0..30),
+        ) {
+            let edges: Vec<(usize, usize)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let mut g = DiGraph::from_pairs(12, edges).unwrap();
+            let mut csr = Csr::from_digraph(&g);
+            for (insert, u, v) in ops {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                if insert {
+                    if u != v {
+                        g.add_edge(u, v);
+                        csr.splice_edge(u, v);
+                    }
+                } else {
+                    prop_assert_eq!(csr.unsplice_edge(u, v), g.remove_edge(u, v));
+                }
+            }
+            let rebuilt = Csr::from_digraph(&g);
+            for u in g.nodes() {
+                prop_assert_eq!(csr.children(u), rebuilt.children(u));
+                prop_assert_eq!(csr.parents(u), rebuilt.parents(u));
+            }
+            prop_assert_eq!(csr.edge_count(), g.edge_count());
+        }
+
         #[test]
         fn csr_matches_digraph(
             edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80)

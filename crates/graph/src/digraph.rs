@@ -142,6 +142,29 @@ impl DiGraph {
         u.index() < self.node_count() && self.out_adj[u.index()].contains(&v)
     }
 
+    /// Remove one occurrence of `u → v`; returns whether it existed.
+    ///
+    /// The relative order of the surviving adjacency entries is
+    /// preserved, so removing an edge that was just appended restores
+    /// the exact prior adjacency structure — the property behind the
+    /// engine's `remove_edge(insert_edge(e)) == id` law.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return false;
+        }
+        let Some(oi) = self.out_adj[u.index()].iter().position(|&t| t == v) else {
+            return false;
+        };
+        self.out_adj[u.index()].remove(oi);
+        let ii = self.in_adj[v.index()]
+            .iter()
+            .position(|&s| s == u)
+            .expect("in-adjacency mirrors out-adjacency");
+        self.in_adj[v.index()].remove(ii);
+        self.edge_count -= 1;
+        true
+    }
+
     /// Remove duplicate parallel edges, keeping one copy of each.
     pub fn dedup_edges(&mut self) {
         let mut removed = 0;
@@ -271,6 +294,33 @@ mod tests {
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.out_degree(NodeId::new(0)), 1);
         assert_eq!(g.in_degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn remove_edge_restores_prior_structure() {
+        let mut g = diamond();
+        assert!(!g.remove_edge(NodeId::new(1), NodeId::new(0)), "absent");
+        assert!(
+            !g.remove_edge(NodeId::new(0), NodeId::new(9)),
+            "out of range"
+        );
+        let before_out: Vec<Vec<NodeId>> = g.nodes().map(|u| g.out_neighbors(u).to_vec()).collect();
+        let before_in: Vec<Vec<NodeId>> = g.nodes().map(|v| g.in_neighbors(v).to_vec()).collect();
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        assert!(g.remove_edge(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(g.edge_count(), 4);
+        for u in g.nodes() {
+            assert_eq!(g.out_neighbors(u), &before_out[u.index()][..]);
+            assert_eq!(g.in_neighbors(u), &before_in[u.index()][..]);
+        }
+    }
+
+    #[test]
+    fn remove_edge_takes_one_parallel_copy() {
+        let mut g = DiGraph::from_pairs(2, [(0, 1), (0, 1)]).unwrap();
+        assert!(g.remove_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
     }
 
     #[test]

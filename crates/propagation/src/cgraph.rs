@@ -88,6 +88,57 @@ impl CGraph {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.csr.nodes()
     }
+
+    /// Add the edge `u → v`, re-freezing the adjacency structure.
+    ///
+    /// Returns `Ok(reordered)`: `false` when the cached topological
+    /// order already places `u` before `v` (the common case for stream
+    /// workloads) and was kept, `true` when the order had to be rebuilt.
+    /// Fails — leaving the graph untouched — on out-of-range endpoints,
+    /// self-loops, and insertions that would create a cycle.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        let n = self.node_count();
+        for w in [u, v] {
+            if w.index() >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    node_count: n,
+                });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.topo_pos[u.index()] < self.topo_pos[v.index()] {
+            // The cached order already places u before v, which both
+            // proves the insertion is acyclic and stays valid, so the
+            // edge splices straight into the CSR — the hot path for
+            // stream workloads.
+            self.csr.splice_edge(u, v);
+            return Ok(false);
+        }
+        // Backward in the cached order: rebuild through the thaw path,
+        // which rejects the insert — leaving the graph untouched — if
+        // it would create a cycle.
+        let mut g = self.csr.to_digraph();
+        g.try_add_edge(u, v)?;
+        let csr = Csr::from_digraph(&g);
+        let topo = topo_order(&csr)?;
+        for (i, &w) in topo.iter().enumerate() {
+            self.topo_pos[w.index()] = i as u32;
+        }
+        self.topo = topo;
+        self.csr = csr;
+        Ok(true)
+    }
+
+    /// Remove one occurrence of `u → v`; returns whether it existed.
+    ///
+    /// Removing an edge can never invalidate a topological order, so
+    /// the cached order is always kept and the CSR is edited in place.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.csr.unsplice_edge(u, v)
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +156,60 @@ mod tests {
         for (i, &v) in cg.topo().iter().enumerate() {
             assert_eq!(cg.topo_position(v), i);
         }
+    }
+
+    #[test]
+    fn insert_edge_keeps_or_rebuilds_the_order() {
+        let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        // Forward in the cached order: kept.
+        assert_eq!(cg.insert_edge(NodeId::new(1), NodeId::new(2)), Ok(false));
+        assert!(fp_graph::is_topological_order(cg.csr(), cg.topo()));
+        assert_eq!(cg.edge_count(), 5);
+        // Backward in the cached order but still acyclic: rebuilt.
+        let g2 = DiGraph::from_pairs(3, [(0, 2), (1, 2)]).unwrap();
+        let mut cg2 = CGraph::new(&g2, NodeId::new(1)).unwrap();
+        let reordered = cg2.insert_edge(NodeId::new(1), NodeId::new(0)).unwrap();
+        assert!(reordered);
+        assert!(fp_graph::is_topological_order(cg2.csr(), cg2.topo()));
+        for (i, &v) in cg2.topo().iter().enumerate() {
+            assert_eq!(cg2.topo_position(v), i);
+        }
+    }
+
+    #[test]
+    fn insert_edge_rejects_cycles_and_leaves_the_graph_alone() {
+        let g = DiGraph::from_pairs(3, [(0, 1), (1, 2)]).unwrap();
+        let mut cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        let before_edges: Vec<_> = cg.csr().edges().collect();
+        let before_topo = cg.topo().to_vec();
+        assert!(matches!(
+            cg.insert_edge(NodeId::new(2), NodeId::new(0)),
+            Err(GraphError::CycleDetected { .. })
+        ));
+        assert!(matches!(
+            cg.insert_edge(NodeId::new(1), NodeId::new(1)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            cg.insert_edge(NodeId::new(0), NodeId::new(9)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert_eq!(cg.csr().edges().collect::<Vec<_>>(), before_edges);
+        assert_eq!(cg.topo(), &before_topo[..]);
+    }
+
+    #[test]
+    fn remove_edge_keeps_the_order() {
+        let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut cg = CGraph::new(&g, NodeId::new(0)).unwrap();
+        assert!(cg.remove_edge(NodeId::new(1), NodeId::new(3)));
+        assert!(
+            !cg.remove_edge(NodeId::new(1), NodeId::new(3)),
+            "already gone"
+        );
+        assert_eq!(cg.edge_count(), 3);
+        assert!(fp_graph::is_topological_order(cg.csr(), cg.topo()));
     }
 
     #[test]

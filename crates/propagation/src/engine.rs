@@ -1,20 +1,27 @@
 //! The incremental impact engine: exact marginal impacts kept up to
-//! date in both directions under filter insertions.
+//! date in both directions under graph and filter mutations.
 //!
 //! [`crate::impacts`] answers "what is `I(v|A)` for every `v`" with two
 //! fresh O(|E|) sweeps and three freshly allocated vectors — fine once,
 //! wasteful inside a greedy loop that asks the question `k` times while
 //! changing `A` by a single node each round. [`ImpactEngine`] maintains
-//! the same three vectors *incrementally*:
+//! the same three vectors *incrementally* under the full
+//! [`Mutation`] set (filter insert/remove, edge insert/remove):
 //!
-//! * **forward** (`received`/`emitted`): inserting a filter at `v` can
-//!   only shrink emissions, so only nodes *downstream* of `v` change —
-//!   a dirty frontier processed in topological order, exactly the
-//!   bookkeeping [`crate::incremental::IncrementalPropagation`] does;
+//! * **forward** (`received`/`emitted`): a mutation at `v` can change
+//!   receptions only *downstream* of `v` — a dirty frontier processed
+//!   in topological order, exactly the bookkeeping
+//!   [`crate::incremental::IncrementalPropagation`] does;
 //! * **backward** (`suffix`): the suffix recurrence gates a child's
-//!   continuation on `c ∉ A`, so inserting `v` flips only the gate its
-//!   parents see — only nodes *upstream* of `v` change, a mirror
-//!   frontier processed in reverse topological order.
+//!   continuation on `c ∉ A`, so a mutation at `v` changes only nodes
+//!   *upstream* of `v` — a mirror frontier processed in reverse
+//!   topological order.
+//!
+//! Each mutation has a fixed *drift direction* (see [`Mutation`]):
+//! `insert_filter` and `remove_edge` can only shrink receptions and
+//! suffixes, `remove_filter` and `insert_edge` can only grow them. The
+//! frontier passes carry that direction so the monotonicity invariants
+//! stay checkable per mutation (DESIGN.md §8, §12).
 //!
 //! Both frontiers are bounded by the affected span and stop early when
 //! changes die out, so a greedy round after the first costs
@@ -22,12 +29,16 @@
 //! per-round allocation**: the frontier flags and value vectors live in
 //! an [`EngineScratch`] that can also be recycled across engines
 //! ([`ImpactEngine::with_scratch`] / [`ImpactEngine::into_scratch`]).
+//! Structural mutations additionally re-freeze the adjacency snapshot
+//! (O(|E|)), cloning the graph on the first such mutation when the
+//! engine was built over a shared borrow.
 //!
 //! The engine's values are bit-identical to the naive path — the
 //! equivalence proptests in `tests/engine_equivalence.rs` pin
 //! `received == propagate().received`, `suffix == suffix_sensitivity()`
-//! and `impacts == impacts()` after every insertion. `impacts()` stays
-//! around as the oracle; the engine is the hot path.
+//! and `impacts == impacts()` after every mutation, against a fresh
+//! rebuild on the mutated graph. `impacts()` stays around as the
+//! oracle; the engine is the hot path.
 
 use crate::{propagate_into, CGraph, FilterSet};
 use fp_graph::NodeId;
@@ -110,8 +121,9 @@ impl DirtyFrontier {
         self.dense = false;
     }
 
-    /// Start a pass at topological position `pos` (the inserted
-    /// filter's own slot; the walk skips it since it is never marked).
+    /// Start a pass at topological position `pos` (the mutated node's
+    /// own slot; the walk skips it since it is never marked — the
+    /// caller reprocesses the mutation site itself before the pass).
     pub(crate) fn begin(&mut self, pos: usize) {
         debug_assert_eq!(self.pending, 0, "previous pass must be drained");
         self.cursor = pos;
@@ -204,16 +216,17 @@ impl DirtyFrontier {
 }
 
 /// Cached global-registry handles for the engine's counters, so the
-/// per-insert write path is pure atomics (the registry mutex is taken
+/// per-mutation write path is pure atomics (the registry mutex is taken
 /// once, at engine construction).
 ///
-/// These observe the engine — insert count, per-pass frontier sizes,
+/// These observe the engine — mutation counts, per-pass frontier sizes,
 /// sparse→dense flips — and never feed back into it: no solver-visible
 /// state reads a metric, so instrumented and bare solves stay
 /// bit-identical.
 #[derive(Clone, Debug)]
 struct EngineMetrics {
     inserts: std::sync::Arc<fp_obs::Counter>,
+    mutations: std::sync::Arc<fp_obs::Counter>,
     dense_flips: std::sync::Arc<fp_obs::Counter>,
     forward_frontier: std::sync::Arc<fp_obs::Histogram>,
     backward_frontier: std::sync::Arc<fp_obs::Histogram>,
@@ -224,6 +237,7 @@ impl Default for EngineMetrics {
         let buckets = fp_obs::metrics::SIZE_BUCKETS;
         Self {
             inserts: fp_obs::counter("fp_engine_inserts_total"),
+            mutations: fp_obs::counter("fp_engine_mutations_total"),
             dense_flips: fp_obs::counter("fp_engine_dense_flips_total"),
             forward_frontier: fp_obs::histogram("fp_engine_forward_frontier_nodes", buckets),
             backward_frontier: fp_obs::histogram("fp_engine_backward_frontier_nodes", buckets),
@@ -266,13 +280,190 @@ impl<C> Default for EngineScratch<C> {
     }
 }
 
+/// One engine mutation (the unified entry point of
+/// [`ImpactEngine::apply`]).
+///
+/// Each variant has a fixed *drift direction*: `InsertFilter` and
+/// `RemoveEdge` can only shrink receptions and suffixes, `RemoveFilter`
+/// and `InsertEdge` can only grow them. The engine's frontier passes
+/// assert the matching monotonicity invariant per mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Add `v` to the filter set (drift: shrink).
+    InsertFilter(NodeId),
+    /// Remove `v` from the filter set (drift: grow).
+    RemoveFilter(NodeId),
+    /// Add the edge `from → to` (drift: grow).
+    InsertEdge {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+    },
+    /// Remove the edge `from → to` (drift: shrink).
+    RemoveEdge {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+    },
+}
+
+impl Mutation {
+    /// Short operation tag, used for spans and protocol frames.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Self::InsertFilter(_) => "insert_filter",
+            Self::RemoveFilter(_) => "remove_filter",
+            Self::InsertEdge { .. } => "insert_edge",
+            Self::RemoveEdge { .. } => "remove_edge",
+        }
+    }
+}
+
+impl core::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InsertFilter(v) => write!(f, "insert_filter({v})"),
+            Self::RemoveFilter(v) => write!(f, "remove_filter({v})"),
+            Self::InsertEdge { from, to } => write!(f, "insert_edge({from} -> {to})"),
+            Self::RemoveEdge { from, to } => write!(f, "remove_edge({from} -> {to})"),
+        }
+    }
+}
+
+/// What an applied [`Mutation`] did, so callers (and obs) stop
+/// guessing: how many nodes each frontier pass reprocessed, and whether
+/// the cached topological order had to be rebuilt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ApplyOutcome {
+    /// Whether the mutation changed anything (duplicate filter inserts
+    /// and removals of absent filters are no-ops, not errors).
+    pub changed: bool,
+    /// Nodes reprocessed by the forward (reception) pass.
+    pub forward_affected: usize,
+    /// Nodes reprocessed by the backward (suffix) pass.
+    pub backward_affected: usize,
+    /// Whether an edge insertion invalidated — and rebuilt — the cached
+    /// topological order.
+    pub reordered: bool,
+}
+
+impl ApplyOutcome {
+    fn unchanged() -> Self {
+        Self::default()
+    }
+}
+
+/// Why a [`Mutation`] was rejected. Rejected mutations leave the engine
+/// exactly as it was.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// Self-loops are never allowed in a c-graph.
+    SelfLoop {
+        /// The node with the loop.
+        node: NodeId,
+    },
+    /// Inserting this edge would create a cycle.
+    WouldCreateCycle {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+    },
+    /// The edge to insert already exists (c-graphs stay simple).
+    DuplicateEdge {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+    },
+    /// The edge to remove does not exist.
+    UnknownEdge {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+    },
+}
+
+impl core::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            Self::SelfLoop { node } => write!(f, "self-loop at {node} is not allowed"),
+            Self::WouldCreateCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            Self::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            Self::UnknownEdge { from, to } => {
+                write!(f, "edge {from} -> {to} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// The direction values can move under a mutation: `Shrink` for
+/// mutations that cut flow (filter inserts, edge removals), `Grow` for
+/// mutations that add flow (filter removals, edge inserts). The drain
+/// passes assert the matching inequality and apply the Φ delta with the
+/// matching sign.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Drift {
+    Shrink,
+    Grow,
+}
+
+/// The graph an engine computes over: borrowed until the first
+/// *structural* mutation, then a private owned copy (clone-on-write).
+/// Filter mutations never trigger the clone — only edge mutations
+/// diverge the adjacency structure from the caller's graph.
+#[derive(Clone, Debug)]
+enum EngineGraph<'a> {
+    Shared(&'a CGraph),
+    Owned(CGraph),
+}
+
+impl EngineGraph<'_> {
+    #[inline]
+    fn get(&self) -> &CGraph {
+        match self {
+            Self::Shared(cg) => cg,
+            Self::Owned(cg) => cg,
+        }
+    }
+
+    fn make_owned(&mut self) -> &mut CGraph {
+        if let Self::Shared(cg) = *self {
+            *self = Self::Owned(cg.clone());
+        }
+        match self {
+            Self::Owned(cg) => cg,
+            Self::Shared(_) => unreachable!("just made owned"),
+        }
+    }
+}
+
 /// Exact marginal impacts `I(v|A)` maintained incrementally under
-/// [`ImpactEngine::insert_filter`].
+/// [`ImpactEngine::apply`].
 ///
 /// ```
 /// use fp_graph::{DiGraph, NodeId};
 /// use fp_num::Sat64;
-/// use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine};
+/// use fp_propagation::{impacts, CGraph, FilterSet, ImpactEngine, Mutation};
 ///
 /// // The paper's Figure 1: z2 (node 4) is the only useful filter.
 /// let g = DiGraph::from_pairs(
@@ -282,15 +473,15 @@ impl<C> Default for EngineScratch<C> {
 /// let cg = CGraph::new(&g, NodeId::new(0)).unwrap();
 /// let mut engine = ImpactEngine::<Sat64>::new(&cg, FilterSet::empty(7));
 /// assert_eq!(engine.best_candidate(), Some(NodeId::new(4)));
-/// engine.insert_filter(NodeId::new(4));
+/// engine.apply(Mutation::InsertFilter(NodeId::new(4))).unwrap();
 /// // After the pick the engine's impacts still equal the oracle's.
 /// let oracle: Vec<Sat64> = impacts(&cg, engine.filters());
-/// let live: Vec<Sat64> = cg.nodes().map(|v| engine.impact(v)).collect();
+/// let live: Vec<Sat64> = engine.cgraph().nodes().map(|v| engine.impact(v)).collect();
 /// assert_eq!(live, oracle);
 /// ```
 #[derive(Clone, Debug)]
 pub struct ImpactEngine<'a, C> {
-    cg: &'a CGraph,
+    graph: EngineGraph<'a>,
     filters: FilterSet,
     phi: C,
     s: EngineScratch<C>,
@@ -305,22 +496,46 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
 
     /// Like [`ImpactEngine::new`], but adopting a recycled
     /// [`EngineScratch`] so no buffer is reallocated.
-    pub fn with_scratch(cg: &'a CGraph, filters: FilterSet, mut scratch: EngineScratch<C>) -> Self {
+    pub fn with_scratch(cg: &'a CGraph, filters: FilterSet, scratch: EngineScratch<C>) -> Self {
+        let (phi, s) = Self::init_state(cg, &filters, scratch);
+        Self {
+            graph: EngineGraph::Shared(cg),
+            filters,
+            phi,
+            s,
+        }
+    }
+
+    /// Like [`ImpactEngine::new`], but taking ownership of the graph:
+    /// the engine starts on its private copy, so it can outlive any
+    /// borrow (what long-lived stream drivers need) and structural
+    /// mutations never clone.
+    pub fn from_owned(cg: CGraph, filters: FilterSet) -> ImpactEngine<'static, C> {
+        let (phi, s) = Self::init_state(&cg, &filters, EngineScratch::default());
+        ImpactEngine {
+            graph: EngineGraph::Owned(cg),
+            filters,
+            phi,
+            s,
+        }
+    }
+
+    /// The shared cold-start: both O(|E|) sweeps plus the Φ sum.
+    fn init_state(
+        cg: &CGraph,
+        filters: &FilterSet,
+        mut scratch: EngineScratch<C>,
+    ) -> (C, EngineScratch<C>) {
         let n = cg.node_count();
         scratch.forward.reset(n);
         scratch.backward.reset(n);
-        propagate_into(cg, &filters, &mut scratch.received, &mut scratch.emitted);
-        init_suffix_gated(cg, &filters, &mut scratch.suffix, &mut scratch.gated);
+        propagate_into(cg, filters, &mut scratch.received, &mut scratch.emitted);
+        init_suffix_gated(cg, filters, &mut scratch.suffix, &mut scratch.gated);
         let mut phi = C::zero();
         for r in &scratch.received {
             phi.add_assign(r);
         }
-        Self {
-            cg,
-            filters,
-            phi,
-            s: scratch,
-        }
+        (phi, scratch)
     }
 
     /// Release the buffers for the next engine to adopt.
@@ -328,9 +543,17 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
         self.s
     }
 
-    /// The graph being solved.
-    pub fn cgraph(&self) -> &'a CGraph {
-        self.cg
+    /// The graph being solved. After a structural mutation this is the
+    /// engine's private (mutated) copy, not the graph it was built
+    /// from.
+    pub fn cgraph(&self) -> &CGraph {
+        self.graph.get()
+    }
+
+    /// Whether the engine has diverged onto its own copy of the graph
+    /// (true once any structural mutation has been applied).
+    pub fn owns_graph(&self) -> bool {
+        matches!(self.graph, EngineGraph::Owned(_))
     }
 
     /// Current filter set.
@@ -345,12 +568,13 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
 
     /// Current `Φ(A, V)`.
     ///
-    /// Maintained by exact subtraction of reception deltas, the same
-    /// bookkeeping as [`crate::incremental::IncrementalPropagation`]:
-    /// equal to a fresh [`crate::phi_total`] whenever Φ fits the
-    /// counter, but once a *saturating* counter has clamped, the
-    /// incremental value (`MAX − deltas`) and a re-clamped fresh sum
-    /// can differ. Use an exact counter where Φ may exceed the ceiling.
+    /// Maintained by exact addition/subtraction of reception deltas,
+    /// the same bookkeeping as
+    /// [`crate::incremental::IncrementalPropagation`]: equal to a fresh
+    /// [`crate::phi_total`] whenever Φ fits the counter, but once a
+    /// *saturating* counter has clamped, the incremental value
+    /// (`MAX − deltas`) and a re-clamped fresh sum can differ. Use an
+    /// exact counter where Φ may exceed the ceiling.
     pub fn phi(&self) -> &C {
         &self.phi
     }
@@ -374,7 +598,7 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
     /// for the source and for nodes already in `A`. O(1) — one
     /// subtraction and one multiplication on current state.
     pub fn impact(&self, v: NodeId) -> C {
-        if v == self.cg.source() || self.filters.contains(v) {
+        if v == self.graph.get().source() || self.filters.contains(v) {
             return C::zero();
         }
         self.s.received[v.index()]
@@ -386,7 +610,8 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
     /// element-for-element what [`crate::impacts`] returns).
     pub fn impacts_into(&self, out: &mut Vec<C>) {
         out.clear();
-        out.extend(self.cg.nodes().map(|v| self.impact(v)));
+        let n = self.graph.get().node_count();
+        out.extend((0..n).map(|v| self.impact(NodeId::new(v))));
     }
 
     /// The next greedy pick: the candidate with the largest positive
@@ -396,7 +621,7 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
     pub fn best_candidate(&self) -> Option<NodeId> {
         let one = C::one();
         let mut best: Option<(NodeId, C)> = None;
-        for v in self.cg.nodes() {
+        for v in self.graph.get().nodes() {
             // `(recv − 1)₊ × gated` equals `impact`: the gated entry is
             // already zero for the source and for members of `A`, and
             // multiplying by zero is zero for every counter type.
@@ -414,32 +639,159 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
         best.map(|(v, _)| v)
     }
 
-    /// Add `v` as a filter, updating received/emitted/Φ downstream and
-    /// suffix sensitivities upstream. Returns `true` if `v` was newly
-    /// inserted. O(affected ∪ ancestors-of-`v`), allocation-free.
+    /// Apply one [`Mutation`], updating received/emitted/Φ downstream
+    /// and suffix sensitivities upstream of the mutation site, each
+    /// under the mutation's drift direction. Filter mutations are
+    /// O(affected ∪ ancestors) and allocation-free; edge mutations
+    /// additionally re-freeze the adjacency snapshot (O(|E|)), cloning
+    /// the graph on first divergence. Rejected mutations leave the
+    /// engine untouched.
+    pub fn apply(&mut self, m: Mutation) -> Result<ApplyOutcome, MutationError> {
+        match m {
+            Mutation::InsertFilter(v) => self.apply_insert_filter(v),
+            Mutation::RemoveFilter(v) => self.apply_remove_filter(v),
+            Mutation::InsertEdge { from, to } => self.apply_insert_edge(from, to),
+            Mutation::RemoveEdge { from, to } => self.apply_remove_edge(from, to),
+        }
+    }
+
+    /// Add `v` as a filter; returns `true` if `v` was newly inserted.
+    /// Thin wrapper over [`ImpactEngine::apply`], kept because the
+    /// greedy inner loops read as insertions.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range (use `apply` for a fallible path).
     pub fn insert_filter(&mut self, v: NodeId) -> bool {
+        self.apply(Mutation::InsertFilter(v))
+            .expect("insert_filter: node out of range")
+            .changed
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), MutationError> {
+        let node_count = self.graph.get().node_count();
+        if node.index() >= node_count {
+            Err(MutationError::NodeOutOfRange { node, node_count })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn apply_insert_filter(&mut self, v: NodeId) -> Result<ApplyOutcome, MutationError> {
+        self.check_node(v)?;
         if !self.filters.insert(v) {
-            return false;
+            return Ok(ApplyOutcome::unchanged());
         }
         let span = fp_obs::span("engine.insert");
         // `v` no longer passes the gate its parents apply, whatever its
         // (unchanged) suffix value is.
         self.s.gated[v.index()] = C::zero();
-        let (fwd, fwd_dense) = self.update_forward(v);
-        let (bwd, bwd_dense) = self.update_backward(v);
+        let (fwd, fwd_dense) = self.update_forward(v, Drift::Shrink);
+        let (bwd, bwd_dense) = self.update_backward(v, Drift::Shrink);
+        self.s.metrics.inserts.inc();
+        self.note_mutation(fwd, bwd, fwd_dense, bwd_dense);
+        let _span = span.arg("fwd", fwd as i64).arg("bwd", bwd as i64);
+        Ok(ApplyOutcome {
+            changed: true,
+            forward_affected: fwd,
+            backward_affected: bwd,
+            reordered: false,
+        })
+    }
+
+    fn apply_remove_filter(&mut self, v: NodeId) -> Result<ApplyOutcome, MutationError> {
+        self.check_node(v)?;
+        if !self.filters.remove(v) {
+            return Ok(ApplyOutcome::unchanged());
+        }
+        let span = fp_obs::span("engine.remove_filter");
+        // `v`'s gate reopens: parents see its (unchanged) suffix again.
+        if v != self.graph.get().source() {
+            self.s.gated[v.index()] = self.s.suffix[v.index()].clone();
+        }
+        let (fwd, fwd_dense) = self.update_forward(v, Drift::Grow);
+        let (bwd, bwd_dense) = self.update_backward(v, Drift::Grow);
+        self.note_mutation(fwd, bwd, fwd_dense, bwd_dense);
+        let _span = span.arg("fwd", fwd as i64).arg("bwd", bwd as i64);
+        Ok(ApplyOutcome {
+            changed: true,
+            forward_affected: fwd,
+            backward_affected: bwd,
+            reordered: false,
+        })
+    }
+
+    fn apply_insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<ApplyOutcome, MutationError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(MutationError::SelfLoop { node: u });
+        }
+        {
+            let cg = self.graph.get();
+            if cg.csr().children(u).contains(&v) {
+                return Err(MutationError::DuplicateEdge { from: u, to: v });
+            }
+            // Cycle pre-check, so the clone-on-write below never has to
+            // be rolled back: u reachable from v means v→…→u→v. A
+            // forward edge in the cached topological order needs no
+            // search — every path from v stays strictly after v, so it
+            // can never revisit u.
+            if cg.topo_position(u) >= cg.topo_position(v)
+                && fp_graph::reachable_from(cg.csr(), v).contains(u.index())
+            {
+                return Err(MutationError::WouldCreateCycle { from: u, to: v });
+            }
+        }
+        let reordered = match self.graph.make_owned().insert_edge(u, v) {
+            Ok(reordered) => reordered,
+            Err(e) => unreachable!("validated edge insertion cannot fail: {e}"),
+        };
+        let span = fp_obs::span("engine.insert_edge");
+        let (fwd, fwd_dense) = self.update_forward_from_edge(v, Drift::Grow);
+        let (bwd, bwd_dense) = self.update_backward_from_edge(u, Drift::Grow);
+        self.note_mutation(fwd, bwd, fwd_dense, bwd_dense);
+        let _span = span.arg("fwd", fwd as i64).arg("bwd", bwd as i64);
+        Ok(ApplyOutcome {
+            changed: true,
+            forward_affected: fwd,
+            backward_affected: bwd,
+            reordered,
+        })
+    }
+
+    fn apply_remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<ApplyOutcome, MutationError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if !self.graph.get().csr().children(u).contains(&v) {
+            return Err(MutationError::UnknownEdge { from: u, to: v });
+        }
+        let removed = self.graph.make_owned().remove_edge(u, v);
+        debug_assert!(removed, "existence checked above");
+        let span = fp_obs::span("engine.remove_edge");
+        let (fwd, fwd_dense) = self.update_forward_from_edge(v, Drift::Shrink);
+        let (bwd, bwd_dense) = self.update_backward_from_edge(u, Drift::Shrink);
+        self.note_mutation(fwd, bwd, fwd_dense, bwd_dense);
+        let _span = span.arg("fwd", fwd as i64).arg("bwd", bwd as i64);
+        Ok(ApplyOutcome {
+            changed: true,
+            forward_affected: fwd,
+            backward_affected: bwd,
+            reordered: false,
+        })
+    }
+
+    fn note_mutation(&self, fwd: usize, bwd: usize, fwd_dense: bool, bwd_dense: bool) {
         let m = &self.s.metrics;
-        m.inserts.inc();
+        m.mutations.inc();
         m.forward_frontier.observe(fwd as u64);
         m.backward_frontier.observe(bwd as u64);
         m.dense_flips
             .add(u64::from(fwd_dense) + u64::from(bwd_dense));
-        let _span = span.arg("fwd", fwd as i64).arg("bwd", bwd as i64);
-        true
     }
 
     /// What `v` emits per out-edge given its reception `recv`.
     fn emission_of(&self, v: NodeId, recv: &C) -> C {
-        if v == self.cg.source() {
+        if v == self.graph.get().source() {
             C::one()
         } else if self.filters.contains(v) {
             if recv.is_zero() {
@@ -452,21 +804,76 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
         }
     }
 
-    /// Forward dirty frontier (invariant: received counts only shrink).
-    /// Returns `(nodes reprocessed, whether the pass went dense)`.
-    fn update_forward(&mut self, v: NodeId) -> (usize, bool) {
-        let cg = self.cg;
+    /// Fold a reception change at one node into Φ, checking the drift
+    /// invariant: shrink mutations may only decrease receptions, grow
+    /// mutations may only increase them.
+    fn fold_reception_delta(phi: &mut C, old: &C, new: &C, drift: Drift) {
+        if new == old {
+            return;
+        }
+        match drift {
+            Drift::Shrink => {
+                debug_assert!(new <= old, "a shrink mutation cannot increase receptions");
+                *phi = phi.saturating_sub(&old.saturating_sub(new));
+            }
+            Drift::Grow => {
+                debug_assert!(new >= old, "a grow mutation cannot decrease receptions");
+                let delta = new.saturating_sub(old);
+                phi.add_assign(&delta);
+            }
+        }
+    }
+
+    /// Forward pass for a *filter* mutation at `v`: `v`'s reception is
+    /// unchanged, only its emission can flip. Returns
+    /// `(nodes reprocessed, whether the pass went dense)`.
+    fn update_forward(&mut self, v: NodeId, drift: Drift) -> (usize, bool) {
+        let new_emit = self.emission_of(v, &self.s.received[v.index()].clone());
+        if new_emit == self.s.emitted[v.index()] {
+            return (0, false);
+        }
+        self.s.emitted[v.index()] = new_emit;
+        let cg = self.graph.get();
+        self.s.forward.begin(cg.topo_position(v));
+        for &c in cg.csr().children(v) {
+            self.s.forward.mark(c);
+        }
+        self.drain_forward(drift)
+    }
+
+    /// Forward pass for an *edge* mutation whose head is `v`: `v`'s
+    /// reception itself changed, so it is re-summed from its (already
+    /// final) parents before the downstream walk starts.
+    fn update_forward_from_edge(&mut self, v: NodeId, drift: Drift) -> (usize, bool) {
+        let cg = self.graph.get();
+        let csr = cg.csr();
+        let mut recv = C::zero();
+        for &p in csr.parents(v) {
+            recv.add_assign(&self.s.emitted[p.index()]);
+        }
+        let old_recv = std::mem::replace(&mut self.s.received[v.index()], recv.clone());
+        Self::fold_reception_delta(&mut self.phi, &old_recv, &recv, drift);
+        let new_emit = self.emission_of(v, &recv);
+        if new_emit == self.s.emitted[v.index()] {
+            return (0, false);
+        }
+        self.s.emitted[v.index()] = new_emit;
+        let cg = self.graph.get();
+        self.s.forward.begin(cg.topo_position(v));
+        for &c in cg.csr().children(v) {
+            self.s.forward.mark(c);
+        }
+        self.drain_forward(drift)
+    }
+
+    /// Drain the forward frontier (downstream of the mutation site, in
+    /// topological order), folding reception deltas into Φ under
+    /// `drift`.
+    fn drain_forward(&mut self, drift: Drift) -> (usize, bool) {
+        let cg = self.graph.get();
         let csr = cg.csr();
         let topo = cg.topo();
         let mut processed = 0usize;
-        let new_emit = self.emission_of(v, &self.s.received[v.index()].clone());
-        if new_emit != self.s.emitted[v.index()] {
-            self.s.emitted[v.index()] = new_emit;
-            self.s.forward.begin(cg.topo_position(v));
-            for &c in csr.children(v) {
-                self.s.forward.mark(c);
-            }
-        }
         while let Some(u) = self.s.forward.next_up(topo) {
             processed += 1;
             // Recompute reception from (partially updated) parents.
@@ -475,13 +882,7 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
                 recv.add_assign(&self.s.emitted[p.index()]);
             }
             let old_recv = std::mem::replace(&mut self.s.received[u.index()], recv.clone());
-            debug_assert!(
-                recv <= old_recv,
-                "adding filters cannot increase receptions"
-            );
-            if recv != old_recv {
-                self.phi = self.phi.saturating_sub(&old_recv.saturating_sub(&recv));
-            }
+            Self::fold_reception_delta(&mut self.phi, &old_recv, &recv, drift);
             let new_emit = self.emission_of(u, &recv);
             if new_emit != self.s.emitted[u.index()] {
                 self.s.emitted[u.index()] = new_emit;
@@ -495,30 +896,83 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
         (processed, self.s.forward.is_dense())
     }
 
-    /// Backward dirty frontier (invariant: suffixes only shrink).
+    /// Backward pass for a *filter* mutation at `v` (invariant per
+    /// drift: suffixes only shrink on insert, only grow on remove).
     ///
     /// `S_A(u) = Σ_{c ∈ children(u)} (1 + [c ∉ A, c ≠ source]·S_A(c))`:
-    /// inserting `v` changes no suffix *at or below* `v` — it flips the
-    /// `[v ∉ A]` gate seen by `v`'s parents, and from there changes can
-    /// only travel upward. Reverse topological order (encoded as
-    /// `n − 1 − topo_position`) guarantees each ancestor is recomputed
-    /// once, after all of its updated children.
-    fn update_backward(&mut self, v: NodeId) -> (usize, bool) {
-        let cg = self.cg;
-        let source = cg.source();
+    /// a filter mutation at `v` changes no suffix *at or below* `v` — it
+    /// flips the `[v ∉ A]` gate seen by `v`'s parents, and from there
+    /// changes can only travel upward. Reverse topological order
+    /// guarantees each ancestor is recomputed once, after all of its
+    /// updated children.
+    fn update_backward(&mut self, v: NodeId, drift: Drift) -> (usize, bool) {
+        let cg = self.graph.get();
         // The source is already gated out of every parent's sum, and a
         // gate flip on a zero suffix changes nothing.
-        if v == source || self.s.suffix[v.index()].is_zero() {
+        if v == cg.source() || self.s.suffix[v.index()].is_zero() {
             return (0, false);
         }
+        self.s.backward.begin(cg.topo_position(v));
+        for &p in cg.csr().parents(v) {
+            self.s.backward.mark(p);
+        }
+        self.drain_backward(drift)
+    }
+
+    /// Backward pass for an *edge* mutation whose tail is `u`: `u`'s
+    /// own suffix changed (it gained or lost a child term), so it is
+    /// re-summed before the upstream walk starts. Ancestors react only
+    /// if `u` itself passes their gate.
+    fn update_backward_from_edge(&mut self, u: NodeId, drift: Drift) -> (usize, bool) {
+        let cg = self.graph.get();
+        let csr = cg.csr();
+        let one = C::one();
+        let mut s = C::zero();
+        for &c in csr.children(u) {
+            s.add_assign(&one);
+            s.add_assign(&self.s.gated[c.index()]);
+        }
+        if s == self.s.suffix[u.index()] {
+            return (0, false);
+        }
+        match drift {
+            Drift::Shrink => debug_assert!(
+                s <= self.s.suffix[u.index()],
+                "a shrink mutation cannot increase suffixes"
+            ),
+            Drift::Grow => debug_assert!(
+                s >= self.s.suffix[u.index()],
+                "a grow mutation cannot decrease suffixes"
+            ),
+        }
+        let open = !self.filters.contains(u) && u != cg.source();
+        if open {
+            self.s.gated[u.index()] = s.clone();
+        }
+        self.s.suffix[u.index()] = s;
+        if !open {
+            // A filtered (or source) tail absorbs the change: no
+            // ancestor's sum reads its suffix.
+            return (1, false);
+        }
+        self.s.backward.begin(cg.topo_position(u));
+        for &p in csr.parents(u) {
+            self.s.backward.mark(p);
+        }
+        let (drained, dense) = self.drain_backward(drift);
+        (drained + 1, dense)
+    }
+
+    /// Drain the backward frontier (upstream of the mutation site, in
+    /// reverse topological order), checking the drift invariant on
+    /// every re-summed suffix.
+    fn drain_backward(&mut self, drift: Drift) -> (usize, bool) {
+        let cg = self.graph.get();
+        let source = cg.source();
         let csr = cg.csr();
         let topo = cg.topo();
         let one = C::one();
         let mut processed = 0usize;
-        self.s.backward.begin(cg.topo_position(v));
-        for &p in csr.parents(v) {
-            self.s.backward.mark(p);
-        }
         while let Some(u) = self.s.backward.next_down(topo) {
             processed += 1;
             // Same op order as the oracle's gated loop (`s += 1` then a
@@ -530,7 +984,14 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
                 s.add_assign(&self.s.gated[c.index()]);
             }
             let old = &self.s.suffix[u.index()];
-            debug_assert!(s <= *old, "adding filters cannot increase suffixes");
+            match drift {
+                Drift::Shrink => {
+                    debug_assert!(s <= *old, "a shrink mutation cannot increase suffixes")
+                }
+                Drift::Grow => {
+                    debug_assert!(s >= *old, "a grow mutation cannot decrease suffixes")
+                }
+            }
             if s != *old {
                 let open = !self.filters.contains(u) && u != source;
                 if open {
@@ -576,7 +1037,10 @@ mod tests {
         CGraph::new(&g, NodeId::new(0)).unwrap()
     }
 
-    fn assert_matches_oracle<C: Count>(engine: &ImpactEngine<C>, cg: &CGraph, tag: &str) {
+    fn assert_matches_oracle<C: Count>(engine: &ImpactEngine<C>, tag: &str) {
+        // Oracles run on the engine's *current* graph, so the same
+        // assertion pins filter and structural mutations alike.
+        let cg = engine.cgraph();
         let fresh = propagate::<C>(cg, engine.filters());
         let suffix = suffix_sensitivity::<C>(cg, engine.filters());
         let oracle: Vec<C> = impacts(cg, engine.filters());
@@ -605,10 +1069,10 @@ mod tests {
     fn both_directions_track_the_oracle_through_insertions() {
         let cg = figure1();
         let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
-        assert_matches_oracle(&engine, &cg, "initial");
+        assert_matches_oracle(&engine, "initial");
         for v in [4usize, 1, 6, 2, 3, 5] {
             assert!(engine.insert_filter(NodeId::new(v)));
-            assert_matches_oracle(&engine, &cg, &format!("after {v}"));
+            assert_matches_oracle(&engine, &format!("after {v}"));
         }
     }
 
@@ -627,7 +1091,7 @@ mod tests {
             engine.insert_filter(NodeId::new(0)),
             "source enters the set"
         );
-        assert_matches_oracle(&engine, &cg, "after source insert");
+        assert_matches_oracle(&engine, "after source insert");
     }
 
     #[test]
@@ -635,9 +1099,9 @@ mod tests {
         let cg = figure1();
         let base = FilterSet::from_nodes(7, [NodeId::new(1)]);
         let mut engine = ImpactEngine::<Wide128>::new(&cg, base);
-        assert_matches_oracle(&engine, &cg, "nonempty start");
+        assert_matches_oracle(&engine, "nonempty start");
         engine.insert_filter(NodeId::new(4));
-        assert_matches_oracle(&engine, &cg, "nonempty start + z2");
+        assert_matches_oracle(&engine, "nonempty start + z2");
     }
 
     #[test]
@@ -651,6 +1115,30 @@ mod tests {
     }
 
     #[test]
+    fn from_owned_matches_the_borrowed_constructor() {
+        let cg = figure1();
+        let mut borrowed = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        let mut owned = ImpactEngine::<Wide128>::from_owned(cg.clone(), FilterSet::empty(7));
+        assert!(owned.owns_graph(), "starts on its private copy");
+        assert_matches_oracle(&owned, "owned initial");
+        for v in [4usize, 1] {
+            assert_eq!(
+                borrowed.insert_filter(NodeId::new(v)),
+                owned.insert_filter(NodeId::new(v))
+            );
+        }
+        assert_eq!(borrowed.phi(), owned.phi());
+        owned
+            .apply(Mutation::InsertEdge {
+                from: NodeId::new(3),
+                to: NodeId::new(5),
+            })
+            .unwrap();
+        assert_matches_oracle(&owned, "owned after edge insert");
+        assert_eq!(cg.edge_count(), 9, "caller's graph untouched");
+    }
+
+    #[test]
     fn scratch_recycling_reuses_buffers_and_stays_exact() {
         let cg = figure1();
         let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
@@ -658,9 +1146,9 @@ mod tests {
         let scratch = engine.into_scratch();
         // Adopt the used scratch for a fresh solve on the same graph.
         let mut engine = ImpactEngine::<Wide128>::with_scratch(&cg, FilterSet::empty(7), scratch);
-        assert_matches_oracle(&engine, &cg, "recycled scratch, fresh set");
+        assert_matches_oracle(&engine, "recycled scratch, fresh set");
         engine.insert_filter(NodeId::new(1));
-        assert_matches_oracle(&engine, &cg, "recycled scratch + x");
+        assert_matches_oracle(&engine, "recycled scratch + x");
     }
 
     #[test]
@@ -689,7 +1177,250 @@ mod tests {
         let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(g.node_count()));
         for &v in [chain[15], chain[7], join].iter() {
             engine.insert_filter(v);
-            assert_matches_oracle(&engine, &cg, "chain insert");
+            assert_matches_oracle(&engine, "chain insert");
+        }
+    }
+
+    #[test]
+    fn remove_filter_reverses_insert_exactly() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        let phi0 = *engine.phi();
+        engine
+            .apply(Mutation::InsertFilter(NodeId::new(4)))
+            .unwrap();
+        engine
+            .apply(Mutation::InsertFilter(NodeId::new(1)))
+            .unwrap();
+        assert_matches_oracle(&engine, "two inserts");
+        let out = engine
+            .apply(Mutation::RemoveFilter(NodeId::new(4)))
+            .unwrap();
+        assert!(out.changed);
+        assert_matches_oracle(&engine, "after remove 4");
+        engine
+            .apply(Mutation::RemoveFilter(NodeId::new(1)))
+            .unwrap();
+        assert_matches_oracle(&engine, "after remove 1");
+        assert_eq!(*engine.phi(), phi0, "back to the empty-set Φ");
+        assert!(engine.filters().is_empty());
+        assert!(
+            !engine
+                .apply(Mutation::RemoveFilter(NodeId::new(4)))
+                .unwrap()
+                .changed,
+            "removing an absent filter is a no-op"
+        );
+    }
+
+    #[test]
+    fn edge_mutations_track_the_oracle() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        // Grow: a new edge x → z3 (1 → 5) adds flow.
+        let out = engine
+            .apply(Mutation::InsertEdge {
+                from: NodeId::new(1),
+                to: NodeId::new(5),
+            })
+            .unwrap();
+        assert!(out.changed && !out.reordered);
+        assert!(
+            engine.owns_graph(),
+            "structural mutation diverges the graph"
+        );
+        assert_eq!(engine.cgraph().edge_count(), 10);
+        assert_matches_oracle(&engine, "insert edge 1->5");
+        // Shrink: drop it again.
+        engine
+            .apply(Mutation::RemoveEdge {
+                from: NodeId::new(1),
+                to: NodeId::new(5),
+            })
+            .unwrap();
+        assert_eq!(engine.cgraph().edge_count(), 9);
+        assert_matches_oracle(&engine, "remove edge 1->5");
+        // Remove a pre-existing edge, with filters placed.
+        engine.insert_filter(NodeId::new(4));
+        engine
+            .apply(Mutation::RemoveEdge {
+                from: NodeId::new(2),
+                to: NodeId::new(4),
+            })
+            .unwrap();
+        assert_matches_oracle(&engine, "remove edge 2->4 with filter at 4");
+    }
+
+    #[test]
+    fn remove_edge_undoes_insert_edge() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        engine.insert_filter(NodeId::new(4));
+        let baseline =
+            ImpactEngine::<Wide128>::new(&cg, FilterSet::from_nodes(7, [NodeId::new(4)]));
+        let e = Mutation::InsertEdge {
+            from: NodeId::new(3),
+            to: NodeId::new(5),
+        };
+        engine.apply(e).unwrap();
+        engine
+            .apply(Mutation::RemoveEdge {
+                from: NodeId::new(3),
+                to: NodeId::new(5),
+            })
+            .unwrap();
+        for v in cg.nodes() {
+            assert_eq!(engine.received(v), baseline.received(v), "recv {v:?}");
+            assert_eq!(engine.emitted(v), baseline.emitted(v), "emit {v:?}");
+            assert_eq!(engine.suffix(v), baseline.suffix(v), "suffix {v:?}");
+        }
+        assert_eq!(engine.phi(), baseline.phi());
+        assert_eq!(
+            engine.cgraph().csr().edges().collect::<Vec<_>>(),
+            cg.csr().edges().collect::<Vec<_>>(),
+            "adjacency restored exactly"
+        );
+    }
+
+    #[test]
+    fn rejected_mutations_leave_the_engine_untouched() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        let phi = *engine.phi();
+        assert_eq!(
+            engine.apply(Mutation::InsertEdge {
+                from: NodeId::new(6),
+                to: NodeId::new(0),
+            }),
+            Err(MutationError::WouldCreateCycle {
+                from: NodeId::new(6),
+                to: NodeId::new(0),
+            })
+        );
+        assert_eq!(
+            engine.apply(Mutation::InsertEdge {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+            }),
+            Err(MutationError::DuplicateEdge {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+            })
+        );
+        assert_eq!(
+            engine.apply(Mutation::RemoveEdge {
+                from: NodeId::new(0),
+                to: NodeId::new(6),
+            }),
+            Err(MutationError::UnknownEdge {
+                from: NodeId::new(0),
+                to: NodeId::new(6),
+            })
+        );
+        assert_eq!(
+            engine.apply(Mutation::InsertEdge {
+                from: NodeId::new(2),
+                to: NodeId::new(2),
+            }),
+            Err(MutationError::SelfLoop {
+                node: NodeId::new(2)
+            })
+        );
+        assert_eq!(
+            engine.apply(Mutation::InsertFilter(NodeId::new(9))),
+            Err(MutationError::NodeOutOfRange {
+                node: NodeId::new(9),
+                node_count: 7,
+            })
+        );
+        assert!(
+            !engine.owns_graph(),
+            "no rejected mutation cloned the graph"
+        );
+        assert_eq!(*engine.phi(), phi);
+        assert_matches_oracle(&engine, "after rejections");
+    }
+
+    #[test]
+    fn reordering_insertions_stay_exact() {
+        // 1 is the source; node 0 sits *after* 1 in any topo order only
+        // once the edge 1 → 0 exists, so inserting it forces a rebuild
+        // of the cached order.
+        let g = DiGraph::from_pairs(3, [(1, 2)]).unwrap();
+        let cg = CGraph::new(&g, NodeId::new(1)).unwrap();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(3));
+        let out = engine
+            .apply(Mutation::InsertEdge {
+                from: NodeId::new(1),
+                to: NodeId::new(0),
+            })
+            .unwrap();
+        assert!(out.reordered, "cached order had 0 before 1");
+        assert_matches_oracle(&engine, "after reorder");
+        engine
+            .apply(Mutation::InsertEdge {
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+            })
+            .unwrap();
+        assert_matches_oracle(&engine, "after second insert");
+    }
+
+    #[test]
+    fn apply_outcome_reports_affected_counts() {
+        let cg = figure1();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(7));
+        let out = engine
+            .apply(Mutation::InsertFilter(NodeId::new(4)))
+            .unwrap();
+        // z2's emission shrinks 2 → 1: w is reprocessed downstream, and
+        // x, y, s upstream.
+        assert!(out.changed);
+        assert!(out.forward_affected >= 1, "w must be reprocessed");
+        assert!(out.backward_affected >= 2, "x and y must be reprocessed");
+        let dup = engine
+            .apply(Mutation::InsertFilter(NodeId::new(4)))
+            .unwrap();
+        assert_eq!(dup, ApplyOutcome::unchanged());
+    }
+
+    #[test]
+    fn mutation_sequences_on_a_chain_stay_exact() {
+        // A long chain exercises both frontier directions across many
+        // interleaved mutation kinds.
+        let mut g = DiGraph::with_nodes(1);
+        let s = NodeId::new(0);
+        let mut tail = s;
+        let mut nodes = vec![s];
+        for _ in 0..20 {
+            let next = g.add_node();
+            g.add_edge(tail, next);
+            tail = next;
+            nodes.push(next);
+        }
+        let cg = CGraph::new(&g, s).unwrap();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(g.node_count()));
+        let steps = [
+            Mutation::InsertFilter(nodes[10]),
+            Mutation::InsertEdge {
+                from: nodes[2],
+                to: nodes[12],
+            },
+            Mutation::RemoveFilter(nodes[10]),
+            Mutation::InsertFilter(nodes[5]),
+            Mutation::RemoveEdge {
+                from: nodes[2],
+                to: nodes[12],
+            },
+            Mutation::InsertEdge {
+                from: nodes[1],
+                to: nodes[19],
+            },
+            Mutation::RemoveFilter(nodes[5]),
+        ];
+        for (i, m) in steps.into_iter().enumerate() {
+            engine.apply(m).unwrap();
+            assert_matches_oracle(&engine, &format!("step {i}: {m}"));
         }
     }
 }

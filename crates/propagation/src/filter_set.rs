@@ -52,6 +52,22 @@ impl FilterSet {
         }
     }
 
+    /// Remove a filter; returns whether it was present. The insertion
+    /// order of the surviving filters is preserved.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        if self.members.remove(v.index()) {
+            let i = self
+                .order
+                .iter()
+                .position(|&w| w == v)
+                .expect("order vector mirrors the membership bitset");
+            self.order.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Whether `v` is a filter.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
@@ -93,6 +109,17 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(s.contains(NodeId::new(2)));
         assert!(!s.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn remove_keeps_order_of_survivors() {
+        let mut s = FilterSet::from_nodes(10, [NodeId::new(7), NodeId::new(1), NodeId::new(4)]);
+        assert!(s.remove(NodeId::new(1)));
+        assert!(!s.remove(NodeId::new(1)), "second remove reports absent");
+        assert!(!s.remove(NodeId::new(9)), "never-inserted node is absent");
+        assert_eq!(s.nodes(), &[NodeId::new(7), NodeId::new(4)]);
+        assert!(!s.contains(NodeId::new(1)));
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

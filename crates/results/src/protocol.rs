@@ -173,6 +173,23 @@ pub enum ServeCall {
         /// Optional compute budget in milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// Apply one structural mutation to a session's private copy of
+    /// its graph. The kind is `"insert_edge"` or `"remove_edge"`;
+    /// endpoints are node labels. The session re-derives every warm
+    /// rung on the mutated graph, so later queries stay bit-identical
+    /// to a cold session opened on that graph. Mutations that would
+    /// create a cycle or remove an unknown edge are conflicts (409);
+    /// the registry's shared entry is never touched.
+    Mutate {
+        /// The session id.
+        session: String,
+        /// `"insert_edge"` or `"remove_edge"`.
+        mutation: String,
+        /// Label of the edge's source node.
+        from: String,
+        /// Label of the edge's target node.
+        to: String,
+    },
     /// Close a session explicitly (its worker thread exits).
     SessionClose {
         /// The session id.
@@ -352,6 +369,18 @@ impl ToJson for ServeCall {
                 }
                 Json::object(members)
             }
+            ServeCall::Mutate {
+                session,
+                mutation,
+                from,
+                to,
+            } => Json::object([
+                ("op", op("sessions.mutate")),
+                ("session", session.to_json()),
+                ("mutation", mutation.to_json()),
+                ("from", from.to_json()),
+                ("to", to.to_json()),
+            ]),
             ServeCall::SessionClose { session } => {
                 Json::object([("op", op("sessions.close")), ("session", session.to_json())])
             }
@@ -397,6 +426,18 @@ impl FromJson for ServeCall {
                     .map(|ms| ms.as_u64().ok_or("bad deadline_ms"))
                     .transpose()?,
             }),
+            Some("sessions.mutate") => {
+                let mutation = text("mutation")?;
+                if mutation != "insert_edge" && mutation != "remove_edge" {
+                    return Err(format!("unknown mutation kind {mutation:?}"));
+                }
+                Ok(ServeCall::Mutate {
+                    session: text("session")?,
+                    mutation,
+                    from: text("from")?,
+                    to: text("to")?,
+                })
+            }
             Some("sessions.close") => Ok(ServeCall::SessionClose {
                 session: text("session")?,
             }),
@@ -744,6 +785,18 @@ mod tests {
                 ks: vec![2],
                 deadline_ms: Some(250),
             },
+            ServeCall::Mutate {
+                session: "abc123".into(),
+                mutation: "insert_edge".into(),
+                from: "a".into(),
+                to: "c".into(),
+            },
+            ServeCall::Mutate {
+                session: "abc123".into(),
+                mutation: "remove_edge".into(),
+                from: "s".into(),
+                to: "a".into(),
+            },
             ServeCall::SessionClose {
                 session: "abc123".into(),
             },
@@ -787,6 +840,14 @@ mod tests {
             (
                 r#"{"type":"call","id":1,"op":"sessions.open","graph":"g","solver":"NOPE","seed":1}"#,
                 "solver",
+            ),
+            (
+                r#"{"type":"call","id":1,"op":"sessions.mutate","session":"s","mutation":"paint_node","from":"a","to":"b"}"#,
+                "unknown mutation kind",
+            ),
+            (
+                r#"{"type":"call","id":1,"op":"sessions.mutate","session":"s","mutation":"insert_edge","from":"a"}"#,
+                "to",
             ),
             (
                 r#"{"type":"reply","id":1,"status":99999,"body":null}"#,

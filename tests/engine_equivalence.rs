@@ -16,7 +16,9 @@ use fp_core::algorithms::{GreedyAll, LazyGreedyAll, MultiGreedy, Solver};
 use fp_core::datasets::erdos_renyi;
 use fp_core::num::Sat64;
 use fp_core::prelude::*;
-use fp_core::propagation::{impacts, phi_total, propagate, suffix_sensitivity, ImpactEngine};
+use fp_core::propagation::{
+    impacts, phi_total, propagate, suffix_sensitivity, ImpactEngine, Mutation,
+};
 use proptest::prelude::*;
 
 /// Check the engine against every oracle quantity under `filters`.
@@ -82,6 +84,93 @@ fn insertion_sequence(n: usize, seed: u64) -> Vec<NodeId> {
     order.into_iter().map(NodeId::new).collect()
 }
 
+/// Drive `steps` random mutations (all four [`Mutation`] kinds) through
+/// the engine while mirroring each accepted one onto a plain
+/// `CGraph`/`FilterSet` pair, checking the engine against a fresh
+/// oracle recompute on the mirror after every step.
+fn mutation_sequence_matches_rebuild<C: Count>(
+    seed: u64,
+    p: f64,
+    steps: usize,
+) -> Result<(), proptest::TestCaseError> {
+    let (g, s) = erdos_renyi::generate(16, p, seed);
+    let cg = CGraph::new(&g, s).unwrap();
+    let n = cg.node_count();
+    let mut mirror_cg = cg.clone();
+    let mut mirror_filters = FilterSet::empty(n);
+    let mut engine = ImpactEngine::<C>::new(&cg, FilterSet::empty(n));
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for step in 0..steps {
+        let r = next();
+        let u = NodeId::new((r >> 8) as usize % n);
+        let v = NodeId::new((r >> 32) as usize % n);
+        let m = match r % 4 {
+            0 => Mutation::InsertFilter(u),
+            1 => Mutation::RemoveFilter(u),
+            2 if u != v && !engine.cgraph().csr().children(u).contains(&v) => {
+                Mutation::InsertEdge { from: u, to: v }
+            }
+            _ => {
+                // Remove a random existing edge (or skip on an
+                // edgeless graph).
+                let edges: Vec<_> = engine.cgraph().csr().edges().collect();
+                if edges.is_empty() {
+                    continue;
+                }
+                let (eu, ev) = edges[(r >> 16) as usize % edges.len()];
+                Mutation::RemoveEdge { from: eu, to: ev }
+            }
+        };
+        match engine.apply(m) {
+            Ok(_) => match m {
+                Mutation::InsertFilter(w) => {
+                    mirror_filters.insert(w);
+                }
+                Mutation::RemoveFilter(w) => {
+                    mirror_filters.remove(w);
+                }
+                Mutation::InsertEdge { from, to } => {
+                    mirror_cg.insert_edge(from, to).unwrap();
+                }
+                Mutation::RemoveEdge { from, to } => {
+                    assert!(mirror_cg.remove_edge(from, to));
+                }
+            },
+            // The only rejection a candidate can still hit is a
+            // would-be cycle on a backward edge insert; skip it.
+            Err(e) => prop_assert!(
+                matches!(m, Mutation::InsertEdge { .. }),
+                "unexpected rejection of {}: {}",
+                m,
+                e
+            ),
+        }
+        prop_assert_eq!(engine.filters().nodes(), mirror_filters.nodes());
+        prop_assert_eq!(engine.cgraph().edge_count(), mirror_cg.edge_count());
+        assert_engine_matches_oracle(
+            &engine,
+            &mirror_cg,
+            &format!("after step {step} ({m}) [seed {seed}]"),
+        )?;
+    }
+    // And the endpoint in one shot: a fresh engine built on the final
+    // mirror state agrees with the mutated one on every score.
+    let fresh = ImpactEngine::<C>::new(&mirror_cg, mirror_filters);
+    for v in mirror_cg.nodes() {
+        prop_assert_eq!(engine.received(v), fresh.received(v));
+        prop_assert_eq!(engine.suffix(v), fresh.suffix(v));
+        prop_assert_eq!(engine.impact(v), fresh.impact(v));
+    }
+    prop_assert_eq!(engine.phi(), fresh.phi());
+    Ok(())
+}
+
 fn scores_match_for<C: Count>(
     seed: u64,
     p: f64,
@@ -122,6 +211,67 @@ proptest! {
         inserts in 0usize..10,
     ) {
         scores_match_for::<Wide128>(seed, p, inserts)?;
+    }
+
+    #[test]
+    fn random_mutation_sequences_match_a_fresh_rebuild_sat64(
+        seed in 0u64..4000,
+        p in 0.08f64..0.4,
+        steps in 0usize..24,
+    ) {
+        mutation_sequence_matches_rebuild::<Sat64>(seed, p, steps)?;
+    }
+
+    #[test]
+    fn random_mutation_sequences_match_a_fresh_rebuild_wide128(
+        seed in 0u64..4000,
+        p in 0.08f64..0.4,
+        steps in 0usize..24,
+    ) {
+        mutation_sequence_matches_rebuild::<Wide128>(seed, p, steps)?;
+    }
+
+    #[test]
+    fn insert_then_remove_edge_is_identity(
+        seed in 0u64..4000,
+        p in 0.08f64..0.4,
+        inserts in 0usize..8,
+    ) {
+        // Against an arbitrary filter state, inserting any absent
+        // forward edge and removing it again must restore every score
+        // bit for bit.
+        let (g, s) = erdos_renyi::generate(16, p, seed);
+        let cg = CGraph::new(&g, s).unwrap();
+        let n = cg.node_count();
+        let mut engine = ImpactEngine::<Wide128>::new(&cg, FilterSet::empty(n));
+        for &v in insertion_sequence(n, seed ^ 0x5151).iter().take(inserts) {
+            engine.insert_filter(v);
+        }
+        let topo = engine.cgraph().topo().to_vec();
+        let mut pair = None;
+        'outer: for (i, &u) in topo.iter().enumerate() {
+            for &v in &topo[i + 1..] {
+                if !engine.cgraph().csr().children(u).contains(&v) {
+                    pair = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((u, v)) = pair else { return Ok(()) };
+        let received: Vec<_> = cg.nodes().map(|w| *engine.received(w)).collect();
+        let suffix: Vec<_> = cg.nodes().map(|w| *engine.suffix(w)).collect();
+        let phi = *engine.phi();
+        let ins = engine.apply(Mutation::InsertEdge { from: u, to: v }).unwrap();
+        prop_assert!(ins.changed && !ins.reordered);
+        let rm = engine.apply(Mutation::RemoveEdge { from: u, to: v }).unwrap();
+        prop_assert!(rm.changed);
+        prop_assert_eq!(engine.cgraph().edge_count(), cg.edge_count());
+        for w in cg.nodes() {
+            prop_assert_eq!(engine.received(w), &received[w.index()]);
+            prop_assert_eq!(engine.suffix(w), &suffix[w.index()]);
+        }
+        prop_assert_eq!(engine.phi(), &phi);
+        assert_engine_matches_oracle(&engine, &cg, "after insert+remove round-trip")?;
     }
 
     #[test]

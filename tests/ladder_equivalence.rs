@@ -107,6 +107,60 @@ proptest! {
     }
 
     #[test]
+    fn sessions_still_match_after_graph_mutations(
+        seed in 0u64..4000,
+        p in 0.08f64..0.35,
+        k_max in 0usize..5,
+        gap in 1usize..6,
+    ) {
+        // The serve daemon re-solves on a *mutated* CGraph after every
+        // accepted mutation; the session ↔ one-shot ↔ oracle promise
+        // must hold on those graphs too, not just freshly-frozen ones.
+        // Insert one absent forward edge (topo positions i, i+gap) and
+        // remove one existing edge, then re-pin every solver kind.
+        let (g, s) = erdos_renyi::generate(14, p, seed);
+        let mut cg = CGraph::new(&g, s).unwrap();
+        let topo = cg.topo().to_vec();
+        let mut inserted = false;
+        'outer: for (i, &u) in topo.iter().enumerate() {
+            for &v in topo.iter().skip(i + gap) {
+                if !cg.csr().children(u).contains(&v) {
+                    prop_assert_eq!(cg.insert_edge(u, v), Ok(false));
+                    inserted = true;
+                    break 'outer;
+                }
+            }
+        }
+        let first_edge = cg.csr().edges().next();
+        if let Some((eu, ev)) = first_edge {
+            prop_assert!(cg.remove_edge(eu, ev));
+        }
+        prop_assert!(inserted || cg.edge_count() == 0);
+        let cache = ObjectiveCache::<Wide128>::new(&cg);
+        for kind in ALL_KINDS {
+            let solver = kind.build::<Wide128>();
+            let mut session = solver.session(&cg, seed);
+            for k in 0..=k_max {
+                session.advance_to(k);
+                let one_shot = solver.place(&cg, k, seed);
+                prop_assert_eq!(
+                    session.placement().nodes(),
+                    one_shot.nodes(),
+                    "{:?} session diverged on mutated graph at k={}",
+                    kind,
+                    k
+                );
+                let oracle = kind.place_oracle::<Wide128>(&cg, k, seed);
+                prop_assert_eq!(one_shot.nodes(), oracle.nodes());
+                prop_assert_eq!(
+                    session.fr().to_bits(),
+                    cache.filter_ratio(&cg, session.placement()).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn nested_solvers_step_through_identical_prefixes(
         seed in 0u64..4000,
         p in 0.08f64..0.35,
