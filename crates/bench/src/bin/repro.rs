@@ -120,7 +120,7 @@ fn main() {
         if args.len() > 1 {
             fail("worker takes no flags");
         }
-        if let Err(e) = fp_core::worker::serve(std::io::stdin().lock(), std::io::stdout().lock()) {
+        if let Err(e) = fp_core::worker::serve(std::io::stdin().lock(), std::io::stdout()) {
             fail(&e);
         }
         return;

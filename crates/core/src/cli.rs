@@ -76,7 +76,7 @@ use fp_datasets::stats::DegreeStats;
 use fp_graph::{from_edge_list, to_dot, to_edge_list, DiGraph, NodeId};
 use fp_results::{
     csv::sweep_csv, worker::PoolOptions, worker::WorkerSpawner, DatasetFingerprint, GcPolicy,
-    RunManifest, RunStore, RunnerOptions, ToJson,
+    NetOptions, RunManifest, RunStore, RunnerOptions, SweepListener, ToJson,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -110,15 +110,16 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
         "sweep",
         &[
             "input", "source", "kmax", "trials", "seed", "format", "out", "jobs", "workers",
-            "trace",
+            "listen", "token", "trace",
         ],
     ),
+    ("worker", &["connect", "token", "retries"]),
     ("report", &["run", "list", "format"]),
     ("diff", &["a", "b", "epsilon"]),
     ("gc", &["out", "keep", "max-age"]),
     ("stats", &["input"]),
     ("generate", &["dataset", "seed", "scale"]),
-    ("serve", &["addr", "ttl-secs", "trace"]),
+    ("serve", &["addr", "ttl-secs", "max-sessions", "trace"]),
     (
         "loadtest",
         &[
@@ -133,6 +134,7 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
             "check",
             "tolerance",
             "mutations",
+            "retries",
         ],
     ),
     (
@@ -292,6 +294,21 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
                 .to_string(),
         );
     }
+    let listen = flags.get("listen").map(String::as_str);
+    if listen.is_some() {
+        if workers > 0 || flags.contains_key("jobs") {
+            return Err(
+                "--listen hands every cell to remote workers over TCP; it cannot be \
+                 combined with --jobs or --workers"
+                    .to_string(),
+            );
+        }
+        if required(flags, "token")?.is_empty() {
+            return Err("--listen requires a non-empty --token".to_string());
+        }
+    } else if flags.contains_key("token") {
+        return Err("--token only applies with --listen".to_string());
+    }
     let format = flags.get("format").map_or("table", String::as_str);
     if !matches!(format, "table" | "csv") {
         return Err(format!("unknown --format {format:?} (table, csv)"));
@@ -303,17 +320,27 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         solvers: SolverKind::PAPER_SET.to_vec(),
     };
 
-    // The two sweep backends: in-process threads (--jobs) or a pool of
-    // re-exec'd worker processes (--workers). Identical bits either way.
+    // The three sweep backends: in-process threads (--jobs), a pool of
+    // re-exec'd worker processes (--workers), or remote TCP workers
+    // dialing into --listen. Identical bits any way.
     let compute = || -> Result<SweepResult, String> {
-        if workers > 0 {
+        if let Some(addr) = listen {
+            let token = required(flags, "token")?;
+            let listener = SweepListener::bind(addr, NetOptions::new(token))?;
+            eprintln!(
+                "fp sweep: listening on {} for remote workers \
+                 (join with `fp worker --connect ADDR --token ...`)",
+                listener.local_addr()
+            );
+            listener.run(&g, source, &cfg, &PoolOptions::default().from_env()?)
+        } else if workers > 0 {
             let spawner = WorkerSpawner::current_exe()?;
             fp_results::run_sweep_workers(
                 &spawner,
                 &g,
                 source,
                 &cfg,
-                &PoolOptions::with_workers(workers),
+                &PoolOptions::with_workers(workers).from_env()?,
             )
         } else {
             let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
@@ -739,10 +766,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
         })
         .transpose()?
         .map(std::time::Duration::from_secs);
+    let max_sessions = flags
+        .get("max-sessions")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| "--max-sessions must be a non-negative integer".to_string())
+        })
+        .transpose()?;
     let trace = trace_enable(flags);
     let registry = GraphRegistry::with_builtins();
     let graphs = registry.len();
-    let server = Server::bind(addr, ApiState::new(registry, ttl))?;
+    let server = Server::bind(addr, ApiState::with_limits(registry, ttl, max_sessions))?;
     let local = server.local_addr();
     eprintln!(
         "fp serve: listening on {local} ({graphs} built-in graph(s); frame + HTTP on one port; \
@@ -795,6 +829,10 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
         .get("transport")
         .map_or(Ok(cfg.transport), |s| Transport::parse(s))?;
     cfg.mutations = parse_usize("mutations", cfg.mutations)?;
+    cfg.retries = flags.get("retries").map_or(Ok(cfg.retries), |s| {
+        s.parse()
+            .map_err(|_| "--retries must be a non-negative integer".to_string())
+    })?;
     if cfg.clients == 0 || cfg.requests == 0 {
         return Err("--clients and --requests must be at least 1".to_string());
     }
@@ -835,6 +873,12 @@ fn cmd_loadtest(flags: &HashMap<String, String>) -> Result<String, String> {
         report.throughput_rps,
         report.wall_ms,
     );
+    if cfg.retries > 0 || report.retries_total > 0 {
+        out.push_str(&format!(
+            "retries: {} (408/503 responses retried, budget {} per request)\n",
+            report.retries_total, cfg.retries,
+        ));
+    }
     if let Some(http) = &report.http {
         let phase = |name: &str, p: &crate::loadtest::PhaseNumbers| {
             format!(
@@ -1039,17 +1083,25 @@ fn cmd_online(flags: &HashMap<String, String>, input: &str) -> Result<String, St
     }
 }
 
-/// Usage text. The hidden `worker` subcommand (the process-pool child
-/// behind `sweep --workers`) is deliberately absent: it speaks a binary
-/// frame protocol on stdin/stdout and is never typed by a person.
+/// Usage text. `worker` with no flags (the process-pool child behind
+/// `sweep --workers`) stays undocumented: it speaks a binary frame
+/// protocol on stdin/stdout and is never typed by a person. `worker
+/// --connect` *is* typed by a person — it joins a remote sweep.
 pub const USAGE: &str =
-    "usage: fp <solve|sweep|report|diff|gc|stats|generate|serve|loadtest|online|trace> [flags]
+    "usage: fp <solve|sweep|worker|report|diff|gc|stats|generate|serve|loadtest|online|trace> [flags]
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
-           [--out DIR] [--jobs N] [--workers N] [--trace FILE]
+           [--out DIR] [--jobs N] [--workers N] [--listen ADDR --token T] [--trace FILE]
            (--out persists the run; identical reruns are cache hits;
             --workers evaluates on worker processes — same bytes as in-process;
+            --listen ADDR accepts remote `fp worker --connect` workers over TCP,
+            authenticated by the shared --token — still the same bytes;
             --trace dumps Chrome trace-event JSON of the run)
+  worker   --connect HOST:PORT --token T [--retries N]
+           (join a remote sweep as a worker: dial the dispatcher's --listen
+            socket, authenticate, evaluate cells until the sweep completes;
+            lost connections reconnect with capped exponential backoff, up to
+            --retries consecutive failures, default 5)
   report   --run DIR [--format table|csv|json]   (re-render a stored run from disk)
   report   --list DIR                            (enumerate the runs stored under DIR)
   diff     --a DIR --b DIR [--epsilon E]         (compare two stored runs per (solver, k);
@@ -1058,19 +1110,23 @@ pub const USAGE: &str =
             cache hits count as uses)
   stats    --input FILE
   generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]
-  serve    [--addr HOST:PORT] [--ttl-secs N] [--trace FILE]
+  serve    [--addr HOST:PORT] [--ttl-secs N] [--max-sessions N] [--trace FILE]
            (long-running placement daemon: frame + HTTP transports on one port,
             built-in graphs preloaded, warm sessions per (graph, solver, seed),
             GET /metrics for Prometheus text or ?format=json; POST /stop or a
-            `stop` call shuts it down; --trace dumps spans at shutdown)
+            `stop` call shuts it down; --max-sessions N caps live sessions,
+            evicting expired-then-idlest warm ones and answering 503 with
+            Retry-After when every slot is busy; --trace dumps spans at shutdown)
   loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N] [--requests N] [--kmax N]
-           [--transport frame|http] [--mutations N] [--baseline FILE]
+           [--transport frame|http] [--mutations N] [--retries N] [--baseline FILE]
            [--check FILE [--tolerance F]]
            (drive an in-process daemon with concurrent clients, verify every answer
             against the batch ladder, report p50/p99/throughput; --transport http
             measures Connection: close and keep-alive phases side by side;
             --mutations N follows up with N live edge insertions, each verified
             against a batch solve on the mutated graph;
+            --retries N retries 408/503 answers with seeded jittered backoff
+            and reports the retry count;
             --baseline folds the numbers into BENCH_baseline.json's serve section;
             --check compares against a recorded baseline and exits non-zero on
             regression beyond the tolerance)
@@ -1090,13 +1146,35 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Err(USAGE.to_string());
     };
     if command == "worker" {
-        // Hidden: serve the process-pool protocol on real stdin/stdout
-        // until the dispatcher shuts us down. Prints nothing.
-        if !rest.is_empty() {
-            return Err("worker takes no flags".to_string());
-        }
-        crate::worker::serve(std::io::stdin().lock(), std::io::stdout().lock())?;
-        return Ok(String::new());
+        let flags = parse_flags(rest)?;
+        reject_unknown_flags(command, &flags)?;
+        return match flags.get("connect") {
+            // Remote: dial a `fp sweep --listen` dispatcher and serve
+            // cells until it says shutdown.
+            Some(addr) => {
+                let token = required(&flags, "token")?;
+                let retries: u32 = flags.get("retries").map_or(Ok(5), |s| {
+                    s.parse()
+                        .map_err(|_| "--retries must be a non-negative integer".to_string())
+                })?;
+                let summary = crate::worker::serve_connect(addr, token, retries)?;
+                Ok(summary + "\n")
+            }
+            // Local: serve the process-pool protocol on real
+            // stdin/stdout until the dispatcher shuts us down. Prints
+            // nothing; spawned by `sweep --workers`, not a person.
+            None => {
+                if !flags.is_empty() {
+                    return Err(
+                        "worker --token/--retries only apply with --connect HOST:PORT".to_string(),
+                    );
+                }
+                // `Stdout` (not the lock) so the heartbeat thread can
+                // share it.
+                crate::worker::serve(std::io::stdin().lock(), std::io::stdout())?;
+                Ok(String::new())
+            }
+        };
     }
     let flags = parse_flags(rest)?;
     reject_unknown_flags(command, &flags)?;
@@ -1416,6 +1494,56 @@ mod tests {
         // loadtest module's own tests.
         let err = run_with_input(&args(&["loadtest", "--mutations", "x"]), "").unwrap_err();
         assert!(err.contains("--mutations"), "{err}");
+    }
+
+    #[test]
+    fn loadtest_rejects_a_malformed_retries_budget() {
+        let err = run_with_input(&args(&["loadtest", "--retries", "many"]), "").unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_a_malformed_session_cap() {
+        // `run` (not `run_with_input`): the flag is parsed before the
+        // socket binds, so this fails fast without serving anything.
+        let err = run(&args(&["serve", "--max-sessions", "lots"])).unwrap_err();
+        assert!(err.contains("--max-sessions"), "{err}");
+    }
+
+    #[test]
+    fn listen_excludes_local_backends_and_demands_a_token() {
+        let sweep = |extra: &[&str]| {
+            let mut a = args(&["sweep", "--source", "s", "--kmax", "1"]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            run_with_input(&a, FIG1).unwrap_err()
+        };
+        let err = sweep(&["--listen", "127.0.0.1:0", "--token", "t", "--jobs", "2"]);
+        assert!(err.contains("--listen"), "{err}");
+        let err = sweep(&["--listen", "127.0.0.1:0", "--token", "t", "--workers", "2"]);
+        assert!(err.contains("--listen"), "{err}");
+        let err = sweep(&["--listen", "127.0.0.1:0"]);
+        assert!(err.contains("token"), "{err}");
+        let err = sweep(&["--token", "t"]);
+        assert!(err.contains("--token only applies with --listen"), "{err}");
+    }
+
+    #[test]
+    fn worker_flags_demand_a_connect_target() {
+        let err = run(&args(&["worker", "--token", "t"])).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let err = run(&args(&[
+            "worker",
+            "--connect",
+            "example.invalid:1",
+            "--token",
+            "t",
+            "--retries",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
+        let err = run(&args(&["worker", "--connect", "host:1"])).unwrap_err();
+        assert!(err.contains("--token"), "{err}");
     }
 
     #[test]

@@ -614,9 +614,31 @@ fn run_one_shot_epoch(
 /// session already answers identically, so a second one could only
 /// waste a thread. Sessions expire after `ttl` of disuse; expiry is
 /// swept lazily on table access.
+///
+/// `max_sessions` is a hard budget on live sessions: at the cap, a new
+/// open first sheds TTL-expired sessions (the lazy sweep), then evicts
+/// the longest-idle *ready* session. When every slot is mid-warmup the
+/// open is refused ([`OpenError::Saturated`], HTTP 503 with
+/// `Retry-After`) — graceful degradation instead of an unbounded
+/// thread pile-up.
 pub struct SessionTable {
     ttl: Option<Duration>,
+    max_sessions: Option<usize>,
     sessions: Mutex<BTreeMap<String, Arc<SessionHandle>>>,
+}
+
+/// Why [`SessionTable::open`] refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpenError {
+    /// That exact session already exists; carries the survivor's id
+    /// (HTTP 409 on the wire).
+    Conflict(String),
+    /// The table is at its `--max-sessions` budget and nothing is
+    /// evictable (HTTP 503 with `Retry-After`).
+    Saturated {
+        /// The configured budget, for the error body.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Debug for SessionTable {
@@ -630,10 +652,16 @@ impl std::fmt::Debug for SessionTable {
 
 impl SessionTable {
     /// An empty table. `ttl` of `None` means sessions live until
-    /// explicitly closed.
+    /// explicitly closed; no session cap.
     pub fn new(ttl: Option<Duration>) -> Self {
+        Self::with_limits(ttl, None)
+    }
+
+    /// An empty table with an optional hard cap on live sessions.
+    pub fn with_limits(ttl: Option<Duration>, max_sessions: Option<usize>) -> Self {
         Self {
             ttl,
+            max_sessions,
             sessions: Mutex::new(BTreeMap::new()),
         }
     }
@@ -649,18 +677,37 @@ impl SessionTable {
         h.finish_hex()
     }
 
-    /// Open a warm session; `Err(id)` if that exact session exists.
+    /// Open a warm session; see [`OpenError`] for the refusal modes.
     pub fn open(
         &self,
         graph: Arc<GraphEntry>,
         solver: SolverKind,
         seed: u64,
-    ) -> Result<Arc<SessionHandle>, String> {
+    ) -> Result<Arc<SessionHandle>, OpenError> {
         self.sweep_expired();
         let id = Self::session_id(&graph.fingerprint.edge_hash, solver, seed);
         let mut sessions = self.sessions.lock().expect("session table lock poisoned");
         if sessions.contains_key(&id) {
-            return Err(id);
+            return Err(OpenError::Conflict(id));
+        }
+        if let Some(limit) = self.max_sessions {
+            if sessions.len() >= limit {
+                // TTL-expired sessions are already gone (the sweep
+                // above); shed the longest-idle *ready* session next.
+                // Warming sessions are mid-solve and never evicted.
+                let victim = sessions
+                    .iter()
+                    .filter(|(_, h)| h.state.load(Ordering::Acquire) == STATE_READY)
+                    .max_by_key(|(_, h)| h.idle_for())
+                    .map(|(vid, _)| vid.clone());
+                let Some(vid) = victim else {
+                    return Err(OpenError::Saturated { limit });
+                };
+                if let Some(evicted) = sessions.remove(&vid) {
+                    let _ = evicted.tx.send(SessionCmd::Stop);
+                    fp_obs::counter("fp_serve_sessions_evicted_total").inc();
+                }
+            }
         }
         let (tx, rx) = mpsc::channel();
         let state = Arc::new(AtomicU8::new(STATE_WARMING));
@@ -864,9 +911,19 @@ fn metrics_json(snap: &fp_obs::Snapshot) -> Json {
 impl ApiState {
     /// Assemble the daemon state. `ttl` bounds session idle lifetime.
     pub fn new(registry: GraphRegistry, ttl: Option<Duration>) -> Self {
+        Self::with_limits(registry, ttl, None)
+    }
+
+    /// Like [`ApiState::new`] plus a hard cap on live sessions
+    /// (`fp serve --max-sessions N`).
+    pub fn with_limits(
+        registry: GraphRegistry,
+        ttl: Option<Duration>,
+        max_sessions: Option<usize>,
+    ) -> Self {
         Self {
             registry,
-            sessions: SessionTable::new(ttl),
+            sessions: SessionTable::with_limits(ttl, max_sessions),
             stop: AtomicBool::new(false),
         }
     }
@@ -953,11 +1010,24 @@ impl ApiState {
                 };
                 match self.sessions.open(entry, *solver, *seed) {
                     Ok(handle) => (201, session_json(&handle)),
-                    Err(id) => (
+                    Err(OpenError::Conflict(id)) => (
                         409,
                         Json::object([
                             ("error", Json::Str("session already exists".into())),
                             ("session", id.to_json()),
+                        ]),
+                    ),
+                    Err(OpenError::Saturated { limit }) => (
+                        503,
+                        Json::object([
+                            (
+                                "error",
+                                Json::Str(format!(
+                                    "session table is full ({limit} max, none evictable); \
+                                     retry shortly"
+                                )),
+                            ),
+                            ("retry_after_secs", Json::Int(RETRY_AFTER_SECS.into())),
                         ]),
                     ),
                 }
@@ -1335,9 +1405,15 @@ fn http_reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
+
+/// The `Retry-After` every 503 carries: the table drains in sweeps and
+/// evictions, so "soon" is honest — clients with `--retries` backoff
+/// on their own schedule anyway.
+const RETRY_AFTER_SECS: u16 = 1;
 
 /// Read one HTTP request. `Ok(None)` is a clean EOF — the client hung
 /// up between requests, which a keep-alive loop treats as the normal
@@ -1495,9 +1571,14 @@ fn write_http_payload(
     keep_alive: bool,
 ) -> Result<(), String> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry_after = if status == 503 {
+        format!("Retry-After: {RETRY_AFTER_SECS}\r\n")
+    } else {
+        String::new()
+    };
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n{retry_after}\r\n{body}",
         http_reason(status),
         body.len(),
     )
@@ -2315,5 +2396,115 @@ mod tests {
         assert_eq!(get("deadline_misses"), 1);
         assert!(get("bytes_in") > 0);
         assert!(get("bytes_out") > 0);
+    }
+
+    fn api_with_cap(cap: usize) -> ApiState {
+        let registry = GraphRegistry::new();
+        registry
+            .put_edge_list(
+                "fig1",
+                "s",
+                "s x\ns y\nx z1\nx z2\ny z2\ny z3\nz1 w\nz2 w\nz3 w\n",
+            )
+            .unwrap();
+        ApiState::with_limits(registry, None, Some(cap))
+    }
+
+    fn open_call(seed: u64) -> ServeCall {
+        ServeCall::SessionOpen {
+            graph: "fig1".into(),
+            solver: SolverKind::GreedyAll,
+            seed,
+        }
+    }
+
+    /// Block until the session's warm-up solve lands (bounded).
+    fn wait_ready(api: &ApiState, id: &str) {
+        let handle = api.sessions().get(id).expect("session exists");
+        for _ in 0..500 {
+            if handle.state.load(Ordering::Acquire) == STATE_READY {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        panic!("session {id} never became ready");
+    }
+
+    #[test]
+    fn max_sessions_zero_is_always_a_503_with_a_retry_hint() {
+        let api = api_with_cap(0);
+        let (status, body) = api.handle(&open_call(0));
+        assert_eq!(status, 503, "{body:?}");
+        assert_eq!(body.expect("retry_after_secs").unwrap().as_u64(), Some(1));
+        let err = body.expect("error").unwrap().as_str().unwrap().to_string();
+        assert!(err.contains("full"), "{err}");
+    }
+
+    #[test]
+    fn at_the_cap_the_idlest_ready_session_is_evicted() {
+        let api = api_with_cap(1);
+        let a = open_session(&api, SolverKind::GreedyAll, 0);
+        wait_ready(&api, &a);
+        let b = open_session(&api, SolverKind::GreedyAll, 1);
+        assert_ne!(a, b);
+        assert_eq!(api.sessions().len(), 1, "the cap held");
+        // The evicted session is gone; the newcomer answers.
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: a.clone(),
+            ks: vec![1],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 404, "evicted session must be gone");
+        let (status, _) = api.handle(&ServeCall::Query {
+            session: b,
+            ks: vec![1],
+            deadline_ms: None,
+        });
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn a_cap_full_of_warming_sessions_saturates_instead_of_evicting() {
+        let api = api_with_cap(1);
+        let a = open_session(&api, SolverKind::GreedyAll, 0);
+        // Pin the only occupant in the warming state: mid-solve
+        // sessions are never evicted, so the table is saturated.
+        let handle = api.sessions().get(&a).expect("session exists");
+        handle.state.store(STATE_WARMING, Ordering::Release);
+        let (status, body) = api.handle(&open_call(1));
+        assert_eq!(status, 503, "{body:?}");
+        assert_eq!(api.sessions().len(), 1, "nothing was evicted");
+    }
+
+    #[test]
+    fn expired_sessions_free_slots_before_any_eviction() {
+        let registry = GraphRegistry::new();
+        registry.put_edge_list("fig1", "s", "s x\n").unwrap();
+        let api = ApiState::with_limits(registry, Some(Duration::from_millis(0)), Some(1));
+        let (status, _) = api.handle(&open_call(0));
+        assert_eq!(status, 201);
+        // ttl 0: the first session is expired by the time the second
+        // open sweeps, so the slot frees without the eviction path.
+        let (status, body) = api.handle(&open_call(1));
+        assert_eq!(status, 201, "{body:?}");
+        assert_eq!(api.sessions().len(), 1);
+    }
+
+    #[test]
+    fn a_503_carries_retry_after_on_the_wire() {
+        let mut out = Vec::new();
+        write_http_payload(&mut out, 503, "application/json", "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("\r\nRetry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        // And a 200 does not.
+        let mut out = Vec::new();
+        write_http_payload(&mut out, 200, "application/json", "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Retry-After"), "{text}");
     }
 }

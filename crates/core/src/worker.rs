@@ -10,49 +10,221 @@
 //! dispatcher's, and every evaluated cell lands the same bits the
 //! in-process runner would produce.
 //!
-//! The subcommand is hidden: it is an implementation detail of
+//! While a session is open the worker emits a `heartbeat` frame every
+//! [`HEARTBEAT_INTERVAL`] from a
+//! side thread, so the dispatcher can tell "slow cell" from "hung
+//! process": a worker stuck inside a cell still heartbeats (and is
+//! governed by the per-cell deadline), while a worker wedged in the
+//! transport stops heartbeating and is declared lost. Data frames
+//! (hello, responses) route through the [`fp_results::net::Chaos`]
+//! fault injector, so `FP_CHAOS=drop@N` and friends perturb real
+//! worker processes deterministically in tests.
+//!
+//! [`serve_connect`] is the remote flavour: dial a dispatcher's
+//! `--listen` socket, authenticate with the shared `--token`, and
+//! serve the same session protocol. Lost connections reconnect with
+//! capped exponential backoff; a `shutdown` frame ends the worker for
+//! good.
+//!
+//! The stdio subcommand is hidden: it is an implementation detail of
 //! `--workers N`, spawned by [`fp_results::worker`]'s dispatcher, not
 //! something a person types. Errors (malformed frames, an impossible
 //! graph) return `Err` and the binary exits non-zero; the dispatcher
-//! treats that as a crash and re-queues the in-flight cell.
+//! treats that as a crash and re-queues the in-flight cells.
 
 use crate::Problem;
 use fp_graph::{DiGraph, NodeId};
+use fp_results::net::{Chaos, HEARTBEAT_INTERVAL};
 use fp_results::protocol::{read_frame, write_frame, CellResponse, Frame, SweepInit, WorkerHello};
 use fp_results::sweep::eval_cell;
 use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Environment variable for failure-injection tests: after answering
 /// this many cells, the worker aborts on its next request without
 /// responding — the sharpest "worker died mid-cell" a test can stage.
 pub const FAIL_AFTER_ENV: &str = "FP_WORKER_FAIL_AFTER";
 
-/// Serve the worker protocol over `input`/`output` until shutdown or
-/// clean EOF.
-pub fn serve(mut input: impl Read, mut output: impl Write) -> Result<(), String> {
+/// How often the heartbeat thread checks the clock / stop flag. Small
+/// so sessions end promptly, large enough to stay invisible in perf.
+const HEARTBEAT_TICK: Duration = Duration::from_millis(25);
+
+/// How a finished session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionEnd {
+    /// The dispatcher said `shutdown`: the sweep is over.
+    Shutdown,
+    /// The transport reached EOF without a `shutdown` frame — the
+    /// dispatcher dropped us (declared lost, crashed, or finished
+    /// without a goodbye). A remote worker may reconnect.
+    Dropped,
+}
+
+/// Serve one worker session over `input`/`output` until shutdown or
+/// clean EOF (the stdio entry point behind `fp worker`).
+pub fn serve(input: impl Read, output: impl Write + Send) -> Result<(), String> {
+    let chaos = Chaos::from_env()?;
+    serve_session(input, output, None, &chaos).map(|_| ())
+}
+
+/// Dial `addr`, authenticate with `token`, and serve sweep cells until
+/// the dispatcher sends `shutdown`. Lost connections (including
+/// refused dials while the dispatcher is still warming up) retry with
+/// capped exponential backoff — 100ms doubling to a 5s ceiling — for
+/// up to `retries` consecutive failures. Returns a one-line summary
+/// for the CLI to print.
+pub fn serve_connect(addr: &str, token: &str, retries: u32) -> Result<String, String> {
+    // One injector for the whole process, so `FP_CHAOS` fires once
+    // even across reconnects.
+    let chaos = Chaos::from_env()?;
+    let backoff_total = fp_obs::counter("fp_pool_reconnect_backoff_ms_total");
+    let mut served_total = 0usize;
+    let mut sessions = 0usize;
+    let mut failures = 0u32;
+    loop {
+        let outcome = dial(addr).and_then(|(read_half, write_half)| {
+            serve_session(read_half, write_half, Some(token), &chaos)
+        });
+        match outcome {
+            Ok((served, SessionEnd::Shutdown)) => {
+                served_total += served;
+                sessions += 1;
+                return Ok(format!(
+                    "worker: served {served_total} cell(s) over {sessions} session(s) to {addr}"
+                ));
+            }
+            Ok((served, SessionEnd::Dropped)) => {
+                served_total += served;
+                sessions += 1;
+                if served > 0 {
+                    // Progress proves the fabric works; a drop after
+                    // real work is the dispatcher's call, not ours.
+                    failures = 0;
+                }
+                eprintln!("worker: dispatcher dropped the connection; reconnecting");
+            }
+            Err(e) => eprintln!("worker: {e}"),
+        }
+        failures += 1;
+        if failures > retries {
+            return if served_total > 0 {
+                Ok(format!(
+                    "worker: dispatcher gone after {failures} attempt(s); \
+                     served {served_total} cell(s) over {sessions} session(s)"
+                ))
+            } else {
+                Err(format!(
+                    "cannot reach a dispatcher at {addr} after {failures} attempt(s)"
+                ))
+            };
+        }
+        let backoff = reconnect_backoff(failures);
+        backoff_total.add(backoff.as_millis() as u64);
+        std::thread::sleep(backoff);
+    }
+}
+
+/// Attempt `n` (1-based) waits 100ms · 2^(n-1), capped at 5s.
+fn reconnect_backoff(attempt: u32) -> Duration {
+    let ms = 100u64.saturating_mul(1u64 << attempt.saturating_sub(1).min(10));
+    Duration::from_millis(ms.min(5_000))
+}
+
+/// Connect and split the stream into read/write halves.
+fn dial(addr: &str) -> Result<(TcpStream, TcpStream), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone the connection to {addr}: {e}"))?;
+    Ok((read_half, stream))
+}
+
+/// Serve one session: hello (with `token` when remote), init, then
+/// requests until shutdown/EOF, heartbeating from a side thread the
+/// whole time. Returns how many cells were answered and how the
+/// session ended.
+fn serve_session(
+    mut input: impl Read,
+    output: impl Write + Send,
+    token: Option<&str>,
+    chaos: &Chaos,
+) -> Result<(usize, SessionEnd), String> {
     let fail_after: Option<usize> = std::env::var(FAIL_AFTER_ENV)
         .ok()
         .and_then(|v| v.parse().ok());
+    let remote = token.is_some();
 
-    write_frame(&mut output, &Frame::Hello(WorkerHello::current()))?;
+    let out = Mutex::new(output);
+    let hello = match token {
+        Some(t) => WorkerHello::with_token(t),
+        None => WorkerHello::current(),
+    };
+    chaos.write_data_frame(&mut *lock(&out), &Frame::Hello(hello))?;
+
     let init = match read_frame(&mut input)? {
         Some(Frame::Init(init)) => init,
         Some(other) => return Err(format!("expected init, got {other:?}")),
-        None => return Ok(()), // dispatcher went away before init: nothing to do
+        // Pre-init EOF: over stdio the dispatcher simply went away
+        // (nothing to do); over TCP it means our hello was refused.
+        None if remote => {
+            return Err("dispatcher closed before init (bad token or protocol version?)".into())
+        }
+        None => return Ok((0, SessionEnd::Dropped)),
     };
     let (problem, ks) = build_problem(init)?;
 
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| heartbeat_loop(&out, &stop));
+        let result = serve_cells(&mut input, &out, &problem, &ks, chaos, fail_after);
+        stop.store(true, Ordering::Relaxed);
+        result
+    })
+}
+
+/// Emit a heartbeat every [`HEARTBEAT_INTERVAL`] until `stop` is set
+/// or the peer stops accepting writes. Heartbeats bypass the chaos
+/// injector on purpose: their count is timing-dependent, and chaos
+/// must stay deterministic.
+fn heartbeat_loop(out: &Mutex<impl Write>, stop: &AtomicBool) {
+    let mut last = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(HEARTBEAT_TICK);
+        if last.elapsed() < HEARTBEAT_INTERVAL {
+            continue;
+        }
+        if write_frame(&mut *lock(out), &Frame::Heartbeat).is_err() {
+            return; // peer gone; the request loop will see it too
+        }
+        last = Instant::now();
+    }
+}
+
+/// The request/response loop shared by stdio and TCP sessions.
+fn serve_cells(
+    input: &mut impl Read,
+    out: &Mutex<impl Write>,
+    problem: &Problem,
+    ks: &[usize],
+    chaos: &Chaos,
+    fail_after: Option<usize>,
+) -> Result<(usize, SessionEnd), String> {
     let mut served = 0usize;
     loop {
-        match read_frame(&mut input)? {
+        match read_frame(input)? {
             Some(Frame::Request(req)) => {
                 if fail_after.is_some_and(|n| served >= n) {
                     // Test hook: die abruptly with the cell in flight.
                     std::process::exit(17);
                 }
-                let output_cell = eval_cell(&problem, &ks, &req.cell);
-                write_frame(
-                    &mut output,
+                let output_cell = eval_cell(problem, ks, &req.cell);
+                chaos.write_data_frame(
+                    &mut *lock(out),
                     &Frame::Response(CellResponse {
                         id: req.id,
                         output: output_cell,
@@ -60,10 +232,18 @@ pub fn serve(mut input: impl Read, mut output: impl Write) -> Result<(), String>
                 )?;
                 served += 1;
             }
-            Some(Frame::Shutdown) | None => return Ok(()),
+            Some(Frame::Shutdown) => return Ok((served, SessionEnd::Shutdown)),
+            None => return Ok((served, SessionEnd::Dropped)),
+            Some(Frame::Heartbeat) => {} // tolerated, though dispatchers don't send them
             Some(other) => return Err(format!("expected a request, got {other:?}")),
         }
     }
+}
+
+/// Lock that shrugs off poisoning: a panic mid-write already tore the
+/// session down; the bytes can't get more wrong.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Rebuild the dispatcher's exact problem from the init frame.
@@ -99,7 +279,8 @@ mod tests {
     }
 
     /// Drive a full conversation against `serve` through in-memory
-    /// pipes and return the responses.
+    /// pipes and return the responses. Heartbeats may be interleaved
+    /// anywhere in the output; they carry no data and are skipped.
     fn converse(init: SweepInit, cells: &[fp_results::sweep::Cell]) -> Vec<CellOut> {
         let mut dispatcher_out = Vec::new();
         write_frame(&mut dispatcher_out, &Frame::Init(init)).unwrap();
@@ -119,12 +300,12 @@ mod tests {
         serve(dispatcher_out.as_slice(), &mut worker_out).unwrap();
 
         let mut r = worker_out.as_slice();
-        match read_frame(&mut r).unwrap() {
+        match next_data_frame(&mut r) {
             Some(Frame::Hello(h)) => assert_eq!(h.version, PROTOCOL_VERSION),
             other => panic!("expected hello, got {other:?}"),
         }
         let mut outputs = Vec::new();
-        while let Some(frame) = read_frame(&mut r).unwrap() {
+        while let Some(frame) = next_data_frame(&mut r) {
             match frame {
                 Frame::Response(resp) => {
                     assert_eq!(resp.id, outputs.len() as u64, "answers arrive in order");
@@ -134,6 +315,16 @@ mod tests {
             }
         }
         outputs
+    }
+
+    /// Next non-heartbeat frame, or `None` at EOF.
+    fn next_data_frame(r: &mut &[u8]) -> Option<Frame> {
+        loop {
+            match read_frame(r).unwrap() {
+                Some(Frame::Heartbeat) => continue,
+                other => return other,
+            }
+        }
     }
 
     #[test]
@@ -168,15 +359,86 @@ mod tests {
         serve(&[][..], &mut worker_out).unwrap();
         // It still said hello first.
         assert!(matches!(
-            read_frame(&mut worker_out.as_slice()).unwrap(),
+            next_data_frame(&mut worker_out.as_slice()),
             Some(Frame::Hello(_))
         ));
     }
 
     #[test]
+    fn remote_session_treats_preinit_eof_as_a_refusal() {
+        let err = serve_session(&[][..], Vec::new(), Some("sesame"), &Chaos::inert()).unwrap_err();
+        assert!(err.contains("bad token or protocol version"), "{err}");
+    }
+
+    #[test]
+    fn remote_hello_carries_the_token() {
+        let mut worker_out = Vec::new();
+        let _ = serve_session(&[][..], &mut worker_out, Some("sesame"), &Chaos::inert());
+        match next_data_frame(&mut worker_out.as_slice()) {
+            Some(Frame::Hello(h)) => assert_eq!(h.token.as_deref(), Some("sesame")),
+            other => panic!("expected hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_session_heartbeats_while_waiting_on_a_slow_dispatcher() {
+        // A pipe that delivers init and then stalls long enough for
+        // at least one heartbeat before EOF.
+        struct SlowThenEof(Vec<u8>, bool);
+        impl Read for SlowThenEof {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.0.is_empty() {
+                    let n = buf.len().min(self.0.len());
+                    buf[..n].copy_from_slice(&self.0[..n]);
+                    self.0.drain(..n);
+                    return Ok(n);
+                }
+                if !self.1 {
+                    self.1 = true;
+                    std::thread::sleep(HEARTBEAT_INTERVAL + Duration::from_millis(150));
+                }
+                Ok(0)
+            }
+        }
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &Frame::Init(diamond_init(vec![0]))).unwrap();
+        let mut worker_out = Vec::new();
+        serve(SlowThenEof(framed, false), &mut worker_out).unwrap();
+        let mut r = worker_out.as_slice();
+        let mut beats = 0usize;
+        while let Some(frame) = read_frame(&mut r).unwrap() {
+            if matches!(frame, Frame::Heartbeat) {
+                beats += 1;
+            }
+        }
+        assert!(beats >= 1, "expected at least one heartbeat, saw {beats}");
+    }
+
+    #[test]
+    fn reconnect_backoff_doubles_and_caps() {
+        assert_eq!(reconnect_backoff(1), Duration::from_millis(100));
+        assert_eq!(reconnect_backoff(2), Duration::from_millis(200));
+        assert_eq!(reconnect_backoff(4), Duration::from_millis(800));
+        assert_eq!(reconnect_backoff(7), Duration::from_millis(5_000));
+        assert_eq!(reconnect_backoff(u32::MAX), Duration::from_millis(5_000));
+    }
+
+    #[test]
+    fn connect_to_nowhere_exhausts_retries_with_a_described_error() {
+        // Reserved port with nothing listening: bind, learn the addr,
+        // drop the listener, then dial it.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = serve_connect(&addr, "sesame", 0).unwrap_err();
+        assert!(err.contains("cannot reach a dispatcher"), "{err}");
+    }
+
+    #[test]
     fn garbage_input_is_a_described_error() {
         let garbage = b"this is not a frame stream".to_vec();
-        let err = serve(garbage.as_slice(), &mut Vec::new()).unwrap_err();
+        let err = serve(garbage.as_slice(), Vec::new()).unwrap_err();
         assert!(err.contains("frame") || err.contains("exceeds"), "{err}");
     }
 
@@ -193,7 +455,7 @@ mod tests {
             }),
         )
         .unwrap();
-        let err = serve(dispatcher_out.as_slice(), &mut Vec::new()).unwrap_err();
+        let err = serve(dispatcher_out.as_slice(), Vec::new()).unwrap_err();
         assert!(err.contains("expected init"), "{err}");
     }
 
@@ -207,7 +469,7 @@ mod tests {
         };
         let mut dispatcher_out = Vec::new();
         write_frame(&mut dispatcher_out, &Frame::Init(bad)).unwrap();
-        let err = serve(dispatcher_out.as_slice(), &mut Vec::new()).unwrap_err();
+        let err = serve(dispatcher_out.as_slice(), Vec::new()).unwrap_err();
         assert!(err.contains("invalid graph"), "{err}");
 
         let bad_source = SweepInit {
@@ -218,7 +480,7 @@ mod tests {
         };
         let mut dispatcher_out = Vec::new();
         write_frame(&mut dispatcher_out, &Frame::Init(bad_source)).unwrap();
-        let err = serve(dispatcher_out.as_slice(), &mut Vec::new()).unwrap_err();
+        let err = serve(dispatcher_out.as_slice(), Vec::new()).unwrap_err();
         assert!(err.contains("out of range"), "{err}");
     }
 }

@@ -163,6 +163,7 @@ fn killed_workers_lose_no_cells_and_keep_the_bits() {
         &PoolOptions {
             workers: 2,
             max_restarts: 200,
+            ..PoolOptions::default()
         },
     )
     .unwrap();
@@ -244,6 +245,7 @@ fn exhausted_restart_budget_is_an_error_not_a_partial_result() {
         &PoolOptions {
             workers: 2,
             max_restarts: 1,
+            ..PoolOptions::default()
         },
     )
     .unwrap_err();

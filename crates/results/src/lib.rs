@@ -23,9 +23,15 @@
 //!   the `fp` CLI.
 //! * [`protocol`] — length-prefixed JSON frames for shipping sweep
 //!   cells to worker *processes* (`fp worker`).
-//! * [`worker`] — the process-pool dispatcher: spawns workers, streams
-//!   cells, restarts crashed workers and re-queues their in-flight
-//!   cells; bit-identical to the in-process runner.
+//! * [`net`] — the wire fabric under the pool: deadline reads over a
+//!   reader-thread channel, the constant-time token handshake, the TCP
+//!   [`SweepListener`] remote workers dial into, and the `FP_CHAOS`
+//!   deterministic fault injector.
+//! * [`worker`] — the process-pool dispatcher: spawns (or accepts)
+//!   workers, streams cells through a credit window under heartbeat
+//!   and per-cell deadlines, restarts or sheds lost workers and
+//!   re-queues their in-flight cells; bit-identical to the in-process
+//!   runner.
 //!
 //! `fp-core` builds [`sweep::SweepBackend`] on `Problem` and the `fp`
 //! CLI exposes the store as `fp sweep --out DIR --jobs N --workers N`
@@ -37,6 +43,7 @@ pub mod csv;
 pub mod hash;
 pub mod json;
 pub mod model;
+pub mod net;
 pub mod protocol;
 pub mod runner;
 pub mod store;
@@ -45,6 +52,7 @@ pub mod worker;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use model::{solver_from_label, SolverSeries, SweepConfig, SweepResult};
+pub use net::{Chaos, ChaosAction, ChaosSpec, NetOptions, SweepListener};
 pub use runner::{available_cores, run_parallel, RunOutcome, RunnerOptions};
 pub use store::{DatasetFingerprint, GcPolicy, RunListEntry, RunManifest, RunStore, StoredRun};
 pub use sweep::{run_sweep_cells, SweepBackend};

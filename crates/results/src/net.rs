@@ -1,0 +1,767 @@
+//! The wire fabric under the sweep pool: deadline reads, auth, TCP,
+//! and deterministic fault injection.
+//!
+//! The process-pool dispatcher ([`crate::worker`]) and the remote
+//! listener ([`SweepListener`]) both talk to workers through a
+//! `WorkerConn`: a frame writer plus a **background reader thread**
+//! feeding a channel, so every receive takes a timeout
+//! (`FrameReceiver::recv`) even on transports without native read
+//! deadlines (std pipes). A hung peer can therefore never block a
+//! dispatcher thread — the receive times out, the connection is closed
+//! (killing the child or shutting the socket down, which also unblocks
+//! the reader thread), and the in-flight cells go back on the queue.
+//!
+//! **Auth.** A remote worker's first frame must be a hello carrying
+//! the dispatcher's shared token and the exact
+//! [`PROTOCOL_VERSION`]; `expect_hello` compares tokens in constant
+//! time ([`constant_time_eq`]) and any failure — wrong token, wrong
+//! version, a non-hello frame, garbage bytes, or a hello that never
+//! completes within the handshake deadline (slow loris) — closes the
+//! connection without a reply. Local pipe workers skip the token: the
+//! parent/child relationship is the trust anchor.
+//!
+//! **Chaos.** `FP_CHAOS=drop@N | delay@N:MS | truncate@N | hang@N`
+//! arms a deterministic fault on the worker's N-th *data* frame
+//! (hello + responses; heartbeats are excluded so timing never shifts
+//! which frame is hit). The fault fires once per process — or once per
+//! `FP_CHAOS_ONCE_FILE` when several processes share a spec — so a
+//! restarted or reconnected worker recovers, which is exactly the
+//! recovery path the chaos tests pin byte-identical run dirs on.
+
+use crate::model::{SweepConfig, SweepResult};
+use crate::protocol::{write_frame, Frame, SweepInit, WorkerHello, PROTOCOL_VERSION};
+use crate::worker::{dispatch_conn, DispatchEnd, PoolOptions, SweepState};
+use fp_graph::{DiGraph, NodeId};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How often a worker emits [`Frame::Heartbeat`] while serving.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Environment variable arming the deterministic fault injector.
+pub const CHAOS_ENV: &str = "FP_CHAOS";
+
+/// Environment variable naming a lock file that scopes the chaos
+/// fault to *one* firing across processes: the first process to claim
+/// the file (atomic `create_new`) fires, every later incarnation runs
+/// clean. Without it the fault fires once per process.
+pub const CHAOS_ONCE_FILE_ENV: &str = "FP_CHAOS_ONCE_FILE";
+
+/// How long a chaos `hang` sleeps: long enough that only deadline
+/// machinery (or an external kill) ever ends it.
+const CHAOS_HANG: Duration = Duration::from_secs(3600);
+
+// ---------------------------------------------------------------------
+// Constant-time token comparison
+// ---------------------------------------------------------------------
+
+/// Compare two secrets without early exit: the loop runs over the
+/// longer input and folds every byte difference (and the length
+/// difference) into one accumulator, so timing reveals nothing about
+/// *where* a guess diverged.
+pub fn constant_time_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+// ---------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------
+
+/// What the injector does to the targeted frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Skip writing the frame entirely (heartbeats keep flowing — this
+    /// exercises the per-cell deadline, not the heartbeat timeout).
+    Drop,
+    /// Sleep this many milliseconds, then write normally.
+    Delay(u64),
+    /// Write the length prefix plus half the body, flush, then error
+    /// out of the serve loop (the peer sees a truncated frame + EOF).
+    Truncate,
+    /// Sleep ~forever while *holding the writer* — heartbeats stop
+    /// too, which exercises the heartbeat-timeout path.
+    Hang,
+}
+
+/// A parsed `FP_CHAOS` spec: fire `action` on the `frame`-th data
+/// frame (1-based; hello is frame 1, the first response frame 2, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// 1-based index of the targeted data frame.
+    pub frame: u64,
+    /// The fault to inject there.
+    pub action: ChaosAction,
+}
+
+impl ChaosSpec {
+    /// Parse `drop@N`, `delay@N:MS`, `truncate@N`, or `hang@N`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, at) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("bad {CHAOS_ENV} spec {spec:?}: expected KIND@FRAME"))?;
+        let frame_of = |s: &str| -> Result<u64, String> {
+            s.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("bad {CHAOS_ENV} frame {s:?}: expected an integer >= 1"))
+        };
+        let action = match kind {
+            "drop" => ChaosAction::Drop,
+            "delay" => {
+                let (frame, ms) = at
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad {CHAOS_ENV} spec {spec:?}: delay@FRAME:MS"))?;
+                let ms = ms
+                    .parse()
+                    .map_err(|_| format!("bad {CHAOS_ENV} delay {ms:?}: expected milliseconds"))?;
+                return Ok(Self {
+                    frame: frame_of(frame)?,
+                    action: ChaosAction::Delay(ms),
+                });
+            }
+            "truncate" => ChaosAction::Truncate,
+            "hang" => ChaosAction::Hang,
+            other => {
+                return Err(format!(
+                    "bad {CHAOS_ENV} kind {other:?} (drop, delay, truncate, hang)"
+                ))
+            }
+        };
+        Ok(Self {
+            frame: frame_of(at)?,
+            action,
+        })
+    }
+}
+
+/// The armed injector a worker routes its data-frame writes through.
+/// With no `FP_CHAOS` in the environment it is a transparent
+/// pass-through to [`write_frame`].
+pub struct Chaos {
+    spec: Option<ChaosSpec>,
+    sent: AtomicU64,
+    fired: AtomicBool,
+    once_file: Option<PathBuf>,
+}
+
+impl Chaos {
+    /// An injector that never fires.
+    pub fn inert() -> Self {
+        Self {
+            spec: None,
+            sent: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            once_file: None,
+        }
+    }
+
+    /// Arm from `FP_CHAOS` / `FP_CHAOS_ONCE_FILE`; inert when unset.
+    pub fn from_env() -> Result<Self, String> {
+        let spec = match std::env::var(CHAOS_ENV) {
+            Ok(raw) if !raw.is_empty() => Some(ChaosSpec::parse(&raw)?),
+            _ => None,
+        };
+        Ok(Self {
+            spec,
+            once_file: std::env::var_os(CHAOS_ONCE_FILE_ENV).map(PathBuf::from),
+            ..Self::inert()
+        })
+    }
+
+    /// An armed injector for tests (fires once, no lock file).
+    pub fn armed(spec: ChaosSpec) -> Self {
+        Self {
+            spec: Some(spec),
+            ..Self::inert()
+        }
+    }
+
+    /// One shot per process, and — when a once-file is configured —
+    /// one shot across every process sharing it.
+    fn claim(&self) -> bool {
+        if self.fired.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        match &self.once_file {
+            None => true,
+            Some(path) => std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(path)
+                .is_ok(),
+        }
+    }
+
+    /// Write one *data* frame (hello or response) through the
+    /// injector. Heartbeats must NOT come through here: they would
+    /// make the frame count timing-dependent and the faults
+    /// non-deterministic.
+    pub fn write_data_frame(&self, w: &mut impl Write, frame: &Frame) -> Result<(), String> {
+        let n = self.sent.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(spec) = &self.spec {
+            if n == spec.frame && self.claim() {
+                match spec.action {
+                    ChaosAction::Drop => return Ok(()),
+                    ChaosAction::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                    ChaosAction::Truncate => {
+                        let body = frame.to_json().to_compact();
+                        let len = body.len() as u32;
+                        let half = &body.as_bytes()[..body.len() / 2];
+                        let _ = w
+                            .write_all(&len.to_be_bytes())
+                            .and_then(|()| w.write_all(half))
+                            .and_then(|()| w.flush());
+                        return Err("chaos: frame truncated on purpose".into());
+                    }
+                    ChaosAction::Hang => std::thread::sleep(CHAOS_HANG),
+                }
+            }
+        }
+        write_frame(w, frame)
+    }
+}
+
+use crate::json::ToJson; // for ChaosAction::Truncate's partial body
+
+// ---------------------------------------------------------------------
+// Deadline reads: a reader thread feeding a channel
+// ---------------------------------------------------------------------
+
+/// One received item, or the reason there isn't one.
+#[derive(Debug)]
+pub(crate) enum RecvOutcome {
+    /// A well-formed frame.
+    Frame(Frame),
+    /// Clean EOF at a frame boundary (or the reader thread is gone).
+    Eof,
+    /// Nothing arrived within the timeout; the stream is still open.
+    TimedOut,
+    /// A framing error (truncated, oversized, not JSON, …).
+    Failed(String),
+}
+
+/// Frames arriving from a background reader thread. The thread blocks
+/// in `read_frame`; [`recv`](Self::recv) blocks at most the caller's
+/// timeout. Closing the underlying transport (killing the child,
+/// `TcpStream::shutdown`) unblocks the thread, which then exits on the
+/// resulting EOF/error.
+pub(crate) struct FrameReceiver {
+    rx: mpsc::Receiver<Result<Option<Frame>, String>>,
+}
+
+impl FrameReceiver {
+    pub(crate) fn spawn(mut r: impl Read + Send + 'static) -> Self {
+        let (tx, rx) = mpsc::channel();
+        // Detached on purpose: the thread owns nothing but the read
+        // half and dies with it.
+        let _ = std::thread::Builder::new()
+            .name("fp-frame-reader".into())
+            .spawn(move || loop {
+                let item = crate::protocol::read_frame(&mut r);
+                let done = !matches!(item, Ok(Some(_)));
+                if tx.send(item).is_err() || done {
+                    return;
+                }
+            });
+        Self { rx }
+    }
+
+    pub(crate) fn recv(&self, timeout: Duration) -> RecvOutcome {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(Some(frame))) => RecvOutcome::Frame(frame),
+            Ok(Ok(None)) => RecvOutcome::Eof,
+            Ok(Err(e)) => RecvOutcome::Failed(e),
+            Err(mpsc::RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => RecvOutcome::Eof,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// One worker connection, transport-agnostic
+// ---------------------------------------------------------------------
+
+enum ConnKind {
+    /// A local child; closing = kill + reap (EOF unblocks the reader).
+    Child(Child),
+    /// A TCP peer; closing = `shutdown(Both)` (ditto).
+    Tcp(TcpStream),
+}
+
+/// A live worker from the dispatcher's side: deadline receives plus a
+/// plain frame writer, over either transport.
+pub(crate) struct WorkerConn {
+    writer: Option<Box<dyn Write + Send>>,
+    frames: FrameReceiver,
+    kind: ConnKind,
+    /// Short peer description for diagnostics.
+    pub(crate) peer: String,
+}
+
+impl WorkerConn {
+    /// Wrap a freshly spawned child whose stdin/stdout are piped.
+    pub(crate) fn from_child(mut child: Child) -> Self {
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let peer = format!("worker pid {}", child.id());
+        Self {
+            writer: Some(Box::new(std::io::BufWriter::new(stdin))),
+            frames: FrameReceiver::spawn(std::io::BufReader::new(stdout)),
+            kind: ConnKind::Child(child),
+            peer,
+        }
+    }
+
+    /// Wrap an accepted TCP stream.
+    pub(crate) fn from_tcp(stream: TcpStream, peer: SocketAddr) -> Result<Self, String> {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream for {peer}: {e}"))?;
+        Ok(Self {
+            writer: Some(Box::new(stream.try_clone().map_err(|e| e.to_string())?)),
+            frames: FrameReceiver::spawn(std::io::BufReader::new(read_half)),
+            kind: ConnKind::Tcp(stream),
+            peer: format!("worker {peer}"),
+        })
+    }
+
+    pub(crate) fn send(&mut self, frame: &Frame) -> Result<(), String> {
+        let w = self.writer.as_mut().ok_or("connection already closed")?;
+        write_frame(w, frame)
+    }
+
+    pub(crate) fn recv(&self, timeout: Duration) -> RecvOutcome {
+        self.frames.recv(timeout)
+    }
+
+    /// Tear the transport down hard; also unblocks the reader thread.
+    pub(crate) fn close(&mut self) {
+        self.writer = None;
+        match &mut self.kind {
+            ConnKind::Child(child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            ConnKind::Tcp(stream) => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Ask the worker to exit, then let it go cleanly.
+    pub(crate) fn shutdown_clean(mut self) {
+        let _ = self.send(&Frame::Shutdown);
+        self.writer = None; // closes stdin (flushes); TCP keeps its socket
+        match self.kind {
+            ConnKind::Child(mut child) => {
+                let _ = child.wait();
+            }
+            ConnKind::Tcp(stream) => {
+                let _ = stream.shutdown(Shutdown::Write);
+            }
+        }
+    }
+}
+
+/// Complete the dispatcher's half of the handshake: one hello within
+/// `timeout`, exact protocol version, and — when `want_token` is set —
+/// a constant-time token match. Every failure mode is an `Err`; the
+/// caller closes the connection without replying.
+pub(crate) fn expect_hello(
+    conn: &WorkerConn,
+    want_token: Option<&str>,
+    timeout: Duration,
+) -> Result<WorkerHello, String> {
+    match conn.recv(timeout) {
+        RecvOutcome::Frame(Frame::Hello(hello)) => {
+            if hello.version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "worker speaks protocol v{}, dispatcher v{PROTOCOL_VERSION}",
+                    hello.version
+                ));
+            }
+            if let Some(want) = want_token {
+                let ok = hello
+                    .token
+                    .as_deref()
+                    .is_some_and(|got| constant_time_eq(got, want));
+                if !ok {
+                    return Err("hello token mismatch".into());
+                }
+            }
+            Ok(hello)
+        }
+        RecvOutcome::Frame(other) => Err(format!("expected hello, got {other:?}")),
+        RecvOutcome::Eof => Err("worker exited before saying hello".into()),
+        RecvOutcome::TimedOut => Err(format!(
+            "no hello within the {}ms handshake deadline",
+            timeout.as_millis()
+        )),
+        RecvOutcome::Failed(e) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The TCP listener: remote workers join a sweep
+// ---------------------------------------------------------------------
+
+/// Knobs for [`SweepListener`].
+#[derive(Clone, Debug)]
+pub struct NetOptions {
+    /// Shared secret every worker hello must carry.
+    pub token: String,
+    /// How long an accepted connection may take to complete its hello
+    /// (bounds slow-loris handshakes).
+    pub hello_timeout: Duration,
+    /// With cells pending, no live worker, and no new connection for
+    /// this long, the sweep gives up instead of waiting forever.
+    pub join_timeout: Duration,
+}
+
+impl NetOptions {
+    /// Defaults around `token`: 5s hello deadline, 60s join patience.
+    pub fn new(token: impl Into<String>) -> Self {
+        Self {
+            token: token.into(),
+            hello_timeout: Duration::from_secs(5),
+            join_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A sweep dispatcher that accepts remote workers over TCP.
+///
+/// Workers dial in (`fp worker --connect HOST:PORT --token T`),
+/// authenticate, receive the init frame, and then stream cells exactly
+/// like local pipe children — same credit window, heartbeats, and
+/// deadlines (`worker::dispatch_conn`). A worker lost mid-run
+/// has its in-flight cells re-queued for the survivors (or for its own
+/// reconnect); results stay bit-identical for any worker topology.
+#[derive(Debug)]
+pub struct SweepListener {
+    listener: TcpListener,
+    opts: NetOptions,
+}
+
+impl SweepListener {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an OS-assigned port).
+    pub fn bind(addr: &str, opts: NetOptions) -> Result<Self, String> {
+        if opts.token.is_empty() {
+            return Err("a sweep listener requires a non-empty token".into());
+        }
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        Ok(Self { listener, opts })
+    }
+
+    /// The bound address (port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Accept workers and run `cfg`'s sweep to completion on whoever
+    /// shows up. Bit-identical to the in-process runner and the local
+    /// pool. Errors when the sweep cannot complete: cells pending but
+    /// no worker connected (or reconnected) within
+    /// [`NetOptions::join_timeout`].
+    pub fn run(
+        &self,
+        g: &DiGraph,
+        source: NodeId,
+        cfg: &SweepConfig,
+        pool: &PoolOptions,
+    ) -> Result<SweepResult, String> {
+        let cells = crate::sweep::sweep_cells(cfg);
+        let state = SweepState::new(cells);
+        if state.pending() == 0 {
+            return state.finish(cfg, 0);
+        }
+        let init = SweepInit {
+            nodes: g.node_count(),
+            edges: g.edges().map(|(u, v)| (u.index(), v.index())).collect(),
+            source: source.index(),
+            ks: cfg.ks.clone(),
+        };
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll the listener: {e}"))?;
+        let live = AtomicUsize::new(0);
+        let live_gauge = fp_obs::gauge("fp_pool_remote_workers");
+
+        let (state_ref, init_ref, live_ref, gauge_ref) = (&state, &init, &live, &live_gauge);
+        std::thread::scope(|scope| {
+            while state_ref.pending() > 0 && !state_ref.aborted() {
+                match self.listener.accept() {
+                    Ok((stream, peer)) => {
+                        scope.spawn(move || {
+                            self.serve_worker(stream, peer, init_ref, state_ref, pool, live_ref);
+                            gauge_ref.set(live_ref.load(Ordering::Relaxed) as i64);
+                        });
+                        live_gauge.set(live.load(Ordering::Relaxed) as i64);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if live.load(Ordering::Acquire) == 0
+                            && state.idle_for() > self.opts.join_timeout
+                        {
+                            state.fail(format!(
+                                "no worker connected for {}s with cells pending",
+                                self.opts.join_timeout.as_secs()
+                            ));
+                            state.abort();
+                        } else {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                    Err(e) => {
+                        state.fail(format!("accept failed: {e}"));
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            // Dispatcher threads notice pending == 0 (or the abort
+            // flag) on their own and wind down; the scope joins them.
+        });
+        state.finish(cfg, 0)
+    }
+
+    /// One accepted connection: authenticate, init, dispatch.
+    fn serve_worker(
+        &self,
+        stream: TcpStream,
+        peer: SocketAddr,
+        init: &SweepInit,
+        state: &SweepState,
+        pool: &PoolOptions,
+        live: &AtomicUsize,
+    ) {
+        let mut conn = match WorkerConn::from_tcp(stream, peer) {
+            Ok(conn) => conn,
+            Err(e) => {
+                state.fail(e);
+                return;
+            }
+        };
+        let admitted = expect_hello(&conn, Some(&self.opts.token), self.opts.hello_timeout)
+            .and_then(|_| conn.send(&Frame::Init(init.clone())));
+        if let Err(e) = admitted {
+            // Bad hellos get no reply, just a closed connection; the
+            // reason is kept for the sweep's own diagnostics.
+            state.fail(format!("{}: {e}", conn.peer));
+            conn.close();
+            return;
+        }
+        live.fetch_add(1, Ordering::AcqRel);
+        state.touch();
+        let outcome = dispatch_conn(&mut conn, state, pool);
+        live.fetch_sub(1, Ordering::AcqRel);
+        match outcome {
+            DispatchEnd::Done(_completed) => conn.shutdown_clean(),
+            DispatchEnd::Lost(reason, _progressed) => {
+                // A remote loss never draws the restart budget — the
+                // worker is free to reconnect and start fresh.
+                state.fail(format!("{}: {reason}", conn.peer));
+                conn.close();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn constant_time_eq_matches_plain_eq() {
+        for (a, b) in [
+            ("", ""),
+            ("secret", "secret"),
+            ("secret", "secre7"),
+            ("secret", "secrets"),
+            ("", "x"),
+            ("hunter2", "hunter2"),
+        ] {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_specs_parse_and_bad_ones_name_the_problem() {
+        assert_eq!(
+            ChaosSpec::parse("drop@3").unwrap(),
+            ChaosSpec {
+                frame: 3,
+                action: ChaosAction::Drop
+            }
+        );
+        assert_eq!(
+            ChaosSpec::parse("delay@2:150").unwrap(),
+            ChaosSpec {
+                frame: 2,
+                action: ChaosAction::Delay(150)
+            }
+        );
+        assert_eq!(
+            ChaosSpec::parse("truncate@1").unwrap().action,
+            ChaosAction::Truncate
+        );
+        assert_eq!(
+            ChaosSpec::parse("hang@4").unwrap().action,
+            ChaosAction::Hang
+        );
+        for (bad, needle) in [
+            ("drop", "KIND@FRAME"),
+            ("drop@0", "frame"),
+            ("drop@x", "frame"),
+            ("explode@1", "kind"),
+            ("delay@1", "delay@FRAME:MS"),
+            ("delay@1:soon", "delay"),
+        ] {
+            let err = ChaosSpec::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn chaos_drop_skips_exactly_the_targeted_frame_once() {
+        let chaos = Chaos::armed(ChaosSpec {
+            frame: 2,
+            action: ChaosAction::Drop,
+        });
+        let mut wire = Vec::new();
+        for _ in 0..3 {
+            chaos
+                .write_data_frame(&mut wire, &Frame::Heartbeat)
+                .unwrap();
+        }
+        let mut r = wire.as_slice();
+        let mut frames = 0;
+        while crate::protocol::read_frame(&mut r).unwrap().is_some() {
+            frames += 1;
+        }
+        assert_eq!(frames, 2, "frame 2 of 3 dropped");
+
+        // A fresh counter run on the same injector stays clean: fired.
+        let mut wire2 = Vec::new();
+        chaos
+            .write_data_frame(&mut wire2, &Frame::Heartbeat)
+            .unwrap();
+        assert!(crate::protocol::read_frame(&mut wire2.as_slice())
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn chaos_truncate_leaves_a_provably_broken_stream() {
+        let chaos = Chaos::armed(ChaosSpec {
+            frame: 1,
+            action: ChaosAction::Truncate,
+        });
+        let mut wire = Vec::new();
+        let err = chaos
+            .write_data_frame(&mut wire, &Frame::Shutdown)
+            .unwrap_err();
+        assert!(err.contains("chaos"), "{err}");
+        let read_err = crate::protocol::read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(read_err.contains("truncated"), "{read_err}");
+    }
+
+    #[test]
+    fn chaos_once_file_gates_across_injectors() {
+        let dir = std::env::temp_dir().join(format!("fp-chaos-once-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        let armed = |path: &std::path::Path| Chaos {
+            spec: Some(ChaosSpec {
+                frame: 1,
+                action: ChaosAction::Drop,
+            }),
+            once_file: Some(path.to_path_buf()),
+            ..Chaos::inert()
+        };
+        // First injector claims the file and fires (frame dropped)…
+        let mut wire = Vec::new();
+        armed(&dir)
+            .write_data_frame(&mut wire, &Frame::Heartbeat)
+            .unwrap();
+        assert!(wire.is_empty(), "dropped");
+        // …second sees the claim and writes clean.
+        let mut wire2 = Vec::new();
+        armed(&dir)
+            .write_data_frame(&mut wire2, &Frame::Heartbeat)
+            .unwrap();
+        assert!(!wire2.is_empty(), "not dropped twice");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn inert_chaos_comes_from_an_empty_env() {
+        // (Cannot set the env var here — tests share the process — but
+        // the default path must parse to a pass-through.)
+        let chaos = Chaos::inert();
+        let mut wire = Vec::new();
+        chaos.write_data_frame(&mut wire, &Frame::Shutdown).unwrap();
+        assert!(matches!(
+            crate::protocol::read_frame(&mut wire.as_slice()).unwrap(),
+            Some(Frame::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn frame_receiver_times_out_instead_of_blocking() {
+        // A reader that never yields bytes: the pipe stays open, the
+        // receive must come back as TimedOut, not hang.
+        struct Stuck;
+        impl Read for Stuck {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(Duration::from_secs(3600));
+                Ok(0)
+            }
+        }
+        let rx = FrameReceiver::spawn(Stuck);
+        let start = Instant::now();
+        assert!(matches!(
+            rx.recv(Duration::from_millis(20)),
+            RecvOutcome::TimedOut
+        ));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn frame_receiver_reports_eof_and_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Heartbeat).unwrap();
+        let rx = FrameReceiver::spawn(std::io::Cursor::new(wire));
+        assert!(matches!(
+            rx.recv(Duration::from_secs(5)),
+            RecvOutcome::Frame(Frame::Heartbeat)
+        ));
+        assert!(matches!(rx.recv(Duration::from_secs(5)), RecvOutcome::Eof));
+
+        let garbage = std::io::Cursor::new(b"XXXXXXXXXXXXXXXX".to_vec());
+        let rx = FrameReceiver::spawn(garbage);
+        match rx.recv(Duration::from_secs(5)) {
+            RecvOutcome::Failed(e) => assert!(e.contains("exceeds"), "{e}"),
+            other => panic!("expected a framing failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn listener_requires_a_token() {
+        let err = SweepListener::bind("127.0.0.1:0", NetOptions::new("")).unwrap_err();
+        assert!(err.contains("token"), "{err}");
+    }
+}

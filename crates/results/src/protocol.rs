@@ -10,12 +10,22 @@
 //! Conversation, dispatcher (D) side vs worker (W) side:
 //!
 //! ```text
-//! W → D   hello     { version, pid }          # first bytes on stdout
+//! W → D   hello     { version, pid[, token] }  # first bytes on stdout
 //! D → W   init      { nodes, edges, source, ks }
-//! D → W   request   { id, cell }              # repeated, one at a time
+//! D → W   request   { id, cell }              # up to a window in flight
 //! W → D   response  { id, output }            #   answers in order
+//! W → D   heartbeat {}                        # periodic "still alive"
 //! D → W   shutdown  {}                        # then stdin closes
 //! ```
+//!
+//! The same frames cross a TCP socket when a remote worker joins via
+//! `fp worker --connect` (DESIGN.md §13). There the hello doubles as
+//! the **auth handshake**: it must carry the dispatcher's shared
+//! `token` (compared in constant time — see [`crate::net`]) and the
+//! exact [`PROTOCOL_VERSION`], or the dispatcher closes the connection
+//! without replying. [`Frame::Heartbeat`] frames flow worker →
+//! dispatcher on both transports so a peer that *hangs* (as opposed to
+//! crashing) is detected by silence rather than stalling the sweep.
 //!
 //! The dataset crosses as explicit structure (`nodes` + index pairs +
 //! `source` index), not as an edge-list *text*: re-parsing text assigns
@@ -64,20 +74,24 @@ use fp_algorithms::SolverKind;
 use std::io::{ErrorKind, Read, Write};
 
 /// Protocol revision; the dispatcher refuses a worker whose hello
-/// carries a different one.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// carries a different one. Version 2 added the optional hello `token`
+/// and the `heartbeat` frame.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Upper bound on a frame body, so a corrupt length prefix fails fast
 /// instead of attempting a multi-gigabyte allocation.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
 
 /// The worker's opening message.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkerHello {
     /// [`PROTOCOL_VERSION`] the worker speaks.
     pub version: u64,
     /// The worker's process id (for diagnostics).
     pub pid: u64,
+    /// Shared secret for remote (TCP) workers; `None` over local
+    /// pipes, where the parent/child relationship is the trust anchor.
+    pub token: Option<String>,
 }
 
 impl WorkerHello {
@@ -86,6 +100,15 @@ impl WorkerHello {
         Self {
             version: PROTOCOL_VERSION,
             pid: std::process::id() as u64,
+            token: None,
+        }
+    }
+
+    /// A hello carrying the shared secret a TCP dispatcher demands.
+    pub fn with_token(token: &str) -> Self {
+        Self {
+            token: Some(token.to_string()),
+            ..Self::current()
         }
     }
 }
@@ -241,6 +264,10 @@ pub enum Frame {
     Call(ServeRequest),
     /// Serve daemon → client answer.
     Reply(ServeReply),
+    /// Worker → dispatcher: "still alive", sent every
+    /// [`crate::net::HEARTBEAT_INTERVAL`] even while a cell computes,
+    /// so the dispatcher can tell a long solve from a hung process.
+    Heartbeat,
     /// Dispatcher → worker (or serve client → daemon): drain and hang
     /// up cleanly.
     Shutdown,
@@ -451,11 +478,17 @@ impl FromJson for ServeCall {
 impl ToJson for Frame {
     fn to_json(&self) -> Json {
         match self {
-            Frame::Hello(h) => Json::object([
-                ("type", Json::Str("hello".into())),
-                ("version", h.version.to_json()),
-                ("pid", h.pid.to_json()),
-            ]),
+            Frame::Hello(h) => {
+                let mut members = vec![
+                    ("type", Json::Str("hello".into())),
+                    ("version", h.version.to_json()),
+                    ("pid", h.pid.to_json()),
+                ];
+                if let Some(token) = &h.token {
+                    members.push(("token", token.to_json()));
+                }
+                Json::object(members)
+            }
             Frame::Init(init) => Json::object([
                 ("type", Json::Str("init".into())),
                 ("nodes", init.nodes.to_json()),
@@ -501,6 +534,7 @@ impl ToJson for Frame {
                 ("status", u64::from(reply.status).to_json()),
                 ("body", reply.body.clone()),
             ]),
+            Frame::Heartbeat => Json::object([("type", Json::Str("heartbeat".into()))]),
             Frame::Shutdown => Json::object([("type", Json::Str("shutdown".into()))]),
         }
     }
@@ -512,6 +546,14 @@ impl FromJson for Frame {
             Some("hello") => Ok(Frame::Hello(WorkerHello {
                 version: v.expect("version")?.as_u64().ok_or("bad version")?,
                 pid: v.expect("pid")?.as_u64().ok_or("bad pid")?,
+                token: v
+                    .get("token")
+                    .map(|t| {
+                        t.as_str()
+                            .map(str::to_string)
+                            .ok_or("bad token".to_string())
+                    })
+                    .transpose()?,
             })),
             Some("init") => Ok(Frame::Init(SweepInit {
                 nodes: v.expect("nodes")?.as_usize().ok_or("bad nodes")?,
@@ -555,6 +597,7 @@ impl FromJson for Frame {
                     .map_err(|_| "status out of range".to_string())?,
                 body: v.expect("body")?.clone(),
             })),
+            Some("heartbeat") => Ok(Frame::Heartbeat),
             Some("shutdown") => Ok(Frame::Shutdown),
             other => Err(format!("unknown frame type {other:?}")),
         }
@@ -652,6 +695,8 @@ mod tests {
                 id: 8,
                 output: CellOut::Fr(0.1 + 0.2), // not exactly 0.3
             }),
+            Frame::Hello(WorkerHello::with_token("sesame")),
+            Frame::Heartbeat,
             Frame::Shutdown,
         ];
         for frame in &frames {
@@ -747,6 +792,7 @@ mod tests {
                 "cell kind",
             ),
             (r#"{"type":"response","id":1,"output":{"kind":"fr"}}"#, "fr"),
+            (r#"{"type":"hello","version":2,"pid":1,"token":7}"#, "token"),
             (
                 r#"{"type":"init","nodes":2,"edges":[[0]],"source":0,"ks":[]}"#,
                 "edge",
@@ -757,6 +803,19 @@ mod tests {
             let err = read_frame(&mut buf.as_slice()).unwrap_err();
             assert!(err.contains(needle), "{body}: {err}");
         }
+    }
+
+    #[test]
+    fn tokenless_hello_omits_the_field_on_the_wire() {
+        // Local-pipe hellos must not grow a `token` member: the wire
+        // bytes are part of the determinism story and a `null` would
+        // also confuse v2 parsers expecting a string.
+        let body = Frame::Hello(WorkerHello::current()).to_json().to_compact();
+        assert!(!body.contains("token"), "{body}");
+        let with = Frame::Hello(WorkerHello::with_token("t"))
+            .to_json()
+            .to_compact();
+        assert!(with.contains("\"token\":\"t\""), "{with}");
     }
 
     #[test]
