@@ -16,10 +16,20 @@
 //!     --trace FILE    dump Chrome trace-event JSON of the run (spans
 //!                     use monotonic clocks only — the figures' bytes
 //!                     are identical traced or not)
+//!     --mem-budget BYTES
+//!                     cap the process-wide scale accountant (accepts
+//!                     K/M/G suffixes); a streamed build that would
+//!                     exceed it fails with a typed error, not OOM. In
+//!                     baseline mode this is also the budget the
+//!                     `large_scale` cell is charged against (default
+//!                     256M).
 //!
 //! cargo run --release -p fp-bench --bin repro -- baseline [--fast] [--out FILE]
 //!     time every figure once and write a BENCH_baseline.json document
-//!     (default: stdout) for future PRs to compare against
+//!     (default: stdout) for future PRs to compare against; the
+//!     large_scale section streams a 10^6-node power-law graph into
+//!     the compact CSR under the memory budget (full size even with
+//!     --fast — the streamed path is cheap at a million nodes)
 //! ```
 
 use std::time::Duration;
@@ -35,6 +45,7 @@ struct Parsed {
     opts: fp_bench::ReproOptions,
     out_file: Option<String>,
     trace_file: Option<String>,
+    mem_budget: Option<u64>,
 }
 
 /// Split argv into figure selections and `--flag value` options.
@@ -43,11 +54,16 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut opts = fp_bench::ReproOptions::default();
     let mut out_file = None;
     let mut trace_file = None;
+    let mut mem_budget = None;
     let mut jobs_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fast" => opts.scale = 0.1,
+            "--mem-budget" => {
+                let value = it.next().ok_or("--mem-budget needs a value")?;
+                mem_budget = Some(fp_core::scale::parse_bytes(value)?);
+            }
             "--out" => {
                 let value = it.next().ok_or("--out needs a value")?;
                 opts.out = Some(value.into());
@@ -98,6 +114,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         opts,
         out_file,
         trace_file,
+        mem_budget,
     })
 }
 
@@ -131,10 +148,16 @@ fn main() {
         opts,
         out_file,
         trace_file,
+        mem_budget,
     } = match parse(&args) {
         Ok(parsed) => parsed,
         Err(e) => fail(&e),
     };
+    if let Some(cap) = mem_budget {
+        // Cap the process-wide scale accountant too, so any streamed
+        // build in this run fails with a typed error instead of OOM.
+        fp_core::scale::set_global_cap(Some(cap));
+    }
     if trace_file.is_some() {
         fp_obs::tracer().enable();
     }
@@ -144,7 +167,7 @@ fn main() {
         if selected.len() > 1 {
             fail("baseline takes no figure arguments");
         }
-        let doc = match fp_bench::baseline_json(opts.scale) {
+        let doc = match fp_bench::baseline_json(opts.scale, mem_budget) {
             Ok(doc) => doc.to_pretty(),
             Err(e) => fail(&e),
         };

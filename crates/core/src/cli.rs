@@ -6,6 +6,9 @@
 //! fp sweep    --input edges.txt --source <label> --kmax 10
 //!             [--trials 25] [--seed N] [--format table|csv]
 //!             [--out DIR] [--jobs N] [--workers N]
+//! fp sweep    --dataset power-law:1000000:3:7 --kmax 10 [--mem-budget 512M]
+//! fp dataset  (--input edges.txt | --gen SPEC) [--stats true]
+//!             [--out FILE] [--chunk N] [--mem-budget BYTES]
 //! fp report   --run DIR [--format table|csv|json]
 //! fp report   --list DIR
 //! fp diff     --a DIR --b DIR [--epsilon E]
@@ -74,11 +77,16 @@ use crate::Problem;
 use fp_algorithms::SolverKind;
 use fp_datasets::stats::DegreeStats;
 use fp_graph::{from_edge_list, to_dot, to_edge_list, DiGraph, NodeId};
+use fp_propagation::CGraph;
 use fp_results::{
     csv::sweep_csv, worker::PoolOptions, worker::WorkerSpawner, DatasetFingerprint, GcPolicy,
     NetOptions, RunManifest, RunStore, RunnerOptions, SweepListener, ToJson,
 };
+use fp_scale::{
+    parse_bytes, stream_stats, Csr32, EdgeStream, FileEdgeStream, MemBudget, ScaleError,
+};
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::Path;
 
 /// Parse `--key value` pairs after the subcommand.
@@ -109,8 +117,20 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
     (
         "sweep",
         &[
-            "input", "source", "kmax", "trials", "seed", "format", "out", "jobs", "workers",
-            "listen", "token", "trace",
+            "input",
+            "source",
+            "kmax",
+            "trials",
+            "seed",
+            "format",
+            "out",
+            "jobs",
+            "workers",
+            "listen",
+            "token",
+            "trace",
+            "dataset",
+            "mem-budget",
         ],
     ),
     ("worker", &["connect", "token", "retries"]),
@@ -119,7 +139,14 @@ const FLAG_SPEC: &[(&str, &[&str])] = &[
     ("gc", &["out", "keep", "max-age"]),
     ("stats", &["input"]),
     ("generate", &["dataset", "seed", "scale"]),
-    ("serve", &["addr", "ttl-secs", "max-sessions", "trace"]),
+    (
+        "dataset",
+        &["input", "gen", "stats", "chunk", "mem-budget", "out"],
+    ),
+    (
+        "serve",
+        &["addr", "ttl-secs", "max-sessions", "trace", "mem-budget"],
+    ),
     (
         "loadtest",
         &[
@@ -265,9 +292,57 @@ fn cmd_solve(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
     }
 }
 
-fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, String> {
-    let source_label = required(flags, "source")?;
-    let (g, _, source) = load_graph(input, source_label)?;
+/// The sweep's store protocol, shared by the edge-list and streamed
+/// paths: no `--out` computes directly; with `--out`, an identical
+/// stored run is a cache hit and a miss computes then persists.
+fn sweep_with_store(
+    flags: &HashMap<String, String>,
+    cfg: &SweepConfig,
+    dataset: DatasetFingerprint,
+    header: &mut String,
+    compute: impl FnOnce() -> Result<SweepResult, String>,
+) -> Result<SweepResult, String> {
+    match flags.get("out") {
+        None => compute(),
+        Some(out) => {
+            let store = RunStore::open(out)?;
+            let id = RunStore::run_id(cfg, &dataset);
+            match store.load(&id)? {
+                Some(stored) => {
+                    *header = format!(
+                        "run {id}: cache hit, loaded from {}\n",
+                        store.run_dir(&id).display()
+                    );
+                    Ok(stored.result)
+                }
+                None => {
+                    let result = compute()?;
+                    let manifest = RunManifest::new(cfg.clone(), dataset);
+                    let dir = store.save(&manifest, &result)?;
+                    *header = format!("run {id}: saved to {}\n", dir.display());
+                    Ok(result)
+                }
+            }
+        }
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>, input: Option<&str>) -> Result<String, String> {
+    let streamed = flags.get("dataset");
+    if streamed.is_some() {
+        for incompatible in ["input", "source", "workers", "listen", "token"] {
+            if flags.contains_key(incompatible) {
+                return Err(format!(
+                    "--dataset streams a generated graph into an in-process solve; \
+                     it cannot be combined with --{incompatible}"
+                ));
+            }
+        }
+    } else if flags.contains_key("mem-budget") {
+        return Err(
+            "--mem-budget caps the streamed graph build; it requires --dataset SPEC".to_string(),
+        );
+    }
     let kmax: usize = required(flags, "kmax")?
         .parse()
         .map_err(|_| "--kmax must be a non-negative integer".to_string())?;
@@ -320,62 +395,70 @@ fn cmd_sweep(flags: &HashMap<String, String>, input: &str) -> Result<String, Str
         solvers: SolverKind::PAPER_SET.to_vec(),
     };
 
-    // The three sweep backends: in-process threads (--jobs), a pool of
-    // re-exec'd worker processes (--workers), or remote TCP workers
-    // dialing into --listen. Identical bits any way.
-    let compute = || -> Result<SweepResult, String> {
-        if let Some(addr) = listen {
-            let token = required(flags, "token")?;
-            let listener = SweepListener::bind(addr, NetOptions::new(token))?;
-            eprintln!(
-                "fp sweep: listening on {} for remote workers \
-                 (join with `fp worker --connect ADDR --token ...`)",
-                listener.local_addr()
-            );
-            listener.run(&g, source, &cfg, &PoolOptions::default().from_env()?)
-        } else if workers > 0 {
-            let spawner = WorkerSpawner::current_exe()?;
-            fp_results::run_sweep_workers(
-                &spawner,
-                &g,
-                source,
-                &cfg,
-                &PoolOptions::with_workers(workers).from_env()?,
-            )
-        } else {
-            let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+    let trace = trace_enable(flags);
+    let mut header = String::new();
+    let result = if let Some(spec) = streamed {
+        // Streamed path: generator → two-pass compact CSR under the
+        // memory budget → c-graph, no intermediate edge list. The
+        // fingerprint hashes the CSR, which is bit-identical to the
+        // materialized generator graph (the stream-replay tests in
+        // fp-datasets pin this), so stored runs are interchangeable
+        // with ones computed from the equivalent edge-list file.
+        let budget = parse_mem_budget(flags)?;
+        let (mut stream, source) = parse_gen_spec(spec, parse_chunk(flags)?)?;
+        let csr32 = Csr32::from_stream(&mut *stream, &budget).map_err(|e| e.to_string())?;
+        let graph_bytes = csr32.bytes();
+        drop(stream);
+        let csr = csr32.into_csr();
+        let dataset = DatasetFingerprint::of_csr(spec, &csr, source, &source.index().to_string());
+        let cg = CGraph::from_csr(csr, source).map_err(|e| e.to_string())?;
+        let problem = Problem::from_cgraph(cg);
+        let result = sweep_with_store(flags, &cfg, dataset, &mut header, || {
             Ok(
                 run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(jobs))
                     .expect("no deadline"),
             )
-        }
-    };
-
-    let trace = trace_enable(flags);
-    let mut header = String::new();
-    let result = match flags.get("out") {
-        None => compute()?,
-        Some(out) => {
-            let store = RunStore::open(out)?;
-            let dataset = DatasetFingerprint::of_graph("edge-list", &g, source, source_label);
-            let id = RunStore::run_id(&cfg, &dataset);
-            match store.load(&id)? {
-                Some(stored) => {
-                    header = format!(
-                        "run {id}: cache hit, loaded from {}\n",
-                        store.run_dir(&id).display()
-                    );
-                    stored.result
-                }
-                None => {
-                    let result = compute()?;
-                    let manifest = RunManifest::new(cfg.clone(), dataset);
-                    let dir = store.save(&manifest, &result)?;
-                    header = format!("run {id}: saved to {}\n", dir.display());
-                    result
-                }
+        });
+        // The CSR's bytes stay reserved until the solve is over; hand
+        // them back so the process-wide gauges read zero at exit.
+        budget.release(graph_bytes);
+        result?
+    } else {
+        let source_label = required(flags, "source")?;
+        let input = input.ok_or_else(|| "missing required flag --input".to_string())?;
+        let (g, _, source) = load_graph(input, source_label)?;
+        // The three sweep backends: in-process threads (--jobs), a pool
+        // of re-exec'd worker processes (--workers), or remote TCP
+        // workers dialing into --listen. Identical bits any way.
+        let compute = || -> Result<SweepResult, String> {
+            if let Some(addr) = listen {
+                let token = required(flags, "token")?;
+                let listener = SweepListener::bind(addr, NetOptions::new(token))?;
+                eprintln!(
+                    "fp sweep: listening on {} for remote workers \
+                     (join with `fp worker --connect ADDR --token ...`)",
+                    listener.local_addr()
+                );
+                listener.run(&g, source, &cfg, &PoolOptions::default().from_env()?)
+            } else if workers > 0 {
+                let spawner = WorkerSpawner::current_exe()?;
+                fp_results::run_sweep_workers(
+                    &spawner,
+                    &g,
+                    source,
+                    &cfg,
+                    &PoolOptions::with_workers(workers).from_env()?,
+                )
+            } else {
+                let problem = Problem::new(&g, source).map_err(|e| e.to_string())?;
+                Ok(
+                    run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(jobs))
+                        .expect("no deadline"),
+                )
             }
-        }
+        };
+        let dataset = DatasetFingerprint::of_graph("edge-list", &g, source, source_label);
+        sweep_with_store(flags, &cfg, dataset, &mut header, compute)?
     };
     if let Some(path) = trace {
         header.push_str(&trace_dump(path)?);
@@ -664,6 +747,184 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(to_edge_list(&g))
 }
 
+/// The `--gen` spec grammar shared by `fp dataset` and `fp sweep
+/// --dataset` (kept in one place so the two error messages agree).
+const GEN_SPEC_GRAMMAR: &str = "power-law:NODES:DEGREE:SEED, erdos:NODES:P:SEED, \
+     layered-sparse:SEED, layered-dense:SEED, citation:SEED, twitter:SCALE:SEED";
+
+/// Parse a `--gen SPEC` into a boxed [`EdgeStream`] plus the graph's
+/// propagation source. Every stream replays its generator's exact edge
+/// sequence (pinned by the `stream_replays_generate_edge_for_edge`
+/// tests in `fp-datasets`), so a CSR built from it is bit-identical to
+/// freezing the materialized graph.
+fn parse_gen_spec(spec: &str, chunk: usize) -> Result<(Box<dyn EdgeStream>, NodeId), String> {
+    let bad = |what: String| format!("invalid --gen spec {spec:?}: {what}");
+    let usize_of = |tok: &str, what: &str| {
+        tok.parse::<usize>()
+            .map_err(|_| bad(format!("{what} {tok:?} is not a non-negative integer")))
+    };
+    let u64_of = |tok: &str, what: &str| {
+        tok.parse::<u64>()
+            .map_err(|_| bad(format!("{what} {tok:?} is not a non-negative integer")))
+    };
+    let f64_of = |tok: &str, what: &str| {
+        tok.parse::<f64>()
+            .map_err(|_| bad(format!("{what} {tok:?} is not a number")))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["power-law", nodes, degree, seed] => {
+            let params = fp_datasets::power_law::PowerLawParams {
+                nodes: usize_of(nodes, "node count")?,
+                mean_degree: usize_of(degree, "mean degree")?,
+                seed: u64_of(seed, "seed")?,
+            };
+            if params.nodes < 1 || params.mean_degree < 1 {
+                return Err(bad("node count and mean degree must be at least 1".into()));
+            }
+            let s = fp_datasets::power_law::PowerLawStream::new(&params).with_chunk(chunk);
+            Ok((Box::new(s), NodeId::new(0)))
+        }
+        ["erdos", n, p, seed] => {
+            let p = f64_of(p, "edge probability")?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(bad("edge probability must be in [0, 1]".into()));
+            }
+            let s = fp_datasets::erdos_renyi::ErdosRenyiStream::new(
+                usize_of(n, "node count")?,
+                p,
+                u64_of(seed, "seed")?,
+            )
+            .with_chunk(chunk);
+            let source = s.source();
+            Ok((Box::new(s), source))
+        }
+        ["layered-sparse", seed] | ["layered-dense", seed] => {
+            let seed = u64_of(seed, "seed")?;
+            let params = if parts[0] == "layered-sparse" {
+                fp_datasets::layered::LayeredParams::paper_sparse(seed)
+            } else {
+                fp_datasets::layered::LayeredParams::paper_dense(seed)
+            };
+            let s = fp_datasets::layered::LayeredStream::new(&params).with_chunk(chunk);
+            Ok((Box::new(s), NodeId::new(0)))
+        }
+        ["citation", seed] => {
+            let params = fp_datasets::citation_like::CitationLikeParams {
+                seed: u64_of(seed, "seed")?,
+                ..Default::default()
+            };
+            let s = fp_datasets::citation_like::CitationLikeStream::new(&params).with_chunk(chunk);
+            let source = s.source();
+            Ok((Box::new(s), source))
+        }
+        ["twitter", scale, seed] => {
+            let scale = f64_of(scale, "scale")?;
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(bad("scale must be positive".into()));
+            }
+            let params = fp_datasets::twitter_like::TwitterLikeParams {
+                scale,
+                seed: u64_of(seed, "seed")?,
+            };
+            let s = fp_datasets::twitter_like::TwitterLikeStream::new(&params).with_chunk(chunk);
+            let source = s.source();
+            Ok((Box::new(s), source))
+        }
+        _ => Err(bad(format!("expected {GEN_SPEC_GRAMMAR}"))),
+    }
+}
+
+/// `--chunk N`: edges per stream chunk (the O(chunk) working set).
+fn parse_chunk(flags: &HashMap<String, String>) -> Result<usize, String> {
+    flags
+        .get("chunk")
+        .map_or(Ok(fp_scale::DEFAULT_CHUNK), |s| match s.parse::<usize>() {
+            Ok(c) if c > 0 => Ok(c),
+            _ => Err("--chunk must be a positive integer".to_string()),
+        })
+}
+
+/// `--mem-budget BYTES`: a hard cap on tracked graph memory (suffixes
+/// `K`/`M`/`G`, 1024-based). Without the flag, an accounting-only
+/// budget that never rejects.
+fn parse_mem_budget(flags: &HashMap<String, String>) -> Result<MemBudget, String> {
+    let cap = flags
+        .get("mem-budget")
+        .map(|s| parse_bytes(s))
+        .transpose()?;
+    Ok(MemBudget::new(cap))
+}
+
+/// `fp dataset (--input FILE | --gen SPEC) [--stats true|false]
+/// [--out FILE] [--chunk N] [--mem-budget BYTES]`: streamed dataset
+/// plumbing — every path holds O(chunk) edges plus O(nodes) counters,
+/// never the edge list.
+///
+/// `--stats true` reports streaming statistics (nodes, edges, degree
+/// maxima, depth); otherwise the edges are streamed to `--out FILE` as
+/// numeric `source target` lines, the dialect `--input` and
+/// `fp sweep --dataset` read back.
+fn cmd_dataset(flags: &HashMap<String, String>) -> Result<String, String> {
+    let chunk = parse_chunk(flags)?;
+    let budget = parse_mem_budget(flags)?;
+    let (mut stream, label): (Box<dyn EdgeStream>, String) =
+        match (flags.get("input"), flags.get("gen")) {
+            (Some(_), Some(_)) => {
+                return Err("--input and --gen are mutually exclusive".to_string())
+            }
+            (Some(path), None) => (
+                Box::new(
+                    FileEdgeStream::open(path)
+                        .map_err(|e| e.to_string())?
+                        .with_chunk(chunk),
+                ),
+                path.clone(),
+            ),
+            (None, Some(spec)) => (parse_gen_spec(spec, chunk)?.0, spec.clone()),
+            (None, None) => return Err("dataset needs --input FILE or --gen SPEC".to_string()),
+        };
+    let stats = match flags.get("stats").map(String::as_str) {
+        None | Some("false") => false,
+        Some("true") => true,
+        Some(other) => return Err(format!("--stats must be true or false, got {other:?}")),
+    };
+    if stats {
+        if flags.contains_key("out") {
+            return Err("--stats reports statistics; it cannot be combined with --out".to_string());
+        }
+        let s = stream_stats(&mut *stream, &budget).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "dataset: {label}\nnodes: {}\nedges: {}\nmax in-degree: {}\nmax out-degree: {}\n\
+             max degree: {}\ndepth: {}\nstream passes: {}\n",
+            s.nodes, s.edges, s.max_in_degree, s.max_out_degree, s.max_degree, s.depth, s.passes
+        ));
+    }
+    let out_path = flags.get("out").ok_or_else(|| {
+        "dataset needs --out FILE (or --stats true); edges are streamed, never buffered".to_string()
+    })?;
+    let file =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut edges: u64 = 0;
+    let mut nodes: u64 = stream.node_hint().unwrap_or(0);
+    let mut chunk_buf = Vec::new();
+    let io_err = |e: std::io::Error| ScaleError::Io {
+        path: out_path.clone(),
+        reason: e.to_string(),
+    };
+    fp_scale::for_each_edge(&mut *stream, &mut chunk_buf, |u, v| {
+        edges += 1;
+        nodes = nodes.max(u64::from(u.max(v)) + 1);
+        writeln!(w, "{u} {v}").map_err(io_err)
+    })
+    .map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| io_err(e).to_string())?;
+    Ok(format!(
+        "wrote {edges} edge(s) over {nodes} node(s) to {out_path}\n"
+    ))
+}
+
 /// Turn on the global span recorder when `--trace FILE` was passed;
 /// returns the dump path so the caller can write the ring out when the
 /// command finishes. Tracing touches monotonic clocks only, so the
@@ -773,6 +1034,16 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<String, String> {
                 .map_err(|_| "--max-sessions must be a non-negative integer".to_string())
         })
         .transpose()?;
+    // Cap the process-wide fp-scale budget before any registry exists:
+    // graph uploads reserve their footprint against it and are refused
+    // with 503 (never OOM-killed) once the cap is reached.
+    if let Some(cap) = flags
+        .get("mem-budget")
+        .map(|s| parse_bytes(s))
+        .transpose()?
+    {
+        fp_scale::set_global_cap(Some(cap));
+    }
     let trace = trace_enable(flags);
     let registry = GraphRegistry::with_builtins();
     let graphs = registry.len();
@@ -1088,15 +1359,21 @@ fn cmd_online(flags: &HashMap<String, String>, input: &str) -> Result<String, St
 /// protocol on stdin/stdout and is never typed by a person. `worker
 /// --connect` *is* typed by a person — it joins a remote sweep.
 pub const USAGE: &str =
-    "usage: fp <solve|sweep|worker|report|diff|gc|stats|generate|serve|loadtest|online|trace> [flags]
+    "usage: fp <solve|sweep|worker|report|diff|gc|stats|generate|dataset|serve|loadtest|online|trace> [flags]
   solve    --input FILE --source LABEL --solver NAME --k N [--seed N] [--format table|csv|dot]
   sweep    --input FILE --source LABEL --kmax N [--trials N] [--seed N] [--format table|csv]
            [--out DIR] [--jobs N] [--workers N] [--listen ADDR --token T] [--trace FILE]
+  sweep    --dataset SPEC --kmax N [--mem-budget BYTES] [--trials N] [--seed N]
+           [--format table|csv] [--out DIR] [--jobs N] [--trace FILE]
            (--out persists the run; identical reruns are cache hits;
             --workers evaluates on worker processes — same bytes as in-process;
             --listen ADDR accepts remote `fp worker --connect` workers over TCP,
             authenticated by the shared --token — still the same bytes;
-            --trace dumps Chrome trace-event JSON of the run)
+            --trace dumps Chrome trace-event JSON of the run;
+            --dataset SPEC streams a generator straight into a compact CSR —
+            no edge list is ever materialized — and solves in-process;
+            --mem-budget BYTES caps tracked graph memory, failing with a typed
+            error instead of the OOM killer; suffixes K/M/G, 1024-based)
   worker   --connect HOST:PORT --token T [--retries N]
            (join a remote sweep as a worker: dial the dispatcher's --listen
             socket, authenticate, evaluate cells until the sweep completes;
@@ -1110,13 +1387,23 @@ pub const USAGE: &str =
             cache hits count as uses)
   stats    --input FILE
   generate --dataset layered-sparse|layered-dense|quote|twitter|citation [--seed N] [--scale F]
-  serve    [--addr HOST:PORT] [--ttl-secs N] [--max-sessions N] [--trace FILE]
+  dataset  (--input FILE | --gen SPEC) [--stats true|false] [--out FILE]
+           [--chunk N] [--mem-budget BYTES]
+           (streamed dataset plumbing, O(chunk) edges resident: --stats true
+            reports nodes/edges/max degree/depth from the stream; otherwise
+            edges stream to --out FILE as numeric `source target` lines.
+            SPEC is one of power-law:NODES:DEGREE:SEED, erdos:NODES:P:SEED,
+            layered-sparse:SEED, layered-dense:SEED, citation:SEED,
+            twitter:SCALE:SEED)
+  serve    [--addr HOST:PORT] [--ttl-secs N] [--max-sessions N] [--mem-budget BYTES] [--trace FILE]
            (long-running placement daemon: frame + HTTP transports on one port,
             built-in graphs preloaded, warm sessions per (graph, solver, seed),
             GET /metrics for Prometheus text or ?format=json; POST /stop or a
             `stop` call shuts it down; --max-sessions N caps live sessions,
             evicting expired-then-idlest warm ones and answering 503 with
-            Retry-After when every slot is busy; --trace dumps spans at shutdown)
+            Retry-After when every slot is busy; --mem-budget BYTES caps
+            tracked graph memory — over-budget uploads are refused with 503;
+            --trace dumps spans at shutdown)
   loadtest [--graph NAME] [--solver NAME] [--seed N] [--clients N] [--requests N] [--kmax N]
            [--transport frame|http] [--mutations N] [--retries N] [--baseline FILE]
            [--check FILE [--tolerance F]]
@@ -1184,12 +1471,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
     };
     match command.as_str() {
         "solve" => cmd_solve(&flags, &read_input()?),
-        "sweep" => cmd_sweep(&flags, &read_input()?),
+        "sweep" => {
+            // `--dataset` sweeps generate their graph; nothing to read.
+            let input = if flags.contains_key("dataset") {
+                None
+            } else {
+                Some(read_input()?)
+            };
+            cmd_sweep(&flags, input.as_deref())
+        }
         "report" => cmd_report(&flags),
         "diff" => cmd_diff(&flags),
         "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(&read_input()?),
         "generate" => cmd_generate(&flags),
+        "dataset" => cmd_dataset(&flags),
         "serve" => cmd_serve(&flags),
         "loadtest" => cmd_loadtest(&flags),
         "online" => cmd_online(&flags, &read_input()?),
@@ -1209,12 +1505,13 @@ pub fn run_with_input(args: &[String], input: &str) -> Result<String, String> {
     reject_unknown_flags(command, &flags)?;
     match command.as_str() {
         "solve" => cmd_solve(&flags, input),
-        "sweep" => cmd_sweep(&flags, input),
+        "sweep" => cmd_sweep(&flags, Some(input)),
         "report" => cmd_report(&flags),
         "diff" => cmd_diff(&flags),
         "gc" => cmd_gc(&flags),
         "stats" => cmd_stats(input),
         "generate" => cmd_generate(&flags),
+        "dataset" => cmd_dataset(&flags),
         "serve" => Err("serve blocks on a live socket; use `fp serve` directly".to_string()),
         "loadtest" => cmd_loadtest(&flags),
         "online" => cmd_online(&flags, input),
@@ -1525,6 +1822,250 @@ mod tests {
         assert!(err.contains("token"), "{err}");
         let err = sweep(&["--token", "t"]);
         assert!(err.contains("--token only applies with --listen"), "{err}");
+    }
+
+    #[test]
+    fn dataset_stats_match_the_materialized_generator() {
+        let out = run_with_input(
+            &args(&["dataset", "--gen", "erdos:40:0.12:9", "--stats", "true"]),
+            "",
+        )
+        .unwrap();
+        let (g, _) = fp_datasets::erdos_renyi::generate(40, 0.12, 9);
+        assert!(out.contains(&format!("nodes: {}", g.node_count())), "{out}");
+        assert!(out.contains(&format!("edges: {}", g.edge_count())), "{out}");
+        assert!(out.contains("depth: "), "{out}");
+    }
+
+    #[test]
+    fn dataset_streams_edges_to_a_file_that_round_trips() {
+        let dir = temp_dir("dataset-out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        let out = run_with_input(
+            &args(&[
+                "dataset",
+                "--gen",
+                "power-law:200:3:5",
+                "--out",
+                path.to_str().unwrap(),
+                "--chunk",
+                "17",
+            ]),
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        // Statistics of the written file equal the generator stream's
+        // (everything after the `dataset:` label line).
+        let from_file = run_with_input(
+            &args(&[
+                "dataset",
+                "--input",
+                path.to_str().unwrap(),
+                "--stats",
+                "true",
+            ]),
+            "",
+        )
+        .unwrap();
+        let from_gen = run_with_input(
+            &args(&["dataset", "--gen", "power-law:200:3:5", "--stats", "true"]),
+            "",
+        )
+        .unwrap();
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&from_file), tail(&from_gen));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_rejects_conflicting_and_malformed_requests() {
+        for (cmd_args, needle) in [
+            (vec!["dataset"], "--input FILE or --gen SPEC"),
+            (
+                vec!["dataset", "--input", "a", "--gen", "erdos:2:0.5:1"],
+                "mutually exclusive",
+            ),
+            (vec!["dataset", "--gen", "erdos:2:0.5:1"], "--out FILE"),
+            (
+                vec!["dataset", "--gen", "erdos:2:0.5:1", "--stats", "yes"],
+                "--stats must be true or false",
+            ),
+            (
+                vec![
+                    "dataset",
+                    "--gen",
+                    "erdos:2:0.5:1",
+                    "--stats",
+                    "true",
+                    "--out",
+                    "x",
+                ],
+                "cannot be combined with --out",
+            ),
+            (
+                vec!["dataset", "--gen", "mystery:1", "--stats", "true"],
+                "invalid --gen spec",
+            ),
+            (
+                vec!["dataset", "--gen", "power-law:0:3:1", "--stats", "true"],
+                "at least 1",
+            ),
+            (
+                vec!["dataset", "--gen", "erdos:9:1.5:1", "--stats", "true"],
+                "probability",
+            ),
+            (
+                vec!["dataset", "--gen", "twitter:-1:1", "--stats", "true"],
+                "scale must be positive",
+            ),
+            (
+                vec![
+                    "dataset",
+                    "--gen",
+                    "erdos:2:0.5:1",
+                    "--stats",
+                    "true",
+                    "--chunk",
+                    "0",
+                ],
+                "--chunk",
+            ),
+            (
+                vec![
+                    "dataset",
+                    "--gen",
+                    "erdos:2:0.5:1",
+                    "--stats",
+                    "true",
+                    "--mem-budget",
+                    "9Z",
+                ],
+                "byte count",
+            ),
+        ] {
+            let err = run_with_input(&args(&cmd_args), "").unwrap_err();
+            assert!(err.contains(needle), "{cmd_args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_dataset_matches_the_materialized_graph() {
+        let out = run_with_input(
+            &args(&[
+                "sweep",
+                "--dataset",
+                "erdos:30:0.15:9",
+                "--kmax",
+                "3",
+                "--trials",
+                "2",
+                "--seed",
+                "7",
+                "--format",
+                "csv",
+            ]),
+            "",
+        )
+        .unwrap();
+        let (g, source) = fp_datasets::erdos_renyi::generate(30, 0.15, 9);
+        let problem = Problem::new(&g, source).unwrap();
+        let cfg = SweepConfig {
+            ks: (0..=3).collect(),
+            trials: 2,
+            seed: 7,
+            solvers: SolverKind::PAPER_SET.to_vec(),
+        };
+        let expected = run_sweep_with(&problem, &cfg, &RunnerOptions::with_jobs(0)).unwrap();
+        assert_eq!(out, sweep_table(&expected).to_csv());
+    }
+
+    #[test]
+    fn sweep_dataset_out_reruns_are_cache_hits() {
+        let dir = temp_dir("sweep-dataset-store");
+        let sweep_args = args(&[
+            "sweep",
+            "--dataset",
+            "power-law:60:2:3",
+            "--kmax",
+            "2",
+            "--trials",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        let first = run_with_input(&sweep_args, "").unwrap();
+        assert!(first.contains("saved to"), "{first}");
+        let second = run_with_input(&sweep_args, "").unwrap();
+        assert!(second.contains("cache hit"), "{second}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_dataset_respects_the_memory_budget() {
+        // A 10k-node graph cannot fit in 1K of tracked bytes: typed
+        // refusal naming the budget, not an OOM.
+        let err = run_with_input(
+            &args(&[
+                "sweep",
+                "--dataset",
+                "power-law:10000:3:1",
+                "--kmax",
+                "1",
+                "--mem-budget",
+                "1K",
+            ]),
+            "",
+        )
+        .unwrap_err();
+        assert!(err.contains("memory budget exceeded"), "{err}");
+        // A generous cap sails through.
+        let ok = run_with_input(
+            &args(&[
+                "sweep",
+                "--dataset",
+                "erdos:20:0.2:1",
+                "--kmax",
+                "1",
+                "--trials",
+                "1",
+                "--mem-budget",
+                "64M",
+            ]),
+            "",
+        )
+        .unwrap();
+        assert!(ok.contains("G_ALL"), "{ok}");
+    }
+
+    #[test]
+    fn sweep_dataset_excludes_edge_list_and_distributed_flags() {
+        for (extra, flagged) in [
+            (vec!["--source", "s"], "--source"),
+            (vec!["--workers", "2"], "--workers"),
+            (vec!["--listen", "127.0.0.1:0", "--token", "t"], "--listen"),
+        ] {
+            let mut a = args(&["sweep", "--dataset", "erdos:5:0.5:1", "--kmax", "1"]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            let err = run_with_input(&a, "").unwrap_err();
+            assert!(err.contains(flagged), "{flagged}: {err}");
+        }
+        // --mem-budget is the streamed build's cap; it demands --dataset.
+        let err = run_with_input(
+            &args(&[
+                "sweep",
+                "--source",
+                "s",
+                "--kmax",
+                "1",
+                "--mem-budget",
+                "1M",
+            ]),
+            FIG1,
+        )
+        .unwrap_err();
+        assert!(err.contains("requires --dataset"), "{err}");
     }
 
     #[test]

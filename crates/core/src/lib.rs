@@ -64,6 +64,7 @@ pub use fp_graph as graph;
 pub use fp_num as num;
 pub use fp_propagation as propagation;
 pub use fp_results as results;
+pub use fp_scale as scale;
 
 pub use problem::Problem;
 

@@ -29,6 +29,7 @@
 use crate::Problem;
 use fp_graph::{from_edge_list, DiGraph, NodeId};
 use fp_results::DatasetFingerprint;
+use fp_scale::{graph_estimate, MemBudget};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -117,6 +118,10 @@ pub enum PutError {
     /// label that never appears, or a graph [`Problem::new`] rejects.
     /// The serve layer maps this to HTTP 400.
     Invalid(String),
+    /// Registering the graph would push the daemon's tracked graph
+    /// bytes past its `--mem-budget` cap. The registry is unchanged;
+    /// the serve layer maps this to HTTP 503.
+    OverBudget(String),
 }
 
 impl std::fmt::Display for PutError {
@@ -132,6 +137,7 @@ impl std::fmt::Display for PutError {
                  (edge hash {existing} vs {incoming})"
             ),
             PutError::Invalid(msg) => write!(f, "bad graph upload: {msg}"),
+            PutError::OverBudget(msg) => write!(f, "graph upload over memory budget: {msg}"),
         }
     }
 }
@@ -161,9 +167,15 @@ impl std::fmt::Display for PutError {
 /// assert!(reg.put_edge_list("diamond", "s", "s t\n").is_err());
 /// assert_eq!(reg.get("diamond").unwrap().fingerprint.nodes, 4);
 /// ```
-#[derive(Default)]
 pub struct GraphRegistry {
     graphs: Mutex<BTreeMap<String, Arc<GraphEntry>>>,
+    budget: MemBudget,
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl std::fmt::Debug for GraphRegistry {
@@ -175,9 +187,26 @@ impl std::fmt::Debug for GraphRegistry {
 }
 
 impl GraphRegistry {
-    /// An empty registry (no built-ins).
+    /// An empty registry (no built-ins), accounting uploads against
+    /// the process-wide [`fp_scale::global_budget`] — `fp serve
+    /// --mem-budget` caps it.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_budget(fp_scale::global_budget())
+    }
+
+    /// An empty registry accounting uploads against `budget`.
+    ///
+    /// Each accepted upload reserves its coarse CSR footprint
+    /// ([`graph_estimate`]) for as long as the entry lives (entries are
+    /// immutable and never evicted, so that is the daemon's lifetime);
+    /// an upload that would cross the cap is refused with
+    /// [`PutError::OverBudget`] and changes nothing. Built-ins are
+    /// fixed-size and not accounted.
+    pub fn with_budget(budget: MemBudget) -> Self {
+        Self {
+            graphs: Mutex::new(BTreeMap::new()),
+            budget,
+        }
     }
 
     /// A registry pre-loaded with the repro's standard graphs, all
@@ -277,10 +306,23 @@ impl GraphRegistry {
                     "source {source_label:?} does not appear in the edge list"
                 ))
             })?;
-        let entry = GraphEntry::from_parts(name, &g, labels, source).map_err(PutError::Invalid)?;
+        // Reserve the graph's resident footprint before building the
+        // entry; every refusal path below must hand the bytes back.
+        let bytes = graph_estimate(g.node_count() as u64, g.edge_count() as u64);
+        self.budget
+            .reserve(bytes)
+            .map_err(|e| PutError::OverBudget(e.to_string()))?;
+        let entry = match GraphEntry::from_parts(name, &g, labels, source) {
+            Ok(entry) => entry,
+            Err(msg) => {
+                self.budget.release(bytes);
+                return Err(PutError::Invalid(msg));
+            }
+        };
 
         let mut graphs = self.graphs.lock().expect("registry lock poisoned");
         if let Some(existing) = graphs.get(name) {
+            self.budget.release(bytes);
             return if existing.fingerprint.edge_hash == entry.fingerprint.edge_hash {
                 Ok((PutOutcome::AlreadyPresent, Arc::clone(existing)))
             } else {
@@ -408,6 +450,33 @@ mod tests {
             assert!(err.to_string().contains(needle), "{name:?}: {err}");
         }
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn over_budget_uploads_are_refused_and_release_their_bytes() {
+        // Cap fits one tiny graph but not two; conflicts and idempotent
+        // re-uploads must hand their reservation back.
+        let budget = MemBudget::new(Some(100));
+        let reg = GraphRegistry::with_budget(budget.clone());
+        reg.put_edge_list("a", "s", "s x\n").unwrap(); // 2 nodes, 1 edge: 32 bytes
+        let live_after_a = budget.live();
+        assert_eq!(live_after_a, graph_estimate(2, 1));
+        // Idempotent re-upload: no extra bytes.
+        reg.put_edge_list("a", "s", "s x\n").unwrap();
+        assert_eq!(budget.live(), live_after_a);
+        // Conflict: refused, bytes released.
+        let err = reg.put_edge_list("a", "s", "s x\nx y\n").unwrap_err();
+        assert!(matches!(err, PutError::Conflict { .. }), "{err}");
+        assert_eq!(budget.live(), live_after_a);
+        // A graph that would cross the cap: typed refusal, registry and
+        // ledger untouched.
+        let big = (0..20).fold(String::new(), |acc, i| acc + &format!("s n{i}\n"));
+        let err = reg.put_edge_list("big", "s", &big).unwrap_err();
+        assert!(matches!(err, PutError::OverBudget(_)), "{err}");
+        assert!(err.to_string().contains("memory budget"), "{err}");
+        assert!(reg.get("big").is_none());
+        assert_eq!(budget.live(), live_after_a);
+        assert_eq!(reg.len(), 1);
     }
 
     #[test]

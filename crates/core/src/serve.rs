@@ -999,6 +999,7 @@ impl ApiState {
                 ),
                 Err(err @ PutError::Conflict { .. }) => (409, error_body(err.to_string())),
                 Err(err @ PutError::Invalid(_)) => (400, error_body(err.to_string())),
+                Err(err @ PutError::OverBudget(_)) => (503, error_body(err.to_string())),
             },
             ServeCall::SessionOpen {
                 graph,

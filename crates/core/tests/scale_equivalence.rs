@@ -1,0 +1,145 @@
+//! Stream-vs-materialized equivalence (the fp-scale contract): a graph
+//! built by `Csr32::from_stream` — chunked edges, two passes, u32
+//! indices, no intermediate edge `Vec` — must be *bit-identical* to the
+//! in-memory `Csr::from_digraph` path. Same adjacency in the same
+//! order, same topological order, same solver placements. Random DAGs,
+//! pinned by proptest.
+//!
+//! Also pins the budget accountant's failure path: a build that trips
+//! `BudgetExceeded` must release every reservation it made, leaving the
+//! ledger clean and later builds unaffected.
+
+use fp_core::algorithms::{GreedyAll, GreedyMax, Solver};
+use fp_core::graph::{DiGraph, NodeId};
+use fp_core::num::Wide128;
+use fp_core::propagation::CGraph;
+use fp_core::scale::{Csr32, MemBudget, ScaleError, VecStream};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Shape raw random pairs into a DAG edge list on `n` nodes: every
+/// edge points from a lower id to a higher id, so any pair set is
+/// acyclic by construction. Deduplicated and sorted, so both build
+/// paths consume the identical sequence; nodes may be unreachable or
+/// isolated (the node-count hint must still agree).
+fn dag_edges(n: usize, raw: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    raw.iter()
+        .map(|&(a, b)| {
+            let u = a % (n as u32 - 1);
+            let v = u + 1 + b % (n as u32 - 1 - u);
+            (u, v)
+        })
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Build the same graph both ways and return `(materialized, streamed)`.
+fn both_paths(n: usize, edges: &[(u32, u32)]) -> (CGraph, CGraph) {
+    let g = DiGraph::from_pairs(
+        n,
+        edges
+            .iter()
+            .map(|&(u, v)| (u as usize, v as usize))
+            .collect::<Vec<_>>(),
+    )
+    .expect("u < v edges form a DAG");
+    let materialized = CGraph::new(&g, NodeId::new(0)).expect("DAG");
+
+    let budget = MemBudget::unlimited();
+    let mut stream = VecStream::new(edges.to_vec(), Some(n as u64)).with_chunk(7);
+    let csr32 = Csr32::from_stream(&mut stream, &budget).expect("unlimited budget");
+    let bytes = csr32.bytes();
+    let streamed = CGraph::from_csr(csr32.into_csr(), NodeId::new(0)).expect("DAG");
+    budget.release(bytes);
+    (materialized, streamed)
+}
+
+proptest! {
+    /// Adjacency equivalence: same node/edge counts, same children and
+    /// parents per node, in the same storage order.
+    #[test]
+    fn streamed_csr_matches_the_materialized_csr(
+        n in 2usize..48,
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..96),
+    ) {
+        let edges = dag_edges(n, &raw);
+        let (mat, st) = both_paths(n, &edges);
+        prop_assert_eq!(mat.node_count(), st.node_count());
+        prop_assert_eq!(mat.edge_count(), st.edge_count());
+        for v in 0..n {
+            let v = NodeId::new(v);
+            prop_assert_eq!(mat.csr().children(v), st.csr().children(v));
+            prop_assert_eq!(mat.csr().parents(v), st.csr().parents(v));
+        }
+    }
+
+    /// Topological-order equivalence: identical sequences, not merely
+    /// both valid — solver tie-breaking depends on it.
+    #[test]
+    fn streamed_topo_order_is_identical(
+        n in 2usize..48,
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..96),
+    ) {
+        let edges = dag_edges(n, &raw);
+        let (mat, st) = both_paths(n, &edges);
+        prop_assert_eq!(mat.topo(), st.topo());
+    }
+
+    /// Placement equivalence: Greedy_All and Greedy_Max pick the same
+    /// filters in the same order on both builds, for every k.
+    #[test]
+    fn solvers_place_identically_on_both_builds(
+        n in 2usize..48,
+        raw in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..96),
+    ) {
+        let edges = dag_edges(n, &raw);
+        let (mat, st) = both_paths(n, &edges);
+        for k in 0..=4usize {
+            let a = GreedyAll::<Wide128>::new().place(&mat, k, 0);
+            let b = GreedyAll::<Wide128>::new().place(&st, k, 0);
+            prop_assert_eq!(a.nodes(), b.nodes(), "GreedyAll k={}", k);
+            let a = GreedyMax::<Wide128>::new().place(&mat, k, 0);
+            let b = GreedyMax::<Wide128>::new().place(&st, k, 0);
+            prop_assert_eq!(a.nodes(), b.nodes(), "GreedyMax k={}", k);
+        }
+    }
+}
+
+/// A build that trips the cap fails with the typed error, rolls every
+/// reservation back (nothing live), and leaves the accountant usable:
+/// the identical build under a sufficient cap then succeeds and matches
+/// an unconstrained build bit-for-bit.
+#[test]
+fn budget_exceeded_rolls_back_and_leaves_the_ledger_clean() {
+    let edges: Vec<(u32, u32)> = (0u32..2_000).map(|i| (i, i + 1)).collect();
+
+    let tight = MemBudget::new(Some(64));
+    let mut stream = VecStream::new(edges.clone(), None);
+    match Csr32::from_stream(&mut stream, &tight) {
+        Err(ScaleError::BudgetExceeded { .. }) => {}
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(tight.live(), 0, "failed build must release everything");
+
+    // Same accountant object, raised cap: the rollback left no debris.
+    tight.set_cap(Some(1 << 20));
+    let mut stream = VecStream::new(edges.clone(), None);
+    let constrained = Csr32::from_stream(&mut stream, &tight).expect("1 MiB covers a 2k-node path");
+    let bytes = constrained.bytes();
+    assert_eq!(tight.live(), bytes, "graph bytes stay reserved on success");
+
+    let unlimited = MemBudget::unlimited();
+    let mut stream = VecStream::new(edges, None);
+    let free = Csr32::from_stream(&mut stream, &unlimited).expect("unlimited");
+    assert_eq!(constrained.node_count(), free.node_count());
+    assert_eq!(constrained.edge_count(), free.edge_count());
+    assert!(
+        constrained.edges().eq(free.edges()),
+        "identical edge storage"
+    );
+
+    tight.release(bytes);
+    unlimited.release(free.bytes());
+    assert_eq!(tight.live(), 0);
+}

@@ -33,6 +33,7 @@
 //!   the in-degree tail to the reported scale.
 
 use fp_graph::{DiGraph, NodeId};
+use fp_scale::{EdgeStream, ScaleError};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -124,14 +125,22 @@ fn grow_tree(g: &mut DiGraph, roots: &[NodeId], count: usize, rng: &mut ChaCha8R
     added
 }
 
-/// Pick `count` distinct elements of `pool` (uniformly, with retries).
+/// Pick `count` distinct elements of `pool` (uniformly, with retries),
+/// returned in first-pick order. The retry loop consumes one RNG draw
+/// per attempt whether or not the pick is fresh — [`CitationLikeStream`]
+/// replays the identical call sequence. (An earlier version collected
+/// into a `HashSet`, whose iteration order — and therefore the graph's
+/// adjacency order and dataset fingerprint — varied per process.)
 fn distinct_sample(pool: &[NodeId], count: usize, rng: &mut ChaCha8Rng) -> Vec<NodeId> {
     let count = count.min(pool.len());
-    let mut chosen = std::collections::HashSet::new();
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
     while chosen.len() < count {
-        chosen.insert(pool[rng.random_range(0..pool.len())]);
+        let pick = pool[rng.random_range(0..pool.len())];
+        if !chosen.contains(&pick) {
+            chosen.push(pick);
+        }
     }
-    chosen.into_iter().collect()
+    chosen
 }
 
 /// Generate a citation-like graph.
@@ -234,6 +243,298 @@ pub fn generate(params: &CitationLikeParams) -> CitationLikeGraph {
     }
 }
 
+/// Which construction stage the stream is in.
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Upper preferential tree, next node index `k`.
+    Upper {
+        k: usize,
+    },
+    Feeders,
+    /// The planted chain, next link `k`.
+    Chain {
+        k: usize,
+    },
+    /// Lower preferential tree, next node index `k`.
+    Lower {
+        k: usize,
+    },
+    /// Minor diamond gadgets, next gadget `i`.
+    Minors {
+        i: usize,
+    },
+    /// Major in/out wiring, next major `i`.
+    MajorWiring {
+        i: usize,
+    },
+    /// Minor sink fan-outs, next gadget `i`.
+    MinorFanout {
+        i: usize,
+    },
+    CollectorSinks,
+    /// Extra upper → sink citations, next edge `k`.
+    SinkEdges {
+        k: usize,
+    },
+    Done,
+}
+
+/// A chunked [`EdgeStream`] replaying [`generate`]'s exact edge
+/// sequence. Node ids are arithmetic — `generate` allocates each block
+/// (upper tree, collector, chain, lower tree, majors, minor triples,
+/// sinks) with consecutive `add_node` calls, so every pool the sampler
+/// draws from is a contiguous id range and none of them needs to be
+/// materialized. Resident state is the two preferential-attachment urns
+/// (O(upper + lower)), never the edge list.
+#[derive(Clone, Debug)]
+pub struct CitationLikeStream {
+    params: CitationLikeParams,
+    rng: ChaCha8Rng,
+    phase: Phase,
+    /// Preferential urn for the tree currently growing.
+    urn: Vec<u32>,
+    /// Edges staged by a multi-edge step, drained before advancing.
+    pending: Vec<(u32, u32)>,
+    pending_pos: usize,
+    chunk: usize,
+}
+
+impl CitationLikeStream {
+    /// Stream the graph described by `params`. Node 0 is the source.
+    pub fn new(params: &CitationLikeParams) -> Self {
+        Self {
+            params: params.clone(),
+            rng: ChaCha8Rng::seed_from_u64(params.seed),
+            phase: Phase::Upper { k: 0 },
+            urn: vec![0],
+            pending: Vec::new(),
+            pending_pos: 0,
+            chunk: fp_scale::DEFAULT_CHUNK,
+        }
+    }
+
+    /// Override the chunk size (tests exercise chunk boundaries).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The source's id (0).
+    pub fn source(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The collector's id — identical to [`CitationLikeGraph::collector`].
+    pub fn collector(&self) -> NodeId {
+        NodeId::new(self.params.upper_nodes)
+    }
+
+    /// The planted chain in path order — identical to
+    /// [`CitationLikeGraph::chain`].
+    pub fn chain(&self) -> Vec<NodeId> {
+        let base = self.params.upper_nodes + 1;
+        (base..base + CHAIN_LEN).map(NodeId::new).collect()
+    }
+
+    /// The major consolidation points — identical to
+    /// [`CitationLikeGraph::majors`].
+    pub fn majors(&self) -> Vec<NodeId> {
+        let base = self.major_base();
+        (base..base + self.params.majors).map(NodeId::new).collect()
+    }
+
+    /// The minor diamond join nodes — identical to
+    /// [`CitationLikeGraph::minors`].
+    pub fn minor_joins(&self) -> Vec<NodeId> {
+        let base = self.minor_base();
+        (0..self.params.minors)
+            .map(|i| NodeId::new(base + 3 * i + 2))
+            .collect()
+    }
+
+    fn lower_base(&self) -> usize {
+        self.params.upper_nodes + CHAIN_LEN + 1
+    }
+
+    fn major_base(&self) -> usize {
+        self.lower_base() + self.params.lower_nodes
+    }
+
+    fn minor_base(&self) -> usize {
+        self.major_base() + self.params.majors
+    }
+
+    fn sink_base(&self) -> usize {
+        self.minor_base() + 3 * self.params.minors
+    }
+
+    fn node_count(&self) -> usize {
+        self.sink_base() + self.params.sinks
+    }
+
+    /// Replay of [`distinct_sample`] over a contiguous id pool.
+    fn sample_distinct(&mut self, base: u32, pool_len: usize, count: usize) -> Vec<u32> {
+        let count = count.min(pool_len);
+        let mut chosen: Vec<u32> = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let pick = base + self.rng.random_range(0..pool_len) as u32;
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        chosen
+    }
+
+    fn stage(&mut self, edges: impl IntoIterator<Item = (u32, u32)>) {
+        self.pending.clear();
+        self.pending_pos = 0;
+        self.pending.extend(edges);
+    }
+
+    fn next_edge(&mut self) -> Option<(u32, u32)> {
+        loop {
+            if self.pending_pos < self.pending.len() {
+                let edge = self.pending[self.pending_pos];
+                self.pending_pos += 1;
+                return Some(edge);
+            }
+            let upper = self.params.upper_nodes as u32;
+            match self.phase.clone() {
+                Phase::Upper { k } => {
+                    if k + 1 >= self.params.upper_nodes {
+                        self.phase = Phase::Feeders;
+                        continue;
+                    }
+                    self.phase = Phase::Upper { k: k + 1 };
+                    let parent = self.urn[self.rng.random_range(0..self.urn.len())];
+                    let v = k as u32 + 1;
+                    self.urn.push(parent);
+                    self.urn.push(v);
+                    return Some((parent, v));
+                }
+                Phase::Feeders => {
+                    let collector = upper;
+                    let feeders =
+                        self.sample_distinct(0, self.params.upper_nodes, self.params.feeders);
+                    self.stage(feeders.into_iter().map(|u| (u, collector)));
+                    self.phase = Phase::Chain { k: 0 };
+                }
+                Phase::Chain { k } => {
+                    if k >= CHAIN_LEN {
+                        // Seed the lower tree's urn with the chain tail.
+                        self.urn = vec![upper + CHAIN_LEN as u32];
+                        self.phase = Phase::Lower { k: 0 };
+                        continue;
+                    }
+                    self.phase = Phase::Chain { k: k + 1 };
+                    return Some((upper + k as u32, upper + k as u32 + 1));
+                }
+                Phase::Lower { k } => {
+                    if k >= self.params.lower_nodes {
+                        self.phase = Phase::Minors { i: 0 };
+                        continue;
+                    }
+                    self.phase = Phase::Lower { k: k + 1 };
+                    let parent = self.urn[self.rng.random_range(0..self.urn.len())];
+                    let v = (self.lower_base() + k) as u32;
+                    self.urn.push(parent);
+                    self.urn.push(v);
+                    return Some((parent, v));
+                }
+                Phase::Minors { i } => {
+                    if i >= self.params.minors {
+                        self.phase = Phase::MajorWiring { i: 0 };
+                        continue;
+                    }
+                    self.phase = Phase::Minors { i: i + 1 };
+                    let u = self.rng.random_range(0..self.params.upper_nodes) as u32;
+                    let a = (self.minor_base() + 3 * i) as u32;
+                    let b = a + 1;
+                    let join = a + 2;
+                    self.stage([(u, a), (u, b), (a, join), (b, join), (u, join)]);
+                }
+                Phase::MajorWiring { i } => {
+                    if i >= self.params.majors {
+                        self.phase = Phase::MinorFanout { i: 0 };
+                        continue;
+                    }
+                    self.phase = Phase::MajorWiring { i: i + 1 };
+                    let m = (self.major_base() + i) as u32;
+                    let ins =
+                        self.sample_distinct(0, self.params.upper_nodes, self.params.major_indeg);
+                    let outs = self.sample_distinct(
+                        self.sink_base() as u32,
+                        self.params.sinks,
+                        self.params.major_fanout,
+                    );
+                    self.stage(
+                        ins.into_iter()
+                            .map(move |u| (u, m))
+                            .chain(outs.into_iter().map(move |s| (m, s))),
+                    );
+                }
+                Phase::MinorFanout { i } => {
+                    if i >= self.params.minors {
+                        self.phase = Phase::CollectorSinks;
+                        continue;
+                    }
+                    self.phase = Phase::MinorFanout { i: i + 1 };
+                    let join = (self.minor_base() + 3 * i + 2) as u32;
+                    let fanout = 2 + (self.rng.random::<f64>().powi(2) * 6.0) as usize;
+                    let outs =
+                        self.sample_distinct(self.sink_base() as u32, self.params.sinks, fanout);
+                    self.stage(outs.into_iter().map(move |s| (join, s)));
+                }
+                Phase::CollectorSinks => {
+                    let collector = upper;
+                    let outs = self.sample_distinct(
+                        self.sink_base() as u32,
+                        self.params.sinks,
+                        self.params.collector_sink_edges,
+                    );
+                    self.stage(outs.into_iter().map(move |s| (collector, s)));
+                    self.phase = Phase::SinkEdges { k: 0 };
+                }
+                Phase::SinkEdges { k } => {
+                    if k >= self.params.sink_edges {
+                        self.phase = Phase::Done;
+                        continue;
+                    }
+                    self.phase = Phase::SinkEdges { k: k + 1 };
+                    let from = self.rng.random_range(0..self.params.upper_nodes) as u32;
+                    let to =
+                        (self.sink_base() + self.rng.random_range(0..self.params.sinks)) as u32;
+                    return Some((from, to));
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+}
+
+impl EdgeStream for CitationLikeStream {
+    fn node_hint(&self) -> Option<u64> {
+        Some(self.node_count() as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<(u32, u32)>) -> Result<bool, ScaleError> {
+        out.clear();
+        while out.len() < self.chunk {
+            match self.next_edge() {
+                Some(edge) => out.push(edge),
+                None => break,
+            }
+        }
+        Ok(!out.is_empty())
+    }
+
+    fn rewind(&mut self) -> Result<(), ScaleError> {
+        *self = Self::new(&self.params).with_chunk(self.chunk);
+        Ok(())
+    }
+}
+
 /// Small-scale parameters used across the test suites.
 pub fn test_params(seed: u64) -> CitationLikeParams {
     CitationLikeParams {
@@ -321,6 +622,40 @@ mod tests {
             assert_eq!(after[m.index()], before[m.index()]);
             assert!(!after[m.index()].is_zero());
         }
+    }
+
+    #[test]
+    fn stream_replays_generate_edge_for_edge() {
+        let params = test_params(9);
+        let c = generate(&params);
+        let mut stream = CitationLikeStream::new(&params).with_chunk(37);
+        assert_eq!(stream.source(), c.source);
+        assert_eq!(stream.collector(), c.collector);
+        assert_eq!(stream.chain(), c.chain);
+        assert_eq!(stream.majors(), c.majors);
+        assert_eq!(stream.minor_joins(), c.minors);
+        assert_eq!(stream.node_hint(), Some(c.graph.node_count() as u64));
+        let mut streamed = DiGraph::with_nodes(c.graph.node_count());
+        let mut chunk = Vec::new();
+        fp_scale::for_each_edge(&mut stream, &mut chunk, |u, v| {
+            streamed.add_edge(NodeId::new(u as usize), NodeId::new(v as usize));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(streamed.edge_count(), c.graph.edge_count());
+        for v in c.graph.nodes() {
+            assert_eq!(streamed.out_neighbors(v), c.graph.out_neighbors(v));
+            assert_eq!(streamed.in_neighbors(v), c.graph.in_neighbors(v));
+        }
+        // Rewinding replays the identical sequence.
+        stream.rewind().unwrap();
+        let mut replay = Vec::new();
+        fp_scale::for_each_edge(&mut stream, &mut chunk, |u, v| {
+            replay.push((u, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(replay.len(), c.graph.edge_count());
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! cut) — and free target reuse into the final (sink) level.
 
 use fp_graph::{DiGraph, NodeId};
+use fp_scale::{EdgeStream, ScaleError};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
 
 /// The paper's per-level out-edge counts for levels 1..=5.
 pub const PAPER_LEVEL_OUT_EDGES: [usize; 5] = [2, 16, 194, 43_993, 80_639];
@@ -141,6 +143,280 @@ pub fn generate(params: &TwitterLikeParams) -> TwitterLikeGraph {
     }
 }
 
+/// No first in-edge recorded yet.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Which stage of the construction the stream is in.
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Emitting level `li`'s edge budget, next edge index `e`.
+    Levels {
+        li: usize,
+        e: usize,
+    },
+    /// Emitting celebrity in-edges, next celebrity index `idx`.
+    Celebs {
+        idx: usize,
+    },
+    Done,
+}
+
+/// Per-celebrity emission state.
+#[derive(Clone, Debug)]
+struct CelebCtx {
+    celeb: u32,
+    /// Previous-level candidates (tree parent excluded).
+    prev: Vec<u32>,
+    /// Extra in-edges to draw.
+    extra: usize,
+    drawn: usize,
+    /// Sources already wired to this celebrity (dedup).
+    added: Vec<u32>,
+}
+
+/// A chunked [`EdgeStream`] replaying [`generate`]'s exact edge
+/// sequence — per-level follower edges (with the same duplicate
+/// re-draw), then the planted celebrity in-edges — without building the
+/// [`DiGraph`]. Node ids are arithmetic (level `k` occupies a
+/// contiguous range starting after level `k − 1`), so resident state is
+/// per-node degree counters plus the final level's dedup set, never the
+/// adjacency itself. Metadata ([`TwitterLikeStream::celebrities`],
+/// [`TwitterLikeStream::level_sizes`]) matches [`TwitterLikeGraph`]
+/// once the stream is exhausted.
+#[derive(Clone, Debug)]
+pub struct TwitterLikeStream {
+    params: TwitterLikeParams,
+    rng: ChaCha8Rng,
+    /// Scaled per-level edge budgets.
+    out_edges: Vec<usize>,
+    /// `level_start[k]` = first node id of level `k` (k in 0..=depth).
+    level_start: Vec<usize>,
+    /// Nodes per level.
+    level_sizes: Vec<usize>,
+    phase: Phase,
+    /// Out-degrees accumulated during the level phase (celebrity
+    /// ranking key).
+    out_deg: Vec<u32>,
+    /// First in-edge source per node (the follower-tree parent).
+    first_parent: Vec<u32>,
+    /// Dedup for the current level's `(from, to)` pairs; only the final
+    /// level can actually collide, but membership is checked wherever
+    /// `generate` consults `add_edge_dedup`.
+    seen: HashSet<u64>,
+    /// Celebrities in ranking order (drives the emission phase).
+    celeb_order: Vec<(usize, u32)>,
+    celeb_ctx: Option<CelebCtx>,
+    chunk: usize,
+}
+
+impl TwitterLikeStream {
+    /// Stream the graph described by `params`. Node 0 is the root.
+    pub fn new(params: &TwitterLikeParams) -> Self {
+        let out_edges: Vec<usize> = PAPER_LEVEL_OUT_EDGES
+            .iter()
+            .map(|&e| ((e as f64 * params.scale).round() as usize).max(2))
+            .collect();
+        let depth = out_edges.len();
+        let mut level_start = vec![0usize];
+        let mut level_sizes = vec![1usize];
+        for (li, &budget) in out_edges.iter().enumerate() {
+            let last_level = li + 1 == depth;
+            let fresh = if last_level {
+                (budget as f64 / 1.8).round() as usize
+            } else {
+                budget
+            }
+            .max(1);
+            level_start.push(level_start[li] + level_sizes[li]);
+            level_sizes.push(fresh);
+        }
+        let n = level_start[depth] + level_sizes[depth];
+        Self {
+            params: params.clone(),
+            rng: ChaCha8Rng::seed_from_u64(params.seed),
+            out_edges,
+            level_start,
+            level_sizes,
+            phase: Phase::Levels { li: 0, e: 0 },
+            out_deg: vec![0; n],
+            first_parent: vec![NO_PARENT; n],
+            seen: HashSet::new(),
+            celeb_order: Vec::new(),
+            celeb_ctx: None,
+            chunk: fp_scale::DEFAULT_CHUNK,
+        }
+    }
+
+    /// Override the chunk size (tests exercise chunk boundaries).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The root's id (0).
+    pub fn source(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// Nodes per level — identical to [`TwitterLikeGraph::level_sizes`].
+    pub fn level_sizes(&self) -> &[usize] {
+        &self.level_sizes
+    }
+
+    /// The planted celebrities in ascending id order — identical to
+    /// [`TwitterLikeGraph::celebrities`]. Only meaningful once the
+    /// stream has been driven to exhaustion.
+    pub fn celebrities(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .celeb_order
+            .iter()
+            .map(|&(_, v)| NodeId::new(v as usize))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn level_nodes(&self, k: usize) -> std::ops::Range<usize> {
+        self.level_start[k]..self.level_start[k] + self.level_sizes[k]
+    }
+
+    fn record(&mut self, from: u32, to: u32) {
+        self.out_deg[from as usize] += 1;
+        if self.first_parent[to as usize] == NO_PARENT {
+            self.first_parent[to as usize] = from;
+        }
+    }
+
+    /// Try to add `(from, to)`; mirrors `DiGraph::add_edge_dedup`.
+    fn add_dedup(&mut self, from: u32, to: u32) -> bool {
+        if self.seen.insert((u64::from(from) << 32) | u64::from(to)) {
+            self.record(from, to);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rank interior nodes and line up the celebrity phase — the same
+    /// `(Reverse(out_degree), id)` key `generate` sorts by.
+    fn start_celebs(&mut self) {
+        let depth = self.out_edges.len();
+        let mut interior: Vec<(usize, u32)> = (2..depth)
+            .flat_map(|li| self.level_nodes(li).map(move |v| (li, v as u32)))
+            .collect();
+        interior.sort_by_key(|&(_, v)| (std::cmp::Reverse(self.out_deg[v as usize]), v));
+        interior.truncate(CELEBRITIES);
+        self.celeb_order = interior;
+        self.seen.clear();
+        self.phase = Phase::Celebs { idx: 0 };
+    }
+
+    fn next_edge(&mut self) -> Option<(u32, u32)> {
+        loop {
+            match self.phase.clone() {
+                Phase::Levels { li, e } => {
+                    let depth = self.out_edges.len();
+                    if li >= depth {
+                        self.start_celebs();
+                        continue;
+                    }
+                    let budget = self.out_edges[li];
+                    if e >= budget {
+                        self.seen.clear();
+                        self.phase = Phase::Levels { li: li + 1, e: 0 };
+                        continue;
+                    }
+                    self.phase = Phase::Levels { li, e: e + 1 };
+                    let last_level = li + 1 == depth;
+                    let cur = self.level_nodes(li);
+                    let next = self.level_nodes(li + 1);
+                    let fresh = next.len();
+                    let from = (cur.start + self.rng.random_range(0..cur.len())) as u32;
+                    let to = if last_level {
+                        (next.start + self.rng.random_range(0..fresh)) as u32
+                    } else {
+                        (next.start + e.min(fresh - 1)) as u32
+                    };
+                    if self.add_dedup(from, to) {
+                        return Some((from, to));
+                    }
+                    // Duplicate follower pair: spend the edge on another
+                    // random sink instead, dropping it if that pair also
+                    // exists — exactly `generate`'s re-draw.
+                    let alt = (next.start + self.rng.random_range(0..fresh)) as u32;
+                    if self.add_dedup(from, alt) {
+                        return Some((from, alt));
+                    }
+                }
+                Phase::Celebs { idx } => {
+                    if let Some(ctx) = &mut self.celeb_ctx {
+                        if ctx.drawn >= ctx.extra {
+                            self.celeb_ctx = None;
+                            self.phase = Phase::Celebs { idx: idx + 1 };
+                            continue;
+                        }
+                        ctx.drawn += 1;
+                        let from = ctx.prev[self.rng.random_range(0..ctx.prev.len())];
+                        let celeb = ctx.celeb;
+                        if !ctx.added.contains(&from) {
+                            ctx.added.push(from);
+                            self.record(from, celeb);
+                            return Some((from, celeb));
+                        }
+                        continue;
+                    }
+                    let Some(&(li, celeb)) = self.celeb_order.get(idx) else {
+                        self.phase = Phase::Done;
+                        continue;
+                    };
+                    let parent = self.first_parent[celeb as usize];
+                    let prev: Vec<u32> = self
+                        .level_nodes(li - 1)
+                        .map(|v| v as u32)
+                        .filter(|&u| u != parent)
+                        .collect();
+                    if prev.is_empty() {
+                        self.phase = Phase::Celebs { idx: idx + 1 };
+                        continue;
+                    }
+                    let extra = self.rng.random_range(2..=4usize).min(prev.len());
+                    self.celeb_ctx = Some(CelebCtx {
+                        celeb,
+                        prev,
+                        extra,
+                        drawn: 0,
+                        added: Vec::new(),
+                    });
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+}
+
+impl EdgeStream for TwitterLikeStream {
+    fn node_hint(&self) -> Option<u64> {
+        Some(self.out_deg.len() as u64)
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<(u32, u32)>) -> Result<bool, ScaleError> {
+        out.clear();
+        while out.len() < self.chunk {
+            match self.next_edge() {
+                Some(edge) => out.push(edge),
+                None => break,
+            }
+        }
+        Ok(!out.is_empty())
+    }
+
+    fn rewind(&mut self) -> Result<(), ScaleError> {
+        *self = Self::new(&self.params).with_chunk(self.chunk);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +478,42 @@ mod tests {
             .collect();
         prop1.sort_unstable();
         assert_eq!(prop1, t.celebrities);
+    }
+
+    #[test]
+    fn stream_replays_generate_edge_for_edge() {
+        let params = TwitterLikeParams {
+            scale: 0.02,
+            seed: 5,
+        };
+        let t = generate(&params);
+        let mut stream = TwitterLikeStream::new(&params).with_chunk(23);
+        assert_eq!(stream.source(), t.source);
+        assert_eq!(stream.level_sizes(), &t.level_sizes[..]);
+        assert_eq!(stream.node_hint(), Some(t.graph.node_count() as u64));
+        let mut streamed = DiGraph::with_nodes(t.graph.node_count());
+        let mut chunk = Vec::new();
+        fp_scale::for_each_edge(&mut stream, &mut chunk, |u, v| {
+            streamed.add_edge(NodeId::new(u as usize), NodeId::new(v as usize));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(streamed.edge_count(), t.graph.edge_count());
+        for v in t.graph.nodes() {
+            assert_eq!(streamed.out_neighbors(v), t.graph.out_neighbors(v));
+            assert_eq!(streamed.in_neighbors(v), t.graph.in_neighbors(v));
+        }
+        // Metadata is valid once the stream is exhausted.
+        assert_eq!(stream.celebrities(), t.celebrities);
+        // Rewinding replays the identical sequence.
+        stream.rewind().unwrap();
+        let mut replay = Vec::new();
+        fp_scale::for_each_edge(&mut stream, &mut chunk, |u, v| {
+            replay.push((u, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(replay.len(), t.graph.edge_count());
     }
 
     #[test]

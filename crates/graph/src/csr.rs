@@ -48,6 +48,72 @@ impl Csr {
         }
     }
 
+    /// Assemble a snapshot directly from compressed-sparse-row arrays,
+    /// skipping the [`DiGraph`] intermediary entirely. This is the entry
+    /// point for streamed builders (`fp-scale`) that count degrees and
+    /// fill targets in two passes without ever holding an edge list.
+    ///
+    /// The caller must supply a *consistent* pair of directions: the
+    /// multiset of `(u, v)` edges described by the out-arrays must equal
+    /// the one described by the in-arrays. Shape is validated here
+    /// (offset monotonicity, lengths, target ranges, per-direction edge
+    /// counts and per-node degree totals); exact mirror equality is the
+    /// builder's contract, as checking it would cost a sort.
+    ///
+    /// # Panics
+    /// Panics if the arrays are not a well-formed CSR pair.
+    pub fn from_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<NodeId>,
+    ) -> Self {
+        assert!(!out_offsets.is_empty(), "out offsets must hold n+1 entries");
+        assert_eq!(
+            out_offsets.len(),
+            in_offsets.len(),
+            "directions disagree on node count"
+        );
+        assert_eq!(out_offsets[0], 0, "out offsets must start at 0");
+        assert_eq!(in_offsets[0], 0, "in offsets must start at 0");
+        let n = out_offsets.len() - 1;
+        for w in out_offsets.windows(2) {
+            assert!(w[0] <= w[1], "out offsets must be non-decreasing");
+        }
+        for w in in_offsets.windows(2) {
+            assert!(w[0] <= w[1], "in offsets must be non-decreasing");
+        }
+        assert_eq!(
+            *out_offsets.last().unwrap() as usize,
+            out_targets.len(),
+            "out offsets must cover the target array"
+        );
+        assert_eq!(
+            *in_offsets.last().unwrap() as usize,
+            in_sources.len(),
+            "in offsets must cover the source array"
+        );
+        assert_eq!(
+            out_targets.len(),
+            in_sources.len(),
+            "directions disagree on edge count"
+        );
+        assert!(
+            out_targets.iter().all(|v| v.index() < n),
+            "out target out of range"
+        );
+        assert!(
+            in_sources.iter().all(|u| u.index() < n),
+            "in source out of range"
+        );
+        Self {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {

@@ -28,15 +28,25 @@ impl CGraph {
     /// is allowed to have incoming edges (they are simply never
     /// activated — the source emits its own item and relays nothing).
     pub fn new(g: &DiGraph, source: NodeId) -> Result<Self, GraphError> {
-        if source.index() >= g.node_count() {
+        Self::from_csr(Csr::from_digraph(g), source)
+    }
+
+    /// Freeze an already-built [`Csr`] with the given source, without
+    /// round-tripping through a [`DiGraph`].
+    ///
+    /// This is the entry point for streamed builders (`fp-scale`'s
+    /// `Csr32::into_csr`): the adjacency arrays are adopted as-is and
+    /// only the topological order is computed here. Fails if the CSR is
+    /// cyclic or `source` is out of range.
+    pub fn from_csr(csr: Csr, source: NodeId) -> Result<Self, GraphError> {
+        if source.index() >= csr.node_count() {
             return Err(GraphError::NodeOutOfRange {
                 node: source,
-                node_count: g.node_count(),
+                node_count: csr.node_count(),
             });
         }
-        let csr = Csr::from_digraph(g);
         let topo = topo_order(&csr)?;
-        let mut topo_pos = vec![0u32; g.node_count()];
+        let mut topo_pos = vec![0u32; csr.node_count()];
         for (i, &v) in topo.iter().enumerate() {
             topo_pos[v.index()] = i as u32;
         }
@@ -210,6 +220,23 @@ mod tests {
         );
         assert_eq!(cg.edge_count(), 3);
         assert!(fp_graph::is_topological_order(cg.csr(), cg.topo()));
+    }
+
+    #[test]
+    fn from_csr_matches_new() {
+        let g = DiGraph::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let via_digraph = CGraph::new(&g, NodeId::new(0)).unwrap();
+        let via_csr = CGraph::from_csr(Csr::from_digraph(&g), NodeId::new(0)).unwrap();
+        assert_eq!(via_csr.topo(), via_digraph.topo());
+        assert_eq!(via_csr.source(), via_digraph.source());
+        for v in via_digraph.nodes() {
+            assert_eq!(via_csr.topo_position(v), via_digraph.topo_position(v));
+            assert_eq!(via_csr.csr().children(v), via_digraph.csr().children(v));
+        }
+        assert!(matches!(
+            CGraph::from_csr(Csr::from_digraph(&g), NodeId::new(9)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -566,6 +566,14 @@ impl<'a, C: Count> ImpactEngine<'a, C> {
         self.filters
     }
 
+    /// Surrender both the filter set and the recyclable scratch in one
+    /// move — what a scratch-threading solver returns when it wants to
+    /// hand the buffers to the next solve without touching the engine
+    /// again.
+    pub fn into_parts(self) -> (FilterSet, EngineScratch<C>) {
+        (self.filters, self.s)
+    }
+
     /// Current `Φ(A, V)`.
     ///
     /// Maintained by exact addition/subtraction of reception deltas,

@@ -30,7 +30,7 @@ use crate::csv::sweep_csv;
 use crate::hash::{fnv64_hex, Fnv64};
 use crate::json::{FromJson, Json, ToJson};
 use crate::model::{SweepConfig, SweepResult};
-use fp_graph::{DiGraph, NodeId};
+use fp_graph::{Csr, DiGraph, NodeId};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
@@ -70,6 +70,30 @@ impl DatasetFingerprint {
             name: name.to_string(),
             nodes: g.node_count(),
             edges: g.edge_count(),
+            source: source_label.to_string(),
+            edge_hash: h.finish_hex(),
+        }
+    }
+
+    /// Fingerprint a CSR graph, hash-compatible with [`of_graph`]:
+    /// a CSR built from a `DiGraph` (or from a stream replaying the
+    /// same edge sequence) fingerprints identically, because CSR
+    /// storage order *is* adjacency-list order — nodes ascending,
+    /// out-edges in insertion order.
+    ///
+    /// [`of_graph`]: DatasetFingerprint::of_graph
+    pub fn of_csr(name: &str, csr: &Csr, source: NodeId, source_label: &str) -> Self {
+        let mut h = Fnv64::new();
+        h.update_u64(csr.node_count() as u64);
+        h.update_u64(source.index() as u64);
+        for (u, v) in csr.edges() {
+            h.update_u64(u.index() as u64);
+            h.update_u64(v.index() as u64);
+        }
+        Self {
+            name: name.to_string(),
+            nodes: csr.node_count(),
+            edges: csr.edge_count(),
             source: source_label.to_string(),
             edge_hash: h.finish_hex(),
         }
@@ -596,6 +620,16 @@ mod tests {
         assert_eq!(fa.edges, 2);
         let fa2 = DatasetFingerprint::of_graph("a", &a, NodeId::new(0), "s");
         assert_eq!(fa.edge_hash, fa2.edge_hash);
+    }
+
+    #[test]
+    fn csr_fingerprint_matches_graph_fingerprint() {
+        use fp_graph::{Csr, DiGraph, NodeId};
+        let g = DiGraph::from_pairs(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let csr = Csr::from_digraph(&g);
+        let from_graph = DatasetFingerprint::of_graph("g", &g, NodeId::new(0), "s");
+        let from_csr = DatasetFingerprint::of_csr("g", &csr, NodeId::new(0), "s");
+        assert_eq!(from_graph, from_csr);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! [`MemBudget`]: explicit live-byte accounting with a hard cap.
+//!
+//! Accounting is *coarse-grained by design*: subsystems reserve bytes
+//! at their natural allocation boundaries (a CSR's arrays, an engine's
+//! per-node state) rather than shimming the allocator. The point is a
+//! typed [`ScaleError::BudgetExceeded`] at the moment a large structure
+//! is about to exist — before the OOM killer gets an opinion — not a
+//! byte-exact heap profile.
+
+use crate::ScaleError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Gauge name for currently-reserved live bytes.
+pub const BYTES_LIVE_GAUGE: &str = "fp_scale_bytes_live";
+/// Gauge name for the high-water mark of reserved bytes.
+pub const PEAK_BYTES_GAUGE: &str = "fp_scale_peak_bytes";
+
+/// Sentinel for "no cap" in the atomic cap cell.
+const UNCAPPED: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    cap: AtomicU64,
+    live: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// A cloneable live-byte accountant. Clones share one ledger.
+///
+/// Every successful [`MemBudget::reserve`] adds to the process-wide
+/// `fp_scale_bytes_live` gauge and bumps `fp_scale_peak_bytes`; every
+/// [`MemBudget::release`] subtracts. The gauges therefore read as the
+/// sum over all budgets alive in the process, which in the CLI (one
+/// budget per process) is simply the budget.
+#[derive(Clone, Debug)]
+pub struct MemBudget {
+    inner: Arc<Inner>,
+}
+
+impl Default for MemBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl MemBudget {
+    /// A budget that accounts but never rejects.
+    pub fn unlimited() -> Self {
+        Self::new(None)
+    }
+
+    /// A budget with a hard cap of `cap` bytes (`None` = unlimited).
+    pub fn new(cap: Option<u64>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cap: AtomicU64::new(cap.unwrap_or(UNCAPPED)),
+                live: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<u64> {
+        match self.inner.cap.load(Ordering::Relaxed) {
+            UNCAPPED => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// Install (or clear) the cap. Existing reservations are never
+    /// clawed back; a lowered cap only gates future reservations.
+    pub fn set_cap(&self, cap: Option<u64>) {
+        self.inner
+            .cap
+            .store(cap.unwrap_or(UNCAPPED), Ordering::Relaxed);
+    }
+
+    /// Currently reserved bytes.
+    pub fn live(&self) -> u64 {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes over this budget's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes`, failing with [`ScaleError::BudgetExceeded`] —
+    /// and leaving the ledger exactly as it was — if the reservation
+    /// would push live bytes past the cap.
+    pub fn reserve(&self, bytes: u64) -> Result<(), ScaleError> {
+        let after = self.inner.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let cap = self.inner.cap.load(Ordering::Relaxed);
+        if cap != UNCAPPED && after > cap {
+            self.inner.live.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(ScaleError::BudgetExceeded {
+                requested: bytes,
+                live: after - bytes,
+                cap,
+            });
+        }
+        self.inner.peak.fetch_max(after, Ordering::Relaxed);
+        let live = fp_obs::gauge(BYTES_LIVE_GAUGE);
+        live.add(bytes as i64);
+        let peak = fp_obs::gauge(PEAK_BYTES_GAUGE);
+        let now = live.get();
+        if now > peak.get() {
+            peak.set(now);
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` to the ledger.
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds the live total — releasing what was
+    /// never reserved is an accounting bug, not a runtime condition.
+    pub fn release(&self, bytes: u64) {
+        let before = self.inner.live.fetch_sub(bytes, Ordering::Relaxed);
+        assert!(
+            before >= bytes,
+            "released {bytes} bytes with only {before} live"
+        );
+        fp_obs::gauge(BYTES_LIVE_GAUGE).add(-(bytes as i64));
+    }
+}
+
+static GLOBAL: OnceLock<MemBudget> = OnceLock::new();
+
+/// The process-wide budget the CLI front-ends account against.
+pub fn global_budget() -> MemBudget {
+    GLOBAL.get_or_init(MemBudget::unlimited).clone()
+}
+
+/// Configure the cap of the process-wide budget (`--mem-budget BYTES`).
+pub fn set_global_cap(cap: Option<u64>) {
+    global_budget().set_cap(cap);
+}
+
+/// Parse a byte count with an optional binary suffix: `65536`, `64K`,
+/// `512M`, `2G` (case-insensitive, 1024-based).
+pub fn parse_bytes(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty byte count".to_string());
+    }
+    let (digits, shift) = match text.as_bytes()[text.len() - 1].to_ascii_uppercase() {
+        b'K' => (&text[..text.len() - 1], 10),
+        b'M' => (&text[..text.len() - 1], 20),
+        b'G' => (&text[..text.len() - 1], 30),
+        _ => (text, 0),
+    };
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid byte count {text:?}"))?;
+    value
+        .checked_shl(shift)
+        .filter(|v| v >> shift == value)
+        .ok_or_else(|| format!("byte count {text:?} overflows u64"))
+}
+
+/// Coarse byte estimate for a frozen CSR of `n` nodes and `m` edges:
+/// two offset arrays of `n + 1` u32s plus two adjacency arrays of `m`
+/// u32 ids. This matches [`crate::Csr32::bytes`] exactly.
+pub fn graph_estimate(n: u64, m: u64) -> u64 {
+    2 * 4 * (n + 1) + 2 * 4 * m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_tracks_live_and_peak() {
+        let b = MemBudget::unlimited();
+        b.reserve(100).unwrap();
+        b.reserve(50).unwrap();
+        assert_eq!(b.live(), 150);
+        b.release(120);
+        assert_eq!(b.live(), 30);
+        assert_eq!(b.peak(), 150);
+        b.reserve(10).unwrap();
+        assert_eq!(b.peak(), 150, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn cap_rejects_and_rolls_back() {
+        let b = MemBudget::new(Some(100));
+        b.reserve(80).unwrap();
+        let err = b.reserve(30).unwrap_err();
+        assert_eq!(
+            err,
+            ScaleError::BudgetExceeded {
+                requested: 30,
+                live: 80,
+                cap: 100,
+            }
+        );
+        assert_eq!(b.live(), 80, "failed reservation leaves the ledger intact");
+        b.reserve(20).unwrap();
+        assert_eq!(b.live(), 100, "exactly at the cap is allowed");
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let a = MemBudget::new(Some(64));
+        let b = a.clone();
+        a.reserve(40).unwrap();
+        assert_eq!(b.live(), 40);
+        assert!(b.reserve(40).is_err());
+        b.release(40);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "released")]
+    fn over_release_panics() {
+        let b = MemBudget::unlimited();
+        b.reserve(8).unwrap();
+        b.release(16);
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("64K"), Ok(64 << 10));
+        assert_eq!(parse_bytes("512m"), Ok(512 << 20));
+        assert_eq!(parse_bytes("2G"), Ok(2 << 30));
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("12Q").is_err());
+        assert!(parse_bytes("-3").is_err());
+        assert!(parse_bytes("99999999999999999999G").is_err());
+    }
+
+    #[test]
+    fn graph_estimate_is_the_csr_footprint() {
+        assert_eq!(graph_estimate(0, 0), 8);
+        assert_eq!(graph_estimate(3, 5), 2 * 4 * 4 + 2 * 4 * 5);
+    }
+
+    #[test]
+    fn global_budget_is_shared() {
+        // Don't cap the global budget here: other tests in the process
+        // may be accounting against it concurrently.
+        let a = global_budget();
+        let before = a.live();
+        a.reserve(7).unwrap();
+        assert!(global_budget().live() >= before + 7);
+        a.release(7);
+    }
+}

@@ -1,0 +1,319 @@
+//! [`Csr32`]: a compact CSR built in two passes over an [`EdgeStream`].
+//!
+//! Pass 1 counts per-node degrees (both directions); the counts become
+//! prefix-summed offset arrays; pass 2 rewinds the stream and fills the
+//! adjacency arrays with per-node write cursors. Filling in stream
+//! order means each node's adjacency lists hold neighbors in exactly
+//! the order the stream emitted them — which is the same order
+//! [`fp_graph::DiGraph::add_edge`] would have recorded, so a `Csr32`
+//! built from a stream is bit-identical to
+//! [`fp_graph::Csr::from_digraph`] over the materialized equivalent.
+//! At no point does an intermediate edge `Vec` exist.
+
+use crate::budget::graph_estimate;
+use crate::{EdgeStream, MemBudget, ScaleError};
+use fp_graph::{Csr, NodeId};
+
+/// A frozen compressed-sparse-row graph with `u32` indices throughout:
+/// offsets, targets, and sources are all 4 bytes per entry, half the
+/// footprint of a `usize`-indexed edge list on 64-bit targets.
+#[derive(Clone, Debug)]
+pub struct Csr32 {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+}
+
+/// Scoped budget bookkeeping: releases everything it still holds on
+/// early error return, keeps the committed remainder on success.
+struct Ledger<'a> {
+    budget: &'a MemBudget,
+    reserved: u64,
+    committed: bool,
+}
+
+impl<'a> Ledger<'a> {
+    fn new(budget: &'a MemBudget) -> Self {
+        Self {
+            budget,
+            reserved: 0,
+            committed: false,
+        }
+    }
+
+    fn reserve(&mut self, bytes: u64) -> Result<(), ScaleError> {
+        self.budget.reserve(bytes)?;
+        self.reserved += bytes;
+        Ok(())
+    }
+
+    fn release(&mut self, bytes: u64) {
+        assert!(bytes <= self.reserved, "ledger under-reserved");
+        self.budget.release(bytes);
+        self.reserved -= bytes;
+    }
+
+    fn commit(mut self) {
+        self.committed = true;
+    }
+}
+
+impl Drop for Ledger<'_> {
+    fn drop(&mut self) {
+        if !self.committed && self.reserved > 0 {
+            self.budget.release(self.reserved);
+        }
+    }
+}
+
+impl Csr32 {
+    /// Build from `stream` in two passes, accounting every allocation
+    /// against `budget`.
+    ///
+    /// On success the graph's resident bytes ([`Csr32::bytes`]) remain
+    /// reserved — the caller owns releasing them when the graph is
+    /// dropped. On error every byte this builder reserved (including
+    /// pass-transient cursor arrays) has been released, so a failed
+    /// build leaves the ledger exactly where it started.
+    pub fn from_stream<S>(stream: &mut S, budget: &MemBudget) -> Result<Self, ScaleError>
+    where
+        S: EdgeStream + ?Sized,
+    {
+        let mut ledger = Ledger::new(budget);
+
+        // Pass 1: per-node degree counts in both directions.
+        let mut out_cnt: Vec<u32> = Vec::new();
+        let mut in_cnt: Vec<u32> = Vec::new();
+        if let Some(hint) = stream.node_hint() {
+            if hint > u64::from(u32::MAX) + 1 {
+                return Err(ScaleError::NodeOverflow { nodes: hint });
+            }
+            ledger.reserve(8 * hint)?;
+            out_cnt.resize(hint as usize, 0);
+            in_cnt.resize(hint as usize, 0);
+        }
+        let mut edges: u64 = 0;
+        let mut chunk: Vec<(u32, u32)> = Vec::new();
+        while stream.next_chunk(&mut chunk)? {
+            edges += chunk.len() as u64;
+            if edges > u64::from(u32::MAX) {
+                return Err(ScaleError::EdgeOverflow { edges });
+            }
+            for &(u, v) in &chunk {
+                let top = u.max(v) as usize + 1;
+                if top > out_cnt.len() {
+                    ledger.reserve(8 * (top - out_cnt.len()) as u64)?;
+                    out_cnt.resize(top, 0);
+                    in_cnt.resize(top, 0);
+                }
+                out_cnt[u as usize] += 1;
+                in_cnt[v as usize] += 1;
+            }
+        }
+        let n = out_cnt.len();
+        let m = edges as usize;
+
+        // Prefix sums: counts become the `n + 1` offset arrays.
+        ledger.reserve(8 * (n as u64 + 1))?;
+        let prefix = |cnt: &[u32]| {
+            let mut offsets = Vec::with_capacity(cnt.len() + 1);
+            let mut total = 0u32;
+            offsets.push(0);
+            for &c in cnt {
+                total += c;
+                offsets.push(total);
+            }
+            offsets
+        };
+        let out_offsets = prefix(&out_cnt);
+        let in_offsets = prefix(&in_cnt);
+        // The count arrays double as pass-2 write cursors (reset them),
+        // so the transient footprint stays at one extra u32 per node
+        // and direction.
+        out_cnt.iter_mut().for_each(|c| *c = 0);
+        in_cnt.iter_mut().for_each(|c| *c = 0);
+        let mut out_cursor = out_cnt;
+        let mut in_cursor = in_cnt;
+
+        // Pass 2: rewind and fill.
+        ledger.reserve(8 * m as u64)?;
+        let mut out_targets = vec![NodeId::new(0); m];
+        let mut in_sources = vec![NodeId::new(0); m];
+        stream.rewind()?;
+        let mut refilled: u64 = 0;
+        while stream.next_chunk(&mut chunk)? {
+            refilled += chunk.len() as u64;
+            for &(u, v) in &chunk {
+                let (u, v) = (u as usize, v as usize);
+                assert!(
+                    u < n && v < n && refilled <= edges,
+                    "edge stream is not replayable: second pass disagrees with the first"
+                );
+                let uo = out_offsets[u] + out_cursor[u];
+                let vi = in_offsets[v] + in_cursor[v];
+                assert!(
+                    uo < out_offsets[u + 1] && vi < in_offsets[v + 1],
+                    "edge stream is not replayable: degree overflow on refill"
+                );
+                out_targets[uo as usize] = NodeId::new(v);
+                in_sources[vi as usize] = NodeId::new(u);
+                out_cursor[u] += 1;
+                in_cursor[v] += 1;
+            }
+        }
+        assert!(
+            refilled == edges,
+            "edge stream is not replayable: edge count changed between passes"
+        );
+        drop(out_cursor);
+        drop(in_cursor);
+        ledger.release(8 * n as u64);
+
+        debug_assert_eq!(ledger.reserved, graph_estimate(n as u64, m as u64));
+        ledger.commit();
+        Ok(Self {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Resident bytes of the four arrays (what a successful
+    /// [`Csr32::from_stream`] leaves reserved).
+    pub fn bytes(&self) -> u64 {
+        graph_estimate(self.node_count() as u64, self.edge_count() as u64)
+    }
+
+    /// Out-neighbors of `u`, in stream emission order.
+    #[inline]
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        let (lo, hi) = (self.out_offsets[u.index()], self.out_offsets[u.index() + 1]);
+        &self.out_targets[lo as usize..hi as usize]
+    }
+
+    /// In-neighbors of `v`, in stream emission order.
+    #[inline]
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        let (lo, hi) = (self.in_offsets[v.index()], self.in_offsets[v.index() + 1]);
+        &self.in_sources[lo as usize..hi as usize]
+    }
+
+    /// Iterate over all edges as `(source, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            let u = NodeId::new(u);
+            self.children(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Convert into the workspace-wide [`Csr`] without copying any of
+    /// the four arrays — `Csr` stores the same `u32` offsets and
+    /// [`NodeId`] (`u32`-backed) adjacency entries.
+    pub fn into_csr(self) -> Csr {
+        Csr::from_parts(
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_sources,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VecStream;
+    use fp_graph::DiGraph;
+
+    fn stream_of(edges: &[(u32, u32)], nodes: Option<u64>, chunk: usize) -> VecStream {
+        VecStream::new(edges.to_vec(), nodes).with_chunk(chunk)
+    }
+
+    #[test]
+    fn matches_from_digraph_exactly() {
+        let edges = [(0, 1), (0, 2), (2, 1), (1, 3), (2, 3), (0, 3)];
+        let budget = MemBudget::unlimited();
+        let csr32 = Csr32::from_stream(&mut stream_of(&edges, None, 2), &budget).unwrap();
+        let g =
+            DiGraph::from_pairs(4, edges.iter().map(|&(u, v)| (u as usize, v as usize))).unwrap();
+        let reference = Csr::from_digraph(&g);
+        assert_eq!(csr32.node_count(), reference.node_count());
+        assert_eq!(csr32.edge_count(), reference.edge_count());
+        for u in reference.nodes() {
+            assert_eq!(csr32.children(u), reference.children(u));
+            assert_eq!(csr32.parents(u), reference.parents(u));
+        }
+        let frozen = csr32.into_csr();
+        for u in reference.nodes() {
+            assert_eq!(frozen.children(u), reference.children(u));
+            assert_eq!(frozen.parents(u), reference.parents(u));
+        }
+    }
+
+    #[test]
+    fn node_hint_covers_isolated_tail_nodes() {
+        let budget = MemBudget::unlimited();
+        let csr32 = Csr32::from_stream(&mut stream_of(&[(0, 1)], Some(5), 8), &budget).unwrap();
+        assert_eq!(csr32.node_count(), 5);
+        assert_eq!(csr32.edge_count(), 1);
+        assert!(csr32.children(NodeId::new(4)).is_empty());
+    }
+
+    #[test]
+    fn empty_stream_builds_an_empty_graph() {
+        let budget = MemBudget::unlimited();
+        let csr32 = Csr32::from_stream(&mut stream_of(&[], None, 8), &budget).unwrap();
+        assert_eq!(csr32.node_count(), 0);
+        assert_eq!(csr32.edge_count(), 0);
+        assert_eq!(budget.live(), csr32.bytes());
+    }
+
+    #[test]
+    fn accounts_resident_bytes_and_releases_on_error() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let budget = MemBudget::unlimited();
+        let csr32 = Csr32::from_stream(&mut stream_of(&edges, None, 2), &budget).unwrap();
+        assert_eq!(budget.live(), csr32.bytes());
+        assert_eq!(csr32.bytes(), graph_estimate(4, 3));
+        assert!(budget.peak() > csr32.bytes(), "cursors count transiently");
+        budget.release(csr32.bytes());
+
+        // A cap below the transient footprint fails the build cleanly.
+        let tight = MemBudget::new(Some(graph_estimate(4, 3)));
+        let err = Csr32::from_stream(&mut stream_of(&edges, None, 2), &tight).unwrap_err();
+        assert!(matches!(err, ScaleError::BudgetExceeded { .. }));
+        assert_eq!(tight.live(), 0, "failed build releases everything");
+    }
+
+    #[test]
+    fn budget_cap_gates_the_degree_pass() {
+        let edges: Vec<(u32, u32)> = (0..100).map(|i| (i, i + 1)).collect();
+        let budget = MemBudget::new(Some(64));
+        let err = Csr32::from_stream(&mut stream_of(&edges, None, 16), &budget).unwrap_err();
+        assert!(matches!(err, ScaleError::BudgetExceeded { .. }));
+        assert_eq!(budget.live(), 0);
+    }
+
+    #[test]
+    fn oversized_node_hint_is_rejected() {
+        let budget = MemBudget::unlimited();
+        let hint = u64::from(u32::MAX) + 2;
+        let err = Csr32::from_stream(&mut VecStream::new(vec![], Some(hint)), &budget).unwrap_err();
+        assert_eq!(err, ScaleError::NodeOverflow { nodes: hint });
+        assert_eq!(budget.live(), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! [`EdgeStream`]: chunked, rewindable edge producers.
+//!
+//! A stream hands out edges in a fixed, reproducible order, a bounded
+//! chunk at a time, and can rewind to the start for multi-pass
+//! consumers (the two-pass CSR builder, depth relaxation). Nothing in
+//! this contract ever requires the full edge list in memory.
+
+use crate::ScaleError;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// Default number of edges per chunk (1 MiB of `(u32, u32)` pairs).
+pub const DEFAULT_CHUNK: usize = 128 * 1024;
+
+/// A rewindable producer of `(source, target)` edges over `u32` ids.
+///
+/// Contract: [`EdgeStream::next_chunk`] clears `out`, appends at most
+/// one chunk of edges, and returns `Ok(true)` if it appended any;
+/// `Ok(false)` marks exhaustion (with `out` left empty). The edge
+/// sequence must be identical on every pass — consumers rely on
+/// replaying it bit-for-bit after [`EdgeStream::rewind`].
+pub trait EdgeStream {
+    /// Total node count, when the producer knows it up front.
+    ///
+    /// Generators always know; file readers usually do not. A hint
+    /// covers isolated nodes beyond the largest id seen on an edge.
+    fn node_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Produce the next chunk of edges into `out`.
+    fn next_chunk(&mut self, out: &mut Vec<(u32, u32)>) -> Result<bool, ScaleError>;
+
+    /// Reset to the beginning of the edge sequence.
+    fn rewind(&mut self) -> Result<(), ScaleError>;
+}
+
+/// Drive `stream` to exhaustion, calling `f` for every edge. The chunk
+/// buffer is caller-provided so multi-pass consumers reuse one
+/// allocation across passes.
+pub fn for_each_edge<S, F>(
+    stream: &mut S,
+    chunk: &mut Vec<(u32, u32)>,
+    mut f: F,
+) -> Result<(), ScaleError>
+where
+    S: EdgeStream + ?Sized,
+    F: FnMut(u32, u32) -> Result<(), ScaleError>,
+{
+    while stream.next_chunk(chunk)? {
+        for &(u, v) in chunk.iter() {
+            f(u, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// An in-memory stream over a pre-built edge list. Test scaffolding and
+/// the adapter of last resort — real producers stream from disk or
+/// generate on the fly.
+#[derive(Clone, Debug)]
+pub struct VecStream {
+    edges: Vec<(u32, u32)>,
+    nodes: Option<u64>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl VecStream {
+    /// Stream over `edges`, optionally declaring a total node count.
+    pub fn new(edges: Vec<(u32, u32)>, nodes: Option<u64>) -> Self {
+        Self {
+            edges,
+            nodes,
+            pos: 0,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Override the chunk size (tests exercise chunk boundaries).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+}
+
+impl EdgeStream for VecStream {
+    fn node_hint(&self) -> Option<u64> {
+        self.nodes
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<(u32, u32)>) -> Result<bool, ScaleError> {
+        out.clear();
+        let end = (self.pos + self.chunk).min(self.edges.len());
+        out.extend_from_slice(&self.edges[self.pos..end]);
+        self.pos = end;
+        Ok(!out.is_empty())
+    }
+
+    fn rewind(&mut self) -> Result<(), ScaleError> {
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+/// A chunked reader over a plain-text edge-list file with *numeric*
+/// node ids: one `source target` pair per line, `#` comments and blank
+/// lines ignored — the dialect `fp dataset` emits and SNAP-style dumps
+/// ship in. Ids are taken literally (node `17` is index 17), which is
+/// what makes the format streamable: no interning table, no
+/// first-appearance renumbering, O(chunk) memory regardless of file
+/// size. Self-loops are rejected (c-graphs are loop-free).
+#[derive(Debug)]
+pub struct FileEdgeStream {
+    path: PathBuf,
+    reader: Option<BufReader<File>>,
+    line: u64,
+    chunk: usize,
+    buf: String,
+}
+
+impl FileEdgeStream {
+    /// Open `path` for streaming.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ScaleError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(|e| ScaleError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Ok(Self {
+            path,
+            reader: Some(BufReader::new(file)),
+            line: 0,
+            chunk: DEFAULT_CHUNK,
+            buf: String::new(),
+        })
+    }
+
+    /// Override the chunk size.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    fn parse_line(&self) -> Result<Option<(u32, u32)>, ScaleError> {
+        let line = self.buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let err = |reason: String| ScaleError::Parse {
+            line: self.line,
+            reason,
+        };
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => return Err(err(format!("expected `source target`, got {line:?}"))),
+        };
+        if parts.next().is_some() {
+            return Err(err(format!("trailing tokens after edge in {line:?}")));
+        }
+        let parse_id = |tok: &str| {
+            tok.parse::<u32>()
+                .map_err(|_| err(format!("node id {tok:?} is not a u32")))
+        };
+        let (u, v) = (parse_id(u)?, parse_id(v)?);
+        if u == v {
+            return Err(err(format!("self-loop on {u}")));
+        }
+        Ok(Some((u, v)))
+    }
+}
+
+impl EdgeStream for FileEdgeStream {
+    fn next_chunk(&mut self, out: &mut Vec<(u32, u32)>) -> Result<bool, ScaleError> {
+        out.clear();
+        if self.reader.is_none() {
+            return Ok(false);
+        }
+        while out.len() < self.chunk {
+            self.buf.clear();
+            let read = self
+                .reader
+                .as_mut()
+                .expect("reader present")
+                .read_line(&mut self.buf)
+                .map_err(|e| ScaleError::Io {
+                    path: self.path.display().to_string(),
+                    reason: e.to_string(),
+                })?;
+            if read == 0 {
+                self.reader = None;
+                break;
+            }
+            self.line += 1;
+            if let Some(edge) = self.parse_line()? {
+                out.push(edge);
+            }
+        }
+        Ok(!out.is_empty())
+    }
+
+    fn rewind(&mut self) -> Result<(), ScaleError> {
+        let file = File::open(&self.path).map_err(|e| ScaleError::Io {
+            path: self.path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        self.reader = Some(BufReader::new(file));
+        self.line = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_chunks_and_rewinds() {
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)];
+        let mut s = VecStream::new(edges.clone(), Some(5)).with_chunk(2);
+        assert_eq!(s.node_hint(), Some(5));
+        let mut seen = Vec::new();
+        let mut chunk = Vec::new();
+        let mut chunks = 0;
+        while s.next_chunk(&mut chunk).unwrap() {
+            assert!(chunk.len() <= 2);
+            seen.extend_from_slice(&chunk);
+            chunks += 1;
+        }
+        assert_eq!(seen, edges);
+        assert_eq!(chunks, 3);
+        s.rewind().unwrap();
+        let mut again = Vec::new();
+        for_each_edge(&mut s, &mut chunk, |u, v| {
+            again.push((u, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(again, edges);
+    }
+
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fp-scale-stream-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn file_stream_parses_comments_and_blank_lines() {
+        let path = temp_file("ok", "# header\n0 1\n\n1 2\n# tail\n2 3\n");
+        let mut s = FileEdgeStream::open(&path).unwrap().with_chunk(2);
+        let mut edges = Vec::new();
+        let mut chunk = Vec::new();
+        for_each_edge(&mut s, &mut chunk, |u, v| {
+            edges.push((u, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        // Exhausted streams stay exhausted until rewound.
+        assert!(!s.next_chunk(&mut chunk).unwrap());
+        s.rewind().unwrap();
+        assert!(s.next_chunk(&mut chunk).unwrap());
+        assert_eq!(chunk, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn file_stream_rejects_malformed_lines() {
+        for (name, text, needle) in [
+            ("one-token", "0 1\njust_one\n", "source target"),
+            ("three-tokens", "0 1 2\n", "trailing"),
+            ("non-numeric", "a b\n", "not a u32"),
+            ("self-loop", "3 3\n", "self-loop"),
+        ] {
+            let path = temp_file(name, text);
+            let mut s = FileEdgeStream::open(&path).unwrap();
+            let mut chunk = Vec::new();
+            let err = for_each_edge(&mut s, &mut chunk, |_, _| Ok(())).unwrap_err();
+            match err {
+                ScaleError::Parse { reason, .. } => {
+                    assert!(reason.contains(needle), "{name}: {reason}")
+                }
+                other => panic!("{name}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = FileEdgeStream::open("/nonexistent/fp-scale-test").unwrap_err();
+        assert!(matches!(err, ScaleError::Io { .. }));
+    }
+}
